@@ -1,0 +1,66 @@
+// Ablation: what do LLP-Boruvka's design choices buy over the synchronized
+// baseline?  Sweeps the two engine knobs independently:
+//   * pointer jumping: asynchronous/chaotic (LLP) vs bulk-synchronous
+//     rounds with barriers (baseline);
+//   * contraction dedup: keep parallel bundles (LLP) vs sort-dedup
+//     (baseline).
+// Reports wall time, rounds, and pointer-jump counts per configuration.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "llp/llp_boruvka.hpp"
+
+int main(int argc, char** argv) {
+  using namespace llpmst;
+  using namespace llpmst::bench;
+
+  CliParser cli("bench_ablation_llp_boruvka",
+                "Ablation of LLP-Boruvka vs synchronized Boruvka engine "
+                "knobs");
+  auto& road_side = cli.add_int("road-side", 512, "road grid side length");
+  auto& scale = cli.add_int("scale", 16, "graph500 RMAT scale");
+  auto& threads = cli.add_int("threads", 8, "worker threads");
+  auto& reps = cli.add_int("reps", 3, "timed repetitions");
+  auto& csv = cli.add_bool("csv", false, "emit CSV");
+  cli.parse(argc, argv);
+
+  BenchOptions opts;
+  opts.repetitions = static_cast<int>(reps);
+  ThreadPool pool(static_cast<std::size_t>(threads));
+
+  Table t({"Graph", "Jumping", "Dedup", "Median", "Rounds", "PointerJumps"});
+
+  const Workload workloads[] = {
+      make_road_workload(static_cast<std::uint32_t>(road_side)),
+      make_graph500_workload(static_cast<int>(scale), 1, /*connect=*/false),
+  };
+
+  for (const Workload& w : workloads) {
+    const MstResult reference = kruskal(w.graph);
+    for (const auto jumping :
+         {PointerJumping::kAsynchronous, PointerJumping::kSynchronized}) {
+      for (const bool dedup : {false, true}) {
+        BoruvkaConfig config;
+        config.jumping = jumping;
+        config.dedup_contracted_edges = dedup;
+        const BenchMeasurement m = measure_mst(
+            "boruvka_engine", w.graph, reference,
+            [&] { return llp_boruvka_configured(w.graph, pool, config); },
+            opts);
+        const MstAlgoStats& s = m.last_result.stats;
+        t.add_row({w.name,
+                   jumping == PointerJumping::kAsynchronous ? "async (LLP)"
+                                                            : "synchronized",
+                   dedup ? "yes" : "no", time_cell(m.time_ms),
+                   format_count(s.rounds), format_count(s.pointer_jumps)});
+      }
+    }
+  }
+
+  std::printf("Ablation: LLP-Boruvka engine knobs (threads=%lld)\n",
+              static_cast<long long>(threads));
+  std::printf("(async+no-dedup = LLP-Boruvka; synchronized+dedup = the "
+              "parallel Boruvka baseline)\n\n");
+  t.print(csv);
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Shared plumbing for the figure benchmarks: standard workload graphs at
+// benchmark scale (overridable via flags), and row-emission helpers.
+//
+// Scale note: the paper ran 23.9M-vertex USA-road and 33M-vertex graph500
+// s25 on a 48-vCPU GCE C2 machine.  The default sizes here reproduce the
+// same morphologies at laptop scale (hundreds of thousands of vertices) so
+// every figure regenerates in about a minute; pass --road-side / --scale to
+// grow them toward the paper's sizes on bigger hardware.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util/harness.hpp"
+#include "bench_util/table.hpp"
+#include "graph/algorithms/degree_stats.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/generators/rmat.hpp"
+#include "graph/generators/road.hpp"
+#include "mst/kruskal.hpp"
+#include "support/cli.hpp"
+#include "support/stats.hpp"
+
+namespace llpmst::bench {
+
+struct Workload {
+  std::string name;   // e.g. "USA-road (synthetic 262k)"
+  std::string type;   // "road" / "scalefree"
+  CsrGraph graph;
+};
+
+/// Synthetic stand-in for USA-road-d.USA: side x side grid road network.
+inline Workload make_road_workload(std::uint32_t side,
+                                   std::uint64_t seed = 1) {
+  RoadParams p;
+  p.width = side;
+  p.height = side;
+  p.seed = seed;
+  EdgeList list = generate_road_network(p);
+  Workload w;
+  w.name = "Road " + format_count(list.num_vertices());
+  w.type = "road";
+  w.graph = CsrGraph::build(list);
+  return w;
+}
+
+/// Synthetic stand-in for graph500-sNN-ef16, connected for Prim-family use.
+inline Workload make_graph500_workload(int scale, std::uint64_t seed = 1,
+                                       bool connect = true) {
+  RmatParams p;
+  p.scale = scale;
+  p.edge_factor = 16;
+  p.seed = seed;
+  EdgeList list = generate_rmat(p);
+  if (connect) connect_components(list);
+  Workload w;
+  w.name = "Graph500 s" + std::to_string(scale);
+  w.type = "scalefree";
+  w.graph = CsrGraph::build(list);
+  return w;
+}
+
+/// Formats a measurement cell: median with spread.
+inline std::string time_cell(const Summary& s) {
+  return format_duration_ms(s.median);
+}
+
+/// Speedup of `base` over `t` (how many times faster t is than base).
+inline std::string speedup_cell(double base_ms, double ms) {
+  return strf("%.2fx", base_ms / ms);
+}
+
+}  // namespace llpmst::bench

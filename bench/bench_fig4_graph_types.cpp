@@ -1,0 +1,81 @@
+// Reproduces Fig. 4: the parallel algorithms at LOW vs HIGH core counts on
+// graphs of different morphologies (road + two graph500 sizes).
+//
+// Paper's claims to reproduce (shape):
+//   * LLP-Prim is the fastest at low core counts, and does relatively
+//     better on denser (higher m/n) graph500 graphs than on the road graph;
+//   * at high core counts the Boruvka family wins, with LLP-Boruvka
+//     slightly ahead of parallel Boruvka.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "llp/llp_boruvka.hpp"
+#include "llp/llp_prim_parallel.hpp"
+#include "mst/parallel_boruvka.hpp"
+
+int main(int argc, char** argv) {
+  using namespace llpmst;
+  using namespace llpmst::bench;
+
+  CliParser cli("bench_fig4_graph_types",
+                "Reproduces Fig. 4 (low vs high core counts across graph "
+                "morphologies)");
+  auto& road_side = cli.add_int("road-side", 512, "road grid side length");
+  auto& scale_small = cli.add_int("scale-small", 14, "small RMAT scale");
+  auto& scale_big = cli.add_int("scale-big", 16, "big RMAT scale");
+  auto& low = cli.add_int("low", 2, "low thread count");
+  auto& high = cli.add_int("high", 16, "high thread count");
+  auto& reps = cli.add_int("reps", 3, "timed repetitions");
+  auto& csv = cli.add_bool("csv", false, "emit CSV");
+  cli.parse(argc, argv);
+
+  BenchOptions opts;
+  opts.repetitions = static_cast<int>(reps);
+
+  const Workload workloads[] = {
+      make_road_workload(static_cast<std::uint32_t>(road_side)),
+      make_graph500_workload(static_cast<int>(scale_small)),
+      make_graph500_workload(static_cast<int>(scale_big)),
+  };
+
+  std::printf("Fig. 4: parallel algorithms, low (%lld) vs high (%lld) "
+              "thread counts\n\n",
+              static_cast<long long>(low), static_cast<long long>(high));
+
+  Table t({"Graph", "m/n", "Threads", "LLP-Prim", "Boruvka", "LLP-Boruvka",
+           "Fastest"});
+
+  for (const Workload& w : workloads) {
+    const MstResult reference = kruskal(w.graph);
+    const double mn = static_cast<double>(w.graph.num_edges()) /
+                      static_cast<double>(w.graph.num_vertices());
+    for (const long long threads :
+         {static_cast<long long>(low), static_cast<long long>(high)}) {
+      ThreadPool pool(static_cast<std::size_t>(threads));
+      const BenchMeasurement lp = measure_mst(
+          "LLP-Prim", w.graph, reference,
+          [&] { return llp_prim_parallel(w.graph, pool); }, opts);
+      const BenchMeasurement pb = measure_mst(
+          "Boruvka", w.graph, reference,
+          [&] { return parallel_boruvka(w.graph, pool); }, opts);
+      const BenchMeasurement lb = measure_mst(
+          "LLP-Boruvka", w.graph, reference,
+          [&] { return llp_boruvka(w.graph, pool); }, opts);
+
+      const char* fastest = "LLP-Prim";
+      double best = lp.time_ms.median;
+      if (pb.time_ms.median < best) {
+        fastest = "Boruvka";
+        best = pb.time_ms.median;
+      }
+      if (lb.time_ms.median < best) fastest = "LLP-Boruvka";
+
+      t.add_row({w.name, strf("%.2f", mn), strf("%lld", threads),
+                 time_cell(lp.time_ms), time_cell(pb.time_ms),
+                 time_cell(lb.time_ms), fastest});
+    }
+  }
+
+  t.print(csv);
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Ablation: heap choice inside the Prim family.  The paper's complexity
+// discussion (Section IV) contrasts the indexed decrease-key heap of
+// Algorithm 2 with the lazy duplicate-insertion heap of its analysis; this
+// bench adds d-ary and pairing heaps to map the whole design space on both
+// workload morphologies.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "ds/binary_heap.hpp"
+#include "ds/dary_heap.hpp"
+#include "ds/lazy_heap.hpp"
+#include "ds/pairing_heap.hpp"
+#include "mst/prim_heaps.hpp"
+
+int main(int argc, char** argv) {
+  using namespace llpmst;
+  using namespace llpmst::bench;
+
+  CliParser cli("bench_heap_choice",
+                "Ablation: Prim with binary / d-ary / pairing / lazy heaps");
+  auto& road_side = cli.add_int("road-side", 512, "road grid side length");
+  auto& scale = cli.add_int("scale", 16, "graph500 RMAT scale");
+  auto& reps = cli.add_int("reps", 3, "timed repetitions");
+  auto& csv = cli.add_bool("csv", false, "emit CSV");
+  cli.parse(argc, argv);
+
+  BenchOptions opts;
+  opts.repetitions = static_cast<int>(reps);
+
+  Table t({"Graph", "Heap", "Median", "Push", "Pop", "Adjust", "SiftSteps"});
+
+  const Workload workloads[] = {
+      make_road_workload(static_cast<std::uint32_t>(road_side)),
+      make_graph500_workload(static_cast<int>(scale)),
+  };
+
+  for (const Workload& w : workloads) {
+    const MstResult reference = kruskal(w.graph);
+    const auto add = [&](const char* heap_name,
+                         const std::function<MstResult()>& run) {
+      const BenchMeasurement m =
+          measure_mst(heap_name, w.graph, reference, run, opts);
+      const HeapStats& h = m.last_result.stats.heap;
+      t.add_row({w.name, heap_name, time_cell(m.time_ms),
+                 format_count(h.pushes), format_count(h.pops),
+                 format_count(h.adjusts), format_count(h.sift_steps)});
+    };
+
+    add("binary (indexed)", [&] {
+      return prim_with_heap<BinaryHeap<EdgePriority>>(w.graph, 0);
+    });
+    add("2-ary (indexed)", [&] {
+      return prim_with_heap<DaryHeap<EdgePriority, 2>>(w.graph, 0);
+    });
+    add("4-ary (indexed)", [&] {
+      return prim_with_heap<DaryHeap<EdgePriority, 4>>(w.graph, 0);
+    });
+    add("8-ary (indexed)", [&] {
+      return prim_with_heap<DaryHeap<EdgePriority, 8>>(w.graph, 0);
+    });
+    add("pairing", [&] {
+      return prim_with_heap<PairingHeap<EdgePriority>>(w.graph, 0);
+    });
+    add("lazy (Sec. IV)", [&] {
+      return prim_with_heap<LazyHeap<EdgePriority>>(w.graph, 0);
+    });
+  }
+
+  std::printf("Ablation: heap choice in Prim\n\n");
+  t.print(csv);
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Context for Fig. 2: every sequential (and sort-parallel) MSF baseline in
+// the library on both workloads — Kruskal, parallel-sort Kruskal,
+// Filter-Kruskal, Prim, lazy Prim, classic Boruvka, LLP-Prim (1T).  Places
+// the paper's three Fig. 2 contestants inside the wider baseline landscape.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "llp/llp_prim.hpp"
+#include "mst/boruvka.hpp"
+#include "mst/filter_kruskal.hpp"
+#include "mst/kkt.hpp"
+#include "mst/kruskal_parallel.hpp"
+#include "mst/prim.hpp"
+#include "mst/prim_lazy.hpp"
+
+int main(int argc, char** argv) {
+  using namespace llpmst;
+  using namespace llpmst::bench;
+
+  CliParser cli("bench_sequential_baselines",
+                "All sequential MSF baselines on both workloads");
+  auto& road_side = cli.add_int("road-side", 512, "road grid side length");
+  auto& scale = cli.add_int("scale", 16, "graph500 RMAT scale");
+  auto& threads = cli.add_int("threads", 4,
+                              "threads for the sort-parallel variants");
+  auto& reps = cli.add_int("reps", 3, "timed repetitions");
+  auto& csv = cli.add_bool("csv", false, "emit CSV");
+  cli.parse(argc, argv);
+
+  BenchOptions opts;
+  opts.repetitions = static_cast<int>(reps);
+  ThreadPool pool(static_cast<std::size_t>(threads));
+
+  Table t({"Graph", "Algorithm", "Median", "vs Kruskal"});
+
+  const Workload workloads[] = {
+      make_road_workload(static_cast<std::uint32_t>(road_side)),
+      make_graph500_workload(static_cast<int>(scale)),
+  };
+
+  for (const Workload& w : workloads) {
+    const MstResult reference = kruskal(w.graph);
+    double kruskal_ms = 0;
+    const auto add = [&](const char* name,
+                         const std::function<MstResult()>& run) {
+      const BenchMeasurement m = measure_mst(name, w.graph, reference, run,
+                                             opts);
+      if (kruskal_ms == 0) kruskal_ms = m.time_ms.median;
+      t.add_row({w.name, name, time_cell(m.time_ms),
+                 strf("%.2fx", kruskal_ms / m.time_ms.median)});
+    };
+
+    add("Kruskal", [&] { return kruskal(w.graph); });
+    add("Kruskal (parallel sort)",
+        [&] { return kruskal_parallel(w.graph, pool); });
+    add("Filter-Kruskal", [&] { return filter_kruskal(w.graph, pool); });
+    add("Prim", [&] { return prim(w.graph); });
+    add("Prim (lazy heap)", [&] { return prim_lazy(w.graph); });
+    add("Boruvka (classic 1T)", [&] { return boruvka(w.graph); });
+    add("KKT (randomized)", [&] { return kkt_msf(w.graph); });
+    add("LLP-Prim (1T)", [&] { return llp_prim(w.graph); });
+  }
+
+  std::printf("Sequential / sort-parallel MSF baselines (threads=%lld for "
+              "sort)\n\n",
+              static_cast<long long>(threads));
+  t.print(csv);
+  return 0;
+}

@@ -1,0 +1,117 @@
+// google-benchmark microbenchmarks for the data-structure substrate: the
+// heaps behind the Prim family and union-find behind Kruskal/verifier.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "ds/binary_heap.hpp"
+#include "ds/concurrent_union_find.hpp"
+#include "ds/dary_heap.hpp"
+#include "ds/lazy_heap.hpp"
+#include "ds/pairing_heap.hpp"
+#include "ds/union_find.hpp"
+#include "support/random.hpp"
+
+namespace {
+
+using namespace llpmst;
+
+/// Pre-generated (id, key) workload shared by the heap benches.
+const std::vector<std::pair<std::uint32_t, std::uint64_t>>& workload(
+    std::size_t n) {
+  static std::vector<std::pair<std::uint32_t, std::uint64_t>> data = [] {
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> d;
+    Xoshiro256 rng(42);
+    d.reserve(1 << 16);
+    for (std::size_t i = 0; i < (1u << 16); ++i) {
+      d.emplace_back(static_cast<std::uint32_t>(i),
+                     rng.next_below(1ull << 40));
+    }
+    return d;
+  }();
+  (void)n;
+  return data;
+}
+
+template <typename Heap>
+void bm_heap_push_pop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto& data = workload(n);
+  for (auto _ : state) {
+    Heap h(n);
+    for (std::size_t i = 0; i < n; ++i) h.push(data[i].first, data[i].second);
+    while (!h.empty()) benchmark::DoNotOptimize(h.pop());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n));
+}
+
+void bm_heap_decrease_key(benchmark::State& state) {
+  // Dijkstra-like mix on the indexed binary heap: push once, adjust often.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto& data = workload(n);
+  for (auto _ : state) {
+    BinaryHeap<std::uint64_t> h(n);
+    for (std::size_t i = 0; i < n; ++i) h.push(data[i].first, data[i].second);
+    for (std::size_t i = 0; i < n; ++i) {
+      h.insert_or_adjust(data[i].first, data[i].second / 2);
+    }
+    while (!h.empty()) benchmark::DoNotOptimize(h.pop());
+  }
+}
+
+void bm_union_find(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Xoshiro256 rng(7);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  pairs.reserve(2 * n);
+  for (std::size_t i = 0; i < 2 * n; ++i) {
+    pairs.emplace_back(static_cast<std::uint32_t>(rng.next_below(n)),
+                       static_cast<std::uint32_t>(rng.next_below(n)));
+  }
+  for (auto _ : state) {
+    UnionFind uf(n);
+    for (const auto& [a, b] : pairs) benchmark::DoNotOptimize(uf.unite(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(pairs.size()));
+}
+
+void bm_concurrent_union_find_sequential(benchmark::State& state) {
+  // Single-threaded cost of the CAS-based UF (the concurrency tax).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Xoshiro256 rng(7);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  pairs.reserve(2 * n);
+  for (std::size_t i = 0; i < 2 * n; ++i) {
+    pairs.emplace_back(static_cast<std::uint32_t>(rng.next_below(n)),
+                       static_cast<std::uint32_t>(rng.next_below(n)));
+  }
+  for (auto _ : state) {
+    ConcurrentUnionFind uf(n);
+    for (const auto& [a, b] : pairs) benchmark::DoNotOptimize(uf.unite(a, b));
+  }
+}
+
+}  // namespace
+
+BENCHMARK_TEMPLATE(bm_heap_push_pop, llpmst::BinaryHeap<std::uint64_t>)
+    ->Arg(1 << 14)
+    ->Name("heap_push_pop/binary");
+BENCHMARK_TEMPLATE(bm_heap_push_pop, llpmst::DaryHeap<std::uint64_t, 4>)
+    ->Arg(1 << 14)
+    ->Name("heap_push_pop/dary4");
+BENCHMARK_TEMPLATE(bm_heap_push_pop, llpmst::DaryHeap<std::uint64_t, 8>)
+    ->Arg(1 << 14)
+    ->Name("heap_push_pop/dary8");
+BENCHMARK_TEMPLATE(bm_heap_push_pop, llpmst::PairingHeap<std::uint64_t>)
+    ->Arg(1 << 14)
+    ->Name("heap_push_pop/pairing");
+BENCHMARK_TEMPLATE(bm_heap_push_pop, llpmst::LazyHeap<std::uint64_t>)
+    ->Arg(1 << 14)
+    ->Name("heap_push_pop/lazy");
+BENCHMARK(bm_heap_decrease_key)->Arg(1 << 14);
+BENCHMARK(bm_union_find)->Arg(1 << 15);
+BENCHMARK(bm_concurrent_union_find_sequential)->Arg(1 << 15);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// A tour of the generic LLP framework (the paper's Section II): the same
+// Algorithm-1 engine solving three different problems —
+//   1. a toy scheduling problem (chained lower bounds),
+//   2. single-source shortest paths (LLP Bellman-Ford),
+//   3. connected components (LLP pointer jumping),
+// demonstrating the paper's claim that formulating problems as predicate
+// detection puts them "under a single, general framework".
+//
+//   $ ./examples/llp_framework_tour
+#include <atomic>
+#include <cstdio>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/generators/road.hpp"
+#include "llp/llp_components.hpp"
+#include "llp/llp_shortest_path.hpp"
+#include "llp/llp_solver.hpp"
+#include "parallel/thread_pool.hpp"
+#include "support/stats.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+using namespace llpmst;
+
+// Problem 1: five jobs; job i cannot start before release[i], and each job
+// must start at least gap after its predecessor starts.  Find the earliest
+// (least) start vector — a textbook lattice-linear predicate.
+void scheduling_demo(ThreadPool& pool) {
+  const std::vector<std::uint64_t> release = {0, 2, 1, 9, 3};
+  const std::uint64_t gap = 3;
+
+  std::vector<std::atomic<std::uint64_t>> start(release.size());
+  for (auto& s : start) s.store(0);
+
+  const auto bound = [&](std::size_t j) {
+    std::uint64_t lo = release[j];
+    if (j > 0) {
+      lo = std::max(lo, start[j - 1].load(std::memory_order_relaxed) + gap);
+    }
+    return lo;
+  };
+
+  const LlpStats stats = llp_solve(
+      pool, release.size(),
+      [&](std::size_t j) {
+        return start[j].load(std::memory_order_relaxed) < bound(j);
+      },
+      [&](std::size_t j) {
+        start[j].store(bound(j), std::memory_order_relaxed);
+      });
+
+  std::printf("1. Earliest job starts (releases 0,2,1,9,3; gap 3): ");
+  for (const auto& s : start) {
+    std::printf("%llu ", static_cast<unsigned long long>(s.load()));
+  }
+  std::printf(" [%llu sweeps, %llu advances]\n",
+              static_cast<unsigned long long>(stats.sweeps),
+              static_cast<unsigned long long>(stats.advances));
+}
+
+}  // namespace
+
+int main() {
+  ThreadPool pool(4);
+  std::printf("The LLP framework: one engine, three problems\n");
+  std::printf("=============================================\n\n");
+
+  scheduling_demo(pool);
+
+  // A shared road graph for the two graph problems.
+  RoadParams params;
+  params.width = 96;
+  params.height = 96;
+  params.unit = 10;  // modest weights keep the chaotic SSSP iteration quick
+  const CsrGraph g = CsrGraph::build(generate_road_network(params));
+
+  {
+    Timer t;
+    const ShortestPathResult sp = llp_shortest_paths(g, pool, 0);
+    Dist farthest = 0;
+    for (const Dist d : sp.dist) {
+      if (d != kUnreachableDist) farthest = std::max(farthest, d);
+    }
+    std::printf(
+        "2. LLP shortest paths on a %zu-vertex road grid: eccentricity(v0) "
+        "= %llu  [%llu sweeps, %s]\n",
+        g.num_vertices(), static_cast<unsigned long long>(farthest),
+        static_cast<unsigned long long>(sp.llp.sweeps),
+        format_duration_ms(t.elapsed_ms()).c_str());
+  }
+
+  {
+    Timer t;
+    const LlpComponentsResult cc = llp_connected_components(g, pool);
+    std::printf(
+        "3. LLP connected components: %zu component(s)  [%llu sweeps, %s]\n",
+        cc.num_components, static_cast<unsigned long long>(cc.llp.sweeps),
+        format_duration_ms(t.elapsed_ms()).c_str());
+  }
+
+  std::printf(
+      "\nAll three used the identical llp_solve(forbidden, advance) engine.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+#include "bench_util/harness.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "support/assert.hpp"
+#include "support/timer.hpp"
+
+namespace llpmst {
+
+BenchMeasurement measure_mst(const std::string& name, const CsrGraph& g,
+                             const MstResult& reference,
+                             const std::function<MstResult()>& run,
+                             const BenchOptions& options) {
+  (void)g;
+  BenchMeasurement m;
+  m.name = name;
+
+  for (int i = 0; i < options.warmup; ++i) {
+    MstResult r = run();
+    if (options.verify && i == 0) {
+      if (r.edges != reference.edges ||
+          r.total_weight != reference.total_weight) {
+        std::fprintf(stderr,
+                     "FATAL: %s produced a different MSF than the reference "
+                     "(weight %llu vs %llu, %zu vs %zu edges)\n",
+                     name.c_str(),
+                     static_cast<unsigned long long>(r.total_weight),
+                     static_cast<unsigned long long>(reference.total_weight),
+                     r.edges.size(), reference.edges.size());
+        std::abort();
+      }
+      m.verified = true;
+    }
+  }
+
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(options.repetitions));
+  for (int i = 0; i < options.repetitions; ++i) {
+    Timer t;
+    m.last_result = run();
+    samples.push_back(t.elapsed_ms());
+  }
+  m.time_ms = summarize(samples);
+  return m;
+}
+
+}  // namespace llpmst

@@ -1,0 +1,35 @@
+// Repetition/timing harness for the figure benchmarks: runs a callable
+// several times (after warmup), verifies the result against a reference on
+// the first repetition, and reports median wall time.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "mst/mst_result.hpp"
+#include "support/stats.hpp"
+
+namespace llpmst {
+
+struct BenchOptions {
+  int warmup = 1;
+  int repetitions = 3;
+  bool verify = true;  // cross-check the edge set against a reference MSF
+};
+
+struct BenchMeasurement {
+  std::string name;
+  Summary time_ms;        // across repetitions
+  MstResult last_result;  // instrumentation from the last repetition
+  bool verified = false;  // result matched the reference (when requested)
+};
+
+/// Times `run` (which must return the MSF of `g`).  When options.verify is
+/// set, compares the edge set of the first repetition with `reference`
+/// (dies loudly on mismatch — a benchmark of a wrong algorithm is worse
+/// than no benchmark).
+[[nodiscard]] BenchMeasurement measure_mst(
+    const std::string& name, const CsrGraph& g, const MstResult& reference,
+    const std::function<MstResult()>& run, const BenchOptions& options = {});
+
+}  // namespace llpmst

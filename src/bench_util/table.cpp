@@ -1,0 +1,93 @@
+#include "bench_util/table.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace llpmst {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  LLPMST_CHECK(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  LLPMST_CHECK_MSG(cells.size() == headers_.size(),
+                   "row width does not match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  const auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << row[c];
+      if (c + 1 < row.size()) {
+        out << std::string(width[c] - row[c].size() + 2, ' ');
+      }
+    }
+    out << '\n';
+  };
+
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    total += width[c] + (c + 1 < width.size() ? 2 : 0);
+  }
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream out;
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const std::string& cell = row[c];
+      const bool quote = cell.find_first_of(",\"\n") != std::string::npos;
+      if (quote) {
+        out << '"';
+        for (char ch : cell) {
+          if (ch == '"') out << '"';
+          out << ch;
+        }
+        out << '"';
+      } else {
+        out << cell;
+      }
+      if (c + 1 < row.size()) out << ',';
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+void Table::print(bool csv) const {
+  const std::string s = csv ? to_csv() : to_string();
+  std::fputs(s.c_str(), stdout);
+}
+
+std::string strf(const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  return buf;
+}
+
+}  // namespace llpmst

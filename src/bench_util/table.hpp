@@ -1,0 +1,39 @@
+// Aligned-table and CSV rendering for the benchmark binaries.  Every bench
+// prints the paper's rows as a human-readable table by default and as CSV
+// with --csv (for re-plotting the figures).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace llpmst {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with padded columns, a header underline, and 2-space gutters.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Renders as CSV (RFC-4180-style quoting for cells containing commas).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Prints to stdout in the chosen format.
+  void print(bool csv) const;
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style helper returning std::string.
+[[nodiscard]] std::string strf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace llpmst

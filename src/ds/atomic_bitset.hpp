@@ -1,0 +1,58 @@
+// Fixed-size atomic bitset: concurrent test-and-set over packed 64-bit words.
+// Used for "visited"/"fixed" style flags where a byte per element would blow
+// the cache (e.g. marking contracted vertices in Boruvka rounds).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace llpmst {
+
+class AtomicBitset {
+ public:
+  explicit AtomicBitset(std::size_t n)
+      : n_(n), words_((n + 63) / 64) {
+    for (auto& w : words_) w.store(0, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+  [[nodiscard]] bool test(std::size_t i) const {
+    LLPMST_ASSERT(i < n_);
+    return (words_[i >> 6].load(std::memory_order_acquire) >> (i & 63)) & 1u;
+  }
+
+  /// Sets bit i; returns true iff this call flipped it from 0 to 1.
+  bool test_and_set(std::size_t i) {
+    LLPMST_ASSERT(i < n_);
+    const std::uint64_t mask = std::uint64_t{1} << (i & 63);
+    const std::uint64_t old =
+        words_[i >> 6].fetch_or(mask, std::memory_order_acq_rel);
+    return (old & mask) == 0;
+  }
+
+  /// Non-atomic bulk clear; callers must quiesce first.
+  void clear() {
+    for (auto& w : words_) w.store(0, std::memory_order_relaxed);
+  }
+
+  /// Population count (call outside parallel regions).
+  [[nodiscard]] std::size_t count() const {
+    std::size_t c = 0;
+    for (const auto& w : words_) {
+      c += static_cast<std::size_t>(
+          __builtin_popcountll(w.load(std::memory_order_relaxed)));
+    }
+    return c;
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<std::atomic<std::uint64_t>> words_;
+};
+
+}  // namespace llpmst

@@ -1,0 +1,93 @@
+// Lock-free concurrent union-find.
+//
+// Wait-free finds with path-halving CAS (a failed halving CAS is benign), and
+// lock-free union by "rank" approximated by representative id: the smaller
+// root is linked under the larger via CAS on its parent slot.  This is the
+// classic Jayanti–Tarjan-style randomized-linking scheme simplified to
+// deterministic id-linking, which is what GBBS's union-find variants use for
+// MSF; id-linking gives the same O(log n) tree-height bound in expectation on
+// the shuffled inputs we feed it, and makes results deterministic.
+//
+// Used by tests as an oracle under concurrency and by the concurrent Kruskal
+// filter in the examples.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace llpmst {
+
+class ConcurrentUnionFind {
+ public:
+  explicit ConcurrentUnionFind(std::size_t n) : parent_(n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      parent_[i].store(static_cast<std::uint32_t>(i),
+                       std::memory_order_relaxed);
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return parent_.size(); }
+
+  /// Representative of x's set.  Performs CAS path halving; safe to call
+  /// concurrently with unite().
+  std::uint32_t find(std::uint32_t x) {
+    LLPMST_ASSERT(x < parent_.size());
+    std::uint32_t p = parent_[x].load(std::memory_order_acquire);
+    while (p != x) {
+      const std::uint32_t gp = parent_[p].load(std::memory_order_acquire);
+      if (gp != p) {
+        // Halve: retarget x to its grandparent.  A lost race only skips one
+        // shortcut; correctness is unaffected.
+        parent_[x].compare_exchange_weak(p, gp, std::memory_order_release,
+                                         std::memory_order_relaxed);
+      }
+      x = p;
+      p = parent_[x].load(std::memory_order_acquire);
+    }
+    return x;
+  }
+
+  /// Merges the sets of a and b; the root with the larger id becomes parent
+  /// (deterministic final forest shape regardless of interleaving).
+  /// Returns true iff this call performed the link.
+  bool unite(std::uint32_t a, std::uint32_t b) {
+    for (;;) {
+      std::uint32_t ra = find(a);
+      std::uint32_t rb = find(b);
+      if (ra == rb) return false;
+      if (ra > rb) std::swap(ra, rb);
+      // Link smaller root ra under rb.  CAS can fail if ra was united
+      // concurrently; retry from fresh roots.
+      std::uint32_t expected = ra;
+      if (parent_[ra].compare_exchange_strong(expected, rb,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+  }
+
+  /// True iff a and b are currently in the same set.  Under concurrent
+  /// unions the answer is linearizable only when it returns true; callers
+  /// that need a stable negative must quiesce first (our MSF phases do).
+  bool same_set(std::uint32_t a, std::uint32_t b) {
+    for (;;) {
+      std::uint32_t ra = find(a);
+      std::uint32_t rb = find(b);
+      if (ra == rb) return true;
+      // ra is a root at the time it was read; if it still is, the negative
+      // answer was true at that instant.
+      if (parent_[ra].load(std::memory_order_acquire) == ra) return false;
+    }
+  }
+
+ private:
+  std::vector<std::atomic<std::uint32_t>> parent_;
+};
+
+}  // namespace llpmst

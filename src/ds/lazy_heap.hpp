@@ -1,0 +1,82 @@
+// Lazy-insertion min-heap: the heap of the paper's complexity analysis
+// (Section IV): "instead of adjusting the key in the heap for a vertex, we
+// simply insert the vertex in the heap.  As a result the heap may have a
+// vertex multiple times with different keys.  When a vertex is removed, we
+// check if it has already been fixed."
+//
+// This trades O(m) heap entries for not needing a position index.  Callers
+// must skip stale pops themselves (they already track `fixed`), or use
+// pop_valid() with a predicate.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "ds/binary_heap.hpp"  // for HeapStats
+#include "support/assert.hpp"
+
+namespace llpmst {
+
+template <typename Key, typename Id = std::uint32_t>
+class LazyHeap {
+ public:
+  LazyHeap() = default;
+  /// Capacity is advisory (reserve only); any id may be pushed.
+  explicit LazyHeap(std::size_t expected) { heap_.reserve(expected); }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Always inserts; duplicates of an id are allowed.
+  void push(Id id, Key key) {
+    heap_.push_back({key, id});
+    std::push_heap(heap_.begin(), heap_.end(), Greater{});
+    ++stats_.pushes;
+  }
+
+  /// Removes and returns the minimum entry, stale or not.
+  std::pair<Id, Key> pop() {
+    LLPMST_ASSERT(!empty());
+    std::pop_heap(heap_.begin(), heap_.end(), Greater{});
+    Entry e = heap_.back();
+    heap_.pop_back();
+    ++stats_.pops;
+    return {e.id, e.key};
+  }
+
+  /// Pops until an entry whose id satisfies `alive` is found; returns it, or
+  /// nullopt when the heap drains.  Stale pops are counted in stats().pops.
+  template <typename Alive>
+  std::optional<std::pair<Id, Key>> pop_valid(Alive&& alive) {
+    while (!empty()) {
+      auto [id, key] = pop();
+      if (alive(id)) return std::make_pair(id, key);
+    }
+    return std::nullopt;
+  }
+
+  void clear() { heap_.clear(); }
+
+  [[nodiscard]] const HeapStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = HeapStats{}; }
+
+ private:
+  struct Entry {
+    Key key;
+    Id id;
+  };
+  struct Greater {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return b.key < a.key;
+    }
+  };
+
+  std::vector<Entry> heap_;
+  HeapStats stats_;
+};
+
+}  // namespace llpmst

@@ -1,0 +1,58 @@
+#include "graph/algorithms/bfs.hpp"
+
+#include <deque>
+
+#include "support/assert.hpp"
+
+namespace llpmst {
+
+namespace {
+
+BfsResult bfs_impl(const CsrGraph& g, VertexId source,
+                   const std::vector<bool>* edge_filter) {
+  const std::size_t n = g.num_vertices();
+  LLPMST_CHECK(source < n);
+
+  BfsResult r;
+  r.parent.assign(n, kInvalidVertex);
+  r.depth.assign(n, kInvalidVertex);
+  r.order.reserve(n);
+
+  std::deque<VertexId> queue;
+  r.parent[source] = source;
+  r.depth[source] = 0;
+  queue.push_back(source);
+
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop_front();
+    r.order.push_back(u);
+    const auto nbrs = g.neighbors(u);
+    const auto prios = g.arc_priorities(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (edge_filter != nullptr && !(*edge_filter)[priority_edge(prios[i])]) {
+        continue;
+      }
+      const VertexId v = nbrs[i];
+      if (r.parent[v] != kInvalidVertex) continue;
+      r.parent[v] = u;
+      r.depth[v] = r.depth[u] + 1;
+      queue.push_back(v);
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+BfsResult bfs(const CsrGraph& g, VertexId source) {
+  return bfs_impl(g, source, nullptr);
+}
+
+BfsResult bfs_subgraph(const CsrGraph& g, VertexId source,
+                       const std::vector<bool>& edge_in_subgraph) {
+  LLPMST_CHECK(edge_in_subgraph.size() == g.num_edges());
+  return bfs_impl(g, source, &edge_in_subgraph);
+}
+
+}  // namespace llpmst

@@ -1,0 +1,29 @@
+// Breadth-first search over a CSR graph.  Used by classic Boruvka
+// (Algorithm 3 identifies components by BFS), by the verifier, and by tests.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace llpmst {
+
+struct BfsResult {
+  /// Parent of each vertex in the BFS tree; kInvalidVertex if unreached
+  /// (the source is its own parent).
+  std::vector<VertexId> parent;
+  /// Hop distance from the source; kInvalidVertex if unreached.
+  std::vector<VertexId> depth;
+  /// Vertices in visit order.
+  std::vector<VertexId> order;
+};
+
+/// BFS from `source`.
+[[nodiscard]] BfsResult bfs(const CsrGraph& g, VertexId source);
+
+/// BFS restricted to a subset of edges: `edge_in_subgraph[e]` gates edge e.
+/// This is exactly what classic Boruvka needs to find components of (V, T).
+[[nodiscard]] BfsResult bfs_subgraph(const CsrGraph& g, VertexId source,
+                                     const std::vector<bool>& edge_in_subgraph);
+
+}  // namespace llpmst

@@ -1,0 +1,94 @@
+#include "graph/algorithms/connected_components.hpp"
+
+#include <atomic>
+
+#include "ds/union_find.hpp"
+#include "parallel/atomic_utils.hpp"
+#include "parallel/parallel_for.hpp"
+#include "support/assert.hpp"
+
+namespace llpmst {
+
+ComponentsResult connected_components(const EdgeList& list) {
+  const std::size_t n = list.num_vertices();
+  UnionFind uf(n);
+  for (const WeightedEdge& e : list.edges()) uf.unite(e.u, e.v);
+
+  ComponentsResult r;
+  r.label.assign(n, kInvalidVertex);
+  // Min-id labeling: first pass records the minimum id per root, second pass
+  // assigns it.  Iterating ids ascending makes the first visitor of a root
+  // the minimum member.
+  std::vector<VertexId> root_min(n, kInvalidVertex);
+  for (VertexId v = 0; v < n; ++v) {
+    const VertexId root = uf.find(v);
+    if (root_min[root] == kInvalidVertex) root_min[root] = v;
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    r.label[v] = root_min[uf.find(v)];
+  }
+  r.num_components = uf.num_sets();
+  return r;
+}
+
+ComponentsResult connected_components_parallel(const EdgeList& list,
+                                               ThreadPool& pool) {
+  const std::size_t n = list.num_vertices();
+  const auto& edges = list.edges();
+
+  std::vector<std::atomic<VertexId>> label(n);
+  parallel_for(pool, 0, n, [&](std::size_t v) {
+    label[v].store(static_cast<VertexId>(v), std::memory_order_relaxed);
+  });
+
+  // Hook-and-shortcut min-label propagation.  Labels only ever decrease, so
+  // the relaxed races are benign and the loop terminates (each round either
+  // lowers some label or we stop).
+  std::atomic<bool> changed{true};
+  while (changed.load(std::memory_order_relaxed)) {
+    changed.store(false, std::memory_order_relaxed);
+
+    parallel_for(pool, 0, edges.size(), [&](std::size_t i) {
+      const VertexId u = edges[i].u, v = edges[i].v;
+      const VertexId lu = label[u].load(std::memory_order_relaxed);
+      const VertexId lv = label[v].load(std::memory_order_relaxed);
+      if (lu < lv) {
+        if (atomic_fetch_min(label[v], lu)) {
+          changed.store(true, std::memory_order_relaxed);
+        }
+      } else if (lv < lu) {
+        if (atomic_fetch_min(label[u], lv)) {
+          changed.store(true, std::memory_order_relaxed);
+        }
+      }
+    });
+
+    // Shortcut: chase labels down to a local fixpoint (pointer jumping).
+    parallel_for(pool, 0, n, [&](std::size_t v) {
+      VertexId l = label[v].load(std::memory_order_relaxed);
+      for (;;) {
+        const VertexId ll = label[l].load(std::memory_order_relaxed);
+        if (ll == l) break;
+        l = ll;
+      }
+      atomic_fetch_min(label[v], l);
+    });
+  }
+
+  ComponentsResult r;
+  r.label.resize(n);
+  std::size_t roots = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    r.label[v] = label[v].load(std::memory_order_relaxed);
+    if (r.label[v] == v) ++roots;
+  }
+  r.num_components = roots;
+  return r;
+}
+
+bool is_connected(const EdgeList& list) {
+  if (list.num_vertices() == 0) return false;
+  return connected_components(list).num_components == 1;
+}
+
+}  // namespace llpmst

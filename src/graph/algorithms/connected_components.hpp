@@ -1,0 +1,31 @@
+// Connected components: sequential (union-find) and parallel (label
+// propagation over edges).  Component labels are the minimum vertex id in
+// the component, so both implementations agree exactly — tests rely on that.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "graph/edge_list.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace llpmst {
+
+struct ComponentsResult {
+  /// label[v] = minimum vertex id in v's component.
+  std::vector<VertexId> label;
+  std::size_t num_components = 0;
+};
+
+/// Union-find based; works straight off an edge list.
+[[nodiscard]] ComponentsResult connected_components(const EdgeList& list);
+
+/// Parallel label propagation with pointer jumping (the same machinery as
+/// LLP-Boruvka's star contraction, exposed as a standalone algorithm).
+[[nodiscard]] ComponentsResult connected_components_parallel(
+    const EdgeList& list, ThreadPool& pool);
+
+/// True iff the graph is a single connected component (and non-empty).
+[[nodiscard]] bool is_connected(const EdgeList& list);
+
+}  // namespace llpmst

@@ -1,0 +1,29 @@
+// Degree and size statistics for the Table I dataset inventory.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace llpmst {
+
+struct GraphStats {
+  std::size_t num_vertices = 0;
+  std::size_t num_edges = 0;
+  std::size_t min_degree = 0;
+  std::size_t max_degree = 0;
+  double avg_degree = 0.0;      // 2m/n (undirected degree)
+  double edges_per_vertex = 0.0;  // m/n, the paper's morphology measure
+  std::size_t num_components = 0;
+  Weight min_weight = 0;
+  Weight max_weight = 0;
+};
+
+[[nodiscard]] GraphStats compute_stats(const CsrGraph& g);
+
+/// One-line human-readable rendering, e.g. for Table I rows.
+[[nodiscard]] std::string describe(const GraphStats& s);
+
+}  // namespace llpmst

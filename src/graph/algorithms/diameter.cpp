@@ -1,0 +1,36 @@
+#include "graph/algorithms/diameter.hpp"
+
+#include "graph/algorithms/bfs.hpp"
+#include "support/assert.hpp"
+
+namespace llpmst {
+
+DiameterEstimate estimate_diameter(const CsrGraph& g, VertexId start,
+                                   int sweeps) {
+  DiameterEstimate est;
+  if (g.num_vertices() == 0) return est;
+  LLPMST_CHECK(start < g.num_vertices());
+
+  VertexId from = start;
+  for (int s = 0; s < sweeps; ++s) {
+    const BfsResult r = bfs(g, from);
+    VertexId far = from;
+    std::uint32_t far_depth = 0;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (r.depth[v] != kInvalidVertex && r.depth[v] > far_depth) {
+        far_depth = r.depth[v];
+        far = v;
+      }
+    }
+    if (far_depth >= est.hops) {
+      est.hops = far_depth;
+      est.from = from;
+      est.to = far;
+    }
+    if (far == from) break;  // singleton component
+    from = far;
+  }
+  return est;
+}
+
+}  // namespace llpmst

@@ -1,0 +1,27 @@
+// Pseudo-diameter estimation by the classic double-sweep BFS: the hop
+// eccentricity found from the far endpoint of a first BFS lower-bounds the
+// true (unweighted) diameter and is usually tight on road-like graphs.
+// Used to characterize workload morphology in the Table I bench: road
+// graphs have huge diameters, Kronecker graphs tiny ones — which is exactly
+// the structural difference behind the paper's Fig. 2/4 discussion.
+#pragma once
+
+#include "graph/csr_graph.hpp"
+
+namespace llpmst {
+
+struct DiameterEstimate {
+  /// Hop-count lower bound on the diameter of the component of `start`.
+  std::uint32_t hops = 0;
+  /// Endpoints realizing the bound.
+  VertexId from = kInvalidVertex;
+  VertexId to = kInvalidVertex;
+};
+
+/// `sweeps` extra refinement sweeps (each restarts from the farthest vertex
+/// found so far; 2 is the classic double sweep).
+[[nodiscard]] DiameterEstimate estimate_diameter(const CsrGraph& g,
+                                                 VertexId start = 0,
+                                                 int sweeps = 2);
+
+}  // namespace llpmst

@@ -1,0 +1,61 @@
+#include "graph/algorithms/subgraph.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "graph/algorithms/connected_components.hpp"
+#include "support/assert.hpp"
+
+namespace llpmst {
+
+SubgraphResult induced_subgraph(const EdgeList& list,
+                                const std::vector<VertexId>& keep) {
+  SubgraphResult out;
+  out.old_id = keep;
+  std::sort(out.old_id.begin(), out.old_id.end());
+  out.old_id.erase(std::unique(out.old_id.begin(), out.old_id.end()),
+                   out.old_id.end());
+  for (const VertexId v : out.old_id) {
+    LLPMST_CHECK_MSG(v < list.num_vertices(), "keep vertex out of range");
+  }
+
+  // Dense relabeling: old -> new.
+  std::vector<VertexId> new_id(list.num_vertices(), kInvalidVertex);
+  for (std::size_t i = 0; i < out.old_id.size(); ++i) {
+    new_id[out.old_id[i]] = static_cast<VertexId>(i);
+  }
+
+  out.graph = EdgeList(out.old_id.size());
+  for (const WeightedEdge& e : list.edges()) {
+    const VertexId nu = new_id[e.u], nv = new_id[e.v];
+    if (nu != kInvalidVertex && nv != kInvalidVertex) {
+      out.graph.add_edge(nu, nv, e.w);
+    }
+  }
+  out.graph.normalize();
+  return out;
+}
+
+SubgraphResult extract_largest_component(const EdgeList& list) {
+  const ComponentsResult cc = connected_components(list);
+  // Count component sizes; pick the largest (ties: smallest label).
+  std::unordered_map<VertexId, std::size_t> size;
+  for (const VertexId l : cc.label) ++size[l];
+  VertexId best_label = kInvalidVertex;
+  std::size_t best_size = 0;
+  for (const auto& [label, count] : size) {
+    if (count > best_size || (count == best_size && label < best_label)) {
+      best_label = label;
+      best_size = count;
+    }
+  }
+
+  std::vector<VertexId> keep;
+  keep.reserve(best_size);
+  for (VertexId v = 0; v < list.num_vertices(); ++v) {
+    if (cc.label[v] == best_label) keep.push_back(v);
+  }
+  return induced_subgraph(list, keep);
+}
+
+}  // namespace llpmst

@@ -1,0 +1,30 @@
+// Subgraph extraction utilities.
+//
+// The headline use is extract_largest_component(): RMAT/graph500 samples are
+// disconnected, and the Prim family needs connected input.  The paper's
+// frameworks handle this by benchmarking on the giant component (GBBS) or
+// patching connectivity; both options exist here (see also
+// connect_components() in generators/rmat.hpp) so benchmarks can choose.
+#pragma once
+
+#include <vector>
+
+#include "graph/edge_list.hpp"
+
+namespace llpmst {
+
+struct SubgraphResult {
+  EdgeList graph;
+  /// old_id[new_v] = vertex id in the original graph.
+  std::vector<VertexId> old_id;
+};
+
+/// Induced subgraph on `keep` (need not be sorted; duplicates ignored).
+/// Vertices are re-labeled densely in ascending old-id order.
+[[nodiscard]] SubgraphResult induced_subgraph(const EdgeList& list,
+                                              const std::vector<VertexId>& keep);
+
+/// The subgraph induced by the largest connected component.
+[[nodiscard]] SubgraphResult extract_largest_component(const EdgeList& list);
+
+}  // namespace llpmst

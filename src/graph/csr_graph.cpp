@@ -1,0 +1,160 @@
+#include "graph/csr_graph.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/scan.hpp"
+
+namespace llpmst {
+
+CsrGraph CsrGraph::build(const EdgeList& list, ThreadPool* pool) {
+  LLPMST_CHECK_MSG(list.is_normalized(),
+                   "CsrGraph::build requires a normalized EdgeList "
+                   "(call EdgeList::normalize() first)");
+  LLPMST_CHECK_MSG(list.num_edges() < kInvalidEdge,
+                   "edge count exceeds 32-bit edge id space");
+
+  CsrGraph g;
+  const std::size_t n = list.num_vertices();
+  const std::size_t m = list.num_edges();
+  g.edges_ = list.edges();
+
+  // Degree counting.  The list is normalized (each edge appears once), so
+  // each edge contributes to both endpoints.
+  std::vector<std::size_t> counts(n + 1, 0);
+  if (pool != nullptr && pool->num_threads() > 1) {
+    // Per-thread count arrays would be O(t*n); instead count with atomics —
+    // degrees are written once per arc, contention is negligible for m >> t.
+    std::vector<std::atomic<std::size_t>> acounts(n);
+    for (auto& c : acounts) c.store(0, std::memory_order_relaxed);
+    parallel_for(*pool, 0, m, [&](std::size_t i) {
+      const WeightedEdge& e = g.edges_[i];
+      acounts[e.u].fetch_add(1, std::memory_order_relaxed);
+      acounts[e.v].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t v = 0; v < n; ++v) {
+      counts[v] = acounts[v].load(std::memory_order_relaxed);
+    }
+  } else {
+    for (const WeightedEdge& e : g.edges_) {
+      ++counts[e.u];
+      ++counts[e.v];
+    }
+  }
+
+  // Exclusive scan -> row offsets.
+  if (pool != nullptr) {
+    exclusive_scan_inplace(*pool, counts);
+  } else {
+    std::size_t acc = 0;
+    for (auto& c : counts) {
+      std::size_t v = c;
+      c = acc;
+      acc += v;
+    }
+  }
+  g.offsets_ = std::move(counts);  // counts now holds n+1 offsets
+
+  // Fill arcs.  Write cursors per vertex; sequential fill keeps arcs sorted
+  // by (source, edge id).  The parallel fill uses atomic cursors — arc order
+  // within a row is then nondeterministic, which no algorithm relies on, but
+  // to keep *runs reproducible* we sort each row afterwards.
+  g.targets_.resize(2 * m);
+  g.priorities_.resize(2 * m);
+  if (pool != nullptr && pool->num_threads() > 1) {
+    std::vector<std::atomic<std::size_t>> cursor(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      cursor[v].store(g.offsets_[v], std::memory_order_relaxed);
+    }
+    parallel_for(*pool, 0, m, [&](std::size_t i) {
+      const WeightedEdge& e = g.edges_[i];
+      const EdgePriority p = make_priority(e.w, static_cast<EdgeId>(i));
+      std::size_t su = cursor[e.u].fetch_add(1, std::memory_order_relaxed);
+      g.targets_[su] = e.v;
+      g.priorities_[su] = p;
+      std::size_t sv = cursor[e.v].fetch_add(1, std::memory_order_relaxed);
+      g.targets_[sv] = e.u;
+      g.priorities_[sv] = p;
+    });
+    // Canonicalize row order (by priority) so builds are deterministic.
+    parallel_for(*pool, 0, n, [&](std::size_t v) {
+      const std::size_t lo = g.offsets_[v], hi = g.offsets_[v + 1];
+      // Sort (priority, target) pairs by priority.
+      std::vector<std::pair<EdgePriority, VertexId>> row;
+      row.reserve(hi - lo);
+      for (std::size_t i = lo; i < hi; ++i) {
+        row.emplace_back(g.priorities_[i], g.targets_[i]);
+      }
+      std::sort(row.begin(), row.end());
+      for (std::size_t i = lo; i < hi; ++i) {
+        g.priorities_[i] = row[i - lo].first;
+        g.targets_[i] = row[i - lo].second;
+      }
+    }, /*chunk=*/64);
+  } else {
+    std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+    for (std::size_t i = 0; i < m; ++i) {
+      const WeightedEdge& e = g.edges_[i];
+      const EdgePriority p = make_priority(e.w, static_cast<EdgeId>(i));
+      g.targets_[cursor[e.u]] = e.v;
+      g.priorities_[cursor[e.u]] = p;
+      ++cursor[e.u];
+      g.targets_[cursor[e.v]] = e.u;
+      g.priorities_[cursor[e.v]] = p;
+      ++cursor[e.v];
+    }
+    // Sequential fill emits rows in ascending edge-id order, which for a
+    // normalized list is ascending (u, v) but not ascending *priority*.
+    // Sort rows by priority to match the parallel build bit-for-bit.
+    for (std::size_t v = 0; v < n; ++v) {
+      const std::size_t lo = g.offsets_[v], hi = g.offsets_[v + 1];
+      std::vector<std::pair<EdgePriority, VertexId>> row;
+      row.reserve(hi - lo);
+      for (std::size_t i = lo; i < hi; ++i) {
+        row.emplace_back(g.priorities_[i], g.targets_[i]);
+      }
+      std::sort(row.begin(), row.end());
+      for (std::size_t i = lo; i < hi; ++i) {
+        g.priorities_[i] = row[i - lo].first;
+        g.targets_[i] = row[i - lo].second;
+      }
+    }
+  }
+
+  // Per-vertex minimum incident priority: rows are sorted, so it is the
+  // first arc of each non-empty row.
+  g.mwe_.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    g.mwe_[v] = (g.offsets_[v] == g.offsets_[v + 1])
+                    ? kInfinitePriority
+                    : g.priorities_[g.offsets_[v]];
+  }
+
+  // Per-arc MWE flags (see arc_mwe_flags): arc from v is flagged when its
+  // edge is the MWE of v or of the target.
+  g.mwe_flags_.resize(2 * m);
+  const auto fill_flags = [&](std::size_t v) {
+    for (std::size_t i = g.offsets_[v]; i < g.offsets_[v + 1]; ++i) {
+      const EdgePriority p = g.priorities_[i];
+      g.mwe_flags_[i] =
+          (p == g.mwe_[v] || p == g.mwe_[g.targets_[i]]) ? 1 : 0;
+    }
+  };
+  if (pool != nullptr) {
+    parallel_for(*pool, 0, n, fill_flags, /*chunk=*/256);
+  } else {
+    for (std::size_t v = 0; v < n; ++v) fill_flags(v);
+  }
+
+  return g;
+}
+
+TotalWeight CsrGraph::total_weight() const {
+  TotalWeight sum = 0;
+  for (const WeightedEdge& e : edges_) sum += e.w;
+  return sum;
+}
+
+}  // namespace llpmst

@@ -1,0 +1,103 @@
+// Compressed sparse row (CSR) graph: the traversal representation used by
+// Prim, LLP-Prim, and round 0 of Boruvka.
+//
+// Built from a *normalized* EdgeList (see EdgeList::normalize).  The i-th
+// edge of that list is undirected edge id i; the CSR stores both directed
+// arcs of every undirected edge.  Arcs carry the packed priority of their
+// undirected edge (see graph/types.hpp), so the arc's weight and edge id are
+// both recoverable from one 64-bit load, and per-vertex minimum-weight-edge
+// (MWE) selection is a plain min over the arc priorities.
+//
+// The original edge list is retained: edge-id -> (u, v, w) lookups are O(1)
+// and the edge-centric passes of Boruvka iterate it directly.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "graph/types.hpp"
+#include "parallel/thread_pool.hpp"
+#include "support/assert.hpp"
+
+namespace llpmst {
+
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Builds from a normalized edge list.  If `pool` is non-null the offsets
+  /// and arcs are computed with parallel scans; the result is identical
+  /// either way.  LLPMST_CHECKs that the list is normalized.
+  static CsrGraph build(const EdgeList& list, ThreadPool* pool = nullptr);
+
+  [[nodiscard]] std::size_t num_vertices() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+  [[nodiscard]] std::size_t num_edges() const { return edges_.size(); }
+  [[nodiscard]] std::size_t num_arcs() const { return targets_.size(); }
+
+  /// Degree of v (number of incident undirected edges).
+  [[nodiscard]] std::size_t degree(VertexId v) const {
+    LLPMST_ASSERT(v < num_vertices());
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// Neighbor vertex ids of v, parallel to arc_priorities(v).
+  [[nodiscard]] std::span<const VertexId> neighbors(VertexId v) const {
+    LLPMST_ASSERT(v < num_vertices());
+    return {targets_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+
+  /// Packed priorities of the arcs out of v, parallel to neighbors(v).
+  [[nodiscard]] std::span<const EdgePriority> arc_priorities(VertexId v) const {
+    LLPMST_ASSERT(v < num_vertices());
+    return {priorities_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+
+  /// The undirected edges, indexed by edge id.
+  [[nodiscard]] const std::vector<WeightedEdge>& edges() const {
+    return edges_;
+  }
+
+  [[nodiscard]] const WeightedEdge& edge(EdgeId e) const {
+    LLPMST_ASSERT(e < edges_.size());
+    return edges_[e];
+  }
+
+  /// Packed priority of undirected edge e.
+  [[nodiscard]] EdgePriority edge_priority(EdgeId e) const {
+    LLPMST_ASSERT(e < edges_.size());
+    return make_priority(edges_[e].w, e);
+  }
+
+  /// Priority of v's minimum-weight incident edge, or kInfinitePriority for
+  /// an isolated vertex.  Precomputed at build time — the paper notes the
+  /// MWE set "can be computed when the graph is input".
+  [[nodiscard]] EdgePriority min_incident_priority(VertexId v) const {
+    LLPMST_ASSERT(v < num_vertices());
+    return mwe_[v];
+  }
+
+  /// Per-arc MWE flags, parallel to neighbors(v)/arc_priorities(v): flag i
+  /// is 1 iff that arc's edge is the minimum-weight incident edge of EITHER
+  /// endpoint (i.e. it is in the paper's MWE set and triggers LLP-Prim's
+  /// early fixing).  Stored alongside the arc stream so the hot relaxation
+  /// loop reads it sequentially instead of chasing mwe_[target] randomly.
+  [[nodiscard]] std::span<const std::uint8_t> arc_mwe_flags(VertexId v) const {
+    LLPMST_ASSERT(v < num_vertices());
+    return {mwe_flags_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+
+  /// Sum of all edge weights (useful as an upper bound in tests).
+  [[nodiscard]] TotalWeight total_weight() const;
+
+ private:
+  std::vector<std::size_t> offsets_;       // n+1 row offsets into arcs
+  std::vector<VertexId> targets_;          // 2m arc targets
+  std::vector<EdgePriority> priorities_;   // 2m packed arc priorities
+  std::vector<EdgePriority> mwe_;          // n per-vertex min arc priority
+  std::vector<std::uint8_t> mwe_flags_;    // 2m per-arc "edge is an MWE" flags
+  std::vector<WeightedEdge> edges_;        // m undirected edges by id
+};
+
+}  // namespace llpmst

@@ -1,0 +1,56 @@
+#include "graph/edge_list.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace llpmst {
+
+void EdgeList::add_edge(VertexId u, VertexId v, Weight w) {
+  LLPMST_ASSERT(u < num_vertices_ && v < num_vertices_);
+  edges_.push_back({u, v, w});
+}
+
+void EdgeList::normalize() {
+  // Drop self loops and canonicalize endpoint order.
+  std::size_t out = 0;
+  for (const WeightedEdge& e : edges_) {
+    if (e.u == e.v) continue;
+    WeightedEdge c = e;
+    if (c.u > c.v) std::swap(c.u, c.v);
+    edges_[out++] = c;
+  }
+  edges_.resize(out);
+
+  // Sort by (u, v, w) and keep the lightest copy of each parallel bundle.
+  std::sort(edges_.begin(), edges_.end(),
+            [](const WeightedEdge& a, const WeightedEdge& b) {
+              if (a.u != b.u) return a.u < b.u;
+              if (a.v != b.v) return a.v < b.v;
+              return a.w < b.w;
+            });
+  out = 0;
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    if (out > 0 && edges_[out - 1].u == edges_[i].u &&
+        edges_[out - 1].v == edges_[i].v) {
+      continue;  // heavier duplicate
+    }
+    edges_[out++] = edges_[i];
+  }
+  edges_.resize(out);
+}
+
+bool EdgeList::is_normalized() const {
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    const WeightedEdge& e = edges_[i];
+    if (e.u >= e.v) return false;
+    if (e.v >= num_vertices_) return false;
+    if (i > 0) {
+      const WeightedEdge& p = edges_[i - 1];
+      if (p.u > e.u || (p.u == e.u && p.v >= e.v)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace llpmst

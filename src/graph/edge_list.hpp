@@ -1,0 +1,61 @@
+// EdgeList: the ingestion format for generators and file readers, and the
+// working representation for Boruvka's contracted graphs.
+//
+// Stores undirected edges (u, v, w) once each.  Helpers normalize raw input
+// (drop self-loops, canonicalize endpoint order, deduplicate parallel edges
+// keeping the lightest) before a CSR graph is built.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace llpmst {
+
+class EdgeList {
+ public:
+  EdgeList() = default;
+  /// Creates an edge list over vertices [0, num_vertices).
+  explicit EdgeList(std::size_t num_vertices) : num_vertices_(num_vertices) {}
+  EdgeList(std::size_t num_vertices, std::vector<WeightedEdge> edges)
+      : num_vertices_(num_vertices), edges_(std::move(edges)) {}
+
+  [[nodiscard]] std::size_t num_vertices() const { return num_vertices_; }
+  [[nodiscard]] std::size_t num_edges() const { return edges_.size(); }
+  [[nodiscard]] bool empty() const { return edges_.empty(); }
+
+  [[nodiscard]] const std::vector<WeightedEdge>& edges() const {
+    return edges_;
+  }
+  [[nodiscard]] std::vector<WeightedEdge>& edges() { return edges_; }
+
+  [[nodiscard]] const WeightedEdge& operator[](std::size_t i) const {
+    return edges_[i];
+  }
+
+  /// Appends an edge.  Endpoints must be < num_vertices().
+  void add_edge(VertexId u, VertexId v, Weight w);
+
+  /// Grows the vertex space to at least n.
+  void ensure_vertices(std::size_t n) {
+    if (n > num_vertices_) num_vertices_ = n;
+  }
+
+  void reserve(std::size_t m) { edges_.reserve(m); }
+
+  /// Removes self-loops, orders endpoints as u < v, and deduplicates
+  /// parallel edges keeping the minimum weight (ties by first occurrence).
+  /// This is the canonical preprocessing before CSR construction.
+  void normalize();
+
+  /// True iff edges are normalized: no self loops, u < v, strictly
+  /// ascending (u, v) pairs (hence no duplicates).
+  [[nodiscard]] bool is_normalized() const;
+
+ private:
+  std::size_t num_vertices_ = 0;
+  std::vector<WeightedEdge> edges_;
+};
+
+}  // namespace llpmst

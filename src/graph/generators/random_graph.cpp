@@ -1,0 +1,108 @@
+#include "graph/generators/random_graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "support/assert.hpp"
+#include "support/random.hpp"
+
+namespace llpmst {
+
+EdgeList generate_erdos_renyi(const ErdosRenyiParams& params) {
+  LLPMST_CHECK(params.num_vertices >= 1);
+  LLPMST_CHECK(params.max_weight >= 1);
+  const std::uint32_t n = params.num_vertices;
+
+  EdgeList list(n);
+  list.reserve(params.num_edges);
+  Xoshiro256 rng(params.seed);
+  if (n < 2) return list;
+
+  for (std::uint64_t i = 0; i < params.num_edges; ++i) {
+    const auto u = static_cast<VertexId>(rng.next_below(n));
+    const auto v = static_cast<VertexId>(rng.next_below(n));
+    const auto w = static_cast<Weight>(rng.next_in(1, params.max_weight));
+    list.add_edge(u, v, w);  // self loops & dups removed by normalize()
+  }
+  list.normalize();
+  return list;
+}
+
+EdgeList generate_geometric(const GeometricParams& params) {
+  LLPMST_CHECK(params.num_vertices >= 1);
+  LLPMST_CHECK(params.neighbors >= 1);
+  const std::uint32_t n = params.num_vertices;
+
+  Xoshiro256 rng(params.seed);
+  std::vector<double> xs(n), ys(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    xs[i] = rng.next_double();
+    ys[i] = rng.next_double();
+  }
+
+  // Bucket grid sized so the expected occupancy per cell is ~2; k-nearest
+  // search expands rings of cells until enough candidates are seen.
+  const std::uint32_t side =
+      std::max<std::uint32_t>(1, static_cast<std::uint32_t>(
+                                     std::sqrt(static_cast<double>(n) / 2.0)));
+  std::vector<std::vector<std::uint32_t>> cells(
+      static_cast<std::size_t>(side) * side);
+  const auto cell_of = [&](std::uint32_t i) {
+    auto cx = static_cast<std::uint32_t>(xs[i] * side);
+    auto cy = static_cast<std::uint32_t>(ys[i] * side);
+    cx = std::min(cx, side - 1);
+    cy = std::min(cy, side - 1);
+    return cy * side + cx;
+  };
+  for (std::uint32_t i = 0; i < n; ++i) cells[cell_of(i)].push_back(i);
+
+  EdgeList list(n);
+  list.reserve(static_cast<std::size_t>(n) * params.neighbors);
+
+  std::vector<std::pair<double, std::uint32_t>> candidates;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    auto cx = static_cast<std::int64_t>(
+        std::min<std::uint32_t>(static_cast<std::uint32_t>(xs[i] * side),
+                                side - 1));
+    auto cy = static_cast<std::int64_t>(
+        std::min<std::uint32_t>(static_cast<std::uint32_t>(ys[i] * side),
+                                side - 1));
+    candidates.clear();
+    // Expand rings until we have comfortably more candidates than k (2x),
+    // or the whole grid has been scanned.
+    for (std::int64_t ring = 0; ring < side; ++ring) {
+      const std::int64_t lo_x = cx - ring, hi_x = cx + ring;
+      const std::int64_t lo_y = cy - ring, hi_y = cy + ring;
+      for (std::int64_t y = lo_y; y <= hi_y; ++y) {
+        if (y < 0 || y >= side) continue;
+        for (std::int64_t x = lo_x; x <= hi_x; ++x) {
+          if (x < 0 || x >= side) continue;
+          const bool boundary =
+              (x == lo_x || x == hi_x || y == lo_y || y == hi_y);
+          if (!boundary) continue;  // inner cells were scanned earlier rings
+          for (std::uint32_t j : cells[static_cast<std::size_t>(y) * side + x]) {
+            if (j == i) continue;
+            const double dx = xs[i] - xs[j], dy = ys[i] - ys[j];
+            candidates.emplace_back(dx * dx + dy * dy, j);
+          }
+        }
+      }
+      if (candidates.size() >= 2 * params.neighbors && ring >= 1) break;
+    }
+    const std::size_t k =
+        std::min<std::size_t>(params.neighbors, candidates.size());
+    std::partial_sort(candidates.begin(), candidates.begin() + k,
+                      candidates.end());
+    for (std::size_t c = 0; c < k; ++c) {
+      const auto j = candidates[c].second;
+      const auto w =
+          static_cast<Weight>(std::sqrt(candidates[c].first) * params.unit) + 1;
+      list.add_edge(i, j, w);
+    }
+  }
+  list.normalize();
+  return list;
+}
+
+}  // namespace llpmst

@@ -1,0 +1,37 @@
+// General-purpose random graph generators used by tests and the examples:
+// Erdős–Rényi G(n, m) and random geometric graphs (unit-square k-nearest
+// style).  Both are normalized; neither is guaranteed connected (use
+// connect_components() from rmat.hpp when a connected graph is required).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+
+namespace llpmst {
+
+struct ErdosRenyiParams {
+  std::uint32_t num_vertices = 1024;
+  std::uint64_t num_edges = 4096;   // target before dedup
+  Weight max_weight = 1u << 20;
+  std::uint64_t seed = 1;
+};
+
+/// G(n, m): num_edges endpoint pairs sampled uniformly, then normalized.
+[[nodiscard]] EdgeList generate_erdos_renyi(const ErdosRenyiParams& params);
+
+struct GeometricParams {
+  std::uint32_t num_vertices = 1024;
+  /// Connect each vertex to its k nearest in a unit-square grid-bucketed
+  /// neighborhood search.
+  std::uint32_t neighbors = 4;
+  Weight unit = 1u << 20;  // weight = distance * unit + 1
+  std::uint64_t seed = 1;
+};
+
+/// Random geometric graph: n points in the unit square, each joined to its
+/// `neighbors` nearest points; edge weight proportional to distance.
+/// Morphologically between road (local) and RMAT (irregular degree).
+[[nodiscard]] EdgeList generate_geometric(const GeometricParams& params);
+
+}  // namespace llpmst

@@ -1,0 +1,98 @@
+#include "graph/generators/rmat.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "ds/union_find.hpp"
+#include "support/assert.hpp"
+#include "support/random.hpp"
+
+namespace llpmst {
+
+EdgeList generate_rmat(const RmatParams& params) {
+  LLPMST_CHECK(params.scale >= 1 && params.scale <= 30);
+  LLPMST_CHECK(params.edge_factor >= 1);
+  LLPMST_CHECK(params.a > 0 && params.b >= 0 && params.c >= 0 &&
+               params.a + params.b + params.c < 1.0);
+  LLPMST_CHECK(params.max_weight >= 1);
+
+  const std::size_t n = std::size_t{1} << params.scale;
+  const std::size_t m_target = n * static_cast<std::size_t>(params.edge_factor);
+
+  Xoshiro256 rng(params.seed);
+
+  // Random vertex relabeling (graph500 step 2).
+  std::vector<VertexId> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  if (params.permute_vertices) {
+    for (std::size_t i = n - 1; i > 0; --i) {
+      std::size_t j = rng.next_below(i + 1);
+      std::swap(perm[i], perm[j]);
+    }
+  }
+
+  EdgeList list(n);
+  list.reserve(m_target);
+
+  const double ab = params.a + params.b;
+  const double a_norm = params.a / ab;                      // within top half
+  const double c_norm = params.c / (1.0 - ab);              // within bottom
+
+  for (std::size_t k = 0; k < m_target; ++k) {
+    // Recursive quadrant descent.
+    std::size_t u = 0, v = 0;
+    for (int level = 0; level < params.scale; ++level) {
+      const bool bottom = rng.next_double() >= ab;   // row half
+      const double col_p = bottom ? c_norm : a_norm; // P(left | half)
+      const bool right = rng.next_double() >= col_p;
+      u = (u << 1) | (bottom ? 1u : 0u);
+      v = (v << 1) | (right ? 1u : 0u);
+    }
+    const Weight w = static_cast<Weight>(rng.next_in(1, params.max_weight));
+    list.add_edge(perm[u], perm[v], w);
+  }
+
+  list.normalize();
+  return list;
+}
+
+std::size_t connect_components(EdgeList& list, std::uint64_t seed) {
+  const std::size_t n = list.num_vertices();
+  if (n <= 1) return 0;
+
+  UnionFind uf(n);
+  Weight max_w = 0;
+  for (const WeightedEdge& e : list.edges()) {
+    uf.unite(e.u, e.v);
+    max_w = std::max(max_w, e.w);
+  }
+  if (uf.num_sets() == 1) return 0;
+
+  // Collect one representative per component, then chain them together with
+  // heavy edges.  Heavy weights guarantee every pre-existing MSF edge stays
+  // in the MST of the connected graph (cut/cycle property), so benchmarks on
+  // the patched graph exercise the same structure plus a few bridge picks.
+  std::vector<VertexId> reps;
+  for (VertexId v = 0; v < n; ++v) {
+    if (uf.find(v) == v) reps.push_back(v);
+  }
+
+  Xoshiro256 rng(seed);
+  std::size_t added = 0;
+  for (std::size_t i = 1; i < reps.size(); ++i) {
+    // Spread the bridge weights so they stay distinct-ish; ties are still
+    // fine thanks to priority tie-breaking.
+    const Weight bridge_w = static_cast<Weight>(
+        std::min<std::uint64_t>(static_cast<std::uint64_t>(max_w) + 1 +
+                                    rng.next_below(1u << 8),
+                                0xffffffffull));
+    list.add_edge(reps[i - 1], reps[i], bridge_w);
+    ++added;
+  }
+  list.normalize();
+  return added;
+}
+
+}  // namespace llpmst

@@ -1,0 +1,39 @@
+// RMAT / Kronecker graph generator with graph500 parameters.
+//
+// Reproduces the paper's "graph500-s25-ef16" workload family (Table I) at
+// configurable scale: 2^scale vertices, edgefactor * 2^scale generated edge
+// tuples placed by recursive quadrant descent with the graph500 probabilities
+// A=0.57, B=0.19, C=0.19, D=0.05.  As in graph500, vertex ids are randomly
+// permuted afterwards so locality does not leak the recursion structure.
+// Self-loops and duplicates are removed by normalization, so the final edge
+// count is slightly below edgefactor * 2^scale; the graph is generally NOT
+// connected (LLP-Boruvka handles the forest; connect_components() can patch
+// it for the Prim-family benchmarks, as the paper's Prim experiments assume
+// a connected graph).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+
+namespace llpmst {
+
+struct RmatParams {
+  int scale = 16;           // log2(#vertices)
+  int edge_factor = 16;     // edges per vertex (before dedup)
+  double a = 0.57, b = 0.19, c = 0.19;  // d = 1 - a - b - c
+  Weight max_weight = 1u << 24;         // weights uniform in [1, max_weight]
+  std::uint64_t seed = 1;
+  bool permute_vertices = true;
+};
+
+/// Generates a normalized RMAT edge list.
+[[nodiscard]] EdgeList generate_rmat(const RmatParams& params);
+
+/// Adds the minimum number of edges (heavy, weight = max existing + spread)
+/// to make the graph connected, preserving the MSF of the existing part on
+/// all original components.  Used by Prim-family benchmarks, which require a
+/// connected input.  Returns the number of edges added.
+std::size_t connect_components(EdgeList& list, std::uint64_t seed = 7);
+
+}  // namespace llpmst

@@ -1,0 +1,34 @@
+// Synthetic road-network generator.
+//
+// Stand-in for the paper's USA-road-d.USA graph (Table I): what matters to
+// the MST algorithms is the road morphology — very low average degree
+// (USA-road has m/n ~ 2.4), huge diameter, spatially correlated weights —
+// not the actual geography.  The generator builds a width x height grid of
+// intersections, keeps each axis street with high probability (dropping some
+// creates irregular blocks), adds sparse diagonal "shortcut" roads, and
+// weights every edge by its rounded Euclidean length on a jittered embedding
+// (distance-category weights, like the -d USA files).  A spanning-tree
+// backbone keeps the network connected regardless of the drop rate.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+
+namespace llpmst {
+
+struct RoadParams {
+  std::uint32_t width = 512;
+  std::uint32_t height = 512;
+  double keep_street = 0.92;   // probability an axis street survives
+  double diagonal_p = 0.03;    // probability of a diagonal shortcut per cell
+  double jitter = 0.35;        // positional jitter in cell units, [0, 0.5)
+  std::uint32_t unit = 1000;   // weight units per cell of distance
+  std::uint64_t seed = 1;
+};
+
+/// Generates a normalized, connected road-network edge list with
+/// width*height vertices.
+[[nodiscard]] EdgeList generate_road_network(const RoadParams& params);
+
+}  // namespace llpmst

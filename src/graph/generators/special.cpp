@@ -1,0 +1,103 @@
+#include "graph/generators/special.hpp"
+
+#include <vector>
+
+#include "support/assert.hpp"
+#include "support/random.hpp"
+
+namespace llpmst {
+
+namespace {
+Weight varied_weight(std::uint32_t i, Weight fixed) {
+  return fixed != 0 ? fixed : static_cast<Weight>(1 + (i * 37u) % 1000u);
+}
+}  // namespace
+
+EdgeList make_path(std::uint32_t n, Weight fixed_weight) {
+  LLPMST_CHECK(n >= 1);
+  EdgeList list(n);
+  for (std::uint32_t i = 0; i + 1 < n; ++i) {
+    list.add_edge(i, i + 1, varied_weight(i, fixed_weight));
+  }
+  list.normalize();
+  return list;
+}
+
+EdgeList make_cycle(std::uint32_t n, Weight fixed_weight) {
+  LLPMST_CHECK(n >= 3);
+  EdgeList list = make_path(n, fixed_weight);
+  list.add_edge(n - 1, 0, varied_weight(n - 1, fixed_weight));
+  list.normalize();
+  return list;
+}
+
+EdgeList make_star(std::uint32_t n, Weight fixed_weight) {
+  LLPMST_CHECK(n >= 1);
+  EdgeList list(n);
+  for (std::uint32_t i = 1; i < n; ++i) {
+    list.add_edge(0, i, varied_weight(i, fixed_weight));
+  }
+  list.normalize();
+  return list;
+}
+
+EdgeList make_complete(std::uint32_t n, std::uint64_t seed) {
+  LLPMST_CHECK(n >= 1);
+  EdgeList list(n);
+  Xoshiro256 rng(seed);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v = u + 1; v < n; ++v) {
+      list.add_edge(u, v, static_cast<Weight>(rng.next_in(1, 1u << 24)));
+    }
+  }
+  list.normalize();
+  return list;
+}
+
+EdgeList make_random_tree(std::uint32_t n, std::uint64_t seed,
+                          Weight max_weight) {
+  LLPMST_CHECK(n >= 1);
+  EdgeList list(n);
+  Xoshiro256 rng(seed);
+  for (std::uint32_t i = 1; i < n; ++i) {
+    const auto parent = static_cast<VertexId>(rng.next_below(i));
+    list.add_edge(parent, i, static_cast<Weight>(rng.next_in(1, max_weight)));
+  }
+  list.normalize();
+  return list;
+}
+
+EdgeList make_forest(std::uint32_t parts, std::uint32_t part_size,
+                     std::uint64_t seed) {
+  LLPMST_CHECK(parts >= 1 && part_size >= 1);
+  const std::uint64_t n64 = static_cast<std::uint64_t>(parts) * part_size;
+  LLPMST_CHECK(n64 < kInvalidVertex);
+  EdgeList list(static_cast<std::size_t>(n64));
+  Xoshiro256 rng(seed);
+  for (std::uint32_t p = 0; p < parts; ++p) {
+    const std::uint32_t base = p * part_size;
+    for (std::uint32_t i = 1; i < part_size; ++i) {
+      const auto parent = base + static_cast<VertexId>(rng.next_below(i));
+      list.add_edge(parent, base + i,
+                    static_cast<Weight>(rng.next_in(1, 1u << 20)));
+    }
+  }
+  list.normalize();
+  return list;
+}
+
+EdgeList make_paper_figure1() {
+  // a=0, b=1, c=2, d=3, e=4.
+  EdgeList list(5);
+  list.add_edge(0, 1, 5);   // a-b
+  list.add_edge(0, 2, 4);   // a-c
+  list.add_edge(1, 2, 3);   // b-c
+  list.add_edge(1, 3, 7);   // b-d
+  list.add_edge(2, 3, 9);   // c-d
+  list.add_edge(2, 4, 11);  // c-e
+  list.add_edge(3, 4, 2);   // d-e
+  list.normalize();
+  return list;
+}
+
+}  // namespace llpmst

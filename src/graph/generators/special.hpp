@@ -1,0 +1,41 @@
+// Deterministic structured graphs for unit tests and edge-case coverage:
+// paths, cycles, stars, complete graphs, random spanning trees, and the
+// 5-vertex example graph from the paper's Fig. 1.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+
+namespace llpmst {
+
+/// Path 0-1-2-...-(n-1).  Weights wrap over [1, 1000] unless a fixed weight
+/// is given (0 means "vary").
+[[nodiscard]] EdgeList make_path(std::uint32_t n, Weight fixed_weight = 0);
+
+/// Cycle over n vertices (n >= 3).
+[[nodiscard]] EdgeList make_cycle(std::uint32_t n, Weight fixed_weight = 0);
+
+/// Star: center 0 joined to 1..n-1.
+[[nodiscard]] EdgeList make_star(std::uint32_t n, Weight fixed_weight = 0);
+
+/// Complete graph K_n with distinct weights.
+[[nodiscard]] EdgeList make_complete(std::uint32_t n, std::uint64_t seed = 1);
+
+/// Uniform random spanning tree (random attachment), exactly n-1 edges.
+[[nodiscard]] EdgeList make_random_tree(std::uint32_t n,
+                                        std::uint64_t seed = 1,
+                                        Weight max_weight = 1u << 20);
+
+/// Disjoint union of `parts` copies of a random tree (a forest) — exercises
+/// the MSF path of every algorithm.
+[[nodiscard]] EdgeList make_forest(std::uint32_t parts,
+                                   std::uint32_t part_size,
+                                   std::uint64_t seed = 1);
+
+/// The undirected weighted graph of the paper's Fig. 1:
+/// vertices {a=0, b=1, c=2, d=3, e=4}; edges a-b:5, a-c:4, b-c:3, b-d:7,
+/// c-d:9, c-e:11, d-e:2.  Its unique MST is {2, 3, 4, 7} with weight 16.
+[[nodiscard]] EdgeList make_paper_figure1();
+
+}  // namespace llpmst

@@ -1,0 +1,37 @@
+// DIMACS shortest-path challenge ".gr" format reader/writer.
+//
+// This is the format of the paper's USA-road-d.USA input, so a real road
+// file drops straight into the benchmarks when available:
+//
+//   c comment
+//   p sp <num_vertices> <num_arcs>
+//   a <u> <v> <weight>     (1-based vertices; arcs usually listed both ways)
+//
+// read_dimacs maps vertices to 0-based ids and normalizes (the both-ways arc
+// listing collapses to one undirected edge).  Malformed input is reported
+// via the returned error string, never by crashing.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "graph/edge_list.hpp"
+
+namespace llpmst {
+
+struct DimacsResult {
+  EdgeList graph;
+  std::string error;  // empty on success
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+/// Reads a .gr file.  On failure, `error` describes the first problem.
+[[nodiscard]] DimacsResult read_dimacs(const std::string& path);
+
+/// Writes a normalized edge list as .gr (arcs emitted both directions, as
+/// the road files do).  Returns an empty string on success.
+[[nodiscard]] std::string write_dimacs(const std::string& path,
+                                       const EdgeList& list);
+
+}  // namespace llpmst

@@ -1,0 +1,192 @@
+#include "graph/io/edge_list_io.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+namespace llpmst {
+
+namespace {
+constexpr char kMagic[4] = {'L', 'L', 'P', 'M'};
+constexpr std::uint32_t kVersion = 1;
+
+struct BinaryRecord {
+  std::uint32_t u, v, w;
+};
+static_assert(sizeof(BinaryRecord) == 12);
+}  // namespace
+
+EdgeListResult read_edge_list_text(const std::string& path) {
+  EdgeListResult result;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    result.error = "cannot open '" + path + "'";
+    return result;
+  }
+
+  char buf[512];
+  std::size_t line_no = 0;
+  VertexId max_vertex = 0;
+  bool any = false;
+  while (std::fgets(buf, sizeof buf, f) != nullptr) {
+    ++line_no;
+    const char* p = buf;
+    while (*p == ' ' || *p == '\t') ++p;
+    if (*p == '\0' || *p == '\n' || *p == '#') continue;
+
+    std::uint64_t vals[3];
+    const char* cur = p;
+    const char* end = buf + std::strlen(buf);
+    bool ok = true;
+    for (int k = 0; k < 3 && ok; ++k) {
+      while (cur < end && (*cur == ' ' || *cur == '\t')) ++cur;
+      auto [next, ec] = std::from_chars(cur, end, vals[k]);
+      ok = (ec == std::errc() && next != cur);
+      cur = next;
+    }
+    // Trailing garbage other than whitespace/newline is an error.
+    while (ok && cur < end &&
+           (*cur == ' ' || *cur == '\t' || *cur == '\n' || *cur == '\r')) {
+      ++cur;
+    }
+    if (!ok || cur != end) {
+      result.error = "malformed line " + std::to_string(line_no);
+      std::fclose(f);
+      return result;
+    }
+    if (vals[0] >= kInvalidVertex || vals[1] >= kInvalidVertex ||
+        vals[2] > 0xffffffffull) {
+      result.error = "value out of range at line " + std::to_string(line_no);
+      std::fclose(f);
+      return result;
+    }
+    const auto u = static_cast<VertexId>(vals[0]);
+    const auto v = static_cast<VertexId>(vals[1]);
+    max_vertex = std::max({max_vertex, u, v});
+    result.graph.ensure_vertices(static_cast<std::size_t>(max_vertex) + 1);
+    result.graph.add_edge(u, v, static_cast<Weight>(vals[2]));
+    any = true;
+  }
+  std::fclose(f);
+  if (any) result.graph.normalize();
+  return result;
+}
+
+std::string write_edge_list_text(const std::string& path,
+                                 const EdgeList& list) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return "cannot open '" + path + "' for writing";
+  std::fprintf(f, "# llpmst edge list: %zu vertices, %zu edges\n",
+               list.num_vertices(), list.num_edges());
+  for (const WeightedEdge& e : list.edges()) {
+    std::fprintf(f, "%u %u %u\n", e.u, e.v, e.w);
+  }
+  return std::fclose(f) == 0 ? std::string{}
+                             : "write error closing '" + path + "'";
+}
+
+EdgeListResult read_edge_list_binary(const std::string& path) {
+  EdgeListResult result;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    result.error = "cannot open '" + path + "'";
+    return result;
+  }
+
+  char magic[4];
+  std::uint32_t version = 0;
+  std::uint64_t n = 0, m = 0;
+  if (std::fread(magic, 1, 4, f) != 4 || std::memcmp(magic, kMagic, 4) != 0) {
+    result.error = "bad magic (not an llpmst binary edge list)";
+    std::fclose(f);
+    return result;
+  }
+  if (std::fread(&version, sizeof version, 1, f) != 1 || version != kVersion) {
+    result.error = "unsupported version";
+    std::fclose(f);
+    return result;
+  }
+  if (std::fread(&n, sizeof n, 1, f) != 1 ||
+      std::fread(&m, sizeof m, 1, f) != 1 || n >= kInvalidVertex) {
+    result.error = "corrupt header";
+    std::fclose(f);
+    return result;
+  }
+
+  // Validate the declared record count against the actual file size BEFORE
+  // allocating anything — a corrupt header must not drive a huge reserve().
+  const long header_end = std::ftell(f);
+  if (header_end < 0 || std::fseek(f, 0, SEEK_END) != 0) {
+    result.error = "cannot determine file size";
+    std::fclose(f);
+    return result;
+  }
+  const long file_end = std::ftell(f);
+  std::fseek(f, header_end, SEEK_SET);
+  const std::uint64_t available =
+      static_cast<std::uint64_t>(file_end - header_end) /
+      sizeof(BinaryRecord);
+  if (m > available) {
+    result.error = "truncated edge records (header declares more than the "
+                   "file holds)";
+    std::fclose(f);
+    return result;
+  }
+
+  result.graph.ensure_vertices(static_cast<std::size_t>(n));
+  result.graph.reserve(static_cast<std::size_t>(m));
+  std::vector<BinaryRecord> chunk(4096);
+  std::uint64_t remaining = m;
+  while (remaining > 0) {
+    const std::size_t want =
+        static_cast<std::size_t>(std::min<std::uint64_t>(remaining,
+                                                         chunk.size()));
+    if (std::fread(chunk.data(), sizeof(BinaryRecord), want, f) != want) {
+      result.error = "truncated edge records";
+      std::fclose(f);
+      return result;
+    }
+    for (std::size_t i = 0; i < want; ++i) {
+      if (chunk[i].u >= n || chunk[i].v >= n) {
+        result.error = "edge endpoint out of range";
+        std::fclose(f);
+        return result;
+      }
+      result.graph.add_edge(chunk[i].u, chunk[i].v, chunk[i].w);
+    }
+    remaining -= want;
+  }
+  std::fclose(f);
+  result.graph.normalize();
+  return result;
+}
+
+std::string write_edge_list_binary(const std::string& path,
+                                   const EdgeList& list) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return "cannot open '" + path + "' for writing";
+  const std::uint64_t n = list.num_vertices();
+  const std::uint64_t m = list.num_edges();
+  bool ok = std::fwrite(kMagic, 1, 4, f) == 4 &&
+            std::fwrite(&kVersion, sizeof kVersion, 1, f) == 1 &&
+            std::fwrite(&n, sizeof n, 1, f) == 1 &&
+            std::fwrite(&m, sizeof m, 1, f) == 1;
+  std::vector<BinaryRecord> chunk;
+  chunk.reserve(4096);
+  for (std::size_t i = 0; ok && i < list.num_edges();) {
+    chunk.clear();
+    const std::size_t hi = std::min(i + 4096, list.num_edges());
+    for (; i < hi; ++i) {
+      const WeightedEdge& e = list[i];
+      chunk.push_back({e.u, e.v, e.w});
+    }
+    ok = std::fwrite(chunk.data(), sizeof(BinaryRecord), chunk.size(), f) ==
+         chunk.size();
+  }
+  ok = (std::fclose(f) == 0) && ok;
+  return ok ? std::string{} : "write error on '" + path + "'";
+}
+
+}  // namespace llpmst

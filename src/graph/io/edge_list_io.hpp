@@ -1,0 +1,36 @@
+// Plain edge-list I/O in two forms:
+//   * text: one "u v w" triple per line, '#' comments — the common exchange
+//     format for SNAP-style datasets;
+//   * binary: a fixed little-endian header + packed (u, v, w) records — fast
+//     reload of generated benchmark graphs between runs.
+// Readers validate and report errors via the result struct.
+#pragma once
+
+#include <string>
+
+#include "graph/edge_list.hpp"
+
+namespace llpmst {
+
+struct EdgeListResult {
+  EdgeList graph;
+  std::string error;  // empty on success
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+/// Reads "u v w" lines; vertex space is max id + 1.  Normalizes.
+[[nodiscard]] EdgeListResult read_edge_list_text(const std::string& path);
+
+/// Writes one "u v w" line per edge.  Returns empty string on success.
+[[nodiscard]] std::string write_edge_list_text(const std::string& path,
+                                               const EdgeList& list);
+
+/// Binary format: magic "LLPM", u32 version, u64 n, u64 m, then m packed
+/// {u32 u, u32 v, u32 w} records.  Validates magic/version/truncation.
+[[nodiscard]] EdgeListResult read_edge_list_binary(const std::string& path);
+
+[[nodiscard]] std::string write_edge_list_binary(const std::string& path,
+                                                 const EdgeList& list);
+
+}  // namespace llpmst

@@ -1,0 +1,24 @@
+// METIS graph format reader/writer (the second common exchange format for
+// benchmark graphs, used by Galois' tooling among others).
+//
+//   <n> <m> [fmt]            header; fmt "1" / "001" means edge weights
+//   <v1> <w1> <v2> <w2> ...  line i: neighbors of vertex i (1-based) and,
+//                            when weighted, the edge weight after each
+//
+// Each undirected edge appears in both endpoint lines; the reader collapses
+// them and normalizes.  Only the edge-weighted variants (fmt 0/1/001) are
+// supported; vertex weights (fmt 10/11) are rejected with a clear error.
+#pragma once
+
+#include <string>
+
+#include "graph/io/edge_list_io.hpp"  // EdgeListResult
+
+namespace llpmst {
+
+[[nodiscard]] EdgeListResult read_metis(const std::string& path);
+
+[[nodiscard]] std::string write_metis(const std::string& path,
+                                      const EdgeList& list);
+
+}  // namespace llpmst

@@ -1,0 +1,59 @@
+// Fundamental graph types and the packed edge-priority scheme.
+//
+// The paper assumes distinct edge weights (unique MST) and notes that ties
+// can be broken with endpoint identities.  We bake that into the type system:
+// every undirected edge has a 32-bit weight and a dense 32-bit id, and its
+// **priority** is the packed 64-bit value
+//
+//     priority(e) = (uint64(weight(e)) << 32) | edge_id(e)
+//
+// Priorities are unique, so ordering edges by priority is a total order that
+// agrees with weight order and breaks ties deterministically.  Consequences:
+//   * the MSF is unique — every algorithm in this library returns the same
+//     edge set, which tests assert bit-for-bit;
+//   * "minimum weight edge" selection under concurrency is an atomic min on
+//     one uint64_t (see parallel/atomic_utils.hpp), no comparator object.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace llpmst {
+
+using VertexId = std::uint32_t;
+using EdgeId = std::uint32_t;        // undirected edge index in [0, m)
+using Weight = std::uint32_t;        // raw edge weight
+using TotalWeight = std::uint64_t;   // sum of up to 2^32 weights
+using EdgePriority = std::uint64_t;  // packed (weight << 32) | edge_id
+
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
+/// Larger than every real priority; the "infinity" initial value of per-
+/// vertex minima and tentative distances.
+inline constexpr EdgePriority kInfinitePriority =
+    std::numeric_limits<EdgePriority>::max();
+
+/// Packs weight and edge id into a totally ordered priority.
+[[nodiscard]] constexpr EdgePriority make_priority(Weight w, EdgeId e) {
+  return (static_cast<EdgePriority>(w) << 32) | e;
+}
+
+[[nodiscard]] constexpr Weight priority_weight(EdgePriority p) {
+  return static_cast<Weight>(p >> 32);
+}
+
+[[nodiscard]] constexpr EdgeId priority_edge(EdgePriority p) {
+  return static_cast<EdgeId>(p & 0xffffffffu);
+}
+
+/// One undirected weighted edge as stored in an EdgeList.
+struct WeightedEdge {
+  VertexId u = kInvalidVertex;
+  VertexId v = kInvalidVertex;
+  Weight w = 0;
+
+  friend bool operator==(const WeightedEdge&, const WeightedEdge&) = default;
+};
+
+}  // namespace llpmst

@@ -1,0 +1,17 @@
+#include "llp/llp_boruvka.hpp"
+
+namespace llpmst {
+
+MstResult llp_boruvka(const CsrGraph& g, ThreadPool& pool) {
+  BoruvkaConfig config;
+  config.jumping = PointerJumping::kAsynchronous;
+  config.dedup_contracted_edges = false;
+  return boruvka_engine(g, pool, config);
+}
+
+MstResult llp_boruvka_configured(const CsrGraph& g, ThreadPool& pool,
+                                 const BoruvkaConfig& config) {
+  return boruvka_engine(g, pool, config);
+}
+
+}  // namespace llpmst

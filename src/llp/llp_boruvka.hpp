@@ -1,0 +1,32 @@
+// LLP-Boruvka (the paper's Algorithm 6): Boruvka where each round's star
+// contraction is an LLP instance.
+//
+// Per round: every vertex picks its minimum-weight edge and its parent
+// across it (symmetry broken by id on mutual picks); the resulting rooted
+// trees are collapsed to stars by pointer jumping run as pure LLP —
+//     forbidden(j) = G[j] != G[G[j]],   advance(j) = G[j] := G[G[j]]
+// — evaluated "in parallel and without synchronization" (chaotic relaxed
+// atomics, no barrier between jumps); then edges are re-targeted to star
+// roots and self-loops dropped, and the algorithm recurses on the contracted
+// graph.  Compared to the synchronized baseline (mst/parallel_boruvka.hpp)
+// this removes the per-jump barriers and the contraction dedup sort.
+// Naturally computes minimum spanning *forests*.
+#pragma once
+
+#include "mst/boruvka_engine.hpp"
+#include "mst/mst_result.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace llpmst {
+
+[[nodiscard]] MstResult llp_boruvka(const CsrGraph& g, ThreadPool& pool);
+
+/// Ablation entry point: run LLP-Boruvka with explicit engine knobs (which
+/// pointer-jumping flavour, whether contraction dedups).  llp_boruvka() is
+/// configured {kAsynchronous, no dedup}; the baseline is {kSynchronized,
+/// dedup}.
+[[nodiscard]] MstResult llp_boruvka_configured(const CsrGraph& g,
+                                               ThreadPool& pool,
+                                               const BoruvkaConfig& config);
+
+}  // namespace llpmst

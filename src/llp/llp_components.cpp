@@ -1,0 +1,54 @@
+#include "llp/llp_components.hpp"
+
+#include <atomic>
+
+#include "parallel/atomic_utils.hpp"
+#include "parallel/parallel_for.hpp"
+#include "support/assert.hpp"
+
+namespace llpmst {
+
+LlpComponentsResult llp_connected_components(const CsrGraph& g,
+                                             ThreadPool& pool) {
+  const std::size_t n = g.num_vertices();
+  std::vector<std::atomic<VertexId>> G(n);
+  parallel_for(pool, 0, n, [&](std::size_t v) {
+    G[v].store(static_cast<VertexId>(v), std::memory_order_relaxed);
+  });
+
+  // The forced bound for v: min of its parent's label (pointer jumping) and
+  // its neighbors' labels (hooking) — both folded into one advance.
+  const auto forced = [&](std::size_t v) -> VertexId {
+    VertexId lo = G[G[v].load(std::memory_order_relaxed)].load(
+        std::memory_order_relaxed);
+    for (const VertexId u : g.neighbors(static_cast<VertexId>(v))) {
+      const VertexId lu = G[u].load(std::memory_order_relaxed);
+      if (lu < lo) lo = lu;
+    }
+    return lo;
+  };
+
+  LlpComponentsResult out;
+  out.llp = llp_solve(
+      pool, n,
+      [&](std::size_t v) {
+        return forced(v) < G[v].load(std::memory_order_relaxed);
+      },
+      [&](std::size_t v) {
+        // Labels only decrease; a concurrent lower write must win, hence
+        // fetch-min rather than a blind store.
+        atomic_fetch_min(G[v], forced(v));
+      });
+  LLPMST_CHECK_MSG(out.llp.converged, "LLP components failed to converge");
+
+  out.label.resize(n);
+  std::size_t roots = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    out.label[v] = G[v].load(std::memory_order_relaxed);
+    if (out.label[v] == v) ++roots;
+  }
+  out.num_components = roots;
+  return out;
+}
+
+}  // namespace llpmst

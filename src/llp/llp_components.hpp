@@ -1,0 +1,33 @@
+// LLP connected components: min-label propagation with pointer jumping
+// expressed directly as predicate detection on the generic engine — the
+// second framework-transfer demo (and exactly the machinery inside
+// LLP-Boruvka's star contraction, stated standalone).
+//
+// Lattice: vectors of labels ordered by >= (labels only decrease; the
+// "advance" direction of the lattice is downward relabeling, which is an
+// order-isomorphic presentation of the ascending formulation).  Predicate:
+//     B(G) = forall v:  G[v] == G[G[v]]  and  forall (u,v) in E:
+//            G[u] == G[v]
+// forbidden(v) holds when v's label exceeds its parent's label or any
+// neighbor's label; advance(v) lowers G[v] to the minimum of both.  The
+// least fixpoint labels every vertex with the minimum id in its component.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "llp/llp_solver.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace llpmst {
+
+struct LlpComponentsResult {
+  std::vector<VertexId> label;  // min vertex id in the component
+  std::size_t num_components = 0;
+  LlpStats llp;
+};
+
+[[nodiscard]] LlpComponentsResult llp_connected_components(const CsrGraph& g,
+                                                           ThreadPool& pool);
+
+}  // namespace llpmst

@@ -1,0 +1,149 @@
+#include "llp/llp_market_clearing.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+
+#include "parallel/parallel_for.hpp"
+#include "support/assert.hpp"
+#include "support/random.hpp"
+
+namespace llpmst {
+
+namespace {
+
+/// Demand graph: per buyer, the items maximizing value - price.
+std::vector<std::vector<std::uint32_t>> demand_sets(
+    const MarketInstance& inst, const std::vector<std::uint32_t>& price) {
+  const std::size_t n = inst.n;
+  std::vector<std::vector<std::uint32_t>> demand(n);
+  for (std::size_t b = 0; b < n; ++b) {
+    std::int64_t best = INT64_MIN;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::int64_t u = static_cast<std::int64_t>(inst.value[b][i]) -
+                             static_cast<std::int64_t>(price[i]);
+      if (u > best) {
+        best = u;
+        demand[b].clear();
+      }
+      if (u == best) demand[b].push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  return demand;
+}
+
+/// Kuhn's augmenting-path maximum matching on the demand graph.
+/// match_item[i] = buyer matched to item i, or ~0u.
+struct Matching {
+  std::vector<std::uint32_t> match_item;
+  std::vector<std::uint32_t> match_buyer;
+  std::size_t size = 0;
+};
+
+bool try_augment(std::size_t b,
+                 const std::vector<std::vector<std::uint32_t>>& demand,
+                 std::vector<std::uint8_t>& visited, Matching& m) {
+  for (const std::uint32_t i : demand[b]) {
+    if (visited[i]) continue;
+    visited[i] = 1;
+    if (m.match_item[i] == ~0u ||
+        try_augment(m.match_item[i], demand, visited, m)) {
+      m.match_item[i] = static_cast<std::uint32_t>(b);
+      m.match_buyer[b] = i;
+      return true;
+    }
+  }
+  return false;
+}
+
+Matching max_matching(const std::vector<std::vector<std::uint32_t>>& demand,
+                      std::size_t n) {
+  Matching m;
+  m.match_item.assign(n, ~0u);
+  m.match_buyer.assign(n, ~0u);
+  std::vector<std::uint8_t> visited(n);
+  for (std::size_t b = 0; b < n; ++b) {
+    std::fill(visited.begin(), visited.end(), std::uint8_t{0});
+    if (try_augment(b, demand, visited, m)) ++m.size;
+  }
+  return m;
+}
+
+}  // namespace
+
+MarketInstance random_market_instance(std::size_t n, std::uint32_t max_value,
+                                      std::uint64_t seed) {
+  LLPMST_CHECK(n >= 1);
+  MarketInstance inst;
+  inst.n = n;
+  inst.value.assign(n, std::vector<std::uint32_t>(n, 0));
+  Xoshiro256 rng(seed);
+  for (auto& row : inst.value) {
+    for (auto& v : row) {
+      v = static_cast<std::uint32_t>(rng.next_below(max_value + 1));
+    }
+  }
+  return inst;
+}
+
+MarketResult llp_market_clearing(const MarketInstance& inst,
+                                 ThreadPool& pool) {
+  const std::size_t n = inst.n;
+  MarketResult out;
+  out.price.assign(n, 0);  // the lattice bottom
+
+  for (;;) {
+    ++out.rounds;
+    const auto demand = demand_sets(inst, out.price);
+    const Matching m = max_matching(demand, n);
+    if (m.size == n) {
+      out.assignment = m.match_buyer;
+      return out;
+    }
+
+    // forbidden(): items reachable from unmatched buyers by alternating
+    // paths — the neighborhood of a constricted set (Hall violation).
+    std::vector<std::uint8_t> buyer_seen(n, 0), item_forbidden(n, 0);
+    std::vector<std::uint32_t> stack;
+    for (std::size_t b = 0; b < n; ++b) {
+      if (m.match_buyer[b] == ~0u) {
+        buyer_seen[b] = 1;
+        stack.push_back(static_cast<std::uint32_t>(b));
+      }
+    }
+    LLPMST_ASSERT(!stack.empty());
+    while (!stack.empty()) {
+      const std::uint32_t b = stack.back();
+      stack.pop_back();
+      for (const std::uint32_t i : demand[b]) {
+        if (item_forbidden[i]) continue;
+        item_forbidden[i] = 1;
+        const std::uint32_t owner = m.match_item[i];
+        if (owner != ~0u && !buyer_seen[owner]) {
+          buyer_seen[owner] = 1;
+          stack.push_back(owner);
+        }
+      }
+    }
+
+    // advance() on every forbidden item, in parallel (Algorithm 1's step).
+    std::atomic<std::uint64_t> raised{0};
+    parallel_for(pool, 0, n, [&](std::size_t i) {
+      if (item_forbidden[i]) {
+        ++out.price[i];
+        raised.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    out.advances += raised.load(std::memory_order_relaxed);
+    // Progress is guaranteed: the constricted neighborhood is non-empty
+    // (an unmatched buyer demands at least one item).
+  }
+}
+
+bool is_clearing(const MarketInstance& inst,
+                 const std::vector<std::uint32_t>& price) {
+  if (price.size() != inst.n) return false;
+  return max_matching(demand_sets(inst, price), inst.n).size == inst.n;
+}
+
+}  // namespace llpmst

@@ -1,0 +1,54 @@
+// LLP market clearing prices (Demange–Gale–Sotomayor ascending auction) —
+// the fourth framework-transfer problem; the paper's related work lists the
+// "Gale-Demange-Sotomayor algorithm for the market clearing prices" among
+// the algorithms derivable from the LLP schema.
+//
+// Setting: n buyers, n items, integer valuations value[b][i].  A price
+// vector p is *market clearing* if the demand graph (buyer b — item i when
+// i maximizes value[b][i] - p[i]) has a perfect matching.  Clearing vectors
+// form a lattice; the combinatorial problem is its minimum element.
+//
+// LLP reading: the lattice is price vectors ordered component-wise; an item
+// j is FORBIDDEN when it belongs to the neighborhood N(S) of a constricted
+// buyer set S (|N(S)| < |S| — Hall violation), because no clearing vector
+// >= p keeps p[j] unchanged; ADVANCE raises p[j] by one.  As in the MST
+// algorithms, forbidden() is evaluated for all indices per round (here via
+// one maximum-matching computation) and all forbidden indices advance in
+// parallel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace llpmst {
+
+struct MarketInstance {
+  std::size_t n = 0;
+  /// value[buyer][item], non-negative integers.
+  std::vector<std::vector<std::uint32_t>> value;
+};
+
+/// Builds a random instance with valuations in [0, max_value].
+[[nodiscard]] MarketInstance random_market_instance(std::size_t n,
+                                                    std::uint32_t max_value,
+                                                    std::uint64_t seed);
+
+struct MarketResult {
+  /// The minimum market-clearing price vector.
+  std::vector<std::uint32_t> price;
+  /// assignment[b] = item sold to buyer b under a clearing matching.
+  std::vector<std::uint32_t> assignment;
+  std::uint64_t rounds = 0;    // forbidden/advance rounds
+  std::uint64_t advances = 0;  // total unit price raises
+};
+
+[[nodiscard]] MarketResult llp_market_clearing(const MarketInstance& inst,
+                                               ThreadPool& pool);
+
+/// True iff `price` admits a perfect matching in its demand graph.
+[[nodiscard]] bool is_clearing(const MarketInstance& inst,
+                               const std::vector<std::uint32_t>& price);
+
+}  // namespace llpmst

@@ -1,0 +1,143 @@
+#include "llp/llp_prim.hpp"
+
+#include <vector>
+
+#include "ds/binary_heap.hpp"
+#include "support/assert.hpp"
+
+namespace llpmst {
+
+MstResult llp_prim(const CsrGraph& g, VertexId root,
+                   const LlpPrimOptions& options) {
+  const std::size_t n = g.num_vertices();
+  LLPMST_CHECK_MSG(n >= 1, "LLP-Prim requires a non-empty graph");
+  LLPMST_CHECK(root < n);
+
+  MstResult r;
+  r.edges.reserve(n - 1);
+  std::vector<EdgePriority> dist(n, kInfinitePriority);
+  std::vector<EdgeId> parent_edge(n, kInvalidEdge);
+  std::vector<std::uint8_t> fixed(n, 0);
+  std::vector<std::uint8_t> in_q(n, 0);
+
+  BinaryHeap<EdgePriority> heap(n);
+  std::vector<VertexId> bag_r;   // the unordered R set
+  std::vector<VertexId> q;       // staged insertOrAdjust targets
+
+  std::size_t num_fixed = 1;
+  std::size_t next_root = 0;  // forest-restart scan cursor
+  fixed[root] = 1;
+  ++r.stats.fixed_via_heap;  // the root counts as the initial heap seed
+  bag_r.push_back(root);
+
+  for (;;) {
+    // "This algorithm can be terminated as soon as n-1 edges have been
+    // chosen" (Section V-A) — once everything is fixed, the remaining R
+    // members' arcs lead only to fixed vertices and the heap holds only
+    // stale entries.
+    if (num_fixed == n) break;
+
+    // Drain R: vertices here are already fixed; explore their edges.  Order
+    // within R is irrelevant (the LLP property) — we pop LIFO.
+    while (!bag_r.empty() && num_fixed < n) {
+      const VertexId j = bag_r.back();
+      bag_r.pop_back();
+
+      const auto nbrs = g.neighbors(j);
+      const auto prios = g.arc_priorities(j);
+      const auto mwe_flags = g.arc_mwe_flags(j);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const VertexId k = nbrs[i];
+        if (fixed[k]) continue;
+        ++r.stats.edges_relaxed;
+        const EdgePriority p = prios[i];
+
+        // Early fixing: (j, k) is the MWE of j or of k -> it is an MST edge
+        // and j is fixed, so k's parent is j (see Section V-A).  The flag is
+        // precomputed per arc so this is a sequential-stream read.
+        if (options.mwe_fixing && mwe_flags[i]) {
+          fixed[k] = 1;
+          ++num_fixed;
+          ++r.stats.fixed_via_mwe;
+          parent_edge[k] = priority_edge(p);
+          r.edges.push_back(parent_edge[k]);
+          bag_r.push_back(k);
+          continue;
+        }
+
+        if (p < dist[k]) {
+          dist[k] = p;
+          parent_edge[k] = priority_edge(p);
+          if (options.q_staging) {
+            if (!in_q[k]) {
+              in_q[k] = 1;
+              q.push_back(k);
+            }
+          } else {
+            heap.insert_or_adjust(k, p);
+          }
+        }
+      }
+    }
+
+    // Everything fixed during the drain: skip the flush and the stale heap
+    // pops entirely (keeps the heap-op counters meaningful).
+    if (num_fixed == n) break;
+
+    // R drained: flush the staged heap updates.  Vertices fixed for free in
+    // the meantime never touch the heap — that is the optimization.
+    for (const VertexId k : q) {
+      in_q[k] = 0;
+      if (!fixed[k]) {
+        heap.insert_or_adjust(k, dist[k]);
+        ++r.stats.staged_in_q;
+      }
+    }
+    q.clear();
+
+    // Fall back to the heap for the next nearest non-fixed vertex.
+    bool advanced = false;
+    while (!heap.empty()) {
+      const auto [j, key] = heap.pop();
+      (void)key;
+      if (fixed[j]) continue;  // fixed via R while resident: skip (stale)
+      fixed[j] = 1;
+      ++num_fixed;
+      ++r.stats.fixed_via_heap;
+      r.edges.push_back(parent_edge[j]);
+      bag_r.push_back(j);
+      advanced = true;
+      break;
+    }
+
+    // Forest extension: component exhausted but vertices remain — start a
+    // new tree from the next unfixed vertex (it becomes that tree's root
+    // and contributes no edge).
+    if (!advanced && options.allow_forest && num_fixed < n) {
+      while (next_root < n && fixed[next_root]) ++next_root;
+      if (next_root < n) {
+        fixed[next_root] = 1;
+        ++num_fixed;
+        ++r.stats.fixed_via_heap;
+        bag_r.push_back(static_cast<VertexId>(next_root));
+        advanced = true;
+      }
+    }
+    if (!advanced) break;
+  }
+
+  LLPMST_CHECK_MSG(num_fixed == n,
+                   "LLP-Prim requires a connected graph; use llp_prim_msf "
+                   "or LLP-Boruvka for forests");
+  r.stats.heap = heap.stats();
+  finalize_result(g, r);
+  return r;
+}
+
+MstResult llp_prim_msf(const CsrGraph& g) {
+  LlpPrimOptions options;
+  options.allow_forest = true;
+  return llp_prim(g, 0, options);
+}
+
+}  // namespace llpmst

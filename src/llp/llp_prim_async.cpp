@@ -1,0 +1,118 @@
+#include "llp/llp_prim_async.hpp"
+
+#include <atomic>
+#include <vector>
+
+#include "ds/binary_heap.hpp"
+#include "parallel/atomic_utils.hpp"
+#include "parallel/concurrent_bag.hpp"
+#include "parallel/work_stealing.hpp"
+#include "support/assert.hpp"
+
+namespace llpmst {
+
+MstResult llp_prim_async(const CsrGraph& g, ThreadPool& pool, VertexId root) {
+  const std::size_t n = g.num_vertices();
+  LLPMST_CHECK_MSG(n >= 1, "LLP-Prim requires a non-empty graph");
+  LLPMST_CHECK(root < n);
+
+  MstResult r;
+  std::vector<std::atomic<EdgePriority>> dist(n);
+  std::vector<std::atomic<std::uint8_t>> fixed(n);
+  std::vector<EdgeId> chosen_edge(n, kInvalidEdge);
+  for (std::size_t v = 0; v < n; ++v) {
+    dist[v].store(kInfinitePriority, std::memory_order_relaxed);
+    fixed[v].store(0, std::memory_order_relaxed);
+  }
+
+  const std::size_t workers = pool.num_threads();
+  ConcurrentBag<VertexId> bag_q(workers);      // staged heap candidates
+  ConcurrentBag<VertexId> newly_fixed(workers);  // for edge collection
+  BinaryHeap<EdgePriority> heap(n);
+  std::atomic<std::uint64_t> fixed_via_mwe{0};
+  std::atomic<std::uint64_t> edges_relaxed{0};
+
+  fixed[root].store(1, std::memory_order_relaxed);
+  std::size_t num_fixed = 1;
+  ++r.stats.fixed_via_heap;
+
+  std::vector<VertexId> seeds{root};
+  for (;;) {
+    // --- Asynchronous drain of R: fixed vertices are explored as soon as
+    // any worker can pick them up; early-fixed vertices feed straight back
+    // into the worklist (ctx.push), no barrier in between.
+    work_stealing_run<VertexId>(
+        pool, seeds, [&](VertexId j, WorkStealingContext<VertexId>& ctx) {
+          const auto nbrs = g.neighbors(j);
+          const auto prios = g.arc_priorities(j);
+          const auto mwe_flags = g.arc_mwe_flags(j);
+          std::uint64_t relaxed = 0;
+          for (std::size_t i = 0; i < nbrs.size(); ++i) {
+            const VertexId k = nbrs[i];
+            if (fixed[k].load(std::memory_order_relaxed)) continue;
+            ++relaxed;
+            const EdgePriority p = prios[i];
+            if (mwe_flags[i]) {
+              if (atomic_claim(fixed[k])) {
+                chosen_edge[k] = priority_edge(p);
+                fixed_via_mwe.fetch_add(1, std::memory_order_relaxed);
+                newly_fixed.push(ctx.worker(), k);
+                ctx.push(k);
+              }
+              continue;
+            }
+            if (atomic_fetch_min(dist[k], p)) {
+              bag_q.push(ctx.worker(), k);
+            }
+          }
+          if (relaxed != 0) {
+            edges_relaxed.fetch_add(relaxed, std::memory_order_relaxed);
+          }
+        });
+
+    // Collect the edges of everything fixed during the drain.
+    {
+      std::vector<VertexId> fixed_now;
+      newly_fixed.drain_into(fixed_now);
+      num_fixed += fixed_now.size();
+      for (const VertexId k : fixed_now) r.edges.push_back(chosen_edge[k]);
+    }
+
+    // --- Sequential heap phase (identical to the other variants).
+    {
+      std::vector<VertexId> staged;
+      bag_q.drain_into(staged);
+      for (const VertexId k : staged) {
+        if (fixed[k].load(std::memory_order_relaxed)) continue;
+        heap.insert_or_adjust(k, dist[k].load(std::memory_order_relaxed));
+        ++r.stats.staged_in_q;
+      }
+    }
+
+    seeds.clear();
+    while (!heap.empty()) {
+      const auto [j, key] = heap.pop();
+      (void)key;
+      if (fixed[j].load(std::memory_order_relaxed)) continue;
+      fixed[j].store(1, std::memory_order_relaxed);
+      ++num_fixed;
+      ++r.stats.fixed_via_heap;
+      chosen_edge[j] = priority_edge(dist[j].load(std::memory_order_relaxed));
+      r.edges.push_back(chosen_edge[j]);
+      seeds.push_back(j);
+      break;
+    }
+    if (seeds.empty()) break;
+  }
+
+  LLPMST_CHECK_MSG(num_fixed == n,
+                   "LLP-Prim requires a connected graph; use LLP-Boruvka "
+                   "for forests");
+  r.stats.fixed_via_mwe = fixed_via_mwe.load(std::memory_order_relaxed);
+  r.stats.edges_relaxed = edges_relaxed.load(std::memory_order_relaxed);
+  r.stats.heap = heap.stats();
+  finalize_result(g, r);
+  return r;
+}
+
+}  // namespace llpmst

@@ -1,0 +1,25 @@
+// Asynchronous parallel LLP-Prim: the R set drained by a work-stealing
+// worklist instead of bulk-synchronous frontier rounds.
+//
+// llp_prim_parallel (the default) snapshots R and processes it as a
+// super-step with a team barrier between rounds.  This variant is closer to
+// the paper's Galois implementation: a vertex fixed through an MWE is pushed
+// into the worklist and may be processed by any worker *immediately*, with
+// no barrier until R is globally exhausted — the "vertices in R can be
+// explored in any order, in parallel" property taken to its asynchronous
+// conclusion.  The heap phase between drains remains sequential, as in all
+// LLP-Prim variants.
+//
+// Same unique MST, same instrumentation; the super-step/async difference is
+// what bench_ablation_llp_prim's async row measures.
+#pragma once
+
+#include "mst/mst_result.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace llpmst {
+
+[[nodiscard]] MstResult llp_prim_async(const CsrGraph& g, ThreadPool& pool,
+                                       VertexId root = 0);
+
+}  // namespace llpmst

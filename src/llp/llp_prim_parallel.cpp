@@ -1,0 +1,148 @@
+#include "llp/llp_prim_parallel.hpp"
+
+#include <atomic>
+#include <vector>
+
+#include "ds/binary_heap.hpp"
+#include "parallel/atomic_utils.hpp"
+#include "parallel/concurrent_bag.hpp"
+#include "parallel/parallel_for.hpp"
+#include "support/assert.hpp"
+
+namespace llpmst {
+
+MstResult llp_prim_parallel(const CsrGraph& g, ThreadPool& pool,
+                            VertexId root) {
+  const std::size_t n = g.num_vertices();
+  LLPMST_CHECK_MSG(n >= 1, "LLP-Prim requires a non-empty graph");
+  LLPMST_CHECK(root < n);
+
+  MstResult r;
+  // dist[k] packs the tentative priority; its low 32 bits are the edge id,
+  // so the parent edge rides along with every fetch-min for free.
+  std::vector<std::atomic<EdgePriority>> dist(n);
+  std::vector<std::atomic<std::uint8_t>> fixed(n);
+  // chosen_edge[k] is written once, by the thread whose claim CAS on
+  // fixed[k] succeeded; it is read only after that claim is visible (same
+  // round for bag members, after the team join otherwise).
+  std::vector<EdgeId> chosen_edge(n, kInvalidEdge);
+  parallel_for(pool, 0, n, [&](std::size_t v) {
+    dist[v].store(kInfinitePriority, std::memory_order_relaxed);
+    fixed[v].store(0, std::memory_order_relaxed);
+  });
+
+  const std::size_t workers = pool.num_threads();
+  ConcurrentBag<VertexId> bag_r(workers);  // newly fixed, to explore next
+  ConcurrentBag<VertexId> bag_q(workers);  // staged heap candidates
+  std::vector<VertexId> frontier;
+  BinaryHeap<EdgePriority> heap(n);
+
+  std::atomic<std::uint64_t> fixed_via_mwe{0};
+  std::atomic<std::uint64_t> edges_relaxed{0};
+  std::size_t num_fixed = 1;
+
+  fixed[root].store(1, std::memory_order_relaxed);
+  ++r.stats.fixed_via_heap;
+  frontier.push_back(root);
+
+  // Small frontiers get small chunks so the team actually shares the work.
+  const auto frontier_chunk = [&](std::size_t size) {
+    const std::size_t per = size / (4 * workers);
+    return per < 1 ? std::size_t{1} : (per > 256 ? std::size_t{256} : per);
+  };
+
+  for (;;) {
+    // Section V-A early termination: all vertices fixed -> done.
+    if (num_fixed == n) break;
+
+    // --- Parallel drain of R.  Every frontier vertex is already fixed; the
+    // team explores their arcs, early-fixing across MWEs (claim CAS) and
+    // lowering tentative distances (fetch-min).
+    while (!frontier.empty() && num_fixed < n) {
+      parallel_for_worker(
+          pool, 0, frontier.size(),
+          [&](std::size_t idx, std::size_t w) {
+            const VertexId j = frontier[idx];
+            const auto nbrs = g.neighbors(j);
+            const auto prios = g.arc_priorities(j);
+            const auto mwe_flags = g.arc_mwe_flags(j);
+            std::uint64_t relaxed = 0;
+            for (std::size_t i = 0; i < nbrs.size(); ++i) {
+              const VertexId k = nbrs[i];
+              if (fixed[k].load(std::memory_order_relaxed)) continue;
+              ++relaxed;
+              const EdgePriority p = prios[i];
+
+              if (mwe_flags[i]) {
+                // Early fix: (j, k) is an MST edge and j is fixed.  The CAS
+                // claim arbitrates racing fixers; the winner records the
+                // tree edge and schedules k.
+                if (atomic_claim(fixed[k])) {
+                  chosen_edge[k] = priority_edge(p);
+                  fixed_via_mwe.fetch_add(1, std::memory_order_relaxed);
+                  bag_r.push(w, k);
+                }
+                continue;
+              }
+
+              // fetch-min on the packed word updates distance AND parent
+              // atomically; stage k for the deferred heap flush.  Staging
+              // may push k from several workers — the flush deduplicates
+              // via insert_or_adjust, which is idempotent.
+              if (atomic_fetch_min(dist[k], p)) {
+                bag_q.push(w, k);
+              }
+            }
+            if (relaxed != 0) {
+              edges_relaxed.fetch_add(relaxed, std::memory_order_relaxed);
+            }
+          },
+          frontier_chunk(frontier.size()));
+
+      frontier.clear();
+      bag_r.drain_into(frontier);
+      num_fixed += frontier.size();
+      for (const VertexId k : frontier) r.edges.push_back(chosen_edge[k]);
+    }
+
+    // --- R drained: flush staged vertices into the heap (sequential — the
+    // paper's acknowledged bottleneck), then pop the next nearest vertex.
+    {
+      std::vector<VertexId> staged;
+      bag_q.drain_into(staged);
+      for (const VertexId k : staged) {
+        if (fixed[k].load(std::memory_order_relaxed)) continue;
+        heap.insert_or_adjust(k, dist[k].load(std::memory_order_relaxed));
+        ++r.stats.staged_in_q;
+      }
+    }
+
+    bool advanced = false;
+    while (!heap.empty()) {
+      const auto [j, key] = heap.pop();
+      (void)key;
+      if (fixed[j].load(std::memory_order_relaxed)) continue;  // stale
+      fixed[j].store(1, std::memory_order_relaxed);
+      ++num_fixed;
+      ++r.stats.fixed_via_heap;
+      chosen_edge[j] =
+          priority_edge(dist[j].load(std::memory_order_relaxed));
+      r.edges.push_back(chosen_edge[j]);
+      frontier.push_back(j);
+      advanced = true;
+      break;
+    }
+    if (!advanced) break;
+  }
+
+  LLPMST_CHECK_MSG(num_fixed == n,
+                   "LLP-Prim requires a connected graph; use LLP-Boruvka "
+                   "for forests");
+  r.stats.fixed_via_mwe = fixed_via_mwe.load(std::memory_order_relaxed);
+  r.stats.edges_relaxed = edges_relaxed.load(std::memory_order_relaxed);
+  r.stats.heap = heap.stats();
+  finalize_result(g, r);
+  return r;
+}
+
+}  // namespace llpmst

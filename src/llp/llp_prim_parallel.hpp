@@ -1,0 +1,27 @@
+// Parallel LLP-Prim ("LLP-Prim" in the paper's Figs. 3-4): the early-fixing
+// algorithm with the R set drained by the whole thread team.
+//
+// Parallel structure per super-step:
+//   * the current frontier (a snapshot of R) is processed in parallel;
+//     fixing a vertex is a CAS claim on its fixed flag; tentative distances
+//     are atomic fetch-mins on the packed (priority) word, whose low half
+//     *is* the parent edge id — one word carries both `d` and `parent`;
+//   * newly fixed vertices go into per-worker bag buffers (no contention);
+//     vertices whose distance improved go into per-worker Q buffers;
+//   * when R drains, one thread flushes Q into the binary heap and pops the
+//     next nearest non-fixed vertex — the sequential bottleneck the paper
+//     acknowledges, which is why LLP-Prim wins at low core counts and
+//     plateaus around 8 threads (Fig. 3).
+//
+// The result is the same unique MST for every thread count.
+#pragma once
+
+#include "mst/mst_result.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace llpmst {
+
+[[nodiscard]] MstResult llp_prim_parallel(const CsrGraph& g, ThreadPool& pool,
+                                          VertexId root = 0);
+
+}  // namespace llpmst

@@ -1,0 +1,113 @@
+#include "llp/llp_shortest_path.hpp"
+
+#include <atomic>
+
+#include "ds/binary_heap.hpp"
+#include "parallel/parallel_for.hpp"
+#include "support/assert.hpp"
+
+namespace llpmst {
+
+ShortestPathResult llp_shortest_paths(const CsrGraph& g, ThreadPool& pool,
+                                      VertexId source) {
+  const std::size_t n = g.num_vertices();
+  LLPMST_CHECK(source < n);
+
+  // G starts at the lattice bottom (all zeros, except conceptually the
+  // source which is pinned at 0 and never forbidden).  Vertices in other
+  // components have no finite fixpoint — their Bellman inequalities only
+  // reference each other and would raise G forever — so they start (and
+  // stay) at the lattice top, kUnreachableDist.  A BFS identifies them.
+  std::vector<std::uint8_t> reachable(n, 0);
+  {
+    std::vector<VertexId> stack{source};
+    reachable[source] = 1;
+    while (!stack.empty()) {
+      const VertexId u = stack.back();
+      stack.pop_back();
+      for (const VertexId v : g.neighbors(u)) {
+        if (!reachable[v]) {
+          reachable[v] = 1;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  std::vector<std::atomic<Dist>> G(n);
+  parallel_for(pool, 0, n, [&](std::size_t v) {
+    G[v].store(reachable[v] ? 0 : kUnreachableDist,
+               std::memory_order_relaxed);
+  });
+
+  // The forced lower bound for v: min over incident edges of G[u] + w; the
+  // empty min (isolated vertex) is unreachable.
+  const auto forced = [&](std::size_t v) -> Dist {
+    Dist lo = kUnreachableDist;
+    const auto nbrs = g.neighbors(v);
+    const auto prios = g.arc_priorities(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      // Clamp at the lattice top so paths through unreachable-marked
+      // vertices never push the bound past it.
+      Dist via = G[nbrs[i]].load(std::memory_order_relaxed) +
+                 priority_weight(prios[i]);
+      if (via > kUnreachableDist) via = kUnreachableDist;
+      if (via < lo) lo = via;
+    }
+    return lo;
+  };
+
+  ShortestPathResult out;
+  // Distances only rise toward the least fixpoint, so concurrent sweeps are
+  // monotone; the cap guards against a non-lattice-linear mistake.
+  LlpOptions opts;
+  opts.max_sweeps = (std::uint64_t{1} << 22);  // see convergence note
+  out.llp = llp_solve(
+      pool, n,
+      [&](std::size_t v) {
+        if (v == source) return false;
+        return G[v].load(std::memory_order_relaxed) < forced(v);
+      },
+      [&](std::size_t v) {
+        // advance: raise to the forced bound (recomputed — it may have risen
+        // since the forbidden test, and overshooting the stale value would
+        // still be <= the final fixpoint, but recomputing converges faster).
+        G[v].store(forced(v), std::memory_order_relaxed);
+      },
+      opts);
+  LLPMST_CHECK_MSG(out.llp.converged, "LLP shortest paths failed to converge");
+
+  out.dist.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    out.dist[v] = G[v].load(std::memory_order_relaxed);
+  }
+  out.dist[source] = 0;
+  return out;
+}
+
+std::vector<Dist> dijkstra(const CsrGraph& g, VertexId source) {
+  const std::size_t n = g.num_vertices();
+  LLPMST_CHECK(source < n);
+  std::vector<Dist> dist(n, kUnreachableDist);
+  std::vector<std::uint8_t> done(n, 0);
+  BinaryHeap<Dist> heap(n);
+  dist[source] = 0;
+  heap.push(source, 0);
+  while (!heap.empty()) {
+    const auto [u, d] = heap.pop();
+    if (done[u]) continue;
+    done[u] = 1;
+    const auto nbrs = g.neighbors(u);
+    const auto prios = g.arc_priorities(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const VertexId v = nbrs[i];
+      const Dist nd = d + priority_weight(prios[i]);
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        heap.insert_or_adjust(v, nd);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace llpmst

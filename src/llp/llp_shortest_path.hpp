@@ -1,0 +1,50 @@
+// LLP single-source shortest paths (Bellman-Ford as predicate detection).
+//
+// This is the transfer demo the paper's introduction promises: the same
+// generic engine (llp_solver.hpp) that powers the MST work solves other
+// combinatorial problems.  Following Garg et al. (SPAA 2020), the lattice is
+// the vector of tentative distances G (component-wise order, bottom = all
+// zeros); the predicate is
+//     B(G) = forall v != src :  G[v] >= min over edges (u,v) of G[u] + w
+// whose least satisfying vector with G[src] = 0 is exactly the shortest
+// distance vector.  forbidden(v) tests the inequality; advance(v) raises
+// G[v] to the min.  Distances only rise, so chaotic parallel sweeps are safe.
+//
+// Convergence note: with chaotic sweeps the iteration is pseudo-polynomial —
+// two vertices joined by a light cycle edge far from the source raise each
+// other in increments bounded by the cycle weight, so the sweep count can
+// grow with the distance values, not just n (Garg's LLP-Dijkstra recovers
+// the polynomial bound by scheduling the minimum forbidden vertex first;
+// this demo keeps the unscheduled form because its point is the framework,
+// not SSSP performance).  Weights are integers >= 1, so every advance rises
+// by >= 1 and the iteration always terminates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "llp/llp_solver.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace llpmst {
+
+/// Distance value; unreachable vertices end at kUnreachableDist.
+using Dist = std::uint64_t;
+inline constexpr Dist kUnreachableDist = ~Dist{0} >> 1;  // headroom for +w
+
+struct ShortestPathResult {
+  std::vector<Dist> dist;
+  LlpStats llp;
+};
+
+/// Shortest path distances from `source` over the undirected graph (every
+/// edge usable in both directions), computed by the generic LLP engine.
+[[nodiscard]] ShortestPathResult llp_shortest_paths(const CsrGraph& g,
+                                                    ThreadPool& pool,
+                                                    VertexId source);
+
+/// Reference Dijkstra (binary heap) for cross-checking in tests.
+[[nodiscard]] std::vector<Dist> dijkstra(const CsrGraph& g, VertexId source);
+
+}  // namespace llpmst

@@ -1,0 +1,79 @@
+// Generic Lattice Linear Predicate (LLP) detection engine — the paper's
+// Algorithm 1.
+//
+// The combinatorial problem is modelled as finding the least vector G in a
+// lattice that satisfies a lattice-linear predicate B.  The caller supplies,
+// per index j:
+//   forbidden(j) — true if G cannot satisfy B unless G[j] advances;
+//   advance(j)   — move G[j] up (must make progress toward not-forbidden).
+//
+// The engine repeatedly sweeps all indices, advancing every forbidden one,
+// until a full sweep finds none ("no element is forbidden, we have our
+// solution").  Sweeps run sequentially or data-parallel over a ThreadPool;
+// lattice-linearity guarantees that concurrently advancing distinct
+// forbidden indices is safe, which is why no locking appears here — the
+// caller's advance() must only touch G[j] (plus reads of other entries).
+//
+// The MST algorithms specialize this loop with bespoke scheduling (worklists
+// instead of full sweeps) for efficiency; llp_components and
+// llp_shortest_path use this engine directly, demonstrating the framework's
+// claim that one harness solves many problems.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace llpmst {
+
+struct LlpStats {
+  std::uint64_t sweeps = 0;    // full passes over the index space
+  std::uint64_t advances = 0;  // total advance() calls
+  bool converged = false;      // false iff the sweep cap was hit
+};
+
+struct LlpOptions {
+  /// Safety cap on sweeps; 0 means "4 * n + 16" (every problem we instantiate
+  /// converges well below that — the cap converts a buggy predicate into a
+  /// diagnosable non-convergence instead of a hang).
+  std::uint64_t max_sweeps = 0;
+};
+
+/// Runs Algorithm 1 over indices [0, n).  Returns statistics; `converged`
+/// is true when a full sweep found no forbidden index.
+template <typename Forbidden, typename Advance>
+LlpStats llp_solve(ThreadPool& pool, std::size_t n, Forbidden&& forbidden,
+                   Advance&& advance, const LlpOptions& options = {}) {
+  LlpStats stats;
+  const std::uint64_t cap =
+      options.max_sweeps != 0 ? options.max_sweeps : 4 * n + 16;
+
+  std::atomic<std::uint64_t> advanced{0};
+  for (;;) {
+    if (stats.sweeps >= cap) return stats;  // converged stays false
+    ++stats.sweeps;
+    advanced.store(0, std::memory_order_relaxed);
+    parallel_for(pool, 0, n, [&](std::size_t j) {
+      // Re-testing forbidden(j) right before advancing is the whole
+      // synchronization story: lattice-linearity makes a stale "forbidden"
+      // verdict impossible (forbidden states stay forbidden until advanced)
+      // and advancing only G[j] keeps indices independent.
+      std::uint64_t local = 0;
+      if (forbidden(j)) {
+        advance(j);
+        ++local;
+      }
+      if (local != 0) advanced.fetch_add(local, std::memory_order_relaxed);
+    });
+    const std::uint64_t a = advanced.load(std::memory_order_relaxed);
+    stats.advances += a;
+    if (a == 0) {
+      stats.converged = true;
+      return stats;
+    }
+  }
+}
+
+}  // namespace llpmst

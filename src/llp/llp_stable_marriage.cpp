@@ -1,0 +1,164 @@
+#include "llp/llp_stable_marriage.hpp"
+
+#include <atomic>
+#include <numeric>
+
+#include "parallel/atomic_utils.hpp"
+#include "parallel/parallel_for.hpp"
+#include "support/assert.hpp"
+#include "support/random.hpp"
+
+namespace llpmst {
+
+namespace {
+
+/// Packs (woman's rank of the proposer, proposer id): atomic-min over these
+/// keeps each woman's best-ever proposer in one word.
+std::uint64_t pack_proposal(std::uint32_t rank, std::uint32_t man) {
+  return (static_cast<std::uint64_t>(rank) << 32) | man;
+}
+
+}  // namespace
+
+MarriageInstance random_marriage_instance(std::size_t n, std::uint64_t seed) {
+  LLPMST_CHECK(n >= 1);
+  MarriageInstance inst;
+  inst.n = n;
+  inst.men_pref.resize(n);
+  inst.women_rank.resize(n);
+  Xoshiro256 rng(seed);
+
+  std::vector<std::uint32_t> perm(n);
+  for (std::size_t m = 0; m < n; ++m) {
+    std::iota(perm.begin(), perm.end(), 0u);
+    for (std::size_t i = n - 1; i > 0; --i) {
+      std::swap(perm[i], perm[rng.next_below(i + 1)]);
+    }
+    inst.men_pref[m] = perm;
+  }
+  for (std::size_t w = 0; w < n; ++w) {
+    std::iota(perm.begin(), perm.end(), 0u);
+    for (std::size_t i = n - 1; i > 0; --i) {
+      std::swap(perm[i], perm[rng.next_below(i + 1)]);
+    }
+    // perm is w's preference order; invert to rank form.
+    inst.women_rank[w].resize(n);
+    for (std::uint32_t r = 0; r < n; ++r) inst.women_rank[w][perm[r]] = r;
+  }
+  return inst;
+}
+
+MarriageResult llp_stable_marriage(const MarriageInstance& inst,
+                                   ThreadPool& pool) {
+  const std::size_t n = inst.n;
+
+  // G[m]: index into m's preference list.  best[w]: the best (lowest-rank)
+  // proposal woman w has EVER received, maintained by atomic min — once a
+  // better proposer appears, worse men are permanently rejected, which is
+  // exactly Gale-Shapley's invariant and what makes the predicate
+  // lattice-linear (a rejected man stays rejected whatever others do).
+  std::vector<std::atomic<std::uint32_t>> G(n);
+  std::vector<std::atomic<std::uint64_t>> best(n);
+  parallel_for(pool, 0, n, [&](std::size_t i) {
+    G[i].store(0, std::memory_order_relaxed);
+    best[i].store(~std::uint64_t{0}, std::memory_order_relaxed);
+  });
+  parallel_for(pool, 0, n, [&](std::size_t m) {
+    const std::uint32_t w = inst.men_pref[m][0];
+    atomic_fetch_min(best[w],
+                     pack_proposal(inst.women_rank[w][m],
+                                   static_cast<std::uint32_t>(m)));
+  });
+
+  const auto my_pack = [&](std::size_t m) {
+    const std::uint32_t w =
+        inst.men_pref[m][G[m].load(std::memory_order_relaxed)];
+    return std::pair<std::uint32_t, std::uint64_t>{
+        w, pack_proposal(inst.women_rank[w][m],
+                         static_cast<std::uint32_t>(m))};
+  };
+
+  // Worst case one advance per sweep and O(n^2) total proposals, so the
+  // default 4n cap is too tight for adversarial instances.
+  LlpOptions opts;
+  opts.max_sweeps = static_cast<std::uint64_t>(n) * n + 16;
+
+  MarriageResult out;
+  out.llp = llp_solve(
+      pool, n,
+      [&](std::size_t m) {
+        // forbidden(m): the woman m currently proposes to has seen someone
+        // better, so this G[m] can never be part of a feasible vector.
+        const auto [w, mine] = my_pack(m);
+        return best[w].load(std::memory_order_relaxed) < mine;
+      },
+      [&](std::size_t m) {
+        // advance(m): propose to the next woman on the list.
+        const std::uint32_t next = G[m].load(std::memory_order_relaxed) + 1;
+        LLPMST_CHECK_MSG(next < n,
+                         "man exhausted his list: instance has no perfect "
+                         "matching (impossible with full preference lists)");
+        G[m].store(next, std::memory_order_relaxed);
+        const auto [w, mine] = my_pack(m);
+        atomic_fetch_min(best[w], mine);
+      },
+      opts);
+  LLPMST_CHECK_MSG(out.llp.converged,
+                   "LLP stable marriage failed to converge");
+
+  out.wife.resize(n);
+  for (std::size_t m = 0; m < n; ++m) {
+    out.wife[m] = inst.men_pref[m][G[m].load(std::memory_order_relaxed)];
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> gale_shapley(const MarriageInstance& inst) {
+  const std::size_t n = inst.n;
+  std::vector<std::uint32_t> next(n, 0);   // next proposal index per man
+  std::vector<std::uint32_t> husband(n, ~0u);
+  std::vector<std::uint32_t> wife(n, ~0u);
+  std::vector<std::uint32_t> free_men(n);
+  std::iota(free_men.begin(), free_men.end(), 0u);
+
+  while (!free_men.empty()) {
+    const std::uint32_t m = free_men.back();
+    free_men.pop_back();
+    const std::uint32_t w = inst.men_pref[m][next[m]++];
+    if (husband[w] == ~0u) {
+      husband[w] = m;
+      wife[m] = w;
+    } else if (inst.women_rank[w][m] < inst.women_rank[w][husband[w]]) {
+      wife[husband[w]] = ~0u;
+      free_men.push_back(husband[w]);
+      husband[w] = m;
+      wife[m] = w;
+    } else {
+      free_men.push_back(m);
+    }
+  }
+  return wife;
+}
+
+bool is_stable_matching(const MarriageInstance& inst,
+                        const std::vector<std::uint32_t>& wife) {
+  const std::size_t n = inst.n;
+  if (wife.size() != n) return false;
+  std::vector<std::uint32_t> husband(n, ~0u);
+  for (std::size_t m = 0; m < n; ++m) {
+    if (wife[m] >= n || husband[wife[m]] != ~0u) return false;  // not perfect
+    husband[wife[m]] = static_cast<std::uint32_t>(m);
+  }
+  // Blocking pair: m prefers w to wife[m] AND w prefers m to husband[w].
+  for (std::size_t m = 0; m < n; ++m) {
+    for (const std::uint32_t w : inst.men_pref[m]) {
+      if (w == wife[m]) break;  // all following women are worse for m
+      if (inst.women_rank[w][m] < inst.women_rank[w][husband[w]]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace llpmst

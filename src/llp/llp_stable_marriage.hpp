@@ -1,0 +1,59 @@
+// LLP stable marriage (Gale–Shapley as predicate detection) — the third
+// framework-transfer demo.  The paper's related work (and Garg et al., SPAA
+// 2020) lists the stable marriage problem as one of the problems the LLP
+// framework subsumes; implementing it here exercises the generic engine on a
+// lattice that is NOT a graph-distance lattice.
+//
+// Lattice: vectors G where G[m] is the index (0-based, into m's preference
+// list) of the woman man m is currently proposing to.  Order is
+// component-wise <=; the bottom is all-zeros (every man proposes to his
+// favourite).  Predicate:
+//     B(G) = no man is "rejected" under G
+// where man m is rejected iff the woman w = pref_m[G[m]] prefers another
+// CURRENT proposer m' to m.  forbidden(m) = rejected(m); advance(m) =
+// G[m] += 1 (propose to the next choice).  The least vector satisfying B is
+// the man-optimal stable matching — every man ends with the best partner he
+// has in any stable matching.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "llp/llp_solver.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace llpmst {
+
+/// A stable-marriage instance with n men and n women.  men_pref[m] is m's
+/// ranking of women (best first); women_rank[w][m] is w's rank of man m
+/// (lower = preferred) — the inverse-permutation form that makes the
+/// rejected() test O(1).
+struct MarriageInstance {
+  std::size_t n = 0;
+  std::vector<std::vector<std::uint32_t>> men_pref;
+  std::vector<std::vector<std::uint32_t>> women_rank;
+};
+
+/// Builds a random instance with full preference lists.
+[[nodiscard]] MarriageInstance random_marriage_instance(std::size_t n,
+                                                        std::uint64_t seed);
+
+struct MarriageResult {
+  /// wife[m] = woman matched to man m (the man-optimal stable matching).
+  std::vector<std::uint32_t> wife;
+  LlpStats llp;
+};
+
+/// Solves via the generic LLP engine.
+[[nodiscard]] MarriageResult llp_stable_marriage(const MarriageInstance& inst,
+                                                 ThreadPool& pool);
+
+/// Reference sequential Gale–Shapley (men-proposing) for cross-checking.
+[[nodiscard]] std::vector<std::uint32_t> gale_shapley(
+    const MarriageInstance& inst);
+
+/// True iff `wife` is a perfect matching with no blocking pair.
+[[nodiscard]] bool is_stable_matching(const MarriageInstance& inst,
+                                      const std::vector<std::uint32_t>& wife);
+
+}  // namespace llpmst

@@ -1,0 +1,48 @@
+#include "mst/auto.hpp"
+
+#include "graph/algorithms/connected_components.hpp"
+#include "llp/llp_boruvka.hpp"
+#include "llp/llp_prim.hpp"
+#include "llp/llp_prim_parallel.hpp"
+
+namespace llpmst {
+
+AutoMstResult minimum_spanning_forest(const CsrGraph& g, ThreadPool& pool,
+                                      Connectivity connectivity,
+                                      const AutoMstOptions& options) {
+  AutoMstResult out;
+  if (g.num_vertices() == 0) {
+    out.algorithm = "trivial";
+    return out;
+  }
+
+  bool connected = false;
+  switch (connectivity) {
+    case Connectivity::kConnected:
+      connected = true;
+      break;
+    case Connectivity::kDisconnected:
+      connected = false;
+      break;
+    case Connectivity::kUnknown: {
+      EdgeList list(g.num_vertices(), g.edges());
+      connected = is_connected(list);
+      break;
+    }
+  }
+
+  const std::size_t threads = pool.num_threads();
+  if (!connected || threads >= options.boruvka_crossover) {
+    out.algorithm = "llp_boruvka";
+    out.result = llp_boruvka(g, pool);
+  } else if (threads == 1) {
+    out.algorithm = "llp_prim";
+    out.result = llp_prim(g);
+  } else {
+    out.algorithm = "llp_prim_parallel";
+    out.result = llp_prim_parallel(g, pool);
+  }
+  return out;
+}
+
+}  // namespace llpmst

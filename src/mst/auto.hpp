@@ -1,0 +1,40 @@
+// Portfolio entry point: pick the MST/MSF algorithm the paper's conclusions
+// recommend for the given graph and thread budget.
+//
+// Section VII/VIII's findings, operationalized:
+//   * 1 thread            -> LLP-Prim (1T) — fastest sequential (Fig. 2);
+//   * few threads (< the crossover the paper places around 8) and a
+//     connected graph     -> parallel LLP-Prim (Fig. 3 left);
+//   * many threads, or a disconnected graph (the Prim family cannot run)
+//                         -> LLP-Boruvka (Fig. 3 right / Fig. 4).
+//
+// The crossover is a tunable with the paper's observed default.
+#pragma once
+
+#include <string>
+
+#include "mst/mst_result.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace llpmst {
+
+struct AutoMstOptions {
+  /// Thread count at which the Boruvka family starts winning (Fig. 3's ~8).
+  std::size_t boruvka_crossover = 8;
+};
+
+struct AutoMstResult {
+  MstResult result;
+  std::string algorithm;  // which algorithm the portfolio chose
+};
+
+/// Computes the MSF with the recommended algorithm.  `connected` may be
+/// passed when the caller already knows it (kUnknown triggers a check).
+enum class Connectivity { kUnknown, kConnected, kDisconnected };
+
+[[nodiscard]] AutoMstResult minimum_spanning_forest(
+    const CsrGraph& g, ThreadPool& pool,
+    Connectivity connectivity = Connectivity::kUnknown,
+    const AutoMstOptions& options = {});
+
+}  // namespace llpmst

@@ -1,0 +1,76 @@
+#include "mst/boruvka.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace llpmst {
+
+MstResult boruvka(const CsrGraph& g) {
+  const std::size_t n = g.num_vertices();
+  const std::size_t m = g.num_edges();
+
+  MstResult r;
+  std::vector<bool> in_tree(m, false);
+  std::vector<VertexId> cid(n);
+  std::vector<EdgePriority> best(n);
+  std::vector<VertexId> stack;
+
+  for (;;) {
+    ++r.stats.rounds;
+
+    // Component identification by BFS/DFS over tree edges (Algorithm 3's
+    // BFS(i) loop).  Iterating sources ascending labels each component with
+    // its minimum vertex id.
+    std::fill(cid.begin(), cid.end(), kInvalidVertex);
+    for (VertexId i = 0; i < n; ++i) {
+      if (cid[i] != kInvalidVertex) continue;
+      cid[i] = i;
+      stack.assign(1, i);
+      while (!stack.empty()) {
+        const VertexId u = stack.back();
+        stack.pop_back();
+        const auto nbrs = g.neighbors(u);
+        const auto prios = g.arc_priorities(u);
+        for (std::size_t a = 0; a < nbrs.size(); ++a) {
+          if (!in_tree[priority_edge(prios[a])]) continue;
+          const VertexId v = nbrs[a];
+          if (cid[v] != kInvalidVertex) continue;
+          cid[v] = i;
+          stack.push_back(v);
+        }
+      }
+    }
+
+    // Minimum outgoing edge per component (the dist/mwe sweep).
+    std::fill(best.begin(), best.end(), kInfinitePriority);
+    for (EdgeId e = 0; e < m; ++e) {
+      const WeightedEdge& we = g.edge(e);
+      const VertexId cu = cid[we.u], cv = cid[we.v];
+      if (cu == cv) continue;
+      const EdgePriority p = make_priority(we.w, e);
+      if (p < best[cu]) best[cu] = p;
+      if (p < best[cv]) best[cv] = p;
+    }
+
+    // Add every component's mwe (both sides may pick the same edge; the
+    // in_tree flag makes the second add a no-op).
+    std::size_t added = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      if (cid[v] != v || best[v] == kInfinitePriority) continue;
+      const EdgeId e = priority_edge(best[v]);
+      if (!in_tree[e]) {
+        in_tree[e] = true;
+        r.edges.push_back(e);
+        ++added;
+      }
+    }
+    if (added == 0) break;  // every component is maximal: MSF complete
+  }
+
+  finalize_result(g, r);
+  return r;
+}
+
+}  // namespace llpmst

@@ -1,0 +1,197 @@
+#include "mst/boruvka_engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include "parallel/atomic_utils.hpp"
+#include "parallel/concurrent_bag.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/scan.hpp"
+#include "support/assert.hpp"
+
+namespace llpmst {
+
+namespace {
+
+/// Active edge between two current component roots; prio carries the
+/// original (weight, edge id) packing, so the chosen MSF edge is always
+/// recoverable regardless of how many contractions happened.
+struct ActiveEdge {
+  VertexId u;
+  VertexId v;
+  EdgePriority prio;
+};
+
+}  // namespace
+
+MstResult boruvka_engine(const CsrGraph& g, ThreadPool& pool,
+                         const BoruvkaConfig& config) {
+  const std::size_t n = g.num_vertices();
+  const std::size_t m = g.num_edges();
+  MstResult r;
+
+  std::vector<ActiveEdge> edges;
+  edges.reserve(m);
+  for (EdgeId e = 0; e < m; ++e) {
+    const WeightedEdge& we = g.edge(e);
+    edges.push_back({we.u, we.v, make_priority(we.w, e)});
+  }
+
+  // parent[x] = current component root of original vertex x; re-established
+  // for every x at the end of each round by pointer jumping.
+  std::vector<std::atomic<VertexId>> parent(n);
+  std::vector<std::atomic<EdgePriority>> best(n);
+  parallel_for(pool, 0, n, [&](std::size_t v) {
+    parent[v].store(static_cast<VertexId>(v), std::memory_order_relaxed);
+    best[v].store(kInfinitePriority, std::memory_order_relaxed);
+  });
+
+  ConcurrentBag<EdgeId> chosen(pool.num_threads());
+  std::vector<ActiveEdge> next_edges;
+  std::vector<VertexId> jump_buf(
+      config.jumping == PointerJumping::kSynchronized ? n : 0);
+  std::atomic<std::uint64_t> jump_count{0};
+
+  while (!edges.empty()) {
+    ++r.stats.rounds;
+    const std::size_t me = edges.size();
+
+    // --- 1. MWE selection.  Round 0 works on the original graph, whose
+    // per-vertex minima the CSR precomputed — a plain store per vertex, no
+    // atomics.  Later rounds work on contracted multigraph edge lists and
+    // use the atomic min over edges.
+    if (r.stats.rounds == 1) {
+      parallel_for(pool, 0, n, [&](std::size_t v) {
+        best[v].store(g.min_incident_priority(static_cast<VertexId>(v)),
+                      std::memory_order_relaxed);
+      });
+    } else {
+      parallel_for(pool, 0, me, [&](std::size_t i) {
+        const ActiveEdge& e = edges[i];
+        atomic_fetch_min(best[e.u], e.prio);
+        atomic_fetch_min(best[e.v], e.prio);
+      });
+    }
+
+    // --- 2. Hook: every root with an outgoing MWE picks its parent across
+    // it; mutual choices are broken by id (smaller id stays root).  The
+    // hooking side emits the edge, so each MSF edge is emitted exactly once.
+    parallel_blocks(pool, 0, n, [&](std::size_t lo, std::size_t hi,
+                                    std::size_t worker) {
+      for (std::size_t v = lo; v < hi; ++v) {
+        const EdgePriority p = best[v].load(std::memory_order_relaxed);
+        if (p == kInfinitePriority) continue;
+        const EdgeId e = priority_edge(p);
+        const WeightedEdge& we = g.edge(e);
+        // The edge's endpoints in the current component space.
+        const VertexId ru = parent[we.u].load(std::memory_order_relaxed);
+        const VertexId rv = parent[we.v].load(std::memory_order_relaxed);
+        LLPMST_ASSERT(ru == v || rv == v);
+        const VertexId w = (ru == static_cast<VertexId>(v)) ? rv : ru;
+        if (w == static_cast<VertexId>(v)) {
+          // The partner root already hooked itself under v across this very
+          // edge (mutual MWE, partner has the larger id) — the partner
+          // emitted the edge; v stays root.  Reading the partner's fresher
+          // parent pointer is the only way w can resolve to v: any other
+          // hook target would contradict p being the minimum edge priority
+          // incident to v's component.
+          continue;
+        }
+        const bool mutual =
+            best[w].load(std::memory_order_relaxed) == p;
+        if (mutual && static_cast<VertexId>(v) < w) {
+          continue;  // v stays the root of the merged component
+        }
+        parent[v].store(w, std::memory_order_relaxed);
+        chosen.push(worker, e);
+      }
+    });
+
+    // --- 3. Pointer jumping: collapse every component to a rooted star.
+    if (config.jumping == PointerJumping::kAsynchronous) {
+      // One chaotic pass.  parent chains always lead to a root (roots are
+      // stable during this phase), and concurrent shortcuts only replace a
+      // pointer with a later node on the same path, so chasing terminates.
+      parallel_for(pool, 0, n, [&](std::size_t v) {
+        VertexId l = parent[v].load(std::memory_order_relaxed);
+        std::uint64_t steps = 0;
+        for (;;) {
+          const VertexId pl = parent[l].load(std::memory_order_relaxed);
+          if (pl == l) break;
+          l = pl;
+          ++steps;
+        }
+        parent[v].store(l, std::memory_order_relaxed);
+        if (steps != 0) {
+          jump_count.fetch_add(steps, std::memory_order_relaxed);
+        }
+      });
+    } else {
+      // Bulk-synchronous double-buffered jumping; each iteration is a full
+      // team barrier (this is the synchronization LLP-Boruvka removes).
+      for (;;) {
+        std::atomic<bool> changed{false};
+        parallel_for(pool, 0, n, [&](std::size_t v) {
+          const VertexId p = parent[v].load(std::memory_order_relaxed);
+          const VertexId pp = parent[p].load(std::memory_order_relaxed);
+          jump_buf[v] = pp;
+          if (pp != p) changed.store(true, std::memory_order_relaxed);
+        });
+        parallel_for(pool, 0, n, [&](std::size_t v) {
+          if (parent[v].load(std::memory_order_relaxed) != jump_buf[v]) {
+            parent[v].store(jump_buf[v], std::memory_order_relaxed);
+            jump_count.fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+        if (!changed.load(std::memory_order_relaxed)) break;
+      }
+    }
+
+    // --- 4. Contraction: remap endpoints to star roots, drop self-loops.
+    parallel_filter(
+        pool, me, next_edges,
+        [&](std::size_t i) {
+          return parent[edges[i].u].load(std::memory_order_relaxed) !=
+                 parent[edges[i].v].load(std::memory_order_relaxed);
+        },
+        [&](std::size_t i) {
+          VertexId nu = parent[edges[i].u].load(std::memory_order_relaxed);
+          VertexId nv = parent[edges[i].v].load(std::memory_order_relaxed);
+          if (nu > nv) std::swap(nu, nv);
+          return ActiveEdge{nu, nv, edges[i].prio};
+        });
+
+    if (config.dedup_contracted_edges && !next_edges.empty()) {
+      std::sort(next_edges.begin(), next_edges.end(),
+                [](const ActiveEdge& a, const ActiveEdge& b) {
+                  if (a.u != b.u) return a.u < b.u;
+                  if (a.v != b.v) return a.v < b.v;
+                  return a.prio < b.prio;
+                });
+      std::size_t out = 0;
+      for (std::size_t i = 0; i < next_edges.size(); ++i) {
+        if (out > 0 && next_edges[out - 1].u == next_edges[i].u &&
+            next_edges[out - 1].v == next_edges[i].v) {
+          continue;  // heavier parallel edge between the same components
+        }
+        next_edges[out++] = next_edges[i];
+      }
+      next_edges.resize(out);
+    }
+
+    edges.swap(next_edges);
+
+    // --- 5. Reset MWE slots for the next round.
+    parallel_for(pool, 0, n, [&](std::size_t v) {
+      best[v].store(kInfinitePriority, std::memory_order_relaxed);
+    });
+  }
+
+  chosen.drain_into(r.edges);
+  r.stats.pointer_jumps = jump_count.load(std::memory_order_relaxed);
+  finalize_result(g, r);
+  return r;
+}
+
+}  // namespace llpmst

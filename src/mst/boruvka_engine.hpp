@@ -1,0 +1,54 @@
+// Shared round engine for the two parallel Boruvka variants.
+//
+// Both the GBBS-style baseline (mst/parallel_boruvka.hpp) and LLP-Boruvka
+// (llp/llp_boruvka.hpp, the paper's Algorithm 6) perform the same rounds:
+//
+//   1. per-component minimum-weight-edge (MWE) selection — parallel over the
+//      active edge list with an atomic min on each endpoint's packed
+//      priority;
+//   2. hook — each component chooses its parent across its MWE, breaking the
+//      2-cycle of a mutually-chosen edge by vertex id (Algorithm 6's
+//      "break symmetry with w" initialization) and emitting the edge into
+//      the MSF;
+//   3. pointer jumping until every component is a rooted star — THIS is
+//      where the two algorithms differ (see PointerJumping below);
+//   4. contraction — remap active edges to star roots and drop self-loops
+//      (optionally deduplicate parallel bundles, the baseline's behaviour).
+//
+// Components keep their original vertex-id space across rounds (no dense
+// relabeling); the invariant is that at the start of every round parent[x]
+// is the current component root of every original vertex x.
+#pragma once
+
+#include "mst/mst_result.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace llpmst {
+
+/// How step 3 runs.
+enum class PointerJumping {
+  /// Bulk-synchronous: repeat { next[v] = parent[parent[v]] } with a barrier
+  /// between jump rounds until a fixpoint — the conventional parallel
+  /// formulation the baseline uses.
+  kSynchronized,
+  /// Chaotic/asynchronous: one parallel pass in which every vertex chases
+  /// its chain to the root with relaxed atomics and writes it back — the
+  /// paper's LLP formulation (`forbidden(j) = G[j] != G[G[j]]`,
+  /// `advance(j) = G[j] := G[G[j]]`) "evaluated in parallel and without
+  /// synchronization".
+  kAsynchronous,
+};
+
+struct BoruvkaConfig {
+  PointerJumping jumping = PointerJumping::kAsynchronous;
+  /// Deduplicate parallel edges between the same pair of components after
+  /// contraction (keeping the lightest).  The baseline does; LLP-Boruvka
+  /// skips it, trading a longer edge list for no sort barrier.
+  bool dedup_contracted_edges = false;
+};
+
+/// Runs Boruvka rounds until no edges remain; returns the unique MSF.
+[[nodiscard]] MstResult boruvka_engine(const CsrGraph& g, ThreadPool& pool,
+                                       const BoruvkaConfig& config);
+
+}  // namespace llpmst

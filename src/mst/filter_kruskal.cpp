@@ -1,0 +1,108 @@
+#include "mst/filter_kruskal.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "ds/concurrent_union_find.hpp"
+#include "parallel/scan.hpp"
+#include "support/random.hpp"
+
+namespace llpmst {
+
+namespace {
+
+struct FilterKruskalState {
+  const CsrGraph& g;
+  ThreadPool& pool;
+  ConcurrentUnionFind uf;
+  std::vector<EdgeId> chosen;
+  std::size_t components;  // remaining merges possible
+  Xoshiro256 rng{0x9e3779b9u};
+
+  explicit FilterKruskalState(const CsrGraph& graph, ThreadPool& p)
+      : g(graph), pool(p), uf(graph.num_vertices()),
+        components(graph.num_vertices()) {}
+
+  /// Base case: sort the slice and run plain Kruskal over it.
+  void kruskal_base(std::vector<EdgePriority>& edges) {
+    std::sort(edges.begin(), edges.end());
+    for (const EdgePriority p : edges) {
+      const WeightedEdge& we = g.edge(priority_edge(p));
+      if (uf.unite(we.u, we.v)) {
+        chosen.push_back(priority_edge(p));
+        --components;
+        if (components == 1) return;
+      }
+    }
+  }
+
+  /// Removes edges whose endpoints are already connected.  find-only
+  /// concurrent traffic on the lock-free UF; unions are quiesced here.
+  void filter(std::vector<EdgePriority>& edges) {
+    std::vector<EdgePriority> kept;
+    parallel_filter(
+        pool, edges.size(), kept,
+        [&](std::size_t i) {
+          const WeightedEdge& we = g.edge(priority_edge(edges[i]));
+          return uf.find(we.u) != uf.find(we.v);
+        },
+        [&](std::size_t i) { return edges[i]; });
+    edges.swap(kept);
+  }
+
+  void solve(std::vector<EdgePriority>& edges) {
+    constexpr std::size_t kBaseThreshold = 2048;
+    if (components <= 1 || edges.empty()) return;
+    if (edges.size() <= kBaseThreshold) {
+      kruskal_base(edges);
+      return;
+    }
+
+    // Median-of-three random pivot on the packed priority.
+    const auto sample = [&] {
+      return edges[rng.next_below(edges.size())];
+    };
+    EdgePriority a = sample(), b = sample(), c = sample();
+    if (a > b) std::swap(a, b);
+    if (b > c) std::swap(b, c);
+    if (a > b) std::swap(a, b);
+    const EdgePriority pivot = b;
+
+    std::vector<EdgePriority> light, heavy;
+    light.reserve(edges.size() / 2);
+    heavy.reserve(edges.size() / 2);
+    for (const EdgePriority p : edges) {
+      (p <= pivot ? light : heavy).push_back(p);
+    }
+    if (heavy.empty()) {
+      // Degenerate pivot (the maximum priority): no split happened.  Fall
+      // back to plain Kruskal on the slice rather than recursing in place.
+      kruskal_base(light);
+      return;
+    }
+    edges.clear();
+    edges.shrink_to_fit();
+
+    solve(light);
+    if (components > 1 && !heavy.empty()) {
+      filter(heavy);
+      solve(heavy);
+    }
+  }
+};
+
+}  // namespace
+
+MstResult filter_kruskal(const CsrGraph& g, ThreadPool& pool) {
+  FilterKruskalState state(g, pool);
+  std::vector<EdgePriority> edges(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) edges[e] = g.edge_priority(e);
+  state.solve(edges);
+
+  MstResult r;
+  r.edges = std::move(state.chosen);
+  finalize_result(g, r);
+  return r;
+}
+
+}  // namespace llpmst

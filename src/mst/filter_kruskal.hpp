@@ -1,0 +1,21 @@
+// Filter-Kruskal (Osipov, Sanders, Singler 2009): quicksort-style recursion
+// on the edge set — pick a pivot, recurse on the light half, then *filter*
+// the heavy half through the union-find (edges inside one component can
+// never be tree edges) before recursing on it.  Avoids sorting most of the
+// heavy edges entirely.
+//
+// Included as an additional modern baseline: it shares Kruskal's sequential
+// union-find spine but does asymptotically less sorting, which positions it
+// between Kruskal and the Prim family on dense graphs.  The filter step runs
+// on the thread pool (find-only traffic on a lock-free union-find is safe to
+// parallelize; unions happen only in the quiesced base case).
+#pragma once
+
+#include "mst/mst_result.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace llpmst {
+
+[[nodiscard]] MstResult filter_kruskal(const CsrGraph& g, ThreadPool& pool);
+
+}  // namespace llpmst

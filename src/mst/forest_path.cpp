@@ -1,0 +1,89 @@
+#include "mst/forest_path.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/assert.hpp"
+
+namespace llpmst {
+
+ForestPathIndex::ForestPathIndex(const CsrGraph& g,
+                                 const std::vector<EdgeId>& tree_edges) {
+  std::vector<WeightedEdge> edges;
+  std::vector<EdgePriority> prios;
+  edges.reserve(tree_edges.size());
+  prios.reserve(tree_edges.size());
+  for (const EdgeId e : tree_edges) {
+    edges.push_back(g.edge(e));
+    prios.push_back(g.edge_priority(e));
+  }
+  build(g.num_vertices(), edges, prios);
+}
+
+ForestPathIndex::ForestPathIndex(std::size_t num_vertices,
+                                 const std::vector<WeightedEdge>& edges,
+                                 const std::vector<EdgePriority>& priorities) {
+  build(num_vertices, edges, priorities);
+}
+
+void ForestPathIndex::build(std::size_t n,
+                            const std::vector<WeightedEdge>& edges,
+                            const std::vector<EdgePriority>& priorities) {
+  LLPMST_CHECK(edges.size() == priorities.size());
+
+  // CSR over the forest edges.
+  std::vector<std::size_t> off(n + 1, 0);
+  for (const WeightedEdge& e : edges) {
+    ++off[e.u + 1];
+    ++off[e.v + 1];
+  }
+  for (std::size_t v = 0; v < n; ++v) off[v + 1] += off[v];
+  std::vector<std::pair<VertexId, EdgePriority>> adj(off[n]);
+  {
+    std::vector<std::size_t> cur(off.begin(), off.end() - 1);
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      const WeightedEdge& e = edges[i];
+      adj[cur[e.u]++] = {e.v, priorities[i]};
+      adj[cur[e.v]++] = {e.u, priorities[i]};
+    }
+  }
+
+  parent_.assign(n, kInvalidVertex);
+  parent_prio_.assign(n, kInfinitePriority);
+  depth_.assign(n, 0);
+  root_.assign(n, kInvalidVertex);
+
+  std::vector<VertexId> stack;
+  for (VertexId r = 0; r < n; ++r) {
+    if (parent_[r] != kInvalidVertex) continue;
+    parent_[r] = r;
+    root_[r] = r;
+    stack.assign(1, r);
+    while (!stack.empty()) {
+      const VertexId u = stack.back();
+      stack.pop_back();
+      for (std::size_t i = off[u]; i < off[u + 1]; ++i) {
+        const auto [v, p] = adj[i];
+        if (parent_[v] != kInvalidVertex) continue;
+        parent_[v] = u;
+        parent_prio_[v] = p;
+        depth_[v] = depth_[u] + 1;
+        root_[v] = r;
+        stack.push_back(v);
+      }
+    }
+  }
+}
+
+EdgePriority ForestPathIndex::max_on_path(VertexId u, VertexId v) const {
+  LLPMST_ASSERT(connected(u, v));
+  EdgePriority best = 0;
+  while (u != v) {
+    if (depth_[u] < depth_[v]) std::swap(u, v);
+    best = std::max(best, parent_prio_[u]);
+    u = parent_[u];
+  }
+  return best;
+}
+
+}  // namespace llpmst

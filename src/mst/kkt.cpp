@@ -1,0 +1,202 @@
+#include "mst/kkt.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "ds/union_find.hpp"
+#include "mst/forest_path.hpp"
+#include "support/assert.hpp"
+#include "support/random.hpp"
+
+namespace llpmst {
+
+namespace {
+
+/// Edge in the current contracted space; prio packs (weight, ORIGINAL id).
+struct KktEdge {
+  VertexId u;
+  VertexId v;
+  EdgePriority prio;
+};
+
+/// Scratch shared across the recursion: n-sized arrays with a version stamp
+/// so collecting the active vertices of a small edge set costs O(m), not
+/// O(n).
+struct KktContext {
+  explicit KktContext(std::size_t n, std::uint64_t seed)
+      : stamp(n, 0), best(n), best_idx(n), parent(n), rng(seed) {}
+
+  std::vector<std::uint32_t> stamp;
+  std::uint32_t version = 0;
+  std::vector<EdgePriority> best;
+  std::vector<std::size_t> best_idx;
+  std::vector<VertexId> parent;
+  std::vector<VertexId> actives;
+  Xoshiro256 rng;
+
+  /// Marks v active in the current round, initializing its slots once.
+  void touch(VertexId v) {
+    if (stamp[v] != version) {
+      stamp[v] = version;
+      best[v] = kInfinitePriority;
+      parent[v] = v;
+      actives.push_back(v);
+    }
+  }
+};
+
+/// One sequential Boruvka contraction step: appends the chosen MSF edges to
+/// `msf`, rewrites `edges` to the contracted multigraph.
+void boruvka_step(KktContext& ctx, std::vector<KktEdge>& edges,
+                  std::vector<KktEdge>& msf) {
+  ++ctx.version;
+  ctx.actives.clear();
+
+  // MWE selection per active vertex.
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const KktEdge& e = edges[i];
+    ctx.touch(e.u);
+    ctx.touch(e.v);
+    if (e.prio < ctx.best[e.u]) {
+      ctx.best[e.u] = e.prio;
+      ctx.best_idx[e.u] = i;
+    }
+    if (e.prio < ctx.best[e.v]) {
+      ctx.best[e.v] = e.prio;
+      ctx.best_idx[e.v] = i;
+    }
+  }
+
+  // Hook with id symmetry breaking; emit each chosen edge once (by the
+  // hooking side).
+  for (const VertexId v : ctx.actives) {
+    if (ctx.best[v] == kInfinitePriority) continue;
+    const KktEdge& e = edges[ctx.best_idx[v]];
+    const VertexId w = (e.u == v) ? e.v : e.u;
+    const bool mutual = ctx.best[w] == e.prio;
+    if (mutual && v < w) continue;  // v stays root; w will hook and emit
+    ctx.parent[v] = w;
+    msf.push_back(e);
+  }
+
+  // Collapse hook trees to stars (sequential pointer chase).
+  for (const VertexId v : ctx.actives) {
+    VertexId r = v;
+    while (ctx.parent[r] != r) r = ctx.parent[r];
+    // Path-compress the chain for later lookups.
+    VertexId c = v;
+    while (ctx.parent[c] != r) {
+      const VertexId next = ctx.parent[c];
+      ctx.parent[c] = r;
+      c = next;
+    }
+  }
+
+  // Contract: remap endpoints, drop self loops.
+  std::size_t out = 0;
+  for (const KktEdge& e : edges) {
+    const VertexId nu = ctx.parent[e.u];
+    const VertexId nv = ctx.parent[e.v];
+    if (nu != nv) edges[out++] = {nu, nv, e.prio};
+  }
+  edges.resize(out);
+}
+
+/// Base case: Kruskal over a dense relabeling of the active endpoints.
+void kruskal_base(std::vector<KktEdge>& edges, std::vector<KktEdge>& msf) {
+  if (edges.empty()) return;
+  std::sort(edges.begin(), edges.end(),
+            [](const KktEdge& a, const KktEdge& b) { return a.prio < b.prio; });
+  // Dense ids via a local map (edge sets here are small by construction).
+  std::vector<VertexId> ids;
+  ids.reserve(2 * edges.size());
+  for (const KktEdge& e : edges) {
+    ids.push_back(e.u);
+    ids.push_back(e.v);
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  const auto dense = [&](VertexId v) {
+    return static_cast<std::uint32_t>(
+        std::lower_bound(ids.begin(), ids.end(), v) - ids.begin());
+  };
+  UnionFind uf(ids.size());
+  for (const KktEdge& e : edges) {
+    if (uf.unite(dense(e.u), dense(e.v))) msf.push_back(e);
+  }
+}
+
+/// Returns the MSF (as KktEdges) of `edges`; consumes `edges`.
+void kkt_recurse(KktContext& ctx, std::vector<KktEdge>& edges,
+                 std::vector<KktEdge>& msf) {
+  constexpr std::size_t kBaseThreshold = 256;
+
+  // Step 1: two Boruvka contractions (at least quarters the vertex count).
+  for (int step = 0; step < 2; ++step) {
+    if (edges.empty()) return;
+    boruvka_step(ctx, edges, msf);
+  }
+  if (edges.empty()) return;
+  if (edges.size() <= kBaseThreshold) {
+    kruskal_base(edges, msf);
+    return;
+  }
+
+  // Step 2: sample half the edges.
+  std::vector<KktEdge> sample;
+  sample.reserve(edges.size() / 2 + 8);
+  for (const KktEdge& e : edges) {
+    if (ctx.rng.next_bool(0.5)) sample.push_back(e);
+  }
+
+  // Step 3: F = MSF(sample).
+  std::vector<KktEdge> forest;
+  kkt_recurse(ctx, sample, forest);
+
+  // Step 4: keep only F-light edges.  (Forest endpoints live in the current
+  // contracted space, which is a subset of [0, n); the index is built over
+  // the full id range — O(n) per level, same as the Boruvka scans.)
+  {
+    std::vector<WeightedEdge> fe;
+    std::vector<EdgePriority> fp;
+    fe.reserve(forest.size());
+    fp.reserve(forest.size());
+    for (const KktEdge& e : forest) {
+      fe.push_back({e.u, e.v, priority_weight(e.prio)});
+      fp.push_back(e.prio);
+    }
+    const ForestPathIndex index(ctx.parent.size(), fe, fp);
+    std::size_t out = 0;
+    for (const KktEdge& e : edges) {
+      if (index.is_light(e.u, e.v, e.prio)) edges[out++] = e;
+    }
+    edges.resize(out);
+  }
+
+  // Step 5: recurse on the survivors.
+  kkt_recurse(ctx, edges, msf);
+}
+
+}  // namespace
+
+MstResult kkt_msf(const CsrGraph& g, std::uint64_t seed) {
+  const std::size_t m = g.num_edges();
+  std::vector<KktEdge> edges;
+  edges.reserve(m);
+  for (EdgeId e = 0; e < m; ++e) {
+    const WeightedEdge& we = g.edge(e);
+    edges.push_back({we.u, we.v, make_priority(we.w, e)});
+  }
+
+  KktContext ctx(g.num_vertices(), seed);
+  std::vector<KktEdge> msf;
+  kkt_recurse(ctx, edges, msf);
+
+  MstResult r;
+  r.edges.reserve(msf.size());
+  for (const KktEdge& e : msf) r.edges.push_back(priority_edge(e.prio));
+  finalize_result(g, r);
+  return r;
+}
+
+}  // namespace llpmst

@@ -1,0 +1,27 @@
+// KKT randomized minimum spanning forest (Karger, Klein, Tarjan 1995 — the
+// paper's reference [4], whose parallel descendant [6] the paper names as
+// future-work comparison).  Expected linear time:
+//
+//   1. two Boruvka contraction steps (every chosen edge is an MSF edge);
+//   2. sample each remaining edge with probability 1/2;
+//   3. F := MSF(sample), recursively;
+//   4. discard every F-heavy edge (heavier than the max edge on its F-path
+//      — such edges can never be MSF edges, by the cycle property);
+//   5. recurse on the surviving edges.
+//
+// This implementation is the sequential algorithm with the simple
+// ancestor-walk F-light filter (ForestPathIndex) instead of a Komlós-style
+// O(1)-query verifier; DESIGN.md records that tradeoff.  Randomness is
+// seeded, so results are reproducible — and, of course, the output is the
+// same unique priority-ordered MSF every other algorithm returns.
+#pragma once
+
+#include <cstdint>
+
+#include "mst/mst_result.hpp"
+
+namespace llpmst {
+
+[[nodiscard]] MstResult kkt_msf(const CsrGraph& g, std::uint64_t seed = 1);
+
+}  // namespace llpmst

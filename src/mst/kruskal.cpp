@@ -1,0 +1,35 @@
+#include "mst/kruskal.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "ds/union_find.hpp"
+
+namespace llpmst {
+
+MstResult kruskal(const CsrGraph& g) {
+  const std::size_t n = g.num_vertices();
+  const std::size_t m = g.num_edges();
+
+  // Sort edge ids by packed priority == (weight, id) lexicographic.
+  std::vector<EdgeId> order(m);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
+    return g.edge_priority(a) < g.edge_priority(b);
+  });
+
+  MstResult r;
+  r.edges.reserve(n > 0 ? n - 1 : 0);
+  UnionFind uf(n);
+  for (const EdgeId e : order) {
+    const WeightedEdge& we = g.edge(e);
+    if (uf.unite(we.u, we.v)) {
+      r.edges.push_back(e);
+      if (r.edges.size() + 1 == n) break;  // spanning tree complete
+    }
+  }
+  finalize_result(g, r);
+  return r;
+}
+
+}  // namespace llpmst

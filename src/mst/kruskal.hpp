@@ -1,0 +1,13 @@
+// Kruskal's algorithm: globally sort edges by priority, add each edge that
+// joins two different union-find components.  Handles forests naturally.
+// Serves as the oracle implementation in tests (simplest to audit) and as a
+// sequential baseline.
+#pragma once
+
+#include "mst/mst_result.hpp"
+
+namespace llpmst {
+
+[[nodiscard]] MstResult kruskal(const CsrGraph& g);
+
+}  // namespace llpmst

@@ -1,0 +1,35 @@
+#include "mst/kruskal_parallel.hpp"
+
+#include <numeric>
+
+#include "ds/union_find.hpp"
+#include "parallel/sort.hpp"
+
+namespace llpmst {
+
+MstResult kruskal_parallel(const CsrGraph& g, ThreadPool& pool) {
+  const std::size_t n = g.num_vertices();
+  const std::size_t m = g.num_edges();
+
+  // Sorting packed priorities sorts by (weight, id); the id IS the low half,
+  // so no separate index array is needed.
+  std::vector<EdgePriority> order(m);
+  for (EdgeId e = 0; e < m; ++e) order[e] = g.edge_priority(e);
+  parallel_sort(pool, order);
+
+  MstResult r;
+  r.edges.reserve(n > 0 ? n - 1 : 0);
+  UnionFind uf(n);
+  for (const EdgePriority p : order) {
+    const EdgeId e = priority_edge(p);
+    const WeightedEdge& we = g.edge(e);
+    if (uf.unite(we.u, we.v)) {
+      r.edges.push_back(e);
+      if (r.edges.size() + 1 == n) break;
+    }
+  }
+  finalize_result(g, r);
+  return r;
+}
+
+}  // namespace llpmst

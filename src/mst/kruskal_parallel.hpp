@@ -1,0 +1,14 @@
+// Parallel Kruskal: the edge sort (the dominant cost) runs on the thread
+// pool; the union-find scan stays sequential (it is inherently ordered).
+// A useful additional baseline: it shows how far "parallelize the easy
+// 90%" gets compared to the restructured LLP algorithms.
+#pragma once
+
+#include "mst/mst_result.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace llpmst {
+
+[[nodiscard]] MstResult kruskal_parallel(const CsrGraph& g, ThreadPool& pool);
+
+}  // namespace llpmst

@@ -1,0 +1,21 @@
+#include "mst/mst_result.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace llpmst {
+
+void finalize_result(const CsrGraph& g, MstResult& r) {
+  std::sort(r.edges.begin(), r.edges.end());
+  LLPMST_ASSERT(std::adjacent_find(r.edges.begin(), r.edges.end()) ==
+                r.edges.end());
+  r.total_weight = 0;
+  for (const EdgeId e : r.edges) {
+    LLPMST_ASSERT(e < g.num_edges());
+    r.total_weight += g.edge(e).w;
+  }
+  r.num_trees = g.num_vertices() - r.edges.size();
+}
+
+}  // namespace llpmst

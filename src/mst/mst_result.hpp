@@ -1,0 +1,44 @@
+// Common result type for every MST/MSF algorithm in the library.
+//
+// Because all algorithms order edges by the packed priority (weight, id),
+// the minimum spanning forest is unique; each algorithm reports its chosen
+// undirected edge ids, canonicalized to ascending order, so results are
+// directly comparable with operator== in tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ds/binary_heap.hpp"  // HeapStats
+#include "graph/csr_graph.hpp"
+#include "graph/types.hpp"
+
+namespace llpmst {
+
+/// Instrumentation every algorithm fills in as applicable; the ablation
+/// benchmarks report these (Fig. 2's "why is LLP-Prim faster" analysis).
+struct MstAlgoStats {
+  HeapStats heap;                     // heap traffic (Prim family)
+  std::uint64_t fixed_via_heap = 0;   // vertices fixed by a heap pop
+  std::uint64_t fixed_via_mwe = 0;    // vertices fixed through the R set
+  std::uint64_t staged_in_q = 0;      // deferred heap inserts (LLP-Prim Q)
+  std::uint64_t edges_relaxed = 0;    // arc relaxations performed
+  std::uint64_t rounds = 0;           // Boruvka rounds / LLP iterations
+  std::uint64_t pointer_jumps = 0;    // advance() steps in pointer jumping
+};
+
+struct MstResult {
+  /// Chosen undirected edge ids, sorted ascending.
+  std::vector<EdgeId> edges;
+  /// Sum of weights of the chosen edges.
+  TotalWeight total_weight = 0;
+  /// Number of trees in the forest (n - |edges| for a valid MSF).
+  std::size_t num_trees = 0;
+  MstAlgoStats stats;
+};
+
+/// Sorts edge ids, sums weights, and derives num_trees.  Every algorithm
+/// calls this once at the end.
+void finalize_result(const CsrGraph& g, MstResult& r);
+
+}  // namespace llpmst

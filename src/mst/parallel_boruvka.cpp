@@ -1,0 +1,14 @@
+#include "mst/parallel_boruvka.hpp"
+
+#include "mst/boruvka_engine.hpp"
+
+namespace llpmst {
+
+MstResult parallel_boruvka(const CsrGraph& g, ThreadPool& pool) {
+  BoruvkaConfig config;
+  config.jumping = PointerJumping::kSynchronized;
+  config.dedup_contracted_edges = true;
+  return boruvka_engine(g, pool, config);
+}
+
+}  // namespace llpmst

@@ -1,0 +1,14 @@
+// Parallel Boruvka baseline ("Boruvka" in Figs. 3-4): the conventional
+// bulk-synchronous formulation in the style of GBBS — atomic MWE selection,
+// id-symmetry-broken hooking, *synchronized* pointer-jumping rounds, and
+// deduplicating contraction.  Handles forests (MSF).
+#pragma once
+
+#include "mst/mst_result.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace llpmst {
+
+[[nodiscard]] MstResult parallel_boruvka(const CsrGraph& g, ThreadPool& pool);
+
+}  // namespace llpmst

@@ -1,0 +1,12 @@
+#include "mst/prim.hpp"
+
+#include "ds/binary_heap.hpp"
+#include "mst/prim_heaps.hpp"
+
+namespace llpmst {
+
+MstResult prim(const CsrGraph& g, VertexId root) {
+  return prim_with_heap<BinaryHeap<EdgePriority>>(g, root);
+}
+
+}  // namespace llpmst

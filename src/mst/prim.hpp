@@ -1,0 +1,19 @@
+// Classic Prim's algorithm (the paper's Algorithm 2): grow one fragment from
+// a root, always adding the minimum-weight outgoing edge, with an indexed
+// binary heap supporting insertOrAdjust (decrease-key).
+//
+// This is the "Prim" baseline of Fig. 2.  Requires a connected graph (a
+// spanning *tree* is produced); LLPMST_CHECKs otherwise — use the forest
+// algorithms (Kruskal/Boruvka family) for disconnected inputs, as the paper
+// does.
+#pragma once
+
+#include "mst/mst_result.hpp"
+
+namespace llpmst {
+
+/// Runs Prim from `root`.  Heap type is the indexed binary heap; see
+/// prim_with_heap in prim_heaps.hpp for the heap-choice ablation.
+[[nodiscard]] MstResult prim(const CsrGraph& g, VertexId root = 0);
+
+}  // namespace llpmst

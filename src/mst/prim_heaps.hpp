@@ -1,0 +1,68 @@
+// Heap-generic Prim implementation backing both the classic baseline
+// (indexed binary heap) and the heap-choice ablation bench (d-ary, pairing,
+// lazy heaps).  The heap interface required is:
+//   push(id, key), pop() -> (id, key), empty()
+//   insert_or_adjust(id, key)  — optional; heaps without it (LazyHeap) get
+//                                duplicate insertion + stale-pop skipping,
+//                                exactly the variant the paper analyses in
+//                                Section IV.
+#pragma once
+
+#include "mst/mst_result.hpp"
+#include "support/assert.hpp"
+
+namespace llpmst {
+
+template <typename Heap>
+[[nodiscard]] MstResult prim_with_heap(const CsrGraph& g, VertexId root) {
+  const std::size_t n = g.num_vertices();
+  LLPMST_CHECK_MSG(n >= 1, "Prim requires a non-empty graph");
+  LLPMST_CHECK(root < n);
+
+  MstResult r;
+  std::vector<EdgePriority> dist(n, kInfinitePriority);
+  std::vector<EdgeId> parent_edge(n, kInvalidEdge);
+  std::vector<std::uint8_t> fixed(n, 0);
+
+  Heap heap(n);
+  dist[root] = 0;
+  heap.push(root, EdgePriority{0});
+
+  std::size_t num_fixed = 0;
+  while (!heap.empty()) {
+    const auto [j, key] = heap.pop();
+    if (fixed[j]) continue;  // stale entry (lazy heaps only)
+    (void)key;
+    fixed[j] = 1;
+    ++num_fixed;
+    ++r.stats.fixed_via_heap;
+    if (j != root) r.edges.push_back(parent_edge[j]);
+
+    const auto nbrs = g.neighbors(j);
+    const auto prios = g.arc_priorities(j);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const VertexId k = nbrs[i];
+      if (fixed[k]) continue;
+      ++r.stats.edges_relaxed;
+      const EdgePriority p = prios[i];
+      if (p < dist[k]) {
+        dist[k] = p;
+        parent_edge[k] = priority_edge(p);
+        if constexpr (requires(Heap& h) { h.insert_or_adjust(k, p); }) {
+          heap.insert_or_adjust(k, p);
+        } else {
+          heap.push(k, p);  // lazy: duplicates allowed, stale pops skipped
+        }
+      }
+    }
+  }
+
+  LLPMST_CHECK_MSG(num_fixed == n,
+                   "Prim requires a connected graph; use a forest algorithm "
+                   "(Kruskal / Boruvka family) for disconnected inputs");
+  r.stats.heap = heap.stats();
+  finalize_result(g, r);
+  return r;
+}
+
+}  // namespace llpmst

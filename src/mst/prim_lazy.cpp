@@ -1,0 +1,12 @@
+#include "mst/prim_lazy.hpp"
+
+#include "ds/lazy_heap.hpp"
+#include "mst/prim_heaps.hpp"
+
+namespace llpmst {
+
+MstResult prim_lazy(const CsrGraph& g, VertexId root) {
+  return prim_with_heap<LazyHeap<EdgePriority>>(g, root);
+}
+
+}  // namespace llpmst

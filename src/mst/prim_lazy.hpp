@@ -1,0 +1,12 @@
+// Lazy-heap Prim: the variant the paper's Section IV complexity analysis
+// describes ("instead of adjusting the key ... simply insert the vertex in
+// the heap"; stale pops are skipped).  O(m) heap entries, O(m log m) time.
+#pragma once
+
+#include "mst/mst_result.hpp"
+
+namespace llpmst {
+
+[[nodiscard]] MstResult prim_lazy(const CsrGraph& g, VertexId root = 0);
+
+}  // namespace llpmst

@@ -1,0 +1,73 @@
+#include "mst/verifier.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "ds/union_find.hpp"
+#include "graph/algorithms/connected_components.hpp"
+#include "mst/forest_path.hpp"
+
+namespace llpmst {
+
+VerifyResult verify_spanning_forest(const CsrGraph& g, const MstResult& r) {
+  const std::size_t n = g.num_vertices();
+  const std::size_t m = g.num_edges();
+
+  // Edge ids valid and distinct (result edges are sorted by contract).
+  for (std::size_t i = 0; i < r.edges.size(); ++i) {
+    if (r.edges[i] >= m) return {false, "edge id out of range"};
+    if (i > 0 && r.edges[i] <= r.edges[i - 1]) {
+      return {false, "edge ids not strictly ascending (duplicate?)"};
+    }
+  }
+
+  // Acyclic: each edge must join two different UF components.
+  UnionFind uf(n);
+  TotalWeight weight = 0;
+  for (EdgeId e : r.edges) {
+    const WeightedEdge& we = g.edge(e);
+    if (!uf.unite(we.u, we.v)) return {false, "chosen edges contain a cycle"};
+    weight += we.w;
+  }
+  if (weight != r.total_weight) {
+    return {false, "total_weight does not match the edge set"};
+  }
+
+  // Spanning: same number of components as the input graph, and every input
+  // edge must stay within one forest component.
+  for (const WeightedEdge& we : g.edges()) {
+    if (uf.find(we.u) != uf.find(we.v)) {
+      return {false, "forest does not span a connected component"};
+    }
+  }
+  if (r.num_trees != uf.num_sets()) {
+    return {false, "num_trees does not match the component count"};
+  }
+  return {true, {}};
+}
+
+VerifyResult verify_msf(const CsrGraph& g, const MstResult& r) {
+  VerifyResult shape = verify_spanning_forest(g, r);
+  if (!shape.ok) return shape;
+
+  // Cycle property: every non-tree edge must be the heaviest edge on the
+  // cycle it closes.  With unique priorities this certifies minimality.
+  std::vector<bool> in_tree(g.num_edges(), false);
+  for (EdgeId e : r.edges) in_tree[e] = true;
+
+  const ForestPathIndex f(g, r.edges);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (in_tree[e]) continue;
+    const WeightedEdge& we = g.edge(e);
+    const EdgePriority p = make_priority(we.w, e);
+    const EdgePriority path_max = f.max_on_path(we.u, we.v);
+    if (!(path_max < p)) {
+      return {false, "cycle property violated: non-tree edge " +
+                         std::to_string(e) + " is lighter than a tree edge "
+                         "on its cycle"};
+    }
+  }
+  return {true, {}};
+}
+
+}  // namespace llpmst

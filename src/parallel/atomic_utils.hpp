@@ -1,0 +1,74 @@
+// Atomic helpers for the lock-free pieces of the MST algorithms.
+//
+// The central primitive is `atomic_fetch_min`: a CAS loop that lowers an
+// atomic to the minimum of its value and a candidate.  Combined with packed
+// 64-bit edge priorities (see graph/types.hpp) this implements GBBS-style
+// "write the minimum-weight edge into both endpoints" with a single word per
+// vertex and no locks.
+//
+// Memory ordering: the MST rounds are bulk-synchronous — a parallel region
+// writes, the team join publishes, the next region reads.  The fences in the
+// thread pool's join provide the happens-before edge, so the per-operation
+// ordering here can be relaxed; we use acq_rel on the CAS only where a value
+// is consumed inside the same region (documented at each call site).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <type_traits>
+
+namespace llpmst {
+
+/// Lowers `target` to min(target, value).  Returns true iff this call
+/// strictly lowered the stored value.
+template <typename T>
+bool atomic_fetch_min(std::atomic<T>& target, T value,
+                      std::memory_order order = std::memory_order_relaxed) {
+  static_assert(std::is_integral_v<T>);
+  T cur = target.load(std::memory_order_relaxed);
+  while (value < cur) {
+    if (target.compare_exchange_weak(cur, value, order,
+                                     std::memory_order_relaxed)) {
+      return true;
+    }
+    // cur was reloaded by the failed CAS; loop re-tests value < cur.
+  }
+  return false;
+}
+
+/// Raises `target` to max(target, value).  Returns true iff raised.
+template <typename T>
+bool atomic_fetch_max(std::atomic<T>& target, T value,
+                      std::memory_order order = std::memory_order_relaxed) {
+  static_assert(std::is_integral_v<T>);
+  T cur = target.load(std::memory_order_relaxed);
+  while (value > cur) {
+    if (target.compare_exchange_weak(cur, value, order,
+                                     std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// One-shot claim of a boolean flag (e.g. "this vertex is now fixed").
+/// Returns true iff this call flipped the flag from false to true.
+inline bool atomic_claim(std::atomic<bool>& flag) {
+  bool expected = false;
+  return !flag.load(std::memory_order_relaxed) &&
+         flag.compare_exchange_strong(expected, true,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_relaxed);
+}
+
+/// Claim on a byte flag stored in a vector<std::atomic<uint8_t>> (vector of
+/// atomic<bool> is not guaranteed lock-free everywhere; uint8_t is).
+inline bool atomic_claim(std::atomic<std::uint8_t>& flag) {
+  std::uint8_t expected = 0;
+  return flag.load(std::memory_order_relaxed) == 0 &&
+         flag.compare_exchange_strong(expected, 1,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_relaxed);
+}
+
+}  // namespace llpmst

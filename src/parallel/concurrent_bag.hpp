@@ -1,0 +1,69 @@
+// ConcurrentBag: the unordered "R set" of LLP-Prim (Algorithm 5).
+//
+// Semantics the algorithm needs:
+//   * many workers push items concurrently (vertices fixed via MWE),
+//   * items are consumed in *no particular order* — that is the whole point
+//     of LLP-Prim: vertices in R need not be processed in cost order,
+//   * the bag alternates between a parallel drain phase and a sequential
+//     refill-from-heap phase, so a swap-based "frontier" interface fits.
+//
+// Implementation: one cache-line-padded vector per worker.  push() appends to
+// the calling worker's vector with no synchronization; swap_out() (called at
+// a team barrier) moves all items into a single frontier vector.  This is the
+// GBBS/PBBS per-worker-buffer idiom — zero contention on the hot path.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "support/assert.hpp"
+
+namespace llpmst {
+
+template <typename T>
+class ConcurrentBag {
+ public:
+  explicit ConcurrentBag(std::size_t num_workers) : buffers_(num_workers) {}
+
+  /// Appends item to worker `w`'s buffer.  Safe to call concurrently from
+  /// distinct workers; two calls with the same `w` must not race.
+  void push(std::size_t w, const T& item) {
+    LLPMST_ASSERT(w < buffers_.size());
+    buffers_[w].local.push_back(item);
+  }
+
+  /// Moves the contents of every worker buffer into `out` (appended), leaving
+  /// the bag empty.  Must be called outside any parallel region.
+  void drain_into(std::vector<T>& out) {
+    for (auto& buf : buffers_) {
+      out.insert(out.end(), buf.local.begin(), buf.local.end());
+      buf.local.clear();
+    }
+  }
+
+  /// True iff every worker buffer is empty.  Call outside parallel regions.
+  [[nodiscard]] bool empty() const {
+    for (const auto& buf : buffers_) {
+      if (!buf.local.empty()) return false;
+    }
+    return true;
+  }
+
+  /// Total buffered items.  Call outside parallel regions.
+  [[nodiscard]] std::size_t size() const {
+    std::size_t n = 0;
+    for (const auto& buf : buffers_) n += buf.local.size();
+    return n;
+  }
+
+  [[nodiscard]] std::size_t num_workers() const { return buffers_.size(); }
+
+ private:
+  struct alignas(64) PaddedVec {
+    std::vector<T> local;
+  };
+  std::vector<PaddedVec> buffers_;
+};
+
+}  // namespace llpmst

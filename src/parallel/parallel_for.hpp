@@ -1,0 +1,110 @@
+// Data-parallel loop primitives over a ThreadPool.
+//
+//   parallel_for(pool, 0, n, [&](std::size_t i) { ... });          // dynamic
+//   parallel_for_static(pool, 0, n, [&](std::size_t i) { ... });   // static
+//   parallel_blocks(pool, 0, n, [&](size_t lo, size_t hi, size_t w) {...});
+//
+// The dynamic variant hands out fixed-size chunks from a shared atomic
+// counter — good for irregular per-element cost (graph loops whose cost is a
+// vertex's degree).  The static variant pre-splits the range evenly — good
+// for uniform cost, no atomic traffic.  parallel_blocks exposes the chunk
+// bounds and worker id so callers can keep per-thread accumulators.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+#include "parallel/thread_pool.hpp"
+
+namespace llpmst {
+
+namespace detail {
+/// Chunk size for dynamic scheduling: big enough to amortize the atomic,
+/// small enough to balance skewed work.
+inline constexpr std::size_t kDynamicChunk = 1024;
+}  // namespace detail
+
+/// Dynamic (chunk-stealing) parallel for over [begin, end).
+template <typename Body>
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  Body&& body,
+                  std::size_t chunk = detail::kDynamicChunk) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  if (pool.num_threads() == 1 || n <= chunk) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  std::atomic<std::size_t> next{begin};
+  pool.run_team([&](std::size_t) {
+    for (;;) {
+      const std::size_t lo = next.fetch_add(chunk, std::memory_order_relaxed);
+      if (lo >= end) break;
+      const std::size_t hi = lo + chunk < end ? lo + chunk : end;
+      for (std::size_t i = lo; i < hi; ++i) body(i);
+    }
+  });
+}
+
+/// Static (even pre-split) parallel for over [begin, end).
+template <typename Body>
+void parallel_for_static(ThreadPool& pool, std::size_t begin, std::size_t end,
+                         Body&& body) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t t = pool.num_threads();
+  if (t == 1 || n < 2 * t) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  pool.run_team([&](std::size_t w) {
+    const std::size_t lo = begin + n * w / t;
+    const std::size_t hi = begin + n * (w + 1) / t;
+    for (std::size_t i = lo; i < hi; ++i) body(i);
+  });
+}
+
+/// Dynamic parallel for whose body also receives the worker id — for loops
+/// that feed per-worker buffers (ConcurrentBag) while still load-balancing
+/// skewed per-element work (e.g. high-degree frontier vertices).
+template <typename Body>
+void parallel_for_worker(ThreadPool& pool, std::size_t begin, std::size_t end,
+                         Body&& body,
+                         std::size_t chunk = detail::kDynamicChunk) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  if (pool.num_threads() == 1 || n <= chunk) {
+    for (std::size_t i = begin; i < end; ++i) body(i, std::size_t{0});
+    return;
+  }
+  std::atomic<std::size_t> next{begin};
+  pool.run_team([&](std::size_t w) {
+    for (;;) {
+      const std::size_t lo = next.fetch_add(chunk, std::memory_order_relaxed);
+      if (lo >= end) break;
+      const std::size_t hi = lo + chunk < end ? lo + chunk : end;
+      for (std::size_t i = lo; i < hi; ++i) body(i, w);
+    }
+  });
+}
+
+/// Runs body(lo, hi, worker_id) on per-worker contiguous blocks covering
+/// [begin, end).  Workers with an empty block still get called with lo==hi so
+/// per-worker state can be initialized unconditionally.
+template <typename BlockBody>
+void parallel_blocks(ThreadPool& pool, std::size_t begin, std::size_t end,
+                     BlockBody&& body) {
+  const std::size_t n = end >= begin ? end - begin : 0;
+  const std::size_t t = pool.num_threads();
+  if (t == 1) {
+    body(begin, end >= begin ? end : begin, std::size_t{0});
+    return;
+  }
+  pool.run_team([&](std::size_t w) {
+    const std::size_t lo = begin + n * w / t;
+    const std::size_t hi = begin + n * (w + 1) / t;
+    body(lo, hi, w);
+  });
+}
+
+}  // namespace llpmst

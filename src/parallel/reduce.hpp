@@ -1,0 +1,61 @@
+// Parallel reductions over a ThreadPool.
+//
+//   auto total = parallel_reduce(pool, 0, n, 0.0,
+//       [&](std::size_t i) { return cost[i]; },       // map
+//       [](double a, double b) { return a + b; });    // combine
+//
+// Per-worker partials are combined on the calling thread in worker order, so
+// results are deterministic for a fixed thread count (and exactly equal to
+// the sequential result for associative+commutative integer ops).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace llpmst {
+
+template <typename T, typename Map, typename Combine>
+[[nodiscard]] T parallel_reduce(ThreadPool& pool, std::size_t begin,
+                                std::size_t end, T identity, Map&& map,
+                                Combine&& combine) {
+  if (begin >= end) return identity;
+  const std::size_t n = end - begin;
+  const std::size_t t = pool.num_threads();
+  if (t == 1 || n < 4 * t) {
+    T acc = identity;
+    for (std::size_t i = begin; i < end; ++i) acc = combine(acc, map(i));
+    return acc;
+  }
+  std::vector<T> partial(t, identity);
+  pool.run_team([&](std::size_t w) {
+    const std::size_t lo = begin + n * w / t;
+    const std::size_t hi = begin + n * (w + 1) / t;
+    T acc = identity;
+    for (std::size_t i = lo; i < hi; ++i) acc = combine(acc, map(i));
+    partial[w] = acc;
+  });
+  T acc = identity;
+  for (const T& p : partial) acc = combine(acc, p);
+  return acc;
+}
+
+/// Convenience: parallel sum of map(i) over [begin, end).
+template <typename T, typename Map>
+[[nodiscard]] T parallel_sum(ThreadPool& pool, std::size_t begin,
+                             std::size_t end, T identity, Map&& map) {
+  return parallel_reduce(pool, begin, end, identity, map,
+                         [](T a, T b) { return a + b; });
+}
+
+/// Parallel count of indices satisfying pred.
+template <typename Pred>
+[[nodiscard]] std::size_t parallel_count(ThreadPool& pool, std::size_t begin,
+                                         std::size_t end, Pred&& pred) {
+  return parallel_sum(pool, begin, end, std::size_t{0}, [&](std::size_t i) {
+    return pred(i) ? std::size_t{1} : std::size_t{0};
+  });
+}
+
+}  // namespace llpmst

@@ -1,0 +1,107 @@
+// Parallel prefix sum (scan), the workhorse of parallel graph construction
+// and contraction: CSR row offsets, stream compaction (filter), and stable
+// relabeling all reduce to exclusive scans.
+//
+// Two-pass blocked algorithm: each worker sums its block, the caller scans
+// the per-block totals sequentially (t elements), then each worker writes its
+// block's exclusive prefixes.  Work O(n), depth O(n/t + t).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace llpmst {
+
+/// In-place exclusive scan of data[0..n); returns the grand total.
+template <typename T>
+T exclusive_scan_inplace(ThreadPool& pool, std::vector<T>& data) {
+  const std::size_t n = data.size();
+  const std::size_t t = pool.num_threads();
+  if (t == 1 || n < 4 * t) {
+    T acc{};
+    for (std::size_t i = 0; i < n; ++i) {
+      T v = data[i];
+      data[i] = acc;
+      acc += v;
+    }
+    return acc;
+  }
+
+  std::vector<T> block_total(t, T{});
+  pool.run_team([&](std::size_t w) {
+    const std::size_t lo = n * w / t;
+    const std::size_t hi = n * (w + 1) / t;
+    T acc{};
+    for (std::size_t i = lo; i < hi; ++i) acc += data[i];
+    block_total[w] = acc;
+  });
+
+  T grand{};
+  for (std::size_t w = 0; w < t; ++w) {
+    T v = block_total[w];
+    block_total[w] = grand;
+    grand += v;
+  }
+
+  pool.run_team([&](std::size_t w) {
+    const std::size_t lo = n * w / t;
+    const std::size_t hi = n * (w + 1) / t;
+    T acc = block_total[w];
+    for (std::size_t i = lo; i < hi; ++i) {
+      T v = data[i];
+      data[i] = acc;
+      acc += v;
+    }
+  });
+  return grand;
+}
+
+/// Stream compaction: copies every element of [0, n) whose pred(i) holds into
+/// the output, preserving order; out[i] receives emit(i).  Returns the number
+/// kept.  `out` is resized to the result.
+template <typename OutT, typename Pred, typename Emit>
+std::size_t parallel_filter(ThreadPool& pool, std::size_t n,
+                            std::vector<OutT>& out, Pred&& pred,
+                            Emit&& emit) {
+  const std::size_t t = pool.num_threads();
+  if (t == 1 || n < 4 * t) {
+    out.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (pred(i)) out.push_back(emit(i));
+    }
+    return out.size();
+  }
+
+  // Pass 1: count survivors per block.
+  std::vector<std::size_t> block_count(t, 0);
+  pool.run_team([&](std::size_t w) {
+    const std::size_t lo = n * w / t;
+    const std::size_t hi = n * (w + 1) / t;
+    std::size_t c = 0;
+    for (std::size_t i = lo; i < hi; ++i) c += pred(i) ? 1 : 0;
+    block_count[w] = c;
+  });
+
+  std::size_t total = 0;
+  for (std::size_t w = 0; w < t; ++w) {
+    std::size_t c = block_count[w];
+    block_count[w] = total;
+    total += c;
+  }
+  out.resize(total);
+
+  // Pass 2: write survivors at their scanned offsets.
+  pool.run_team([&](std::size_t w) {
+    const std::size_t lo = n * w / t;
+    const std::size_t hi = n * (w + 1) / t;
+    std::size_t pos = block_count[w];
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (pred(i)) out[pos++] = emit(i);
+    }
+  });
+  return total;
+}
+
+}  // namespace llpmst

@@ -1,0 +1,66 @@
+// Parallel merge sort over a ThreadPool.
+//
+// Blocks are std::sort-ed in parallel, then merged in log(blocks) rounds of
+// pairwise parallel merges (double-buffered).  The result is identical to a
+// sequential std::stable-ordering for unique keys and deterministic for any
+// comparator, independent of thread count — which matters because Kruskal's
+// edge order must not depend on parallelism.
+//
+// Work O(n log n), depth O((n/t) log n + log t).  The comparator must be a
+// strict weak ordering.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace llpmst {
+
+template <typename T, typename Compare = std::less<T>>
+void parallel_sort(ThreadPool& pool, std::vector<T>& data,
+                   Compare comp = Compare{}) {
+  const std::size_t n = data.size();
+  const std::size_t t = pool.num_threads();
+  if (t == 1 || n < 4096) {
+    std::sort(data.begin(), data.end(), comp);
+    return;
+  }
+
+  // Block boundaries: t equal blocks.
+  std::vector<std::size_t> bounds(t + 1);
+  for (std::size_t b = 0; b <= t; ++b) bounds[b] = n * b / t;
+
+  pool.run_team([&](std::size_t w) {
+    std::sort(data.begin() + static_cast<std::ptrdiff_t>(bounds[w]),
+              data.begin() + static_cast<std::ptrdiff_t>(bounds[w + 1]),
+              comp);
+  });
+
+  // Pairwise merge rounds, double-buffered.  Run lengths double each round;
+  // every worker merges (at most) one pair.
+  std::vector<T> buffer(n);
+  std::vector<T>* src = &data;
+  std::vector<T>* dst = &buffer;
+  for (std::size_t width = 1; width < t; width *= 2) {
+    const std::size_t pairs = (t + 2 * width - 1) / (2 * width);
+    pool.run_team([&](std::size_t w) {
+      // Worker w handles pair w if it exists (cheap static assignment: the
+      // number of pairs never exceeds the team size).
+      if (w >= pairs) return;
+      const std::size_t lo_block = w * 2 * width;
+      const std::size_t mid_block = std::min(lo_block + width, t);
+      const std::size_t hi_block = std::min(lo_block + 2 * width, t);
+      const auto lo = static_cast<std::ptrdiff_t>(bounds[lo_block]);
+      const auto mid = static_cast<std::ptrdiff_t>(bounds[mid_block]);
+      const auto hi = static_cast<std::ptrdiff_t>(bounds[hi_block]);
+      std::merge(src->begin() + lo, src->begin() + mid, src->begin() + mid,
+                 src->begin() + hi, dst->begin() + lo, comp);
+    });
+    std::swap(src, dst);
+  }
+  if (src != &data) data.swap(*src);
+}
+
+}  // namespace llpmst

@@ -1,0 +1,71 @@
+#include "parallel/thread_pool.hpp"
+
+#include "support/assert.hpp"
+
+namespace llpmst {
+
+ThreadPool::ThreadPool(std::size_t num_threads)
+    : num_threads_(num_threads == 0 ? 1 : num_threads) {
+  threads_.reserve(num_threads_ - 1);
+  for (std::size_t id = 1; id < num_threads_; ++id) {
+    threads_.emplace_back([this, id] { worker_loop(id); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::run_team(const std::function<void(std::size_t)>& f) {
+  if (num_threads_ == 1) {
+    f(0);
+    return;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    LLPMST_CHECK_MSG(job_ == nullptr, "run_team is not reentrant");
+    job_ = &f;
+    active_workers_ = num_threads_ - 1;
+    ++epoch_;
+  }
+  work_ready_.notify_all();
+
+  f(0);  // the caller participates as worker 0
+
+  std::unique_lock lock(mutex_);
+  work_done_.wait(lock, [this] { return active_workers_ == 0; });
+  job_ = nullptr;
+}
+
+void ThreadPool::worker_loop(std::size_t worker_id) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    {
+      std::unique_lock lock(mutex_);
+      work_ready_.wait(lock, [&] {
+        return shutdown_ || epoch_ != seen_epoch;
+      });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+      job = job_;
+    }
+    (*job)(worker_id);
+    {
+      std::lock_guard lock(mutex_);
+      if (--active_workers_ == 0) work_done_.notify_one();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::default_pool() {
+  static ThreadPool pool(std::thread::hardware_concurrency());
+  return pool;
+}
+
+}  // namespace llpmst

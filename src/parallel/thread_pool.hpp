@@ -1,0 +1,68 @@
+// A persistent fork-join thread pool.
+//
+// This is the runtime substrate the paper gets from Galois/GBBS: a fixed team
+// of workers that repeatedly execute data-parallel regions.  The design is a
+// *team* pool rather than a task-queue pool: `run_team(f)` wakes every worker
+// and runs `f(worker_id)` on each (plus the caller as worker 0), then joins.
+// Data-parallel primitives (parallel_for, reduce, scan) are built on top.
+//
+// Why a team pool: MST rounds are bulk-synchronous data-parallel loops; a
+// team dispatch is two atomics per region instead of per-task queue traffic,
+// and gives every primitive a stable worker id for per-thread buffers.
+//
+// Thread-safety: run_team is NOT reentrant (no nested parallel regions) and
+// must be called from one thread at a time.  All library entry points take
+// the pool by reference, so the caller decides the parallelism degree.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace llpmst {
+
+class ThreadPool {
+ public:
+  /// Creates a pool that executes team regions with `num_threads` workers in
+  /// total (including the calling thread).  `num_threads == 1` spawns no
+  /// threads at all: run_team simply invokes f(0) inline, so sequential runs
+  /// have zero runtime overhead.
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of workers, including the caller.
+  [[nodiscard]] std::size_t num_threads() const { return num_threads_; }
+
+  /// Runs f(worker_id) on every worker (ids 0..num_threads-1, the calling
+  /// thread is id 0) and returns when all have finished.  Exceptions thrown
+  /// by f terminate the program (parallel regions must not throw — Core
+  /// Guidelines CP.2 region discipline); hot paths use error codes instead.
+  void run_team(const std::function<void(std::size_t)>& f);
+
+  /// A process-wide default pool sized to the hardware concurrency; created
+  /// on first use.  Benchmarks construct their own pools per thread-count.
+  static ThreadPool& default_pool();
+
+ private:
+  void worker_loop(std::size_t worker_id);
+
+  std::size_t num_threads_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::uint64_t epoch_ = 0;        // incremented per region; wakes workers
+  std::size_t active_workers_ = 0; // workers still inside the current region
+  bool shutdown_ = false;
+};
+
+}  // namespace llpmst

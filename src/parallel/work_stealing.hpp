@@ -1,0 +1,142 @@
+// Work-stealing worklist execution — the Galois-style runtime idiom the
+// paper's LLP-Prim implementation sits on: workers process items from their
+// own deque, *push new items discovered during processing*, and steal from
+// victims when empty; the region ends when every produced item has been
+// consumed.
+//
+//   work_stealing_run<VertexId>(pool, {root}, [&](VertexId v, Ctx& ctx) {
+//     ...;
+//     ctx.push(discovered);   // feeds the same region
+//   });
+//
+// Design notes:
+//   * per-worker deques guarded by small mutexes (owner pops back, thieves
+//     pop front under try_lock).  A lock-free Chase-Lev deque would shave
+//     constants but not change any benchmark's verdict at this scale, and
+//     CP.100 ("don't use lock-free unless you must") argues for the simple
+//     correct thing;
+//   * termination: a relaxed atomic counter of unconsumed items.  It is
+//     incremented before an item becomes visible and decremented after its
+//     body returns, so counter==0 really means "nothing pending anywhere";
+//   * items must be trivially copyable values (vertex ids, edge ids).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "support/assert.hpp"
+
+namespace llpmst {
+
+template <typename T>
+class WorkStealingContext;
+
+namespace detail {
+
+template <typename T>
+struct StealableDeque {
+  std::mutex mutex;
+  std::deque<T> items;
+};
+
+template <typename T>
+struct WorkStealingState {
+  explicit WorkStealingState(std::size_t workers) : deques(workers) {}
+  std::vector<StealableDeque<T>> deques;
+  std::atomic<std::size_t> pending{0};
+};
+
+}  // namespace detail
+
+/// Handle passed to the body for pushing follow-on work.
+template <typename T>
+class WorkStealingContext {
+ public:
+  WorkStealingContext(detail::WorkStealingState<T>& state, std::size_t worker)
+      : state_(state), worker_(worker) {}
+
+  /// Schedules an item into the calling worker's deque.
+  void push(const T& item) {
+    state_.pending.fetch_add(1, std::memory_order_relaxed);
+    auto& dq = state_.deques[worker_];
+    std::lock_guard lock(dq.mutex);
+    dq.items.push_back(item);
+  }
+
+  [[nodiscard]] std::size_t worker() const { return worker_; }
+
+ private:
+  detail::WorkStealingState<T>& state_;
+  std::size_t worker_;
+};
+
+/// Processes `initial` and everything pushed during processing; returns when
+/// all work is consumed.  `body(item, ctx)` runs concurrently on the team.
+/// Exactly-once consumption of every pushed item; NO ordering guarantees
+/// (the LLP property is what makes that acceptable for MST).
+template <typename T, typename Body>
+void work_stealing_run(ThreadPool& pool, const std::vector<T>& initial,
+                       Body&& body) {
+  const std::size_t workers = pool.num_threads();
+  detail::WorkStealingState<T> state(workers);
+
+  // Seed round-robin so the team starts balanced.
+  state.pending.store(initial.size(), std::memory_order_relaxed);
+  for (std::size_t i = 0; i < initial.size(); ++i) {
+    state.deques[i % workers].items.push_back(initial[i]);
+  }
+  if (initial.empty()) return;
+
+  pool.run_team([&](std::size_t w) {
+    WorkStealingContext<T> ctx(state, w);
+    std::size_t next_victim = (w + 1) % workers;
+    for (;;) {
+      bool have = false;
+      T item{};
+
+      // Own deque first (LIFO for locality).
+      {
+        auto& dq = state.deques[w];
+        std::lock_guard lock(dq.mutex);
+        if (!dq.items.empty()) {
+          item = dq.items.back();
+          dq.items.pop_back();
+          have = true;
+        }
+      }
+      // Steal (FIFO from the victim's front).
+      if (!have) {
+        for (std::size_t probe = 0; probe < workers && !have; ++probe) {
+          auto& dq = state.deques[next_victim];
+          next_victim = (next_victim + 1) % workers;
+          if (&dq == &state.deques[w]) continue;
+          std::unique_lock lock(dq.mutex, std::try_to_lock);
+          if (lock.owns_lock() && !dq.items.empty()) {
+            item = dq.items.front();
+            dq.items.pop_front();
+            have = true;
+          }
+        }
+      }
+
+      if (have) {
+        body(item, ctx);
+        state.pending.fetch_sub(1, std::memory_order_acq_rel);
+        continue;
+      }
+      // Nothing found anywhere: done only if no item is pending (being
+      // processed items may still push).
+      if (state.pending.load(std::memory_order_acquire) == 0) return;
+      // Someone is still working; back off briefly and retry.
+      std::this_thread::yield();
+    }
+  });
+
+  LLPMST_ASSERT(state.pending.load() == 0);
+}
+
+}  // namespace llpmst

@@ -1,0 +1,50 @@
+// Assertion macros used across the library.
+//
+// LLPMST_ASSERT  — debug-only invariant check, compiled out in NDEBUG builds.
+// LLPMST_CHECK   — always-on check for conditions that guard against corrupt
+//                  input or API misuse; aborts with a message on failure.
+//
+// Hot loops use LLPMST_ASSERT so Release builds pay nothing; anything that
+// validates untrusted input (file readers, public API preconditions) uses
+// LLPMST_CHECK.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace llpmst {
+
+[[noreturn]] inline void assertion_failure(const char* kind, const char* expr,
+                                           const char* file, int line,
+                                           const char* msg) {
+  std::fprintf(stderr, "%s failed: %s\n  at %s:%d\n  %s\n", kind, expr, file,
+               line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace llpmst
+
+#define LLPMST_CHECK(expr)                                                   \
+  do {                                                                       \
+    if (!(expr)) [[unlikely]]                                                \
+      ::llpmst::assertion_failure("LLPMST_CHECK", #expr, __FILE__, __LINE__, \
+                                  nullptr);                                  \
+  } while (0)
+
+#define LLPMST_CHECK_MSG(expr, msg)                                          \
+  do {                                                                       \
+    if (!(expr)) [[unlikely]]                                                \
+      ::llpmst::assertion_failure("LLPMST_CHECK", #expr, __FILE__, __LINE__, \
+                                  (msg));                                    \
+  } while (0)
+
+#ifdef NDEBUG
+#define LLPMST_ASSERT(expr) ((void)0)
+#else
+#define LLPMST_ASSERT(expr)                                                   \
+  do {                                                                        \
+    if (!(expr)) [[unlikely]]                                                 \
+      ::llpmst::assertion_failure("LLPMST_ASSERT", #expr, __FILE__, __LINE__, \
+                                  nullptr);                                   \
+  } while (0)
+#endif

@@ -1,0 +1,196 @@
+#include "support/cli.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace llpmst {
+
+CliParser::CliParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+std::int64_t& CliParser::add_int(const std::string& name, std::int64_t def,
+                                 const std::string& help) {
+  LLPMST_CHECK_MSG(find(name) == nullptr, "duplicate flag");
+  auto flag = std::make_unique<Flag>();
+  flag->name = name;
+  flag->kind = Kind::Int;
+  flag->help = help;
+  flag->default_repr = std::to_string(def);
+  flag->int_val = std::make_unique<std::int64_t>(def);
+  auto& ref = *flag->int_val;
+  flags_.push_back(std::move(flag));
+  return ref;
+}
+
+double& CliParser::add_double(const std::string& name, double def,
+                              const std::string& help) {
+  LLPMST_CHECK_MSG(find(name) == nullptr, "duplicate flag");
+  auto flag = std::make_unique<Flag>();
+  flag->name = name;
+  flag->kind = Kind::Double;
+  flag->help = help;
+  flag->default_repr = std::to_string(def);
+  flag->double_val = std::make_unique<double>(def);
+  auto& ref = *flag->double_val;
+  flags_.push_back(std::move(flag));
+  return ref;
+}
+
+std::string& CliParser::add_string(const std::string& name,
+                                   const std::string& def,
+                                   const std::string& help) {
+  LLPMST_CHECK_MSG(find(name) == nullptr, "duplicate flag");
+  auto flag = std::make_unique<Flag>();
+  flag->name = name;
+  flag->kind = Kind::String;
+  flag->help = help;
+  flag->default_repr = "\"" + def + "\"";
+  flag->string_val = std::make_unique<std::string>(def);
+  auto& ref = *flag->string_val;
+  flags_.push_back(std::move(flag));
+  return ref;
+}
+
+bool& CliParser::add_bool(const std::string& name, bool def,
+                          const std::string& help) {
+  LLPMST_CHECK_MSG(find(name) == nullptr, "duplicate flag");
+  auto flag = std::make_unique<Flag>();
+  flag->name = name;
+  flag->kind = Kind::Bool;
+  flag->help = help;
+  flag->default_repr = def ? "true" : "false";
+  flag->bool_val = std::make_unique<bool>(def);
+  auto& ref = *flag->bool_val;
+  flags_.push_back(std::move(flag));
+  return ref;
+}
+
+CliParser::Flag* CliParser::find(const std::string& name) {
+  for (auto& f : flags_) {
+    if (f->name == name) return f.get();
+  }
+  return nullptr;
+}
+
+void CliParser::fail(const std::string& message) const {
+  std::fprintf(stderr, "%s: %s\n\n%s", program_.c_str(), message.c_str(),
+               usage().c_str());
+  std::exit(2);
+}
+
+std::string CliParser::usage() const {
+  std::ostringstream out;
+  out << "usage: " << program_ << " [flags]\n" << description_ << "\n\nflags:\n";
+  out << "  --help\n      show this message\n";
+  for (const auto& f : flags_) {
+    out << "  --" << f->name;
+    switch (f->kind) {
+      case Kind::Int: out << " <int>"; break;
+      case Kind::Double: out << " <float>"; break;
+      case Kind::String: out << " <string>"; break;
+      case Kind::Bool: out << " | --no-" << f->name; break;
+    }
+    out << "\n      " << f->help << " (default: " << f->default_repr << ")\n";
+  }
+  return out.str();
+}
+
+void CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      std::exit(0);
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string body = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = body.find('='); eq != std::string::npos) {
+      value = body.substr(eq + 1);
+      body = body.substr(0, eq);
+      has_value = true;
+    }
+
+    // Boolean negation: --no-foo.
+    if (!has_value && body.rfind("no-", 0) == 0) {
+      if (Flag* f = find(body.substr(3)); f && f->kind == Kind::Bool) {
+        *f->bool_val = false;
+        continue;
+      }
+    }
+
+    Flag* f = find(body);
+    if (f == nullptr) fail("unknown flag --" + body);
+
+    if (f->kind == Kind::Bool) {
+      if (has_value) {
+        *f->bool_val = (value == "1" || value == "true" || value == "yes");
+      } else {
+        *f->bool_val = true;
+      }
+      continue;
+    }
+
+    if (!has_value) {
+      if (i + 1 >= argc) fail("flag --" + body + " requires a value");
+      value = argv[++i];
+    }
+
+    switch (f->kind) {
+      case Kind::Int: {
+        std::int64_t parsed = 0;
+        auto [ptr, ec] =
+            std::from_chars(value.data(), value.data() + value.size(), parsed);
+        if (ec != std::errc() || ptr != value.data() + value.size()) {
+          fail("flag --" + body + " expects an integer, got '" + value + "'");
+        }
+        *f->int_val = parsed;
+        break;
+      }
+      case Kind::Double: {
+        char* end = nullptr;
+        double parsed = std::strtod(value.c_str(), &end);
+        if (end == nullptr || *end != '\0' || end == value.c_str()) {
+          fail("flag --" + body + " expects a float, got '" + value + "'");
+        }
+        *f->double_val = parsed;
+        break;
+      }
+      case Kind::String:
+        *f->string_val = value;
+        break;
+      case Kind::Bool:
+        break;  // handled above
+    }
+  }
+}
+
+std::vector<int> CliParser::parse_int_list(const std::string& s) {
+  std::vector<int> out;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    std::string tok = s.substr(pos, comma - pos);
+    if (!tok.empty()) {
+      int v = 0;
+      auto [ptr, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+      LLPMST_CHECK_MSG(ec == std::errc() && ptr == tok.data() + tok.size(),
+                       "malformed integer list");
+      out.push_back(v);
+    }
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace llpmst

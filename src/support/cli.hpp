@@ -1,0 +1,73 @@
+// Minimal command-line flag parser shared by examples and benchmarks.
+//
+// Supports `--name value`, `--name=value`, and boolean `--flag` /
+// `--no-flag`.  Unknown flags are an error (catches typos in benchmark
+// sweeps); positional arguments are collected in order.
+//
+//   CliParser cli("bench_fig3", "Reproduces Fig. 3 (thread scaling)");
+//   auto& scale   = cli.add_int("scale", 16, "log2 of vertex count");
+//   auto& threads = cli.add_string("threads", "1,2,4,8", "thread counts");
+//   auto& csv     = cli.add_bool("csv", false, "emit CSV instead of a table");
+//   cli.parse(argc, argv);   // exits with usage on error or --help
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace llpmst {
+
+class CliParser {
+ public:
+  CliParser(std::string program, std::string description);
+
+  /// Registers flags.  The returned reference holds the default now and the
+  /// parsed value after parse(); it stays valid for the parser's lifetime.
+  std::int64_t& add_int(const std::string& name, std::int64_t def,
+                        const std::string& help);
+  double& add_double(const std::string& name, double def,
+                     const std::string& help);
+  std::string& add_string(const std::string& name, const std::string& def,
+                          const std::string& help);
+  bool& add_bool(const std::string& name, bool def, const std::string& help);
+
+  /// Parses argv.  On `--help` prints usage and exits 0; on a malformed or
+  /// unknown flag prints usage and exits 2.
+  void parse(int argc, const char* const* argv);
+
+  /// Positional (non-flag) arguments in the order given.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  /// Renders the usage/help text.
+  [[nodiscard]] std::string usage() const;
+
+  /// Parses a comma-separated integer list, e.g. "1,2,4,8" -> {1,2,4,8}.
+  static std::vector<int> parse_int_list(const std::string& s);
+
+ private:
+  enum class Kind { Int, Double, String, Bool };
+  struct Flag {
+    std::string name;
+    Kind kind;
+    std::string help;
+    std::string default_repr;
+    // Owned storage; deque-like stability is guaranteed by indirection.
+    std::unique_ptr<std::int64_t> int_val;
+    std::unique_ptr<double> double_val;
+    std::unique_ptr<std::string> string_val;
+    std::unique_ptr<bool> bool_val;
+  };
+
+  Flag* find(const std::string& name);
+  [[noreturn]] void fail(const std::string& message) const;
+
+  std::string program_;
+  std::string description_;
+  std::vector<std::unique_ptr<Flag>> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace llpmst

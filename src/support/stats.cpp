@@ -1,0 +1,64 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+namespace llpmst {
+
+Summary summarize(std::span<const double> samples) {
+  Summary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  s.min = sorted.front();
+  s.max = sorted.back();
+
+  double sum = 0.0;
+  for (double v : sorted) sum += v;
+  s.mean = sum / static_cast<double>(sorted.size());
+
+  const std::size_t n = sorted.size();
+  s.median = (n % 2 == 1) ? sorted[n / 2]
+                          : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+
+  if (n >= 2) {
+    double sq = 0.0;
+    for (double v : sorted) sq += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(sq / static_cast<double>(n - 1));
+  }
+  return s;
+}
+
+std::string format_duration_ms(double ms) {
+  char buf[64];
+  if (ms < 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.1f ns", ms * 1e6);
+  } else if (ms < 1.0) {
+    std::snprintf(buf, sizeof buf, "%.2f us", ms * 1e3);
+  } else if (ms < 1e3) {
+    std::snprintf(buf, sizeof buf, "%.2f ms", ms);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f s", ms / 1e3);
+  }
+  return buf;
+}
+
+std::string format_count(unsigned long long n) {
+  std::string digits = std::to_string(n);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  std::size_t lead = digits.size() % 3;
+  if (lead == 0) lead = 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - lead) % 3 == 0 && i >= lead) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+}  // namespace llpmst

@@ -1,0 +1,31 @@
+// Small summary-statistics helpers for the benchmark harness: given repeated
+// timing samples, report min/median/mean/max/stddev.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+namespace llpmst {
+
+/// Summary of a sample of real-valued measurements.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;  // sample standard deviation (n-1 denominator)
+};
+
+/// Computes summary statistics.  An empty span yields an all-zero Summary.
+[[nodiscard]] Summary summarize(std::span<const double> samples);
+
+/// Formats a duration given in milliseconds with an adaptive unit,
+/// e.g. "12.3 us", "4.56 ms", "1.23 s".
+[[nodiscard]] std::string format_duration_ms(double ms);
+
+/// Formats a count with thousands separators, e.g. 1234567 -> "1,234,567".
+[[nodiscard]] std::string format_count(unsigned long long n);
+
+}  // namespace llpmst

@@ -1,0 +1,33 @@
+// Wall-clock timer used by the benchmark harness and examples.
+#pragma once
+
+#include <chrono>
+
+namespace llpmst {
+
+/// Monotonic wall-clock stopwatch.  Starts running on construction.
+class Timer {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Timer() : start_(Clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double elapsed_s() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last reset().
+  [[nodiscard]] double elapsed_ms() const { return elapsed_s() * 1e3; }
+
+  /// Microseconds elapsed since construction or the last reset().
+  [[nodiscard]] double elapsed_us() const { return elapsed_s() * 1e6; }
+
+ private:
+  Clock::time_point start_;
+};
+
+}  // namespace llpmst

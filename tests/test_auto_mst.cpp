@@ -1,0 +1,87 @@
+// The algorithm portfolio (mst/auto.hpp): picks per the paper's conclusions
+// and always returns the unique MSF.
+#include <gtest/gtest.h>
+
+#include "graph/generators/random_graph.hpp"
+#include "graph/generators/road.hpp"
+#include "graph/generators/special.hpp"
+#include "mst/auto.hpp"
+#include "test_util.hpp"
+
+namespace llpmst {
+namespace {
+
+using test::csr;
+
+CsrGraph road_graph() {
+  RoadParams p;
+  p.width = 40;
+  p.height = 40;
+  return csr(generate_road_network(p));
+}
+
+TEST(AutoMst, SingleThreadPicksSequentialLlpPrim) {
+  ThreadPool pool(1);
+  const CsrGraph g = road_graph();
+  const AutoMstResult r = minimum_spanning_forest(g, pool);
+  EXPECT_EQ(r.algorithm, "llp_prim");
+  EXPECT_EQ(r.result.edges, kruskal(g).edges);
+}
+
+TEST(AutoMst, FewThreadsPickParallelLlpPrim) {
+  ThreadPool pool(4);
+  const CsrGraph g = road_graph();
+  const AutoMstResult r = minimum_spanning_forest(g, pool);
+  EXPECT_EQ(r.algorithm, "llp_prim_parallel");
+  EXPECT_EQ(r.result.edges, kruskal(g).edges);
+}
+
+TEST(AutoMst, ManyThreadsPickLlpBoruvka) {
+  ThreadPool pool(8);
+  const CsrGraph g = road_graph();
+  const AutoMstResult r = minimum_spanning_forest(g, pool);
+  EXPECT_EQ(r.algorithm, "llp_boruvka");
+  EXPECT_EQ(r.result.edges, kruskal(g).edges);
+}
+
+TEST(AutoMst, DisconnectedAlwaysPicksLlpBoruvka) {
+  ThreadPool pool(2);
+  const CsrGraph g = csr(make_forest(3, 50, 7));
+  const AutoMstResult r = minimum_spanning_forest(g, pool);
+  EXPECT_EQ(r.algorithm, "llp_boruvka");
+  EXPECT_EQ(r.result.num_trees, 3u);
+  EXPECT_EQ(r.result.edges, kruskal(g).edges);
+}
+
+TEST(AutoMst, ConnectivityHintSkipsTheCheck) {
+  ThreadPool pool(2);
+  const CsrGraph g = road_graph();
+  const AutoMstResult hinted =
+      minimum_spanning_forest(g, pool, Connectivity::kConnected);
+  EXPECT_EQ(hinted.algorithm, "llp_prim_parallel");
+  const AutoMstResult forced =
+      minimum_spanning_forest(g, pool, Connectivity::kDisconnected);
+  EXPECT_EQ(forced.algorithm, "llp_boruvka");  // hint respected
+  EXPECT_EQ(hinted.result.edges, forced.result.edges);
+}
+
+TEST(AutoMst, CrossoverTunable) {
+  ThreadPool pool(4);
+  const CsrGraph g = road_graph();
+  AutoMstOptions opts;
+  opts.boruvka_crossover = 2;  // lower the crossover below the pool size
+  const AutoMstResult r =
+      minimum_spanning_forest(g, pool, Connectivity::kConnected, opts);
+  EXPECT_EQ(r.algorithm, "llp_boruvka");
+}
+
+TEST(AutoMst, EmptyGraph) {
+  ThreadPool pool(2);
+  const CsrGraph g = csr(EdgeList(0));
+  const AutoMstResult r = minimum_spanning_forest(g, pool);
+  EXPECT_EQ(r.algorithm, "trivial");
+  EXPECT_TRUE(r.result.edges.empty());
+}
+
+}  // namespace
+}  // namespace llpmst

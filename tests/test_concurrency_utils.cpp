@@ -1,0 +1,140 @@
+// Tests for atomic_utils, ConcurrentBag, and AtomicBitset.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "ds/atomic_bitset.hpp"
+#include "parallel/atomic_utils.hpp"
+#include "parallel/concurrent_bag.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace llpmst {
+namespace {
+
+// ---------------------------------------------------------------- atomics
+
+TEST(AtomicUtils, FetchMinLowersAndReports) {
+  std::atomic<std::uint64_t> a{10};
+  EXPECT_TRUE(atomic_fetch_min(a, std::uint64_t{5}));
+  EXPECT_EQ(a.load(), 5u);
+  EXPECT_FALSE(atomic_fetch_min(a, std::uint64_t{5}));  // equal: no change
+  EXPECT_FALSE(atomic_fetch_min(a, std::uint64_t{9}));  // higher: no change
+  EXPECT_EQ(a.load(), 5u);
+}
+
+TEST(AtomicUtils, FetchMaxRaisesAndReports) {
+  std::atomic<std::int64_t> a{-3};
+  EXPECT_TRUE(atomic_fetch_max(a, std::int64_t{7}));
+  EXPECT_FALSE(atomic_fetch_max(a, std::int64_t{7}));
+  EXPECT_FALSE(atomic_fetch_max(a, std::int64_t{0}));
+  EXPECT_EQ(a.load(), 7);
+}
+
+TEST(AtomicUtils, ConcurrentFetchMinFindsGlobalMin) {
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> target{~0ull};
+  parallel_for(pool, 0, 100000, [&](std::size_t i) {
+    atomic_fetch_min(target, static_cast<std::uint64_t>((i * 7919) % 100000));
+  });
+  EXPECT_EQ(target.load(), 0u);
+}
+
+TEST(AtomicUtils, ClaimIsExclusive) {
+  std::atomic<std::uint8_t> flag{0};
+  EXPECT_TRUE(atomic_claim(flag));
+  EXPECT_FALSE(atomic_claim(flag));
+}
+
+TEST(AtomicUtils, ConcurrentClaimHasExactlyOneWinner) {
+  ThreadPool pool(8);
+  for (int round = 0; round < 100; ++round) {
+    std::atomic<std::uint8_t> flag{0};
+    std::atomic<int> winners{0};
+    pool.run_team([&](std::size_t) {
+      if (atomic_claim(flag)) winners.fetch_add(1);
+    });
+    ASSERT_EQ(winners.load(), 1);
+  }
+}
+
+// ---------------------------------------------------------------- bag
+
+TEST(ConcurrentBag, StartsEmpty) {
+  ConcurrentBag<int> bag(3);
+  EXPECT_TRUE(bag.empty());
+  EXPECT_EQ(bag.size(), 0u);
+  EXPECT_EQ(bag.num_workers(), 3u);
+}
+
+TEST(ConcurrentBag, DrainCollectsEverythingAndEmpties) {
+  ConcurrentBag<int> bag(2);
+  bag.push(0, 1);
+  bag.push(1, 2);
+  bag.push(0, 3);
+  EXPECT_EQ(bag.size(), 3u);
+  std::vector<int> out{99};  // drain appends
+  bag.drain_into(out);
+  EXPECT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0], 99);
+  EXPECT_TRUE(bag.empty());
+  const std::multiset<int> rest(out.begin() + 1, out.end());
+  EXPECT_EQ(rest, (std::multiset<int>{1, 2, 3}));
+}
+
+TEST(ConcurrentBag, ParallelPushesAllArrive) {
+  constexpr std::size_t kThreads = 4;
+  ThreadPool pool(kThreads);
+  ConcurrentBag<std::uint32_t> bag(kThreads);
+  const std::size_t n = 100000;
+  parallel_for_worker(pool, 0, n, [&](std::size_t i, std::size_t w) {
+    bag.push(w, static_cast<std::uint32_t>(i));
+  });
+  std::vector<std::uint32_t> out;
+  bag.drain_into(out);
+  ASSERT_EQ(out.size(), n);
+  std::sort(out.begin(), out.end());
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(out[i], i);
+}
+
+// ---------------------------------------------------------------- bitset
+
+TEST(AtomicBitset, SetAndTest) {
+  AtomicBitset bs(130);  // crosses word boundaries
+  EXPECT_EQ(bs.size(), 130u);
+  EXPECT_FALSE(bs.test(0));
+  EXPECT_TRUE(bs.test_and_set(0));
+  EXPECT_FALSE(bs.test_and_set(0));
+  EXPECT_TRUE(bs.test(0));
+  EXPECT_TRUE(bs.test_and_set(129));
+  EXPECT_TRUE(bs.test(129));
+  EXPECT_FALSE(bs.test(64));
+  EXPECT_EQ(bs.count(), 2u);
+}
+
+TEST(AtomicBitset, ClearResets) {
+  AtomicBitset bs(100);
+  for (std::size_t i = 0; i < 100; i += 3) bs.test_and_set(i);
+  bs.clear();
+  EXPECT_EQ(bs.count(), 0u);
+  EXPECT_FALSE(bs.test(0));
+}
+
+TEST(AtomicBitset, ConcurrentTestAndSetUniqueWinners) {
+  ThreadPool pool(8);
+  AtomicBitset bs(1000);
+  std::atomic<std::size_t> wins{0};
+  // Every bit is contested by every worker; each must be won exactly once.
+  pool.run_team([&](std::size_t) {
+    for (std::size_t i = 0; i < 1000; ++i) {
+      if (bs.test_and_set(i)) wins.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(wins.load(), 1000u);
+  EXPECT_EQ(bs.count(), 1000u);
+}
+
+}  // namespace
+}  // namespace llpmst

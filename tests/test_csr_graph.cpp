@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/csr_graph.hpp"
+#include "graph/generators/random_graph.hpp"
+#include "graph/generators/special.hpp"
+#include "parallel/thread_pool.hpp"
+#include "support/random.hpp"
+
+namespace llpmst {
+namespace {
+
+EdgeList fig1() { return make_paper_figure1(); }
+
+TEST(CsrGraph, BasicCounts) {
+  const CsrGraph g = CsrGraph::build(fig1());
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 7u);
+  EXPECT_EQ(g.num_arcs(), 14u);
+  EXPECT_EQ(g.total_weight(), 5u + 4 + 3 + 7 + 9 + 11 + 2);
+}
+
+TEST(CsrGraph, DegreesMatchFigure1) {
+  const CsrGraph g = CsrGraph::build(fig1());
+  EXPECT_EQ(g.degree(0), 2u);  // a: b, c
+  EXPECT_EQ(g.degree(1), 3u);  // b: a, c, d
+  EXPECT_EQ(g.degree(2), 4u);  // c: a, b, d, e
+  EXPECT_EQ(g.degree(3), 3u);  // d: b, c, e
+  EXPECT_EQ(g.degree(4), 2u);  // e: c, d
+}
+
+TEST(CsrGraph, RowsSortedByPriorityAndConsistent) {
+  const CsrGraph g = CsrGraph::build(fig1());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto prios = g.arc_priorities(v);
+    const auto nbrs = g.neighbors(v);
+    ASSERT_EQ(prios.size(), nbrs.size());
+    EXPECT_TRUE(std::is_sorted(prios.begin(), prios.end()));
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const EdgeId e = priority_edge(prios[i]);
+      const WeightedEdge& we = g.edge(e);
+      EXPECT_EQ(priority_weight(prios[i]), we.w);
+      // Arc endpoints must be the edge's endpoints.
+      EXPECT_TRUE((we.u == v && we.v == nbrs[i]) ||
+                  (we.v == v && we.u == nbrs[i]));
+    }
+  }
+}
+
+TEST(CsrGraph, MinIncidentPriorityMatchesFigure1) {
+  const CsrGraph g = CsrGraph::build(fig1());
+  // Minimum incident weights from the paper's adjacency table: a:4, b:3,
+  // c:3, d:2, e:2.
+  EXPECT_EQ(priority_weight(g.min_incident_priority(0)), 4u);
+  EXPECT_EQ(priority_weight(g.min_incident_priority(1)), 3u);
+  EXPECT_EQ(priority_weight(g.min_incident_priority(2)), 3u);
+  EXPECT_EQ(priority_weight(g.min_incident_priority(3)), 2u);
+  EXPECT_EQ(priority_weight(g.min_incident_priority(4)), 2u);
+}
+
+TEST(CsrGraph, IsolatedVertexHasInfiniteMwe) {
+  EdgeList list(3);
+  list.add_edge(0, 1, 5);
+  list.normalize();
+  const CsrGraph g = CsrGraph::build(list);
+  EXPECT_EQ(g.degree(2), 0u);
+  EXPECT_EQ(g.min_incident_priority(2), kInfinitePriority);
+  EXPECT_TRUE(g.neighbors(2).empty());
+}
+
+TEST(CsrGraph, EmptyGraph) {
+  const CsrGraph g = CsrGraph::build(EdgeList(0));
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(CsrGraph, VerticesWithoutEdges) {
+  const CsrGraph g = CsrGraph::build(EdgeList(7));
+  EXPECT_EQ(g.num_vertices(), 7u);
+  for (VertexId v = 0; v < 7; ++v) EXPECT_EQ(g.degree(v), 0u);
+}
+
+TEST(CsrGraph, ParallelBuildMatchesSequential) {
+  ErdosRenyiParams params;
+  params.num_vertices = 2000;
+  params.num_edges = 12000;
+  params.seed = 31;
+  const EdgeList list = generate_erdos_renyi(params);
+
+  const CsrGraph seq = CsrGraph::build(list);
+  ThreadPool pool(4);
+  const CsrGraph par = CsrGraph::build(list, &pool);
+
+  ASSERT_EQ(seq.num_vertices(), par.num_vertices());
+  ASSERT_EQ(seq.num_edges(), par.num_edges());
+  for (VertexId v = 0; v < seq.num_vertices(); ++v) {
+    const auto sp = seq.arc_priorities(v);
+    const auto pp = par.arc_priorities(v);
+    ASSERT_TRUE(std::equal(sp.begin(), sp.end(), pp.begin(), pp.end()))
+        << "row " << v;
+    const auto sn = seq.neighbors(v);
+    const auto pn = par.neighbors(v);
+    ASSERT_TRUE(std::equal(sn.begin(), sn.end(), pn.begin(), pn.end()))
+        << "row " << v;
+    ASSERT_EQ(seq.min_incident_priority(v), par.min_incident_priority(v));
+  }
+}
+
+TEST(CsrGraph, BuildRejectsUnnormalizedInput) {
+  EdgeList list(3);
+  list.add_edge(2, 1, 5);  // reversed endpoints, not normalized
+  EXPECT_DEATH(CsrGraph::build(list), "normalized");
+}
+
+TEST(CsrGraph, ArcMweFlagsMatchDefinition) {
+  ErdosRenyiParams params;
+  params.num_vertices = 300;
+  params.num_edges = 1500;
+  params.seed = 19;
+  const CsrGraph g = CsrGraph::build(generate_erdos_renyi(params));
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    const auto prios = g.arc_priorities(v);
+    const auto flags = g.arc_mwe_flags(v);
+    ASSERT_EQ(flags.size(), nbrs.size());
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const bool expected = prios[i] == g.min_incident_priority(v) ||
+                            prios[i] == g.min_incident_priority(nbrs[i]);
+      ASSERT_EQ(flags[i] != 0, expected) << "v=" << v << " arc " << i;
+    }
+  }
+}
+
+TEST(CsrGraph, EveryVertexHasExactlyOneMweAndItIsFlagged) {
+  const CsrGraph g = CsrGraph::build(make_paper_figure1());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto prios = g.arc_priorities(v);
+    const auto flags = g.arc_mwe_flags(v);
+    ASSERT_FALSE(prios.empty());
+    // Row is priority-sorted: arc 0 is v's MWE and must be flagged.
+    EXPECT_EQ(prios[0], g.min_incident_priority(v));
+    EXPECT_TRUE(flags[0]);
+  }
+}
+
+TEST(PackedPriority, RoundTripsAndOrders) {
+  const EdgePriority p = make_priority(100, 7);
+  EXPECT_EQ(priority_weight(p), 100u);
+  EXPECT_EQ(priority_edge(p), 7u);
+  // Weight dominates; edge id breaks ties.
+  EXPECT_LT(make_priority(5, 999), make_priority(6, 0));
+  EXPECT_LT(make_priority(5, 3), make_priority(5, 4));
+  EXPECT_LT(make_priority(5, 4), kInfinitePriority);
+}
+
+}  // namespace
+}  // namespace llpmst

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "graph/edge_list.hpp"
+
+namespace llpmst {
+namespace {
+
+TEST(EdgeList, StartsEmpty) {
+  EdgeList list(4);
+  EXPECT_EQ(list.num_vertices(), 4u);
+  EXPECT_EQ(list.num_edges(), 0u);
+  EXPECT_TRUE(list.empty());
+  EXPECT_TRUE(list.is_normalized());
+}
+
+TEST(EdgeList, NormalizeDropsSelfLoops) {
+  EdgeList list(3);
+  list.add_edge(0, 0, 5);
+  list.add_edge(0, 1, 3);
+  list.add_edge(2, 2, 1);
+  list.normalize();
+  ASSERT_EQ(list.num_edges(), 1u);
+  EXPECT_EQ(list[0], (WeightedEdge{0, 1, 3}));
+}
+
+TEST(EdgeList, NormalizeCanonicalizesEndpointOrder) {
+  EdgeList list(3);
+  list.add_edge(2, 0, 7);
+  list.normalize();
+  ASSERT_EQ(list.num_edges(), 1u);
+  EXPECT_EQ(list[0].u, 0u);
+  EXPECT_EQ(list[0].v, 2u);
+}
+
+TEST(EdgeList, NormalizeKeepsLightestParallelEdge) {
+  EdgeList list(2);
+  list.add_edge(0, 1, 9);
+  list.add_edge(1, 0, 4);
+  list.add_edge(0, 1, 6);
+  list.normalize();
+  ASSERT_EQ(list.num_edges(), 1u);
+  EXPECT_EQ(list[0].w, 4u);
+}
+
+TEST(EdgeList, NormalizeSortsByEndpoints) {
+  EdgeList list(4);
+  list.add_edge(2, 3, 1);
+  list.add_edge(0, 1, 2);
+  list.add_edge(1, 3, 3);
+  list.add_edge(0, 2, 4);
+  list.normalize();
+  ASSERT_EQ(list.num_edges(), 4u);
+  EXPECT_TRUE(list.is_normalized());
+  EXPECT_EQ(list[0], (WeightedEdge{0, 1, 2}));
+  EXPECT_EQ(list[1], (WeightedEdge{0, 2, 4}));
+  EXPECT_EQ(list[2], (WeightedEdge{1, 3, 3}));
+  EXPECT_EQ(list[3], (WeightedEdge{2, 3, 1}));
+}
+
+TEST(EdgeList, IsNormalizedDetectsViolations) {
+  EdgeList loops(2);
+  loops.edges().push_back({1, 1, 1});
+  EXPECT_FALSE(loops.is_normalized());
+
+  EdgeList reversed(3);
+  reversed.edges().push_back({2, 1, 1});
+  EXPECT_FALSE(reversed.is_normalized());
+
+  EdgeList dup(3);
+  dup.edges().push_back({0, 1, 1});
+  dup.edges().push_back({0, 1, 2});
+  EXPECT_FALSE(dup.is_normalized());
+
+  EdgeList out_of_range(2);
+  out_of_range.edges().push_back({0, 5, 1});
+  EXPECT_FALSE(out_of_range.is_normalized());
+}
+
+TEST(EdgeList, EnsureVerticesOnlyGrows) {
+  EdgeList list(3);
+  list.ensure_vertices(10);
+  EXPECT_EQ(list.num_vertices(), 10u);
+  list.ensure_vertices(5);
+  EXPECT_EQ(list.num_vertices(), 10u);
+}
+
+TEST(EdgeList, NormalizeIdempotent) {
+  EdgeList list(4);
+  list.add_edge(3, 1, 2);
+  list.add_edge(1, 3, 8);
+  list.add_edge(2, 2, 1);
+  list.normalize();
+  const auto snapshot = list.edges();
+  list.normalize();
+  EXPECT_EQ(list.edges(), snapshot);
+}
+
+}  // namespace
+}  // namespace llpmst

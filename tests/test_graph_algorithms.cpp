@@ -1,0 +1,153 @@
+// BFS, connected components (sequential / parallel / LLP), degree stats.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/algorithms/bfs.hpp"
+#include "graph/algorithms/connected_components.hpp"
+#include "graph/algorithms/degree_stats.hpp"
+#include "graph/generators/random_graph.hpp"
+#include "graph/generators/special.hpp"
+#include "llp/llp_components.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace llpmst {
+namespace {
+
+// ---------------------------------------------------------------- bfs
+
+TEST(Bfs, PathGraphDepths) {
+  const CsrGraph g = CsrGraph::build(make_path(6));
+  const BfsResult r = bfs(g, 0);
+  for (VertexId v = 0; v < 6; ++v) {
+    EXPECT_EQ(r.depth[v], v);
+    EXPECT_EQ(r.parent[v], v == 0 ? 0u : v - 1);
+  }
+  EXPECT_EQ(r.order.size(), 6u);
+  EXPECT_EQ(r.order.front(), 0u);
+}
+
+TEST(Bfs, FromMiddleVertex) {
+  const CsrGraph g = CsrGraph::build(make_path(7));
+  const BfsResult r = bfs(g, 3);
+  EXPECT_EQ(r.depth[3], 0u);
+  EXPECT_EQ(r.depth[0], 3u);
+  EXPECT_EQ(r.depth[6], 3u);
+}
+
+TEST(Bfs, UnreachedVerticesMarked) {
+  EdgeList list(5);
+  list.add_edge(0, 1, 1);
+  list.add_edge(3, 4, 1);
+  list.normalize();
+  const CsrGraph g = CsrGraph::build(list);
+  const BfsResult r = bfs(g, 0);
+  EXPECT_EQ(r.depth[1], 1u);
+  EXPECT_EQ(r.depth[2], kInvalidVertex);
+  EXPECT_EQ(r.parent[3], kInvalidVertex);
+  EXPECT_EQ(r.order.size(), 2u);
+}
+
+TEST(Bfs, SubgraphFilterRestrictsTraversal) {
+  // Cycle 0-1-2-3-0; allow only the path edges 0-1, 1-2.
+  const EdgeList list = make_cycle(4, 10);
+  const CsrGraph g = CsrGraph::build(list);
+  std::vector<bool> allowed(g.num_edges(), false);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const WeightedEdge& we = g.edge(e);
+    if ((we.u == 0 && we.v == 1) || (we.u == 1 && we.v == 2)) {
+      allowed[e] = true;
+    }
+  }
+  const BfsResult r = bfs_subgraph(g, 0, allowed);
+  EXPECT_EQ(r.depth[1], 1u);
+  EXPECT_EQ(r.depth[2], 2u);
+  EXPECT_EQ(r.depth[3], kInvalidVertex);
+}
+
+TEST(Bfs, StarDepthsAllOne) {
+  const CsrGraph g = CsrGraph::build(make_star(9));
+  const BfsResult r = bfs(g, 0);
+  for (VertexId v = 1; v < 9; ++v) EXPECT_EQ(r.depth[v], 1u);
+}
+
+// ---------------------------------------------------------------- cc
+
+TEST(ConnectedComponents, ForestLabels) {
+  const EdgeList g = make_forest(3, 10, 5);
+  const ComponentsResult r = connected_components(g);
+  EXPECT_EQ(r.num_components, 3u);
+  for (VertexId v = 0; v < 30; ++v) {
+    EXPECT_EQ(r.label[v], (v / 10) * 10);  // min id of each block
+  }
+}
+
+TEST(ConnectedComponents, SingletonsAndEmpty) {
+  const ComponentsResult r = connected_components(EdgeList(4));
+  EXPECT_EQ(r.num_components, 4u);
+  const ComponentsResult e = connected_components(EdgeList(0));
+  EXPECT_EQ(e.num_components, 0u);
+  EXPECT_FALSE(is_connected(EdgeList(0)));
+}
+
+class CcThreads : public testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Threads, CcThreads, testing::Values(1, 2, 4, 8));
+
+TEST_P(CcThreads, ParallelMatchesSequentialOnRandomGraphs) {
+  ThreadPool pool(static_cast<std::size_t>(GetParam()));
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    ErdosRenyiParams p;
+    p.num_vertices = 800;
+    p.num_edges = 900;  // below the connectivity threshold: many components
+    p.seed = seed;
+    const EdgeList list = generate_erdos_renyi(p);
+    const ComponentsResult seq = connected_components(list);
+    const ComponentsResult par = connected_components_parallel(list, pool);
+    EXPECT_EQ(par.num_components, seq.num_components) << "seed " << seed;
+    EXPECT_EQ(par.label, seq.label) << "seed " << seed;
+  }
+}
+
+TEST_P(CcThreads, LlpComponentsMatchesSequential) {
+  ThreadPool pool(static_cast<std::size_t>(GetParam()));
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    ErdosRenyiParams p;
+    p.num_vertices = 600;
+    p.num_edges = 700;
+    p.seed = seed + 100;
+    const EdgeList list = generate_erdos_renyi(p);
+    const CsrGraph g = CsrGraph::build(list);
+    const ComponentsResult seq = connected_components(list);
+    const LlpComponentsResult llp = llp_connected_components(g, pool);
+    EXPECT_TRUE(llp.llp.converged);
+    EXPECT_EQ(llp.num_components, seq.num_components) << "seed " << seed;
+    EXPECT_EQ(llp.label, seq.label) << "seed " << seed;
+  }
+}
+
+// ---------------------------------------------------------------- stats
+
+TEST(DegreeStats, KnownValuesOnFigure1) {
+  const CsrGraph g = CsrGraph::build(make_paper_figure1());
+  const GraphStats s = compute_stats(g);
+  EXPECT_EQ(s.num_vertices, 5u);
+  EXPECT_EQ(s.num_edges, 7u);
+  EXPECT_EQ(s.min_degree, 2u);
+  EXPECT_EQ(s.max_degree, 4u);
+  EXPECT_DOUBLE_EQ(s.avg_degree, 14.0 / 5.0);
+  EXPECT_DOUBLE_EQ(s.edges_per_vertex, 7.0 / 5.0);
+  EXPECT_EQ(s.num_components, 1u);
+  EXPECT_EQ(s.min_weight, 2u);
+  EXPECT_EQ(s.max_weight, 11u);
+  EXPECT_FALSE(describe(s).empty());
+}
+
+TEST(DegreeStats, EmptyGraph) {
+  const CsrGraph g = CsrGraph::build(EdgeList(0));
+  const GraphStats s = compute_stats(g);
+  EXPECT_EQ(s.num_vertices, 0u);
+  EXPECT_EQ(s.num_edges, 0u);
+}
+
+}  // namespace
+}  // namespace llpmst

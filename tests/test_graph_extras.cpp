@@ -1,0 +1,189 @@
+// METIS I/O, subgraph extraction, diameter estimation.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "graph/algorithms/connected_components.hpp"
+#include "graph/algorithms/diameter.hpp"
+#include "graph/algorithms/subgraph.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/generators/random_graph.hpp"
+#include "graph/generators/rmat.hpp"
+#include "graph/generators/special.hpp"
+#include "graph/io/metis.hpp"
+#include "mst/kruskal.hpp"
+#include "support/random.hpp"
+
+namespace llpmst {
+namespace {
+
+class MetisIo : public testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("llpmst_metis_" + std::to_string(::getpid()) + "_" +
+            testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string path(const std::string& n) { return (dir_ / n).string(); }
+  void write_file(const std::string& n, const std::string& content) {
+    std::ofstream out(path(n), std::ios::binary);
+    out << content;
+  }
+  std::filesystem::path dir_;
+};
+
+TEST_F(MetisIo, RoundTrip) {
+  ErdosRenyiParams p;
+  p.num_vertices = 150;
+  p.num_edges = 600;
+  p.seed = 13;
+  const EdgeList original = generate_erdos_renyi(p);
+  ASSERT_EQ(write_metis(path("g.metis"), original), "");
+  const EdgeListResult r = read_metis(path("g.metis"));
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.graph.num_vertices(), original.num_vertices());
+  EXPECT_EQ(r.graph.edges(), original.edges());
+}
+
+TEST_F(MetisIo, HandWrittenWeighted) {
+  write_file("g.metis",
+             "% comment\n"
+             "3 2 1\n"
+             "2 10 3 20\n"
+             "1 10\n"
+             "1 20\n");
+  const EdgeListResult r = read_metis(path("g.metis"));
+  ASSERT_TRUE(r.ok()) << r.error;
+  ASSERT_EQ(r.graph.num_edges(), 2u);
+  EXPECT_EQ(r.graph[0], (WeightedEdge{0, 1, 10}));
+  EXPECT_EQ(r.graph[1], (WeightedEdge{0, 2, 20}));
+}
+
+TEST_F(MetisIo, UnweightedDefaultsToWeightOne) {
+  write_file("g.metis", "3 2\n2 3\n1\n1\n");
+  const EdgeListResult r = read_metis(path("g.metis"));
+  ASSERT_TRUE(r.ok()) << r.error;
+  ASSERT_EQ(r.graph.num_edges(), 2u);
+  EXPECT_EQ(r.graph[0].w, 1u);
+}
+
+TEST_F(MetisIo, RejectsVertexWeightedFmt) {
+  write_file("g.metis", "2 1 11\n1 2 5\n2 1 5\n");
+  const EdgeListResult r = read_metis(path("g.metis"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("unsupported fmt"), std::string::npos);
+}
+
+TEST_F(MetisIo, RejectsTruncatedFile) {
+  write_file("g.metis", "5 4 1\n2 10\n");
+  EXPECT_FALSE(read_metis(path("g.metis")).ok());
+}
+
+TEST_F(MetisIo, RejectsNeighborOutOfRange) {
+  write_file("g.metis", "2 1\n9\n1\n");
+  const EdgeListResult r = read_metis(path("g.metis"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("out of range"), std::string::npos);
+}
+
+TEST_F(MetisIo, MissingWeightReported) {
+  write_file("g.metis", "2 1 1\n2\n1 5\n");
+  const EdgeListResult r = read_metis(path("g.metis"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("missing edge weight"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- subgraph
+
+TEST(Subgraph, InducedKeepsInternalEdgesOnly) {
+  const EdgeList g = make_cycle(6, 10);
+  const SubgraphResult s = induced_subgraph(g, {0, 1, 2, 5});
+  EXPECT_EQ(s.graph.num_vertices(), 4u);
+  // Kept edges among {0,1,2,5}: 0-1, 1-2, 5-0 => 3 edges.
+  EXPECT_EQ(s.graph.num_edges(), 3u);
+  EXPECT_EQ(s.old_id, (std::vector<VertexId>{0, 1, 2, 5}));
+}
+
+TEST(Subgraph, DuplicatesAndOrderInKeepIgnored) {
+  const EdgeList g = make_path(5);
+  const SubgraphResult a = induced_subgraph(g, {3, 1, 1, 2});
+  const SubgraphResult b = induced_subgraph(g, {1, 2, 3});
+  EXPECT_EQ(a.old_id, b.old_id);
+  EXPECT_EQ(a.graph.edges(), b.graph.edges());
+}
+
+TEST(Subgraph, LargestComponentExtraction) {
+  // Forest with parts of size 30, 20, 10 — plus isolated vertices.
+  EdgeList list = make_forest(1, 30, 1);
+  const std::size_t base = list.num_vertices();
+  list.ensure_vertices(base + 20 + 10 + 3);
+  Xoshiro256 rng(2);
+  for (std::uint32_t i = 1; i < 20; ++i) {
+    list.add_edge(base + rng.next_below(i), base + i, 5 + i);
+  }
+  for (std::uint32_t i = 1; i < 10; ++i) {
+    list.add_edge(base + 20 + rng.next_below(i), base + 20 + i, 500 + i);
+  }
+  list.normalize();
+
+  const SubgraphResult lcc = extract_largest_component(list);
+  EXPECT_EQ(lcc.graph.num_vertices(), 30u);
+  EXPECT_TRUE(is_connected(lcc.graph));
+  // Largest-component extraction must preserve that component's tree.
+  const CsrGraph after = CsrGraph::build(lcc.graph);
+  EXPECT_EQ(kruskal(after).edges.size(), 29u);
+}
+
+TEST(Subgraph, WholeGraphKeepIsIdentityUpToRelabeling) {
+  const EdgeList g = make_complete(7, 3);
+  std::vector<VertexId> all(7);
+  for (VertexId v = 0; v < 7; ++v) all[v] = v;
+  const SubgraphResult s = induced_subgraph(g, all);
+  EXPECT_EQ(s.graph.edges(), g.edges());
+}
+
+// ---------------------------------------------------------------- diameter
+
+TEST(Diameter, PathGraphExact) {
+  const CsrGraph g = CsrGraph::build(make_path(100));
+  const DiameterEstimate d = estimate_diameter(g, 50);
+  EXPECT_EQ(d.hops, 99u);  // double sweep is exact on trees
+}
+
+TEST(Diameter, StarGraph) {
+  const CsrGraph g = CsrGraph::build(make_star(50));
+  const DiameterEstimate d = estimate_diameter(g, 0);
+  EXPECT_EQ(d.hops, 2u);
+}
+
+TEST(Diameter, CycleLowerBound) {
+  const CsrGraph g = CsrGraph::build(make_cycle(40, 1));
+  const DiameterEstimate d = estimate_diameter(g);
+  EXPECT_EQ(d.hops, 20u);
+}
+
+TEST(Diameter, RoadVsRmatMorphology) {
+  // The structural contrast behind the paper's discussion: road-like graphs
+  // have far larger diameters than Kronecker graphs of similar size.
+  RmatParams rp;
+  rp.scale = 10;
+  rp.edge_factor = 16;
+  EdgeList rmat = generate_rmat(rp);
+  const SubgraphResult lcc = extract_largest_component(rmat);
+  const CsrGraph kron = CsrGraph::build(lcc.graph);
+  const CsrGraph grid = CsrGraph::build(make_path(1024));
+  EXPECT_GT(estimate_diameter(grid).hops,
+            4 * estimate_diameter(kron).hops);
+}
+
+TEST(Diameter, EmptyAndSingleton) {
+  EXPECT_EQ(estimate_diameter(CsrGraph::build(EdgeList(0))).hops, 0u);
+  const DiameterEstimate d = estimate_diameter(CsrGraph::build(EdgeList(1)));
+  EXPECT_EQ(d.hops, 0u);
+}
+
+}  // namespace
+}  // namespace llpmst

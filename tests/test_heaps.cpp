@@ -1,0 +1,233 @@
+// Typed tests over every indexed heap (binary, d-ary, pairing): identical
+// contract, randomized oracle cross-check against a reference model.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "ds/binary_heap.hpp"
+#include "ds/dary_heap.hpp"
+#include "ds/lazy_heap.hpp"
+#include "ds/pairing_heap.hpp"
+#include "support/random.hpp"
+
+namespace llpmst {
+namespace {
+
+using Key = std::uint64_t;
+
+template <typename Heap>
+class IndexedHeapTest : public testing::Test {};
+
+using HeapTypes =
+    testing::Types<BinaryHeap<Key>, DaryHeap<Key, 2>, DaryHeap<Key, 4>,
+                   DaryHeap<Key, 8>, PairingHeap<Key>>;
+TYPED_TEST_SUITE(IndexedHeapTest, HeapTypes);
+
+TYPED_TEST(IndexedHeapTest, StartsEmpty) {
+  TypeParam h(16);
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.size(), 0u);
+  EXPECT_FALSE(h.contains(3));
+}
+
+TYPED_TEST(IndexedHeapTest, PushPopSingle) {
+  TypeParam h(4);
+  h.push(2, 77);
+  EXPECT_FALSE(h.empty());
+  EXPECT_TRUE(h.contains(2));
+  EXPECT_EQ(h.key_of(2), 77u);
+  const auto [id, key] = h.pop();
+  EXPECT_EQ(id, 2u);
+  EXPECT_EQ(key, 77u);
+  EXPECT_TRUE(h.empty());
+  EXPECT_FALSE(h.contains(2));
+}
+
+TYPED_TEST(IndexedHeapTest, PopsInKeyOrder) {
+  TypeParam h(10);
+  const Key keys[] = {50, 10, 40, 30, 20, 60, 5, 55, 35, 25};
+  for (std::uint32_t i = 0; i < 10; ++i) h.push(i, keys[i]);
+  Key prev = 0;
+  while (!h.empty()) {
+    const auto [id, key] = h.pop();
+    EXPECT_EQ(key, keys[id]);
+    EXPECT_GE(key, prev);
+    prev = key;
+  }
+}
+
+TYPED_TEST(IndexedHeapTest, PeekDoesNotRemove) {
+  TypeParam h(4);
+  h.push(1, 9);
+  h.push(3, 4);
+  EXPECT_EQ(h.peek().first, 3u);
+  EXPECT_EQ(h.size(), 2u);
+  EXPECT_EQ(h.pop().first, 3u);
+}
+
+TYPED_TEST(IndexedHeapTest, InsertOrAdjustInsertsWhenAbsent) {
+  TypeParam h(4);
+  EXPECT_TRUE(h.insert_or_adjust(0, 10));
+  EXPECT_TRUE(h.contains(0));
+  EXPECT_EQ(h.key_of(0), 10u);
+}
+
+TYPED_TEST(IndexedHeapTest, InsertOrAdjustLowersButNeverRaises) {
+  TypeParam h(4);
+  h.push(0, 10);
+  EXPECT_FALSE(h.insert_or_adjust(0, 15));  // raise rejected
+  EXPECT_EQ(h.key_of(0), 10u);
+  EXPECT_TRUE(h.insert_or_adjust(0, 5));
+  EXPECT_EQ(h.key_of(0), 5u);
+}
+
+TYPED_TEST(IndexedHeapTest, DecreaseKeyReordersHeap) {
+  TypeParam h(4);
+  h.push(0, 100);
+  h.push(1, 50);
+  h.push(2, 75);
+  h.insert_or_adjust(0, 1);  // 0 jumps to the front
+  EXPECT_EQ(h.pop().first, 0u);
+  EXPECT_EQ(h.pop().first, 1u);
+  EXPECT_EQ(h.pop().first, 2u);
+}
+
+TYPED_TEST(IndexedHeapTest, ClearEmptiesAndAllowsReuse) {
+  TypeParam h(8);
+  for (std::uint32_t i = 0; i < 8; ++i) h.push(i, 100 - i);
+  h.clear();
+  EXPECT_TRUE(h.empty());
+  EXPECT_FALSE(h.contains(0));
+  h.push(0, 3);
+  EXPECT_EQ(h.pop().first, 0u);
+}
+
+TYPED_TEST(IndexedHeapTest, StatsCountOperations) {
+  TypeParam h(8);
+  h.push(0, 10);
+  h.push(1, 20);
+  h.insert_or_adjust(1, 5);
+  h.pop();
+  EXPECT_EQ(h.stats().pushes, 2u);
+  EXPECT_EQ(h.stats().adjusts, 1u);
+  EXPECT_EQ(h.stats().pops, 1u);
+  h.reset_stats();
+  EXPECT_EQ(h.stats().pushes, 0u);
+}
+
+TEST(BinaryHeapErase, RemovesArbitraryResidents) {
+  BinaryHeap<Key> h(8);
+  for (std::uint32_t i = 0; i < 8; ++i) h.push(i, 10 * (i + 1));
+  h.erase(0);  // the minimum
+  h.erase(7);  // the maximum
+  h.erase(3);  // a middle element
+  EXPECT_EQ(h.size(), 5u);
+  EXPECT_FALSE(h.contains(0));
+  EXPECT_FALSE(h.contains(3));
+  EXPECT_FALSE(h.contains(7));
+  // Remaining pops stay ordered and complete.
+  Key prev = 0;
+  std::size_t popped = 0;
+  while (!h.empty()) {
+    const auto [id, key] = h.pop();
+    EXPECT_NE(id, 0u);
+    EXPECT_NE(id, 3u);
+    EXPECT_NE(id, 7u);
+    EXPECT_GE(key, prev);
+    prev = key;
+    ++popped;
+  }
+  EXPECT_EQ(popped, 5u);
+}
+
+TEST(BinaryHeapErase, EraseThenReinsert) {
+  BinaryHeap<Key> h(4);
+  h.push(2, 50);
+  h.erase(2);
+  EXPECT_TRUE(h.empty());
+  h.push(2, 7);
+  EXPECT_EQ(h.pop(), (std::pair<std::uint32_t, Key>{2, 7}));
+}
+
+// Randomized differential test against a std::map-based reference.
+TYPED_TEST(IndexedHeapTest, RandomizedOracle) {
+  constexpr std::size_t kIds = 200;
+  TypeParam h(kIds);
+  std::map<std::uint32_t, Key> model;  // id -> key
+  Xoshiro256 rng(12345);
+
+  for (int step = 0; step < 20000; ++step) {
+    const auto op = rng.next_below(100);
+    if (op < 55) {
+      const auto id = static_cast<std::uint32_t>(rng.next_below(kIds));
+      const Key key = rng.next_below(1u << 20);
+      const auto it = model.find(id);
+      const bool expect_change = (it == model.end()) || key < it->second;
+      EXPECT_EQ(h.insert_or_adjust(id, key), expect_change);
+      if (expect_change) model[id] = key;
+    } else if (!model.empty()) {
+      // Reference minimum: smallest (key, any id).  Heaps may break key
+      // ties differently, so only assert the popped KEY matches the model
+      // minimum and the id's model key equals it.
+      Key best = ~Key{0};
+      for (const auto& [id, key] : model) best = std::min(best, key);
+      const auto [id, key] = h.pop();
+      EXPECT_EQ(key, best);
+      ASSERT_TRUE(model.count(id));
+      EXPECT_EQ(model[id], key);
+      model.erase(id);
+    }
+    ASSERT_EQ(h.size(), model.size());
+  }
+}
+
+// ---------------------------------------------------------------- lazy
+
+TEST(LazyHeap, AllowsDuplicateIds) {
+  LazyHeap<Key> h;
+  h.push(1, 30);
+  h.push(1, 10);
+  h.push(1, 20);
+  EXPECT_EQ(h.size(), 3u);
+  EXPECT_EQ(h.pop(), (std::pair<std::uint32_t, Key>{1, 10}));
+  EXPECT_EQ(h.pop(), (std::pair<std::uint32_t, Key>{1, 20}));
+  EXPECT_EQ(h.pop(), (std::pair<std::uint32_t, Key>{1, 30}));
+}
+
+TEST(LazyHeap, PopValidSkipsStale) {
+  LazyHeap<Key> h;
+  h.push(1, 10);
+  h.push(2, 20);
+  h.push(1, 15);
+  std::vector<bool> alive{true, true, true};
+  auto first = h.pop_valid([&](std::uint32_t id) { return alive[id]; });
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->first, 1u);
+  alive[1] = false;  // 1's duplicate at key 15 is now stale
+  auto second = h.pop_valid([&](std::uint32_t id) { return alive[id]; });
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->first, 2u);
+  EXPECT_FALSE(
+      h.pop_valid([&](std::uint32_t id) { return alive[id]; }).has_value());
+}
+
+TEST(LazyHeap, RandomizedPopOrder) {
+  LazyHeap<Key> h;
+  Xoshiro256 rng(7);
+  std::vector<Key> keys;
+  for (int i = 0; i < 5000; ++i) {
+    const Key k = rng.next_below(1u << 30);
+    keys.push_back(k);
+    h.push(static_cast<std::uint32_t>(i % 100), k);
+  }
+  std::sort(keys.begin(), keys.end());
+  for (const Key expected : keys) {
+    EXPECT_EQ(h.pop().second, expected);
+  }
+  EXPECT_TRUE(h.empty());
+}
+
+}  // namespace
+}  // namespace llpmst

@@ -1,0 +1,133 @@
+// End-to-end flows across modules: generate -> persist -> reload -> solve ->
+// verify, through every file format and with bench-harness plumbing.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "bench_util/harness.hpp"
+#include "bench_util/table.hpp"
+#include "graph/algorithms/degree_stats.hpp"
+#include "graph/generators/rmat.hpp"
+#include "graph/generators/road.hpp"
+#include "graph/generators/special.hpp"
+#include "graph/io/dimacs.hpp"
+#include "graph/io/edge_list_io.hpp"
+#include "mst/verifier.hpp"
+#include "test_util.hpp"
+
+namespace llpmst {
+namespace {
+
+using test::all_msf_algorithms;
+using test::csr;
+
+class Integration : public testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("llpmst_int_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string path(const std::string& n) { return (dir_ / n).string(); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(Integration, GeneratePersistReloadSolveVerify_AllFormats) {
+  RoadParams p;
+  p.width = 32;
+  p.height = 32;
+  p.seed = 11;
+  const EdgeList original = generate_road_network(p);
+  const MstResult expected = kruskal(csr(original));
+
+  // DIMACS.
+  ASSERT_EQ(write_dimacs(path("g.gr"), original), "");
+  const DimacsResult d = read_dimacs(path("g.gr"));
+  ASSERT_TRUE(d.ok()) << d.error;
+  EXPECT_EQ(kruskal(csr(d.graph)).total_weight, expected.total_weight);
+
+  // Text.
+  ASSERT_EQ(write_edge_list_text(path("g.txt"), original), "");
+  const EdgeListResult t = read_edge_list_text(path("g.txt"));
+  ASSERT_TRUE(t.ok()) << t.error;
+  EXPECT_EQ(kruskal(csr(t.graph)).edges, expected.edges);
+
+  // Binary.
+  ASSERT_EQ(write_edge_list_binary(path("g.bin"), original), "");
+  const EdgeListResult b = read_edge_list_binary(path("g.bin"));
+  ASSERT_TRUE(b.ok()) << b.error;
+  EXPECT_EQ(kruskal(csr(b.graph)).edges, expected.edges);
+}
+
+TEST_F(Integration, RmatPipelineEndToEnd) {
+  RmatParams p;
+  p.scale = 10;
+  p.edge_factor = 8;
+  p.seed = 21;
+  EdgeList list = generate_rmat(p);
+  connect_components(list);
+  const CsrGraph g = csr(list);
+  const GraphStats stats = compute_stats(g);
+  EXPECT_EQ(stats.num_components, 1u);
+
+  ThreadPool pool(4);
+  const MstResult reference = kruskal(g);
+  for (const auto& algo : all_msf_algorithms()) {
+    const MstResult r = algo.run(g, pool);
+    ASSERT_EQ(r.edges, reference.edges) << algo.name;
+    const VerifyResult v = verify_spanning_forest(g, r);
+    ASSERT_TRUE(v.ok) << algo.name << ": " << v.error;
+  }
+  const VerifyResult full = verify_msf(g, reference);
+  EXPECT_TRUE(full.ok) << full.error;
+}
+
+TEST_F(Integration, BenchHarnessMeasuresAndVerifies) {
+  RoadParams p;
+  p.width = 24;
+  p.height = 24;
+  const CsrGraph g = csr(generate_road_network(p));
+  const MstResult reference = kruskal(g);
+  BenchOptions opts;
+  opts.warmup = 1;
+  opts.repetitions = 2;
+  const BenchMeasurement m = measure_mst(
+      "llp_prim", g, reference, [&] { return llp_prim(g); }, opts);
+  EXPECT_TRUE(m.verified);
+  EXPECT_EQ(m.time_ms.count, 2u);
+  EXPECT_GE(m.time_ms.min, 0.0);
+  EXPECT_EQ(m.last_result.edges, reference.edges);
+}
+
+TEST_F(Integration, BenchHarnessAbortsOnWrongResult) {
+  // A benchmark of a wrong algorithm must die loudly, not record a time.
+  const CsrGraph g = csr(make_paper_figure1());
+  MstResult wrong = kruskal(g);
+  wrong.total_weight += 1;  // sabotage the reference
+  BenchOptions opts;
+  opts.warmup = 1;
+  opts.repetitions = 1;
+  EXPECT_DEATH((void)measure_mst("llp_prim", g, wrong,
+                                 [&] { return llp_prim(g); }, opts),
+               "different MSF");
+}
+
+TEST_F(Integration, TablesRenderBothFormats) {
+  Table t({"algo", "time"});
+  t.add_row({"prim", "1.5 ms"});
+  t.add_row({"llp,prim", "1.2 ms"});  // comma exercises CSV quoting
+  const std::string text = t.to_string();
+  EXPECT_NE(text.find("algo"), std::string::npos);
+  EXPECT_NE(text.find("----"), std::string::npos);
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"llp,prim\""), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST_F(Integration, StrfFormats) {
+  EXPECT_EQ(strf("%d-%s", 7, "x"), "7-x");
+}
+
+}  // namespace
+}  // namespace llpmst

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "graph/generators/random_graph.hpp"
+#include "graph/generators/special.hpp"
+#include "graph/io/dimacs.hpp"
+#include "graph/io/edge_list_io.hpp"
+
+namespace llpmst {
+namespace {
+
+class IoTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("llpmst_io_" + std::to_string(::getpid()) + "_" +
+            testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) { return (dir_ / name).string(); }
+
+  void write_file(const std::string& name, const std::string& content) {
+    std::ofstream out(path(name), std::ios::binary);
+    out << content;
+  }
+
+  std::filesystem::path dir_;
+};
+
+// ---------------------------------------------------------------- dimacs
+
+TEST_F(IoTest, DimacsRoundTrip) {
+  const EdgeList original = make_paper_figure1();
+  ASSERT_EQ(write_dimacs(path("g.gr"), original), "");
+  const DimacsResult r = read_dimacs(path("g.gr"));
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.graph.num_vertices(), original.num_vertices());
+  EXPECT_EQ(r.graph.edges(), original.edges());
+}
+
+TEST_F(IoTest, DimacsParsesHandWrittenFile) {
+  write_file("hand.gr",
+             "c a comment\n"
+             "p sp 3 4\n"
+             "a 1 2 10\n"
+             "a 2 1 10\n"
+             "a 2 3 20\n"
+             "a 3 2 20\n");
+  const DimacsResult r = read_dimacs(path("hand.gr"));
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.graph.num_vertices(), 3u);
+  ASSERT_EQ(r.graph.num_edges(), 2u);  // both-ways arcs collapse
+  EXPECT_EQ(r.graph[0], (WeightedEdge{0, 1, 10}));
+  EXPECT_EQ(r.graph[1], (WeightedEdge{1, 2, 20}));
+}
+
+TEST_F(IoTest, DimacsMissingFile) {
+  const DimacsResult r = read_dimacs(path("nope.gr"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("cannot open"), std::string::npos);
+}
+
+TEST_F(IoTest, DimacsMissingProblemLine) {
+  write_file("bad.gr", "a 1 2 3\n");
+  const DimacsResult r = read_dimacs(path("bad.gr"));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(IoTest, DimacsMalformedProblemLine) {
+  write_file("bad.gr", "p sp three four\n");
+  EXPECT_FALSE(read_dimacs(path("bad.gr")).ok());
+}
+
+TEST_F(IoTest, DimacsArcOutOfRange) {
+  write_file("bad.gr", "p sp 2 1\na 1 9 5\n");
+  const DimacsResult r = read_dimacs(path("bad.gr"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("out of range"), std::string::npos);
+}
+
+TEST_F(IoTest, DimacsZeroBasedVertexRejected) {
+  write_file("bad.gr", "p sp 2 1\na 0 1 5\n");
+  EXPECT_FALSE(read_dimacs(path("bad.gr")).ok());
+}
+
+TEST_F(IoTest, DimacsUnknownLineType) {
+  write_file("bad.gr", "p sp 2 1\nq 1 2 3\n");
+  const DimacsResult r = read_dimacs(path("bad.gr"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("unknown line type"), std::string::npos);
+}
+
+TEST_F(IoTest, DimacsOversizedWeightRejected) {
+  write_file("bad.gr", "p sp 2 1\na 1 2 99999999999\n");
+  EXPECT_FALSE(read_dimacs(path("bad.gr")).ok());
+}
+
+// ---------------------------------------------------------------- text
+
+TEST_F(IoTest, TextRoundTrip) {
+  ErdosRenyiParams p;
+  p.num_vertices = 100;
+  p.num_edges = 300;
+  const EdgeList original = generate_erdos_renyi(p);
+  ASSERT_EQ(write_edge_list_text(path("g.txt"), original), "");
+  const EdgeListResult r = read_edge_list_text(path("g.txt"));
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.graph.edges(), original.edges());
+}
+
+TEST_F(IoTest, TextSkipsCommentsAndBlanks) {
+  write_file("g.txt", "# header\n\n0 1 5\n  # indented comment\n1 2 6\n");
+  const EdgeListResult r = read_edge_list_text(path("g.txt"));
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.graph.num_edges(), 2u);
+  EXPECT_EQ(r.graph.num_vertices(), 3u);
+}
+
+TEST_F(IoTest, TextMalformedLineReported) {
+  write_file("g.txt", "0 1 5\n0 two 6\n");
+  const EdgeListResult r = read_edge_list_text(path("g.txt"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("line 2"), std::string::npos);
+}
+
+TEST_F(IoTest, TextMissingColumnReported) {
+  write_file("g.txt", "0 1\n");
+  EXPECT_FALSE(read_edge_list_text(path("g.txt")).ok());
+}
+
+TEST_F(IoTest, TextEmptyFileYieldsEmptyGraph) {
+  write_file("g.txt", "");
+  const EdgeListResult r = read_edge_list_text(path("g.txt"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.graph.num_edges(), 0u);
+}
+
+// ---------------------------------------------------------------- binary
+
+TEST_F(IoTest, BinaryRoundTrip) {
+  ErdosRenyiParams p;
+  p.num_vertices = 500;
+  p.num_edges = 2500;
+  p.seed = 77;
+  const EdgeList original = generate_erdos_renyi(p);
+  ASSERT_EQ(write_edge_list_binary(path("g.bin"), original), "");
+  const EdgeListResult r = read_edge_list_binary(path("g.bin"));
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.graph.num_vertices(), original.num_vertices());
+  EXPECT_EQ(r.graph.edges(), original.edges());
+}
+
+TEST_F(IoTest, BinaryBadMagicRejected) {
+  write_file("g.bin", "GARBAGEGARBAGEGARBAGEGARBAGE");
+  const EdgeListResult r = read_edge_list_binary(path("g.bin"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("magic"), std::string::npos);
+}
+
+TEST_F(IoTest, BinaryTruncationDetected) {
+  const EdgeList original = make_path(50);
+  ASSERT_EQ(write_edge_list_binary(path("g.bin"), original), "");
+  // Truncate the file in the middle of the records.
+  const auto full = std::filesystem::file_size(path("g.bin"));
+  std::filesystem::resize_file(path("g.bin"), full - 10);
+  const EdgeListResult r = read_edge_list_binary(path("g.bin"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("truncated"), std::string::npos);
+}
+
+TEST_F(IoTest, BinaryEndpointOutOfRangeDetected) {
+  // Hand-craft a file whose record references vertex 9 with n=2.
+  std::string blob = "LLPM";
+  const std::uint32_t version = 1;
+  const std::uint64_t n = 2, m = 1;
+  blob.append(reinterpret_cast<const char*>(&version), 4);
+  blob.append(reinterpret_cast<const char*>(&n), 8);
+  blob.append(reinterpret_cast<const char*>(&m), 8);
+  const std::uint32_t rec[3] = {0, 9, 5};
+  blob.append(reinterpret_cast<const char*>(rec), 12);
+  write_file("g.bin", blob);
+  const EdgeListResult r = read_edge_list_binary(path("g.bin"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("out of range"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace llpmst

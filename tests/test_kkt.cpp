@@ -1,0 +1,128 @@
+// KKT randomized MSF and the shared ForestPathIndex.
+#include <gtest/gtest.h>
+
+#include "graph/generators/random_graph.hpp"
+#include "graph/generators/rmat.hpp"
+#include "graph/generators/road.hpp"
+#include "graph/generators/special.hpp"
+#include "mst/forest_path.hpp"
+#include "mst/kkt.hpp"
+#include "test_util.hpp"
+
+namespace llpmst {
+namespace {
+
+using test::csr;
+
+// ---------------------------------------------------------------- index
+
+TEST(ForestPathIndex, PathGraphQueries) {
+  // Path 0-1-2-3 with weights 10, 20, 5.
+  EdgeList list(4);
+  list.add_edge(0, 1, 10);
+  list.add_edge(1, 2, 20);
+  list.add_edge(2, 3, 5);
+  list.normalize();
+  const CsrGraph g = csr(list);
+  std::vector<EdgeId> all{0, 1, 2};
+  const ForestPathIndex idx(g, all);
+
+  EXPECT_TRUE(idx.connected(0, 3));
+  EXPECT_EQ(priority_weight(idx.max_on_path(0, 3)), 20u);
+  EXPECT_EQ(priority_weight(idx.max_on_path(2, 3)), 5u);
+  EXPECT_EQ(idx.max_on_path(1, 1), 0u);
+}
+
+TEST(ForestPathIndex, DisconnectedTrees) {
+  EdgeList list(4);
+  list.add_edge(0, 1, 7);
+  list.add_edge(2, 3, 9);
+  list.normalize();
+  const CsrGraph g = csr(list);
+  const ForestPathIndex idx(g, {0, 1});
+  EXPECT_FALSE(idx.connected(0, 2));
+  EXPECT_TRUE(idx.connected(2, 3));
+  // Cross-tree edges are always light.
+  EXPECT_TRUE(idx.is_light(0, 2, make_priority(1000, 5)));
+}
+
+TEST(ForestPathIndex, IsLightMatchesCycleProperty) {
+  const CsrGraph g = csr(make_paper_figure1());
+  const MstResult mst = kruskal(g);
+  const ForestPathIndex idx(g, mst.edges);
+  // Tree edges ARE light w.r.t. their own tree (they equal the path max and
+  // heaviness is strict) — KKT must never filter the forest's own edges.
+  for (const EdgeId e : mst.edges) {
+    const WeightedEdge& we = g.edge(e);
+    EXPECT_TRUE(idx.is_light(we.u, we.v, g.edge_priority(e)));
+  }
+  // Non-tree edges of an MST are F-heavy (cycle property).
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (std::find(mst.edges.begin(), mst.edges.end(), e) != mst.edges.end()) {
+      continue;
+    }
+    const WeightedEdge& we = g.edge(e);
+    EXPECT_FALSE(idx.is_light(we.u, we.v, g.edge_priority(e)))
+        << "edge " << e;
+  }
+}
+
+// ---------------------------------------------------------------- kkt
+
+TEST(Kkt, MatchesKruskalOnKnownGraphs) {
+  ThreadPool pool(1);
+  const CsrGraph fig1 = csr(make_paper_figure1());
+  EXPECT_EQ(kkt_msf(fig1).edges, kruskal(fig1).edges);
+  const CsrGraph cyc = csr(make_cycle(64));
+  EXPECT_EQ(kkt_msf(cyc).edges, kruskal(cyc).edges);
+  const CsrGraph star = csr(make_star(100));
+  EXPECT_EQ(kkt_msf(star).edges, kruskal(star).edges);
+}
+
+TEST(Kkt, MatchesKruskalAcrossSeedsAndGraphs) {
+  // The MSF is unique, so every random seed must give the identical result.
+  for (std::uint64_t graph_seed = 1; graph_seed <= 3; ++graph_seed) {
+    ErdosRenyiParams p;
+    p.num_vertices = 1500;
+    p.num_edges = 9000;
+    p.seed = graph_seed;
+    const CsrGraph g = csr(generate_erdos_renyi(p));
+    const MstResult reference = kruskal(g);
+    for (std::uint64_t kkt_seed = 1; kkt_seed <= 4; ++kkt_seed) {
+      ASSERT_EQ(kkt_msf(g, kkt_seed).edges, reference.edges)
+          << "graph seed " << graph_seed << ", kkt seed " << kkt_seed;
+    }
+  }
+}
+
+TEST(Kkt, RoadAndRmatWorkloads) {
+  RoadParams rp;
+  rp.width = 48;
+  rp.height = 48;
+  const CsrGraph road = csr(generate_road_network(rp));
+  EXPECT_EQ(kkt_msf(road).edges, kruskal(road).edges);
+
+  RmatParams mp;
+  mp.scale = 11;
+  mp.edge_factor = 8;
+  const CsrGraph rmat = csr(generate_rmat(mp));
+  const MstResult r = kkt_msf(rmat);
+  EXPECT_EQ(r.edges, kruskal(rmat).edges);
+  EXPECT_GT(r.num_trees, 1u);  // RMAT samples are disconnected: MSF path
+}
+
+TEST(Kkt, ForestsAndTrivialInputs) {
+  const CsrGraph forest = csr(make_forest(5, 80, 9));
+  EXPECT_EQ(kkt_msf(forest).edges, kruskal(forest).edges);
+  EXPECT_TRUE(kkt_msf(csr(EdgeList(3))).edges.empty());
+  EXPECT_TRUE(kkt_msf(csr(EdgeList(0))).edges.empty());
+}
+
+TEST(Kkt, DenseGraphExercisesSamplingPath) {
+  // Complete graph: far above the base threshold after two Boruvka steps.
+  const CsrGraph g = csr(make_complete(120, 17));
+  EXPECT_EQ(kkt_msf(g).edges, kruskal(g).edges);
+}
+
+}  // namespace
+}  // namespace llpmst

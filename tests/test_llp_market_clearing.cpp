@@ -1,0 +1,118 @@
+// LLP market clearing prices (GDS auction): clearing + exact minimality
+// against brute force on small instances.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "llp/llp_market_clearing.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace llpmst {
+namespace {
+
+/// Brute-force minimum clearing vector over [0, cap]^n (tiny n only).
+std::vector<std::uint32_t> brute_force_min_clearing(
+    const MarketInstance& inst, std::uint32_t cap) {
+  const std::size_t n = inst.n;
+  std::vector<std::uint32_t> p(n, 0), best;
+  // The clearing set is a lattice, so the coordinate-wise meet of all
+  // clearing vectors is the minimum; enumerate and meet.
+  for (;;) {
+    if (is_clearing(inst, p)) {
+      if (best.empty()) {
+        best = p;
+      } else {
+        for (std::size_t i = 0; i < n; ++i) best[i] = std::min(best[i], p[i]);
+      }
+    }
+    // Odometer increment.
+    std::size_t i = 0;
+    while (i < n && p[i] == cap) p[i++] = 0;
+    if (i == n) break;
+    ++p[i];
+  }
+  return best;
+}
+
+class LlpMarket : public testing::TestWithParam<int> {
+ protected:
+  ThreadPool pool_{static_cast<std::size_t>(GetParam())};
+};
+INSTANTIATE_TEST_SUITE_P(Threads, LlpMarket, testing::Values(1, 4));
+
+TEST_P(LlpMarket, TextbookExample) {
+  // Classic 3x3 example (values chosen so prices must rise).
+  MarketInstance inst;
+  inst.n = 3;
+  inst.value = {{4, 12, 5}, {7, 10, 9}, {7, 7, 10}};
+  const MarketResult r = llp_market_clearing(inst, pool_);
+  EXPECT_TRUE(is_clearing(inst, r.price));
+  EXPECT_EQ(r.price, brute_force_min_clearing(inst, 12));
+}
+
+TEST_P(LlpMarket, AllSameValuations) {
+  // Every buyer values every item identically: zero prices already clear
+  // (any perfect matching works).
+  MarketInstance inst;
+  inst.n = 4;
+  inst.value.assign(4, std::vector<std::uint32_t>(4, 5));
+  const MarketResult r = llp_market_clearing(inst, pool_);
+  EXPECT_EQ(r.price, std::vector<std::uint32_t>(4, 0));
+  EXPECT_EQ(r.advances, 0u);
+}
+
+TEST_P(LlpMarket, SingleHotItemPricesUp) {
+  // Both buyers want only item 0 (value 10 vs 0): its price must rise until
+  // one buyer switches; minimum clearing price of item 0 is exactly 10.
+  MarketInstance inst;
+  inst.n = 2;
+  inst.value = {{10, 0}, {10, 0}};
+  const MarketResult r = llp_market_clearing(inst, pool_);
+  EXPECT_TRUE(is_clearing(inst, r.price));
+  EXPECT_EQ(r.price[0], 10u);
+  EXPECT_EQ(r.price[1], 0u);
+}
+
+TEST_P(LlpMarket, MatchesBruteForceOnRandomInstances) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const MarketInstance inst = random_market_instance(3, 4, seed);
+    const MarketResult r = llp_market_clearing(inst, pool_);
+    ASSERT_TRUE(is_clearing(inst, r.price)) << "seed " << seed;
+    ASSERT_EQ(r.price, brute_force_min_clearing(inst, 5)) << "seed " << seed;
+  }
+}
+
+TEST_P(LlpMarket, AssignmentIsAPermutationOfDemandedItems) {
+  const MarketInstance inst = random_market_instance(12, 30, 5);
+  const MarketResult r = llp_market_clearing(inst, pool_);
+  std::vector<bool> sold(inst.n, false);
+  for (std::size_t b = 0; b < inst.n; ++b) {
+    const std::uint32_t i = r.assignment[b];
+    ASSERT_LT(i, inst.n);
+    ASSERT_FALSE(sold[i]);
+    sold[i] = true;
+    // The assigned item must be utility-maximal for the buyer.
+    const std::int64_t got = static_cast<std::int64_t>(inst.value[b][i]) -
+                             static_cast<std::int64_t>(r.price[i]);
+    for (std::size_t j = 0; j < inst.n; ++j) {
+      const std::int64_t alt = static_cast<std::int64_t>(inst.value[b][j]) -
+                               static_cast<std::int64_t>(r.price[j]);
+      ASSERT_LE(alt, got) << "buyer " << b << " envies item " << j;
+    }
+  }
+}
+
+TEST_P(LlpMarket, LargerRandomInstanceClears) {
+  const MarketInstance inst = random_market_instance(40, 100, 9);
+  const MarketResult r = llp_market_clearing(inst, pool_);
+  EXPECT_TRUE(is_clearing(inst, r.price));
+  EXPECT_GE(r.rounds, 1u);
+}
+
+TEST(MarketHelpers, IsClearingRejectsWrongSize) {
+  const MarketInstance inst = random_market_instance(3, 5, 1);
+  EXPECT_FALSE(is_clearing(inst, {0, 0}));
+}
+
+}  // namespace
+}  // namespace llpmst

@@ -1,0 +1,91 @@
+// LLP Bellman-Ford (framework-transfer demo) against Dijkstra.
+#include <gtest/gtest.h>
+
+#include "graph/generators/random_graph.hpp"
+#include "graph/generators/road.hpp"
+#include "graph/generators/special.hpp"
+#include "llp/llp_shortest_path.hpp"
+#include "test_util.hpp"
+
+namespace llpmst {
+namespace {
+
+using test::csr;
+
+class LlpSssp : public testing::TestWithParam<int> {
+ protected:
+  ThreadPool pool_{static_cast<std::size_t>(GetParam())};
+};
+INSTANTIATE_TEST_SUITE_P(Threads, LlpSssp, testing::Values(1, 2, 4));
+
+TEST_P(LlpSssp, PathGraphDistances) {
+  const CsrGraph g = csr(make_path(20, 3));  // uniform weight 3
+  const ShortestPathResult r = llp_shortest_paths(g, pool_, 0);
+  EXPECT_TRUE(r.llp.converged);
+  for (VertexId v = 0; v < 20; ++v) {
+    EXPECT_EQ(r.dist[v], static_cast<Dist>(v) * 3) << "v=" << v;
+  }
+}
+
+TEST_P(LlpSssp, MatchesDijkstraOnRandomGraphs) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    ErdosRenyiParams p;
+    p.num_vertices = 300;
+    p.num_edges = 1200;
+    p.max_weight = 50;  // small weights keep chaotic sweeps quick
+    p.seed = seed;
+    const CsrGraph g = csr(generate_erdos_renyi(p));
+    const ShortestPathResult llp = llp_shortest_paths(g, pool_, 0);
+    const std::vector<Dist> ref = dijkstra(g, 0);
+    ASSERT_EQ(llp.dist, ref) << "seed " << seed;
+  }
+}
+
+TEST_P(LlpSssp, RoadGraph) {
+  RoadParams p;
+  p.width = 24;
+  p.height = 24;
+  p.unit = 20;  // keep distances small for the chaotic iteration
+  const CsrGraph g = csr(generate_road_network(p));
+  const ShortestPathResult llp = llp_shortest_paths(g, pool_, 0);
+  EXPECT_EQ(llp.dist, dijkstra(g, 0));
+}
+
+TEST_P(LlpSssp, UnreachableVerticesEndAtInfinity) {
+  EdgeList list(5);
+  list.add_edge(0, 1, 2);
+  list.add_edge(3, 4, 2);
+  list.normalize();
+  const CsrGraph g = csr(list);
+  const ShortestPathResult r = llp_shortest_paths(g, pool_, 0);
+  EXPECT_EQ(r.dist[0], 0u);
+  EXPECT_EQ(r.dist[1], 2u);
+  EXPECT_EQ(r.dist[2], kUnreachableDist);  // isolated
+  EXPECT_EQ(r.dist[3], kUnreachableDist);
+  EXPECT_EQ(r.dist[4], kUnreachableDist);
+  // Dijkstra agrees on unreachability.
+  const auto ref = dijkstra(g, 0);
+  EXPECT_EQ(ref[3], kUnreachableDist);
+}
+
+TEST_P(LlpSssp, SourceChoiceRespected) {
+  const CsrGraph g = csr(make_cycle(9, 4));
+  const ShortestPathResult r = llp_shortest_paths(g, pool_, 4);
+  EXPECT_EQ(r.dist[4], 0u);
+  EXPECT_EQ(r.dist[3], 4u);
+  EXPECT_EQ(r.dist[5], 4u);
+  // Around the cycle both ways: min(hops_cw, hops_ccw) * 4.
+  EXPECT_EQ(r.dist[0], 16u);
+  EXPECT_EQ(r.dist[8], 16u);
+}
+
+TEST(LlpSsspStats, ReportsSweeps) {
+  ThreadPool pool(2);
+  const CsrGraph g = csr(make_path(50, 1));
+  const ShortestPathResult r = llp_shortest_paths(g, pool, 0);
+  EXPECT_GE(r.llp.sweeps, 2u);  // propagation + quiescence detection
+  EXPECT_GT(r.llp.advances, 0u);
+}
+
+}  // namespace
+}  // namespace llpmst

@@ -1,0 +1,111 @@
+// LLP stable marriage vs the classic Gale-Shapley oracle.
+#include <gtest/gtest.h>
+
+#include "llp/llp_stable_marriage.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace llpmst {
+namespace {
+
+class LlpMarriage : public testing::TestWithParam<int> {
+ protected:
+  ThreadPool pool_{static_cast<std::size_t>(GetParam())};
+};
+INSTANTIATE_TEST_SUITE_P(Threads, LlpMarriage, testing::Values(1, 2, 4));
+
+TEST_P(LlpMarriage, MatchesGaleShapleyOnRandomInstances) {
+  // The man-optimal stable matching is unique, so LLP and GS must agree
+  // exactly (not just both be stable).
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const MarriageInstance inst = random_marriage_instance(60, seed);
+    const MarriageResult llp = llp_stable_marriage(inst, pool_);
+    EXPECT_TRUE(llp.llp.converged);
+    EXPECT_EQ(llp.wife, gale_shapley(inst)) << "seed " << seed;
+    EXPECT_TRUE(is_stable_matching(inst, llp.wife)) << "seed " << seed;
+  }
+}
+
+TEST_P(LlpMarriage, SingleCouple) {
+  const MarriageInstance inst = random_marriage_instance(1, 3);
+  const MarriageResult r = llp_stable_marriage(inst, pool_);
+  EXPECT_EQ(r.wife, (std::vector<std::uint32_t>{0}));
+}
+
+TEST_P(LlpMarriage, AlignedPreferencesMatchImmediately) {
+  // Everyone's first choice is distinct: man i loves woman i, woman i
+  // ranks man i first.  Zero rejections — one sweep settles it.
+  MarriageInstance inst;
+  inst.n = 8;
+  inst.men_pref.resize(8);
+  inst.women_rank.resize(8);
+  for (std::uint32_t m = 0; m < 8; ++m) {
+    for (std::uint32_t k = 0; k < 8; ++k) {
+      inst.men_pref[m].push_back((m + k) % 8);
+    }
+  }
+  for (std::uint32_t w = 0; w < 8; ++w) {
+    // Woman w ranks man w first; the others in rotated order after.
+    inst.women_rank[w].resize(8);
+    std::uint32_t rank = 1;
+    inst.women_rank[w][w] = 0;
+    for (std::uint32_t d = 1; d < 8; ++d) {
+      inst.women_rank[w][(w + d) % 8] = rank++;
+    }
+  }
+  const MarriageResult r = llp_stable_marriage(inst, pool_);
+  for (std::uint32_t m = 0; m < 8; ++m) EXPECT_EQ(r.wife[m], m);
+  EXPECT_EQ(r.llp.advances, 0u);
+  EXPECT_TRUE(is_stable_matching(inst, r.wife));
+}
+
+TEST_P(LlpMarriage, AdversarialAllSamePreferences) {
+  // All men share one preference order; all women share one ranking.
+  // Forces the maximum chain of rejections (O(n^2) proposals).
+  const std::uint32_t n = 24;
+  MarriageInstance inst;
+  inst.n = n;
+  inst.men_pref.assign(n, {});
+  inst.women_rank.assign(n, {});
+  for (std::uint32_t m = 0; m < n; ++m) {
+    for (std::uint32_t w = 0; w < n; ++w) inst.men_pref[m].push_back(w);
+  }
+  for (std::uint32_t w = 0; w < n; ++w) {
+    inst.women_rank[w].resize(n);
+    for (std::uint32_t m = 0; m < n; ++m) inst.women_rank[w][m] = m;
+  }
+  const MarriageResult r = llp_stable_marriage(inst, pool_);
+  // Man-optimal here: man m gets woman m (best man takes the best woman...).
+  for (std::uint32_t m = 0; m < n; ++m) EXPECT_EQ(r.wife[m], m);
+  EXPECT_EQ(r.wife, gale_shapley(inst));
+}
+
+TEST(MarriageHelpers, StabilityCheckerDetectsBlockingPair) {
+  const MarriageInstance inst = random_marriage_instance(20, 7);
+  std::vector<std::uint32_t> wife = gale_shapley(inst);
+  ASSERT_TRUE(is_stable_matching(inst, wife));
+  // Swap two wives: almost surely unstable (and if it happens to remain a
+  // matching it is at least still perfect — assert the checker notices the
+  // GS result was man-optimal by checking the swap differs).
+  std::swap(wife[0], wife[1]);
+  EXPECT_FALSE(is_stable_matching(inst, wife) &&
+               wife == gale_shapley(inst));
+}
+
+TEST(MarriageHelpers, RejectsImperfectMatching) {
+  const MarriageInstance inst = random_marriage_instance(5, 1);
+  std::vector<std::uint32_t> wife = gale_shapley(inst);
+  wife[2] = wife[3];  // duplicate assignment
+  EXPECT_FALSE(is_stable_matching(inst, wife));
+  wife.pop_back();  // wrong size
+  EXPECT_FALSE(is_stable_matching(inst, wife));
+}
+
+TEST(MarriageHelpers, RandomInstanceDeterministic) {
+  const MarriageInstance a = random_marriage_instance(10, 42);
+  const MarriageInstance b = random_marriage_instance(10, 42);
+  EXPECT_EQ(a.men_pref, b.men_pref);
+  EXPECT_EQ(a.women_rank, b.women_rank);
+}
+
+}  // namespace
+}  // namespace llpmst

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "parallel/sort.hpp"
+#include "parallel/thread_pool.hpp"
+#include "support/random.hpp"
+
+namespace llpmst {
+namespace {
+
+class ParallelSort : public testing::TestWithParam<int> {
+ protected:
+  ThreadPool pool_{static_cast<std::size_t>(GetParam())};
+};
+INSTANTIATE_TEST_SUITE_P(Threads, ParallelSort, testing::Values(1, 2, 3, 4, 8));
+
+TEST_P(ParallelSort, MatchesStdSortOnRandomData) {
+  Xoshiro256 rng(11);
+  for (const std::size_t n : {0ul, 1ul, 100ul, 4096ul, 100000ul, 131071ul}) {
+    std::vector<std::uint64_t> data(n);
+    for (auto& v : data) v = rng.next();
+    std::vector<std::uint64_t> expected = data;
+    std::sort(expected.begin(), expected.end());
+    parallel_sort(pool_, data);
+    ASSERT_EQ(data, expected) << "n=" << n;
+  }
+}
+
+TEST_P(ParallelSort, CustomComparatorDescending) {
+  Xoshiro256 rng(3);
+  std::vector<std::uint32_t> data(50000);
+  for (auto& v : data) v = static_cast<std::uint32_t>(rng.next());
+  parallel_sort(pool_, data, std::greater<std::uint32_t>{});
+  EXPECT_TRUE(
+      std::is_sorted(data.begin(), data.end(), std::greater<std::uint32_t>{}));
+}
+
+TEST_P(ParallelSort, AlreadySortedAndReversed) {
+  std::vector<std::uint32_t> asc(50000), desc(50000);
+  for (std::size_t i = 0; i < asc.size(); ++i) {
+    asc[i] = static_cast<std::uint32_t>(i);
+    desc[i] = static_cast<std::uint32_t>(asc.size() - i);
+  }
+  parallel_sort(pool_, asc);
+  parallel_sort(pool_, desc);
+  EXPECT_TRUE(std::is_sorted(asc.begin(), asc.end()));
+  EXPECT_TRUE(std::is_sorted(desc.begin(), desc.end()));
+}
+
+TEST(ParallelSortDeterminism, IdenticalAcrossThreadCounts) {
+  Xoshiro256 rng(21);
+  std::vector<std::uint64_t> base(60000);
+  for (auto& v : base) v = rng.next();
+  std::vector<std::uint64_t> reference = base;
+  {
+    ThreadPool p1(1);
+    parallel_sort(p1, reference);
+  }
+  for (const int t : {2, 3, 5, 8}) {
+    ThreadPool pool(static_cast<std::size_t>(t));
+    std::vector<std::uint64_t> data = base;
+    parallel_sort(pool, data);
+    ASSERT_EQ(data, reference) << "threads " << t;
+  }
+}
+
+TEST_P(ParallelSort, ManyDuplicates) {
+  Xoshiro256 rng(9);
+  std::vector<std::uint8_t> data(80000);
+  for (auto& v : data) v = static_cast<std::uint8_t>(rng.next_below(4));
+  std::vector<std::uint8_t> expected = data;
+  std::sort(expected.begin(), expected.end());
+  parallel_sort(pool_, data);
+  EXPECT_EQ(data, expected);
+}
+
+TEST_P(ParallelSort, StructsWithComparator) {
+  struct Item {
+    std::uint32_t key;
+    std::uint32_t payload;
+    bool operator==(const Item&) const = default;
+  };
+  Xoshiro256 rng(5);
+  std::vector<Item> data(30000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = {static_cast<std::uint32_t>(rng.next_below(1u << 20)),
+               static_cast<std::uint32_t>(i)};
+  }
+  const auto by_key_then_payload = [](const Item& a, const Item& b) {
+    return a.key != b.key ? a.key < b.key : a.payload < b.payload;
+  };
+  std::vector<Item> expected = data;
+  std::sort(expected.begin(), expected.end(), by_key_then_payload);
+  parallel_sort(pool_, data, by_key_then_payload);
+  EXPECT_EQ(data, expected);
+}
+
+}  // namespace
+}  // namespace llpmst

@@ -1,0 +1,64 @@
+// Prim over every heap implementation (the heap-choice ablation's
+// correctness backing): identical MSTs, coherent operation counts.
+#include <gtest/gtest.h>
+
+#include "ds/binary_heap.hpp"
+#include "ds/dary_heap.hpp"
+#include "ds/lazy_heap.hpp"
+#include "ds/pairing_heap.hpp"
+#include "graph/generators/random_graph.hpp"
+#include "graph/generators/rmat.hpp"
+#include "graph/generators/road.hpp"
+#include "mst/prim_heaps.hpp"
+#include "test_util.hpp"
+
+namespace llpmst {
+namespace {
+
+using test::csr;
+
+template <typename Heap>
+class PrimHeapTest : public testing::Test {};
+
+using HeapTypes =
+    testing::Types<BinaryHeap<EdgePriority>, DaryHeap<EdgePriority, 2>,
+                   DaryHeap<EdgePriority, 4>, DaryHeap<EdgePriority, 8>,
+                   PairingHeap<EdgePriority>, LazyHeap<EdgePriority>>;
+TYPED_TEST_SUITE(PrimHeapTest, HeapTypes);
+
+TYPED_TEST(PrimHeapTest, MatchesKruskalOnRoadGraph) {
+  RoadParams p;
+  p.width = 40;
+  p.height = 40;
+  p.seed = 5;
+  const CsrGraph g = csr(generate_road_network(p));
+  const MstResult r = prim_with_heap<TypeParam>(g, 0);
+  EXPECT_EQ(r.edges, kruskal(g).edges);
+}
+
+TYPED_TEST(PrimHeapTest, MatchesKruskalOnDenseGraph) {
+  ErdosRenyiParams p;
+  p.num_vertices = 400;
+  p.num_edges = 6000;
+  p.seed = 8;
+  EdgeList list = generate_erdos_renyi(p);
+  connect_components(list);
+  const CsrGraph g = csr(list);
+  const MstResult r = prim_with_heap<TypeParam>(g, 0);
+  EXPECT_EQ(r.edges, kruskal(g).edges);
+}
+
+TYPED_TEST(PrimHeapTest, OperationCountsCoherent) {
+  RoadParams p;
+  p.width = 30;
+  p.height = 30;
+  const CsrGraph g = csr(generate_road_network(p));
+  const MstResult r = prim_with_heap<TypeParam>(g, 0);
+  EXPECT_GE(r.stats.heap.pushes, g.num_vertices() > 0 ? 1u : 0u);
+  EXPECT_GE(r.stats.heap.pops, r.stats.fixed_via_heap);
+  EXPECT_EQ(r.stats.fixed_via_heap, g.num_vertices());
+  EXPECT_LE(r.stats.heap.pushes, 2 * g.num_edges() + 1);  // lazy bound
+}
+
+}  // namespace
+}  // namespace llpmst

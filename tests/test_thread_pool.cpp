@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace llpmst {
+namespace {
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  int calls = 0;
+  pool.run_team([&](std::size_t id) {
+    EXPECT_EQ(id, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPool, AllWorkerIdsParticipate) {
+  constexpr std::size_t kThreads = 4;
+  ThreadPool pool(kThreads);
+  std::vector<std::atomic<int>> hits(kThreads);
+  for (auto& h : hits) h.store(0);
+  pool.run_team([&](std::size_t id) {
+    ASSERT_LT(id, kThreads);
+    hits[id].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < kThreads; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "worker " << i;
+  }
+}
+
+TEST(ThreadPool, ManyConsecutiveRegions) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.run_team([&](std::size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 600);
+}
+
+TEST(ThreadPool, RegionsSeeEachOthersWrites) {
+  // The join of region k must happen-before region k+1: worker 0 writes,
+  // all workers read in the next region.
+  ThreadPool pool(4);
+  int shared = 0;
+  std::atomic<int> mismatches{0};
+  for (int round = 1; round <= 50; ++round) {
+    pool.run_team([&](std::size_t id) {
+      if (id == 0) shared = round;
+    });
+    pool.run_team([&](std::size_t) {
+      if (shared != round) mismatches.fetch_add(1);
+    });
+  }
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(ThreadPool, CallerIsWorkerZero) {
+  ThreadPool pool(4);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id seen{};
+  pool.run_team([&](std::size_t id) {
+    if (id == 0) seen = std::this_thread::get_id();
+  });
+  EXPECT_EQ(seen, caller);
+}
+
+TEST(ThreadPool, DestructionWithNoRegionsIsClean) {
+  // Pools that never ran anything must still shut their workers down.
+  for (int i = 0; i < 20; ++i) {
+    ThreadPool pool(4);
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace llpmst

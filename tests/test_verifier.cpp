@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators/random_graph.hpp"
+#include "graph/generators/special.hpp"
+#include "mst/kruskal.hpp"
+#include "mst/verifier.hpp"
+#include "support/random.hpp"
+#include "test_util.hpp"
+
+namespace llpmst {
+namespace {
+
+using test::csr;
+
+MstResult reference_msf(const CsrGraph& g) { return kruskal(g); }
+
+TEST(Verifier, AcceptsCorrectMst) {
+  const CsrGraph g = csr(make_paper_figure1());
+  const MstResult r = reference_msf(g);
+  EXPECT_TRUE(verify_spanning_forest(g, r).ok);
+  EXPECT_TRUE(verify_msf(g, r).ok);
+}
+
+TEST(Verifier, AcceptsForest) {
+  const CsrGraph g = csr(make_forest(4, 15, 3));
+  const MstResult r = reference_msf(g);
+  const VerifyResult v = verify_msf(g, r);
+  EXPECT_TRUE(v.ok) << v.error;
+}
+
+TEST(Verifier, AcceptsEmptyAndTrivial) {
+  const CsrGraph empty = csr(EdgeList(0));
+  MstResult r;
+  r.num_trees = 0;
+  EXPECT_TRUE(verify_msf(empty, r).ok);
+
+  const CsrGraph single = csr(EdgeList(1));
+  MstResult r1;
+  r1.num_trees = 1;
+  EXPECT_TRUE(verify_msf(single, r1).ok);
+}
+
+TEST(Verifier, RejectsOutOfRangeEdge) {
+  const CsrGraph g = csr(make_paper_figure1());
+  MstResult r = reference_msf(g);
+  r.edges.back() = 99;
+  const VerifyResult v = verify_spanning_forest(g, r);
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.error.find("out of range"), std::string::npos);
+}
+
+TEST(Verifier, RejectsDuplicateEdge) {
+  const CsrGraph g = csr(make_paper_figure1());
+  MstResult r = reference_msf(g);
+  r.edges[1] = r.edges[0];
+  EXPECT_FALSE(verify_spanning_forest(g, r).ok);
+}
+
+TEST(Verifier, RejectsDroppedEdge) {
+  const CsrGraph g = csr(make_paper_figure1());
+  MstResult r = reference_msf(g);
+  r.total_weight -= g.edge(r.edges.back()).w;
+  r.edges.pop_back();
+  // Still acyclic but no longer spanning.
+  const VerifyResult v = verify_spanning_forest(g, r);
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.error.find("span"), std::string::npos);
+}
+
+TEST(Verifier, RejectsCycle) {
+  const CsrGraph g = csr(make_paper_figure1());
+  MstResult r = reference_msf(g);
+  // Replace an edge with one closing a cycle among already-connected
+  // vertices: with 4 tree edges over 5 vertices, adding any 5th distinct
+  // edge must close a cycle.
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (std::find(r.edges.begin(), r.edges.end(), e) == r.edges.end()) {
+      r.edges.push_back(e);
+      break;
+    }
+  }
+  std::sort(r.edges.begin(), r.edges.end());
+  const VerifyResult v = verify_spanning_forest(g, r);
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.error.find("cycle"), std::string::npos);
+}
+
+TEST(Verifier, RejectsWrongTotalWeight) {
+  const CsrGraph g = csr(make_paper_figure1());
+  MstResult r = reference_msf(g);
+  r.total_weight += 1;
+  const VerifyResult v = verify_spanning_forest(g, r);
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.error.find("total_weight"), std::string::npos);
+}
+
+TEST(Verifier, RejectsWrongTreeCount) {
+  const CsrGraph g = csr(make_paper_figure1());
+  MstResult r = reference_msf(g);
+  r.num_trees = 2;
+  EXPECT_FALSE(verify_spanning_forest(g, r).ok);
+}
+
+TEST(Verifier, RejectsNonMinimalSpanningTree) {
+  // Build a spanning tree that is valid but not minimal: swap a tree edge
+  // for a heavier non-tree edge that keeps the graph spanning.
+  const CsrGraph g = csr(make_paper_figure1());
+  MstResult r = reference_msf(g);
+  // Fig.1: MST uses b-c (3); swapping it for c-d (9) still spans
+  // ({a-c, b-d, d-e, c-d}) but is heavier.
+  EdgeId bc = kInvalidEdge, cd = kInvalidEdge;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const WeightedEdge& we = g.edge(e);
+    if (we.w == 3) bc = e;
+    if (we.w == 9) cd = e;
+  }
+  ASSERT_NE(bc, kInvalidEdge);
+  ASSERT_NE(cd, kInvalidEdge);
+  std::replace(r.edges.begin(), r.edges.end(), bc, cd);
+  std::sort(r.edges.begin(), r.edges.end());
+  r.total_weight = r.total_weight - 3 + 9;
+
+  EXPECT_TRUE(verify_spanning_forest(g, r).ok);  // shape is fine...
+  const VerifyResult v = verify_msf(g, r);       // ...minimality is not
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.error.find("cycle property"), std::string::npos);
+}
+
+TEST(Verifier, RejectsEveryRandomSingleEdgeSwap) {
+  // The MSF is unique (packed priorities), so replacing any chosen edge by
+  // any non-chosen edge yields a different set that verify_msf must reject
+  // — either as non-spanning, cyclic, or non-minimal.
+  Xoshiro256 rng(77);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    ErdosRenyiParams p;
+    p.num_vertices = 60;
+    p.num_edges = 240;
+    p.seed = seed;
+    const CsrGraph g = csr(generate_erdos_renyi(p));
+    const MstResult good = reference_msf(g);
+    if (good.edges.empty() || good.edges.size() == g.num_edges()) continue;
+
+    std::vector<bool> chosen(g.num_edges(), false);
+    for (const EdgeId e : good.edges) chosen[e] = true;
+
+    for (int trial = 0; trial < 10; ++trial) {
+      MstResult mutated = good;
+      const std::size_t out_idx = rng.next_below(mutated.edges.size());
+      EdgeId in_edge;
+      do {
+        in_edge = static_cast<EdgeId>(rng.next_below(g.num_edges()));
+      } while (chosen[in_edge]);
+      const EdgeId out_edge = mutated.edges[out_idx];
+      mutated.edges[out_idx] = in_edge;
+      std::sort(mutated.edges.begin(), mutated.edges.end());
+      mutated.total_weight =
+          mutated.total_weight - g.edge(out_edge).w + g.edge(in_edge).w;
+      ASSERT_FALSE(verify_msf(g, mutated).ok)
+          << "seed " << seed << " swap " << out_edge << "->" << in_edge;
+    }
+  }
+}
+
+TEST(Verifier, MinimalityCheckOnRandomGraphs) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    ErdosRenyiParams p;
+    p.num_vertices = 120;
+    p.num_edges = 500;
+    p.seed = seed;
+    const CsrGraph g = csr(generate_erdos_renyi(p));
+    const MstResult r = reference_msf(g);
+    const VerifyResult v = verify_msf(g, r);
+    EXPECT_TRUE(v.ok) << "seed " << seed << ": " << v.error;
+  }
+}
+
+}  // namespace
+}  // namespace llpmst

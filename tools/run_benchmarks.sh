@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Regenerates every paper figure/table, writing both the human-readable log
+# and per-figure CSVs (for re-plotting) under results/.
+#
+#   tools/run_benchmarks.sh [build-dir] [results-dir]
+set -euo pipefail
+
+BUILD="${1:-build}"
+OUT="${2:-results}"
+mkdir -p "$OUT"
+
+run() {
+  local name="$1"; shift
+  echo "=== $name ==="
+  "$BUILD/bench/$name" "$@" | tee "$OUT/$name.txt"
+  "$BUILD/bench/$name" "$@" --csv > "$OUT/$name.csv"
+}
+
+run bench_table1_datasets
+run bench_fig2_single_thread
+run bench_fig3_scaling
+run bench_fig4_graph_types
+run bench_size_sweep
+run bench_ablation_llp_prim
+run bench_ablation_llp_boruvka
+run bench_heap_choice
+run bench_sequential_baselines
+run bench_llp_transfer
+
+"$BUILD/bench/micro_ds"       | tee "$OUT/micro_ds.txt"
+"$BUILD/bench/micro_parallel" | tee "$OUT/micro_parallel.txt"
+
+echo "All outputs in $OUT/"

@@ -22,7 +22,9 @@ int main(int argc, char** argv) {
   auto& threads = cli.add_int("threads", 8, "worker threads");
   auto& reps = cli.add_int("reps", 3, "timed repetitions");
   auto& csv = cli.add_bool("csv", false, "emit CSV");
+  ObsCli obs_cli(cli);
   cli.parse(argc, argv);
+  obs_cli.begin();
 
   BenchOptions opts;
   opts.repetitions = static_cast<int>(reps);
@@ -62,5 +64,6 @@ int main(int argc, char** argv) {
   std::printf("(async+no-dedup = LLP-Boruvka; synchronized+dedup = the "
               "parallel Boruvka baseline)\n\n");
   t.print(csv);
+  obs_cli.finish("bench_ablation_llp_boruvka");
   return 0;
 }

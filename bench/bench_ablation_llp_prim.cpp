@@ -28,7 +28,9 @@ int main(int argc, char** argv) {
   auto& threads = cli.add_int("threads", 4, "threads for the parallel rows");
   auto& reps = cli.add_int("reps", 3, "timed repetitions");
   auto& csv = cli.add_bool("csv", false, "emit CSV");
+  ObsCli obs_cli(cli);
   cli.parse(argc, argv);
+  obs_cli.begin();
 
   BenchOptions opts;
   opts.repetitions = static_cast<int>(reps);
@@ -90,5 +92,6 @@ int main(int argc, char** argv) {
   t.print(csv);
   std::printf("\nExpected: MWE fixing removes most heap pushes/pops; Q "
               "staging removes adjusts for vertices later fixed for free.\n");
+  obs_cli.finish("bench_ablation_llp_prim");
   return 0;
 }

@@ -36,7 +36,9 @@ int main(int argc, char** argv) {
   // repetitions than the other benches.
   auto& reps = cli.add_int("reps", 7, "timed repetitions per algorithm");
   auto& csv = cli.add_bool("csv", false, "emit CSV");
+  ObsCli obs_cli(cli);
   cli.parse(argc, argv);
+  obs_cli.begin();
 
   std::printf("Fig. 2: single-threaded MST algorithms "
               "(interleaved timing, median of %lld)\n\n",
@@ -109,5 +111,6 @@ int main(int argc, char** argv) {
 
   std::printf("\n");
   t.print(csv);
+  obs_cli.finish("bench_fig2_single_thread");
   return 0;
 }

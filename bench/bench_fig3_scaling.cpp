@@ -31,7 +31,9 @@ int main(int argc, char** argv) {
       cli.add_string("threads", "1,2,4,8,16,32", "thread counts to sweep");
   auto& reps = cli.add_int("reps", 3, "timed repetitions");
   auto& csv = cli.add_bool("csv", false, "emit CSV");
+  ObsCli obs_cli(cli);
   cli.parse(argc, argv);
+  obs_cli.begin();
 
   const std::vector<int> thread_counts =
       CliParser::parse_int_list(threads_flag);
@@ -74,5 +76,6 @@ int main(int argc, char** argv) {
   }
 
   t.print(csv);
+  obs_cli.finish("bench_fig3_scaling");
   return 0;
 }

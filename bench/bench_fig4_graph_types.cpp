@@ -27,7 +27,9 @@ int main(int argc, char** argv) {
   auto& high = cli.add_int("high", 16, "high thread count");
   auto& reps = cli.add_int("reps", 3, "timed repetitions");
   auto& csv = cli.add_bool("csv", false, "emit CSV");
+  ObsCli obs_cli(cli);
   cli.parse(argc, argv);
+  obs_cli.begin();
 
   BenchOptions opts;
   opts.repetitions = static_cast<int>(reps);
@@ -77,5 +79,6 @@ int main(int argc, char** argv) {
   }
 
   t.print(csv);
+  obs_cli.finish("bench_fig4_graph_types");
   return 0;
 }

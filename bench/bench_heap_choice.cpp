@@ -22,7 +22,9 @@ int main(int argc, char** argv) {
   auto& scale = cli.add_int("scale", 16, "graph500 RMAT scale");
   auto& reps = cli.add_int("reps", 3, "timed repetitions");
   auto& csv = cli.add_bool("csv", false, "emit CSV");
+  ObsCli obs_cli(cli);
   cli.parse(argc, argv);
+  obs_cli.begin();
 
   BenchOptions opts;
   opts.repetitions = static_cast<int>(reps);
@@ -68,5 +70,6 @@ int main(int argc, char** argv) {
 
   std::printf("Ablation: heap choice in Prim\n\n");
   t.print(csv);
+  obs_cli.finish("bench_heap_choice");
   return 0;
 }

@@ -46,7 +46,9 @@ int main(int argc, char** argv) {
   auto& threads = cli.add_int("threads", 4, "worker threads");
   auto& reps = cli.add_int("reps", 3, "timed repetitions");
   auto& csv = cli.add_bool("csv", false, "emit CSV");
+  ObsCli obs_cli(cli);
   cli.parse(argc, argv);
+  obs_cli.begin();
 
   ThreadPool pool(static_cast<std::size_t>(threads));
   Table t({"Problem", "Workload", "Classical", "Time", "LLP engine", "Time"});
@@ -129,5 +131,6 @@ int main(int argc, char** argv) {
   std::printf("LLP framework transfer (threads=%lld)\n\n",
               static_cast<long long>(threads));
   t.print(csv);
+  obs_cli.finish("bench_llp_transfer");
   return 0;
 }

@@ -25,7 +25,9 @@ int main(int argc, char** argv) {
                               "threads for the sort-parallel variants");
   auto& reps = cli.add_int("reps", 3, "timed repetitions");
   auto& csv = cli.add_bool("csv", false, "emit CSV");
+  ObsCli obs_cli(cli);
   cli.parse(argc, argv);
+  obs_cli.begin();
 
   BenchOptions opts;
   opts.repetitions = static_cast<int>(reps);
@@ -65,5 +67,6 @@ int main(int argc, char** argv) {
               "sort)\n\n",
               static_cast<long long>(threads));
   t.print(csv);
+  obs_cli.finish("bench_sequential_baselines");
   return 0;
 }

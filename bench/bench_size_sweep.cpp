@@ -22,7 +22,9 @@ int main(int argc, char** argv) {
   auto& threads = cli.add_int("threads", 4, "threads for parallel algos");
   auto& reps = cli.add_int("reps", 3, "timed repetitions");
   auto& csv = cli.add_bool("csv", false, "emit CSV");
+  ObsCli obs_cli(cli);
   cli.parse(argc, argv);
+  obs_cli.begin();
 
   BenchOptions opts;
   opts.repetitions = static_cast<int>(reps);
@@ -59,5 +61,6 @@ int main(int argc, char** argv) {
   t.print(csv);
   std::printf("\nThe ranking between algorithms should be stable across "
               "scales (the paper's 'results were analogous').\n");
+  obs_cli.finish("bench_size_sweep");
   return 0;
 }

@@ -22,7 +22,9 @@ int main(int argc, char** argv) {
   auto& road_side = cli.add_int("road-side", 512, "road grid side length");
   auto& scale = cli.add_int("scale", 16, "graph500 RMAT scale (log2 n)");
   auto& csv = cli.add_bool("csv", false, "emit CSV");
+  ObsCli obs_cli(cli);
   cli.parse(argc, argv);
+  obs_cli.begin();
 
   std::printf("Table I: graphs used in experimental evaluation\n");
   std::printf("(paper: USA-road-d.USA 23M road; graph500-s25-ef16 18M "
@@ -47,5 +49,6 @@ int main(int argc, char** argv) {
                              /*connect=*/false));
 
   t.print(csv);
+  obs_cli.finish("bench_table1_datasets");
   return 0;
 }

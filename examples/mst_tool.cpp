@@ -30,6 +30,9 @@
 #include "mst/parallel_boruvka.hpp"
 #include "mst/prim.hpp"
 #include "mst/verifier.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "support/cli.hpp"
 #include "support/stats.hpp"
 #include "support/timer.hpp"
@@ -84,12 +87,30 @@ int main(int argc, char** argv) {
       "algorithm", "auto",
       "auto | kruskal | prim | boruvka | parallel-boruvka | llp-prim | "
       "llp-prim-parallel | llp-prim-async | llp-boruvka");
+  auto& algo_alias = cli.add_string("algo", "", "shorthand for --algorithm");
   auto& threads = cli.add_int("threads", 4, "worker threads");
+  auto& metrics_json = cli.add_string(
+      "metrics-json", "", "write the JSON run report (counters, phases, "
+      "algo stats) to this file");
+  auto& trace_file = cli.add_string(
+      "trace", "", "collect and write a Chrome/Perfetto trace-event JSON "
+      "to this file");
   auto& verify = cli.add_bool("verify", false,
                               "run the exact minimality verifier (O(m*depth))");
   auto& output = cli.add_string("output", "",
                                 "write chosen edges as 'u v w' lines");
   cli.parse(argc, argv);
+  if (!algo_alias.empty()) algorithm = algo_alias;
+
+  // --- Observability: flip the runtime gates before any work we want to
+  // measure.  Counters are always recorded; phase timers and tracing only
+  // cost anything once these are on.
+  const bool want_obs = !metrics_json.empty() || !trace_file.empty();
+  if (want_obs) obs::set_enabled(true);
+  if (!trace_file.empty()) {
+    ThreadPool::set_trace_regions(true);
+    obs::trace_start();
+  }
 
   // --- Acquire the graph.
   EdgeList list;
@@ -143,7 +164,10 @@ int main(int argc, char** argv) {
   } else if (algorithm == "parallel-boruvka") {
     result = parallel_boruvka(g, pool);
   } else if (algorithm == "llp-prim") {
-    result = llp_prim(g);
+    // The forest-safe entry: identical to llp_prim on connected graphs,
+    // restarts from a fresh root per component otherwise (the tool promises
+    // an MSF, and generated rmat/er graphs are usually disconnected).
+    result = llp_prim_msf(g);
   } else if (algorithm == "llp-prim-parallel") {
     result = llp_prim_parallel(g, pool);
   } else if (algorithm == "llp-prim-async") {
@@ -156,6 +180,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   const double solve_ms = t.elapsed_ms();
+  if (!trace_file.empty()) obs::trace_stop();  // don't trace the verifier
 
   std::printf("\nAlgorithm : %s (%lld threads)\n", used.c_str(),
               static_cast<long long>(threads));
@@ -164,6 +189,10 @@ int main(int argc, char** argv) {
               format_count(result.edges.size()).c_str(),
               format_count(result.num_trees).c_str(),
               format_count(result.total_weight).c_str());
+  if (!result.stats.llp_converged) {
+    std::printf("WARNING   : LLP sweep cap hit before convergence; the "
+                "result may be partial\n");
+  }
 
   // --- Verify.
   const VerifyResult shape = verify_spanning_forest(g, result);
@@ -200,6 +229,36 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("Wrote     : %s\n", output.c_str());
+  }
+
+  // --- Observability artefacts.
+  if (!metrics_json.empty()) {
+    obs::RunInfo info;
+    info.tool = "mst_tool";
+    info.algorithm = used;
+    info.threads = static_cast<std::size_t>(threads);
+    info.vertices = g.num_vertices();
+    info.edges = g.num_edges();
+    info.wall_ms = solve_ms;
+    std::string err;
+    if (!obs::write_run_report(metrics_json,
+                               obs::build_run_report(info, &result.stats),
+                               &err)) {
+      std::fprintf(stderr, "error writing %s: %s\n", metrics_json.c_str(),
+                   err.c_str());
+      return 1;
+    }
+    std::printf("Metrics   : %s\n", metrics_json.c_str());
+  }
+  if (!trace_file.empty()) {
+    std::string err;
+    if (!obs::write_trace_json(trace_file, &err)) {
+      std::fprintf(stderr, "error writing %s: %s\n", trace_file.c_str(),
+                   err.c_str());
+      return 1;
+    }
+    std::printf("Trace     : %s (%zu events)\n", trace_file.c_str(),
+                obs::trace_event_count());
   }
   return 0;
 }

@@ -4,6 +4,10 @@
 #include <cstdlib>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "parallel/thread_pool.hpp"
 #include "support/assert.hpp"
 #include "support/timer.hpp"
 
@@ -44,6 +48,53 @@ BenchMeasurement measure_mst(const std::string& name, const CsrGraph& g,
   }
   m.time_ms = summarize(samples);
   return m;
+}
+
+ObsCli::ObsCli(CliParser& cli)
+    : metrics_json_(&cli.add_string(
+          "metrics-json", "",
+          "write the JSON run report (counters, phases) to this file")),
+      trace_(&cli.add_string(
+          "trace", "",
+          "collect and write a Chrome trace-event JSON to this file")) {}
+
+void ObsCli::begin() const {
+  if (!metrics_json_->empty() || !trace_->empty()) obs::set_enabled(true);
+  if (!trace_->empty()) {
+    ThreadPool::set_trace_regions(true);
+    obs::trace_start();
+  }
+}
+
+bool ObsCli::finish(const std::string& tool, std::size_t threads) const {
+  if (!trace_->empty()) obs::trace_stop();
+  bool ok = true;
+  if (!metrics_json_->empty()) {
+    obs::RunInfo info;
+    info.tool = tool;
+    info.threads = threads;
+    std::string err;
+    if (obs::write_run_report(*metrics_json_,
+                              obs::build_run_report(info, nullptr), &err)) {
+      std::printf("metrics: %s\n", metrics_json_->c_str());
+    } else {
+      std::fprintf(stderr, "error writing %s: %s\n", metrics_json_->c_str(),
+                   err.c_str());
+      ok = false;
+    }
+  }
+  if (!trace_->empty()) {
+    std::string err;
+    if (obs::write_trace_json(*trace_, &err)) {
+      std::printf("trace: %s (%zu events)\n", trace_->c_str(),
+                  obs::trace_event_count());
+    } else {
+      std::fprintf(stderr, "error writing %s: %s\n", trace_->c_str(),
+                   err.c_str());
+      ok = false;
+    }
+  }
+  return ok;
 }
 
 }  // namespace llpmst

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "mst/mst_result.hpp"
+#include "support/cli.hpp"
 #include "support/stats.hpp"
 
 namespace llpmst {
@@ -31,5 +32,29 @@ struct BenchMeasurement {
 [[nodiscard]] BenchMeasurement measure_mst(
     const std::string& name, const CsrGraph& g, const MstResult& reference,
     const std::function<MstResult()>& run, const BenchOptions& options = {});
+
+/// Shared observability flags for the bench binaries.  Construct before
+/// cli.parse() (registers --metrics-json and --trace), call begin() right
+/// after parse (flips the runtime metric/trace gates when either flag was
+/// given), and finish() once the benchmark work is done (writes the run
+/// report and/or trace file).  With neither flag passed, both calls are
+/// no-ops, so benches pay nothing for carrying the flags.
+class ObsCli {
+ public:
+  explicit ObsCli(CliParser& cli);
+
+  /// Enables metrics collection / trace recording as requested.
+  void begin() const;
+
+  /// Stops tracing and writes the requested artefacts.  `tool` names the
+  /// emitting binary in the report; `threads` (0 = unknown/swept) lands in
+  /// the report's run section.  Returns false after printing to stderr if
+  /// a file could not be written.
+  bool finish(const std::string& tool, std::size_t threads = 0) const;
+
+ private:
+  std::string* metrics_json_;
+  std::string* trace_;
+};
 
 }  // namespace llpmst

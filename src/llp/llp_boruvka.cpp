@@ -6,6 +6,7 @@ MstResult llp_boruvka(const CsrGraph& g, ThreadPool& pool) {
   BoruvkaConfig config;
   config.jumping = PointerJumping::kAsynchronous;
   config.dedup_contracted_edges = false;
+  config.obs_label = "llp_boruvka";
   return boruvka_engine(g, pool, config);
 }
 

@@ -1,7 +1,9 @@
 #include "llp/llp_components.hpp"
 
 #include <atomic>
+#include <cstdio>
 
+#include "obs/metrics.hpp"
 #include "parallel/atomic_utils.hpp"
 #include "parallel/parallel_for.hpp"
 #include "support/assert.hpp"
@@ -39,7 +41,18 @@ LlpComponentsResult llp_connected_components(const CsrGraph& g,
         // fetch-min rather than a blind store.
         atomic_fetch_min(G[v], forced(v));
       });
-  LLPMST_CHECK_MSG(out.llp.converged, "LLP components failed to converge");
+  // A cap hit means the predicate is buggy or the cap was set too low; the
+  // partial labels are still a sound over-approximation (labels only ever
+  // decrease toward the fixpoint), so surface the condition instead of
+  // aborting and let callers/reports decide.
+  if (!out.llp.converged) {
+    obs::add_warning(
+        "llp_connected_components: sweep cap hit before convergence; "
+        "labels are an unconverged over-approximation");
+    std::fprintf(stderr,
+                 "warning: llp_connected_components hit the sweep cap "
+                 "without converging\n");
+  }
 
   out.label.resize(n);
   std::size_t roots = 0;

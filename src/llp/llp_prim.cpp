@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "ds/binary_heap.hpp"
+#include "obs/phase_timer.hpp"
 #include "support/assert.hpp"
 
 namespace llpmst {
@@ -13,6 +14,7 @@ MstResult llp_prim(const CsrGraph& g, VertexId root,
   LLPMST_CHECK_MSG(n >= 1, "LLP-Prim requires a non-empty graph");
   LLPMST_CHECK(root < n);
 
+  obs::PhaseTimer algo_span("llp_prim");
   MstResult r;
   r.edges.reserve(n - 1);
   std::vector<EdgePriority> dist(n, kInfinitePriority);
@@ -38,43 +40,48 @@ MstResult llp_prim(const CsrGraph& g, VertexId root,
     if (num_fixed == n) break;
 
     // Drain R: vertices here are already fixed; explore their edges.  Order
-    // within R is irrelevant (the LLP property) — we pop LIFO.
-    while (!bag_r.empty() && num_fixed < n) {
-      const VertexId j = bag_r.back();
-      bag_r.pop_back();
+    // within R is irrelevant (the LLP property) — we pop LIFO.  Each drain
+    // is one worklist sweep in the Algorithm 1 sense.
+    if (!bag_r.empty()) ++r.stats.llp_sweeps;
+    {
+      obs::PhaseTimer relax_span("relax");
+      while (!bag_r.empty() && num_fixed < n) {
+        const VertexId j = bag_r.back();
+        bag_r.pop_back();
 
-      const auto nbrs = g.neighbors(j);
-      const auto prios = g.arc_priorities(j);
-      const auto mwe_flags = g.arc_mwe_flags(j);
-      for (std::size_t i = 0; i < nbrs.size(); ++i) {
-        const VertexId k = nbrs[i];
-        if (fixed[k]) continue;
-        ++r.stats.edges_relaxed;
-        const EdgePriority p = prios[i];
+        const auto nbrs = g.neighbors(j);
+        const auto prios = g.arc_priorities(j);
+        const auto mwe_flags = g.arc_mwe_flags(j);
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+          const VertexId k = nbrs[i];
+          if (fixed[k]) continue;
+          ++r.stats.edges_relaxed;
+          const EdgePriority p = prios[i];
 
-        // Early fixing: (j, k) is the MWE of j or of k -> it is an MST edge
-        // and j is fixed, so k's parent is j (see Section V-A).  The flag is
-        // precomputed per arc so this is a sequential-stream read.
-        if (options.mwe_fixing && mwe_flags[i]) {
-          fixed[k] = 1;
-          ++num_fixed;
-          ++r.stats.fixed_via_mwe;
-          parent_edge[k] = priority_edge(p);
-          r.edges.push_back(parent_edge[k]);
-          bag_r.push_back(k);
-          continue;
-        }
+          // Early fixing: (j, k) is the MWE of j or of k -> it is an MST edge
+          // and j is fixed, so k's parent is j (see Section V-A).  The flag is
+          // precomputed per arc so this is a sequential-stream read.
+          if (options.mwe_fixing && mwe_flags[i]) {
+            fixed[k] = 1;
+            ++num_fixed;
+            ++r.stats.fixed_via_mwe;
+            parent_edge[k] = priority_edge(p);
+            r.edges.push_back(parent_edge[k]);
+            bag_r.push_back(k);
+            continue;
+          }
 
-        if (p < dist[k]) {
-          dist[k] = p;
-          parent_edge[k] = priority_edge(p);
-          if (options.q_staging) {
-            if (!in_q[k]) {
-              in_q[k] = 1;
-              q.push_back(k);
+          if (p < dist[k]) {
+            dist[k] = p;
+            parent_edge[k] = priority_edge(p);
+            if (options.q_staging) {
+              if (!in_q[k]) {
+                in_q[k] = 1;
+                q.push_back(k);
+              }
+            } else {
+              heap.insert_or_adjust(k, p);
             }
-          } else {
-            heap.insert_or_adjust(k, p);
           }
         }
       }
@@ -86,17 +93,21 @@ MstResult llp_prim(const CsrGraph& g, VertexId root,
 
     // R drained: flush the staged heap updates.  Vertices fixed for free in
     // the meantime never touch the heap — that is the optimization.
-    for (const VertexId k : q) {
-      in_q[k] = 0;
-      if (!fixed[k]) {
-        heap.insert_or_adjust(k, dist[k]);
-        ++r.stats.staged_in_q;
+    {
+      obs::PhaseTimer flush_span("heap_flush");
+      for (const VertexId k : q) {
+        in_q[k] = 0;
+        if (!fixed[k]) {
+          heap.insert_or_adjust(k, dist[k]);
+          ++r.stats.staged_in_q;
+        }
       }
+      q.clear();
     }
-    q.clear();
 
     // Fall back to the heap for the next nearest non-fixed vertex.
     bool advanced = false;
+    obs::PhaseTimer pop_span("heap_pop");
     while (!heap.empty()) {
       const auto [j, key] = heap.pop();
       (void)key;
@@ -130,6 +141,7 @@ MstResult llp_prim(const CsrGraph& g, VertexId root,
                    "LLP-Prim requires a connected graph; use llp_prim_msf "
                    "or LLP-Boruvka for forests");
   r.stats.heap = heap.stats();
+  record_algo_metrics("llp_prim", r.stats);
   finalize_result(g, r);
   return r;
 }

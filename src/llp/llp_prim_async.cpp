@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "ds/binary_heap.hpp"
+#include "obs/phase_timer.hpp"
 #include "parallel/atomic_utils.hpp"
 #include "parallel/concurrent_bag.hpp"
 #include "parallel/work_stealing.hpp"
@@ -16,6 +17,7 @@ MstResult llp_prim_async(const CsrGraph& g, ThreadPool& pool, VertexId root) {
   LLPMST_CHECK_MSG(n >= 1, "LLP-Prim requires a non-empty graph");
   LLPMST_CHECK(root < n);
 
+  obs::PhaseTimer algo_span("llp_prim_async");
   MstResult r;
   std::vector<std::atomic<EdgePriority>> dist(n);
   std::vector<std::atomic<std::uint8_t>> fixed(n);
@@ -40,35 +42,40 @@ MstResult llp_prim_async(const CsrGraph& g, ThreadPool& pool, VertexId root) {
   for (;;) {
     // --- Asynchronous drain of R: fixed vertices are explored as soon as
     // any worker can pick them up; early-fixed vertices feed straight back
-    // into the worklist (ctx.push), no barrier in between.
-    work_stealing_run<VertexId>(
-        pool, seeds, [&](VertexId j, WorkStealingContext<VertexId>& ctx) {
-          const auto nbrs = g.neighbors(j);
-          const auto prios = g.arc_priorities(j);
-          const auto mwe_flags = g.arc_mwe_flags(j);
-          std::uint64_t relaxed = 0;
-          for (std::size_t i = 0; i < nbrs.size(); ++i) {
-            const VertexId k = nbrs[i];
-            if (fixed[k].load(std::memory_order_relaxed)) continue;
-            ++relaxed;
-            const EdgePriority p = prios[i];
-            if (mwe_flags[i]) {
-              if (atomic_claim(fixed[k])) {
-                chosen_edge[k] = priority_edge(p);
-                fixed_via_mwe.fetch_add(1, std::memory_order_relaxed);
-                newly_fixed.push(ctx.worker(), k);
-                ctx.push(k);
+    // into the worklist (ctx.push), no barrier in between.  One drain is
+    // one worklist sweep (stats.llp_sweeps).
+    ++r.stats.llp_sweeps;
+    {
+      obs::PhaseTimer relax_span("relax");
+      work_stealing_run<VertexId>(
+          pool, seeds, [&](VertexId j, WorkStealingContext<VertexId>& ctx) {
+            const auto nbrs = g.neighbors(j);
+            const auto prios = g.arc_priorities(j);
+            const auto mwe_flags = g.arc_mwe_flags(j);
+            std::uint64_t relaxed = 0;
+            for (std::size_t i = 0; i < nbrs.size(); ++i) {
+              const VertexId k = nbrs[i];
+              if (fixed[k].load(std::memory_order_relaxed)) continue;
+              ++relaxed;
+              const EdgePriority p = prios[i];
+              if (mwe_flags[i]) {
+                if (atomic_claim(fixed[k])) {
+                  chosen_edge[k] = priority_edge(p);
+                  fixed_via_mwe.fetch_add(1, std::memory_order_relaxed);
+                  newly_fixed.push(ctx.worker(), k);
+                  ctx.push(k);
+                }
+                continue;
               }
-              continue;
+              if (atomic_fetch_min(dist[k], p)) {
+                bag_q.push(ctx.worker(), k);
+              }
             }
-            if (atomic_fetch_min(dist[k], p)) {
-              bag_q.push(ctx.worker(), k);
+            if (relaxed != 0) {
+              edges_relaxed.fetch_add(relaxed, std::memory_order_relaxed);
             }
-          }
-          if (relaxed != 0) {
-            edges_relaxed.fetch_add(relaxed, std::memory_order_relaxed);
-          }
-        });
+          });
+    }
 
     // Collect the edges of everything fixed during the drain.
     {
@@ -80,6 +87,7 @@ MstResult llp_prim_async(const CsrGraph& g, ThreadPool& pool, VertexId root) {
 
     // --- Sequential heap phase (identical to the other variants).
     {
+      obs::PhaseTimer flush_span("heap_flush");
       std::vector<VertexId> staged;
       bag_q.drain_into(staged);
       for (const VertexId k : staged) {
@@ -90,6 +98,7 @@ MstResult llp_prim_async(const CsrGraph& g, ThreadPool& pool, VertexId root) {
     }
 
     seeds.clear();
+    obs::PhaseTimer pop_span("heap_pop");
     while (!heap.empty()) {
       const auto [j, key] = heap.pop();
       (void)key;
@@ -111,6 +120,7 @@ MstResult llp_prim_async(const CsrGraph& g, ThreadPool& pool, VertexId root) {
   r.stats.fixed_via_mwe = fixed_via_mwe.load(std::memory_order_relaxed);
   r.stats.edges_relaxed = edges_relaxed.load(std::memory_order_relaxed);
   r.stats.heap = heap.stats();
+  record_algo_metrics("llp_prim_async", r.stats);
   finalize_result(g, r);
   return r;
 }

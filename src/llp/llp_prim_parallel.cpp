@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "ds/binary_heap.hpp"
+#include "obs/phase_timer.hpp"
 #include "parallel/atomic_utils.hpp"
 #include "parallel/concurrent_bag.hpp"
 #include "parallel/parallel_for.hpp"
@@ -17,6 +18,7 @@ MstResult llp_prim_parallel(const CsrGraph& g, ThreadPool& pool,
   LLPMST_CHECK_MSG(n >= 1, "LLP-Prim requires a non-empty graph");
   LLPMST_CHECK(root < n);
 
+  obs::PhaseTimer algo_span("llp_prim_parallel");
   MstResult r;
   // dist[k] packs the tentative priority; its low 32 bits are the edge id,
   // so the parent edge rides along with every fetch-min for free.
@@ -57,8 +59,11 @@ MstResult llp_prim_parallel(const CsrGraph& g, ThreadPool& pool,
 
     // --- Parallel drain of R.  Every frontier vertex is already fixed; the
     // team explores their arcs, early-fixing across MWEs (claim CAS) and
-    // lowering tentative distances (fetch-min).
+    // lowering tentative distances (fetch-min).  Each batch is one worklist
+    // sweep in the Algorithm 1 sense (counted in stats.llp_sweeps).
     while (!frontier.empty() && num_fixed < n) {
+      obs::PhaseTimer relax_span("relax");
+      ++r.stats.llp_sweeps;
       parallel_for_worker(
           pool, 0, frontier.size(),
           [&](std::size_t idx, std::size_t w) {
@@ -108,6 +113,7 @@ MstResult llp_prim_parallel(const CsrGraph& g, ThreadPool& pool,
     // --- R drained: flush staged vertices into the heap (sequential — the
     // paper's acknowledged bottleneck), then pop the next nearest vertex.
     {
+      obs::PhaseTimer flush_span("heap_flush");
       std::vector<VertexId> staged;
       bag_q.drain_into(staged);
       for (const VertexId k : staged) {
@@ -118,6 +124,7 @@ MstResult llp_prim_parallel(const CsrGraph& g, ThreadPool& pool,
     }
 
     bool advanced = false;
+    obs::PhaseTimer pop_span("heap_pop");
     while (!heap.empty()) {
       const auto [j, key] = heap.pop();
       (void)key;
@@ -141,6 +148,7 @@ MstResult llp_prim_parallel(const CsrGraph& g, ThreadPool& pool,
   r.stats.fixed_via_mwe = fixed_via_mwe.load(std::memory_order_relaxed);
   r.stats.edges_relaxed = edges_relaxed.load(std::memory_order_relaxed);
   r.stats.heap = heap.stats();
+  record_algo_metrics("llp_prim_parallel", r.stats);
   finalize_result(g, r);
   return r;
 }

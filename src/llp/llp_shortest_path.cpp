@@ -1,8 +1,10 @@
 #include "llp/llp_shortest_path.hpp"
 
 #include <atomic>
+#include <cstdio>
 
 #include "ds/binary_heap.hpp"
+#include "obs/metrics.hpp"
 #include "parallel/parallel_for.hpp"
 #include "support/assert.hpp"
 
@@ -74,7 +76,18 @@ ShortestPathResult llp_shortest_paths(const CsrGraph& g, ThreadPool& pool,
         G[v].store(forced(v), std::memory_order_relaxed);
       },
       opts);
-  LLPMST_CHECK_MSG(out.llp.converged, "LLP shortest paths failed to converge");
+  // Distances below the fixpoint are lower bounds, not answers — but an
+  // abort would hide *how far* the run got.  Report the non-convergence
+  // (callers see out.llp.converged, reports get a warning) and return the
+  // partial vector.
+  if (!out.llp.converged) {
+    obs::add_warning(
+        "llp_shortest_paths: sweep cap hit before convergence; distances "
+        "are unconverged lower bounds");
+    std::fprintf(stderr,
+                 "warning: llp_shortest_paths hit the sweep cap without "
+                 "converging\n");
+  }
 
   out.dist.resize(n);
   for (std::size_t v = 0; v < n; ++v) {

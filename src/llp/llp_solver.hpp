@@ -23,6 +23,8 @@
 #include <atomic>
 #include <cstdint>
 
+#include "obs/metrics.hpp"
+#include "obs/phase_timer.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -50,30 +52,43 @@ LlpStats llp_solve(ThreadPool& pool, std::size_t n, Forbidden&& forbidden,
   const std::uint64_t cap =
       options.max_sweeps != 0 ? options.max_sweeps : 4 * n + 16;
 
+  obs::PhaseTimer solve_span("llp_solve");
   std::atomic<std::uint64_t> advanced{0};
   for (;;) {
-    if (stats.sweeps >= cap) return stats;  // converged stays false
+    if (stats.sweeps >= cap) break;  // converged stays false
     ++stats.sweeps;
     advanced.store(0, std::memory_order_relaxed);
-    parallel_for(pool, 0, n, [&](std::size_t j) {
-      // Re-testing forbidden(j) right before advancing is the whole
-      // synchronization story: lattice-linearity makes a stale "forbidden"
-      // verdict impossible (forbidden states stay forbidden until advanced)
-      // and advancing only G[j] keeps indices independent.
-      std::uint64_t local = 0;
-      if (forbidden(j)) {
-        advance(j);
-        ++local;
-      }
-      if (local != 0) advanced.fetch_add(local, std::memory_order_relaxed);
-    });
+    {
+      // Per-sweep span ("llp_solve/sweep"): one enabled() check when obs is
+      // idle, a real span in traces — this is the per-sweep visibility the
+      // Algorithm 1 analysis needs.
+      obs::PhaseTimer sweep_span("sweep");
+      parallel_for(pool, 0, n, [&](std::size_t j) {
+        // Re-testing forbidden(j) right before advancing is the whole
+        // synchronization story: lattice-linearity makes a stale "forbidden"
+        // verdict impossible (forbidden states stay forbidden until
+        // advanced) and advancing only G[j] keeps indices independent.
+        std::uint64_t local = 0;
+        if (forbidden(j)) {
+          advance(j);
+          ++local;
+        }
+        if (local != 0) advanced.fetch_add(local, std::memory_order_relaxed);
+      });
+    }
     const std::uint64_t a = advanced.load(std::memory_order_relaxed);
     stats.advances += a;
     if (a == 0) {
       stats.converged = true;
-      return stats;
+      break;
     }
   }
+  if (obs::kCompiledIn) {
+    obs::counter("llp_solve/sweeps").add(stats.sweeps);
+    obs::counter("llp_solve/advances").add(stats.advances);
+    if (!stats.converged) obs::counter("llp_solve/cap_hits").increment();
+  }
+  return stats;
 }
 
 }  // namespace llpmst

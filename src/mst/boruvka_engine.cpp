@@ -4,6 +4,9 @@
 #include <atomic>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/phase_timer.hpp"
+#include "obs/trace.hpp"
 #include "parallel/atomic_utils.hpp"
 #include "parallel/concurrent_bag.hpp"
 #include "parallel/parallel_for.hpp"
@@ -29,6 +32,7 @@ MstResult boruvka_engine(const CsrGraph& g, ThreadPool& pool,
                          const BoruvkaConfig& config) {
   const std::size_t n = g.num_vertices();
   const std::size_t m = g.num_edges();
+  obs::PhaseTimer algo_span(config.obs_label);
   MstResult r;
 
   std::vector<ActiveEdge> edges;
@@ -52,103 +56,124 @@ MstResult boruvka_engine(const CsrGraph& g, ThreadPool& pool,
   std::vector<VertexId> jump_buf(
       config.jumping == PointerJumping::kSynchronized ? n : 0);
   std::atomic<std::uint64_t> jump_count{0};
+  std::uint64_t jump_rounds = 0;  // pointer-jumping iterations across rounds
 
   while (!edges.empty()) {
     ++r.stats.rounds;
     const std::size_t me = edges.size();
+    // Per-round visibility: the geometric shrink of the active edge list is
+    // the paper's Section VII story for Boruvka — one span per round plus a
+    // counter track ("<label>/active_edges") the trace viewer plots.
+    obs::PhaseTimer round_span("round");
+    if (obs::trace_collecting()) {
+      obs::trace_emit_counter(std::string(config.obs_label) + "/active_edges",
+                              obs::now_us(), me);
+    }
 
     // --- 1. MWE selection.  Round 0 works on the original graph, whose
     // per-vertex minima the CSR precomputed — a plain store per vertex, no
     // atomics.  Later rounds work on contracted multigraph edge lists and
     // use the atomic min over edges.
-    if (r.stats.rounds == 1) {
-      parallel_for(pool, 0, n, [&](std::size_t v) {
-        best[v].store(g.min_incident_priority(static_cast<VertexId>(v)),
-                      std::memory_order_relaxed);
-      });
-    } else {
-      parallel_for(pool, 0, me, [&](std::size_t i) {
-        const ActiveEdge& e = edges[i];
-        atomic_fetch_min(best[e.u], e.prio);
-        atomic_fetch_min(best[e.v], e.prio);
-      });
+    {
+      obs::PhaseTimer mwe_span("mwe_select");
+      if (r.stats.rounds == 1) {
+        parallel_for(pool, 0, n, [&](std::size_t v) {
+          best[v].store(g.min_incident_priority(static_cast<VertexId>(v)),
+                        std::memory_order_relaxed);
+        });
+      } else {
+        parallel_for(pool, 0, me, [&](std::size_t i) {
+          const ActiveEdge& e = edges[i];
+          atomic_fetch_min(best[e.u], e.prio);
+          atomic_fetch_min(best[e.v], e.prio);
+        });
+      }
     }
 
     // --- 2. Hook: every root with an outgoing MWE picks its parent across
     // it; mutual choices are broken by id (smaller id stays root).  The
     // hooking side emits the edge, so each MSF edge is emitted exactly once.
-    parallel_blocks(pool, 0, n, [&](std::size_t lo, std::size_t hi,
-                                    std::size_t worker) {
-      for (std::size_t v = lo; v < hi; ++v) {
-        const EdgePriority p = best[v].load(std::memory_order_relaxed);
-        if (p == kInfinitePriority) continue;
-        const EdgeId e = priority_edge(p);
-        const WeightedEdge& we = g.edge(e);
-        // The edge's endpoints in the current component space.
-        const VertexId ru = parent[we.u].load(std::memory_order_relaxed);
-        const VertexId rv = parent[we.v].load(std::memory_order_relaxed);
-        LLPMST_ASSERT(ru == v || rv == v);
-        const VertexId w = (ru == static_cast<VertexId>(v)) ? rv : ru;
-        if (w == static_cast<VertexId>(v)) {
-          // The partner root already hooked itself under v across this very
-          // edge (mutual MWE, partner has the larger id) — the partner
-          // emitted the edge; v stays root.  Reading the partner's fresher
-          // parent pointer is the only way w can resolve to v: any other
-          // hook target would contradict p being the minimum edge priority
-          // incident to v's component.
-          continue;
-        }
-        const bool mutual =
-            best[w].load(std::memory_order_relaxed) == p;
-        if (mutual && static_cast<VertexId>(v) < w) {
-          continue;  // v stays the root of the merged component
-        }
-        parent[v].store(w, std::memory_order_relaxed);
-        chosen.push(worker, e);
-      }
-    });
-
-    // --- 3. Pointer jumping: collapse every component to a rooted star.
-    if (config.jumping == PointerJumping::kAsynchronous) {
-      // One chaotic pass.  parent chains always lead to a root (roots are
-      // stable during this phase), and concurrent shortcuts only replace a
-      // pointer with a later node on the same path, so chasing terminates.
-      parallel_for(pool, 0, n, [&](std::size_t v) {
-        VertexId l = parent[v].load(std::memory_order_relaxed);
-        std::uint64_t steps = 0;
-        for (;;) {
-          const VertexId pl = parent[l].load(std::memory_order_relaxed);
-          if (pl == l) break;
-          l = pl;
-          ++steps;
-        }
-        parent[v].store(l, std::memory_order_relaxed);
-        if (steps != 0) {
-          jump_count.fetch_add(steps, std::memory_order_relaxed);
+    {
+      obs::PhaseTimer hook_span("hook");
+      parallel_blocks(pool, 0, n, [&](std::size_t lo, std::size_t hi,
+                                      std::size_t worker) {
+        for (std::size_t v = lo; v < hi; ++v) {
+          const EdgePriority p = best[v].load(std::memory_order_relaxed);
+          if (p == kInfinitePriority) continue;
+          const EdgeId e = priority_edge(p);
+          const WeightedEdge& we = g.edge(e);
+          // The edge's endpoints in the current component space.
+          const VertexId ru = parent[we.u].load(std::memory_order_relaxed);
+          const VertexId rv = parent[we.v].load(std::memory_order_relaxed);
+          LLPMST_ASSERT(ru == v || rv == v);
+          const VertexId w = (ru == static_cast<VertexId>(v)) ? rv : ru;
+          if (w == static_cast<VertexId>(v)) {
+            // The partner root already hooked itself under v across this very
+            // edge (mutual MWE, partner has the larger id) — the partner
+            // emitted the edge; v stays root.  Reading the partner's fresher
+            // parent pointer is the only way w can resolve to v: any other
+            // hook target would contradict p being the minimum edge priority
+            // incident to v's component.
+            continue;
+          }
+          const bool mutual =
+              best[w].load(std::memory_order_relaxed) == p;
+          if (mutual && static_cast<VertexId>(v) < w) {
+            continue;  // v stays the root of the merged component
+          }
+          parent[v].store(w, std::memory_order_relaxed);
+          chosen.push(worker, e);
         }
       });
-    } else {
-      // Bulk-synchronous double-buffered jumping; each iteration is a full
-      // team barrier (this is the synchronization LLP-Boruvka removes).
-      for (;;) {
-        std::atomic<bool> changed{false};
+    }
+
+    // --- 3. Pointer jumping: collapse every component to a rooted star.
+    {
+      obs::PhaseTimer jump_span("pointer_jump");
+      if (config.jumping == PointerJumping::kAsynchronous) {
+        // One chaotic pass.  parent chains always lead to a root (roots are
+        // stable during this phase), and concurrent shortcuts only replace a
+        // pointer with a later node on the same path, so chasing terminates.
+        ++jump_rounds;
         parallel_for(pool, 0, n, [&](std::size_t v) {
-          const VertexId p = parent[v].load(std::memory_order_relaxed);
-          const VertexId pp = parent[p].load(std::memory_order_relaxed);
-          jump_buf[v] = pp;
-          if (pp != p) changed.store(true, std::memory_order_relaxed);
-        });
-        parallel_for(pool, 0, n, [&](std::size_t v) {
-          if (parent[v].load(std::memory_order_relaxed) != jump_buf[v]) {
-            parent[v].store(jump_buf[v], std::memory_order_relaxed);
-            jump_count.fetch_add(1, std::memory_order_relaxed);
+          VertexId l = parent[v].load(std::memory_order_relaxed);
+          std::uint64_t steps = 0;
+          for (;;) {
+            const VertexId pl = parent[l].load(std::memory_order_relaxed);
+            if (pl == l) break;
+            l = pl;
+            ++steps;
+          }
+          parent[v].store(l, std::memory_order_relaxed);
+          if (steps != 0) {
+            jump_count.fetch_add(steps, std::memory_order_relaxed);
           }
         });
-        if (!changed.load(std::memory_order_relaxed)) break;
+      } else {
+        // Bulk-synchronous double-buffered jumping; each iteration is a full
+        // team barrier (this is the synchronization LLP-Boruvka removes).
+        for (;;) {
+          ++jump_rounds;
+          std::atomic<bool> changed{false};
+          parallel_for(pool, 0, n, [&](std::size_t v) {
+            const VertexId p = parent[v].load(std::memory_order_relaxed);
+            const VertexId pp = parent[p].load(std::memory_order_relaxed);
+            jump_buf[v] = pp;
+            if (pp != p) changed.store(true, std::memory_order_relaxed);
+          });
+          parallel_for(pool, 0, n, [&](std::size_t v) {
+            if (parent[v].load(std::memory_order_relaxed) != jump_buf[v]) {
+              parent[v].store(jump_buf[v], std::memory_order_relaxed);
+              jump_count.fetch_add(1, std::memory_order_relaxed);
+            }
+          });
+          if (!changed.load(std::memory_order_relaxed)) break;
+        }
       }
     }
 
     // --- 4. Contraction: remap endpoints to star roots, drop self-loops.
+    obs::PhaseTimer contract_span("contract");
     parallel_filter(
         pool, me, next_edges,
         [&](std::size_t i) {
@@ -190,6 +215,13 @@ MstResult boruvka_engine(const CsrGraph& g, ThreadPool& pool,
 
   chosen.drain_into(r.edges);
   r.stats.pointer_jumps = jump_count.load(std::memory_order_relaxed);
+  if (obs::kCompiledIn) {
+    obs::counter(std::string(config.obs_label) + "/jump_rounds")
+        .add(jump_rounds);
+    obs::gauge(std::string(config.obs_label) + "/last_run_rounds")
+        .set(r.stats.rounds);
+  }
+  record_algo_metrics(config.obs_label, r.stats);
   finalize_result(g, r);
   return r;
 }

@@ -45,6 +45,10 @@ struct BoruvkaConfig {
   /// contraction (keeping the lightest).  The baseline does; LLP-Boruvka
   /// skips it, trading a longer edge list for no sort barrier.
   bool dedup_contracted_edges = false;
+  /// Prefix for observability metrics/phases ("<obs_label>/round/hook", ...)
+  /// so the two engine clients stay distinguishable in reports.  Must be a
+  /// string literal (borrowed, not owned).
+  const char* obs_label = "boruvka";
 };
 
 /// Runs Boruvka rounds until no edges remain; returns the unique MSF.

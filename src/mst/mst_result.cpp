@@ -1,7 +1,9 @@
 #include "mst/mst_result.hpp"
 
 #include <algorithm>
+#include <string>
 
+#include "obs/metrics.hpp"
 #include "support/assert.hpp"
 
 namespace llpmst {
@@ -16,6 +18,30 @@ void finalize_result(const CsrGraph& g, MstResult& r) {
     r.total_weight += g.edge(e).w;
   }
   r.num_trees = g.num_vertices() - r.edges.size();
+}
+
+void record_algo_metrics(const char* algo, const MstAlgoStats& s) {
+  if (!obs::kCompiledIn) return;
+  const std::string p = std::string(algo) + "/";
+  const auto add = [&](const char* name, std::uint64_t v) {
+    if (v != 0) obs::counter(p + name).add(v);
+  };
+  add("heap_inserts", s.heap.pushes);
+  add("heap_pops", s.heap.pops);
+  add("heap_adjusts", s.heap.adjusts);
+  add("heap_sift_steps", s.heap.sift_steps);
+  add("fixed_via_heap", s.fixed_via_heap);
+  add("mwe_early_fix", s.fixed_via_mwe);
+  add("staged_in_q", s.staged_in_q);
+  add("edges_relaxed", s.edges_relaxed);
+  add("rounds", s.rounds);
+  add("pointer_jumps", s.pointer_jumps);
+  add("sweeps", s.llp_sweeps);
+  add("advances", s.llp_advances);
+  if (!s.llp_converged) {
+    obs::counter(p + "non_convergence").increment();
+    obs::add_warning(p + "llp sweep cap hit without convergence");
+  }
 }
 
 }  // namespace llpmst

@@ -25,7 +25,16 @@ struct MstAlgoStats {
   std::uint64_t edges_relaxed = 0;    // arc relaxations performed
   std::uint64_t rounds = 0;           // Boruvka rounds / LLP iterations
   std::uint64_t pointer_jumps = 0;    // advance() steps in pointer jumping
+  std::uint64_t llp_sweeps = 0;       // worklist/frontier sweeps (LLP family)
+  std::uint64_t llp_advances = 0;     // advance() calls, when llp_solve ran
+  bool llp_converged = true;          // false iff an LLP sweep cap was hit
 };
+
+/// Folds an algorithm's per-run stats into the process-wide observability
+/// counters under "<algo>/..." (e.g. "llp_prim/heap_inserts").  One bulk add
+/// per counter per run — hot loops keep using their local stats.  No-op
+/// cost when observability is compiled out.
+void record_algo_metrics(const char* algo, const MstAlgoStats& s);
 
 struct MstResult {
   /// Chosen undirected edge ids, sorted ascending.

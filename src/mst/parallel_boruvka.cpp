@@ -8,6 +8,7 @@ MstResult parallel_boruvka(const CsrGraph& g, ThreadPool& pool) {
   BoruvkaConfig config;
   config.jumping = PointerJumping::kSynchronized;
   config.dedup_contracted_edges = true;
+  config.obs_label = "parallel_boruvka";
   return boruvka_engine(g, pool, config);
 }
 

@@ -1,0 +1,59 @@
+// RAII nested phase timing.
+//
+//   {
+//     obs::PhaseTimer t("llp_prim_parallel");
+//     ...
+//     { obs::PhaseTimer f("heap_flush"); flush(); }   // -> "llp_prim_parallel/heap_flush"
+//   }
+//
+// Phases nest per thread: the recorded name is the '/'-joined path of all
+// live PhaseTimers on the current thread, which is how coarse algorithm
+// spans ("llp_prim_parallel") and their inner stages ("heap_flush") line up
+// in reports and traces without threading a prefix through every call.
+//
+// Cost: when obs::enabled() is false (the default), construction is one
+// relaxed load and a branch — safe inside per-round loops.  When enabled,
+// each scope is two clock reads plus one mutex-guarded aggregate update at
+// scope exit, so place timers at round/phase granularity, not per element.
+// Completed scopes also become trace "X" events while a trace is collecting.
+#pragma once
+
+#include "obs/metrics.hpp"
+
+namespace llpmst::obs {
+
+#if LLPMST_OBS
+
+class PhaseTimer {
+ public:
+  /// `name` must outlive the scope (string literals in practice).
+  explicit PhaseTimer(const char* name) {
+    if (!enabled()) return;
+    active_ = true;
+    detail::phase_push(name);
+    start_us_ = now_us();
+  }
+  ~PhaseTimer() {
+    if (active_) detail::phase_pop(start_us_);
+  }
+
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  bool active_ = false;
+  std::uint64_t start_us_ = 0;
+};
+
+#else
+
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(const char*) {}
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+};
+
+#endif  // LLPMST_OBS
+
+}  // namespace llpmst::obs

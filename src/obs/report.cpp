@@ -1,0 +1,137 @@
+#include "obs/report.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/metrics.hpp"
+
+namespace llpmst::obs {
+
+namespace {
+
+void append_kv_u64(std::string& out, const char* key, std::uint64_t v,
+                   bool comma = true) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%" PRIu64 "%s", key, v,
+                comma ? "," : "");
+  out += buf;
+}
+
+void append_kv_ms(std::string& out, const char* key, double ms,
+                  bool comma = true) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%.3f%s", key, ms, comma ? "," : "");
+  out += buf;
+}
+
+}  // namespace
+
+std::string build_run_report(const RunInfo& info, const MstAlgoStats* algo) {
+  std::string out;
+  out.reserve(4096);
+  out += "{\"schema\":\"llpmst-run-report\",\"schema_version\":1,";
+
+  // --- run metadata
+  out += "\"run\":{\"tool\":";
+  out += json_quote(info.tool);
+  out += ",\"algorithm\":";
+  out += json_quote(info.algorithm);
+  out += ",";
+  append_kv_u64(out, "threads", info.threads);
+  out += "\"graph\":{";
+  append_kv_u64(out, "vertices", info.vertices);
+  append_kv_u64(out, "edges", info.edges, false);
+  out += "},";
+  append_kv_ms(out, "wall_ms", info.wall_ms, false);
+  out += "},";
+
+  // --- per-algorithm stats
+  if (algo != nullptr) {
+    out += "\"algo\":{";
+    append_kv_u64(out, "fixed_via_heap", algo->fixed_via_heap);
+    append_kv_u64(out, "fixed_via_mwe", algo->fixed_via_mwe);
+    append_kv_u64(out, "staged_in_q", algo->staged_in_q);
+    append_kv_u64(out, "edges_relaxed", algo->edges_relaxed);
+    append_kv_u64(out, "rounds", algo->rounds);
+    append_kv_u64(out, "pointer_jumps", algo->pointer_jumps);
+    out += "\"heap\":{";
+    append_kv_u64(out, "pushes", algo->heap.pushes);
+    append_kv_u64(out, "pops", algo->heap.pops);
+    append_kv_u64(out, "adjusts", algo->heap.adjusts);
+    append_kv_u64(out, "sift_steps", algo->heap.sift_steps, false);
+    out += "},\"llp\":{";
+    append_kv_u64(out, "sweeps", algo->llp_sweeps);
+    append_kv_u64(out, "advances", algo->llp_advances);
+    out += "\"converged\":";
+    out += algo->llp_converged ? "true" : "false";
+    out += "}},";
+  } else {
+    out += "\"algo\":null,";
+  }
+
+  // --- registry metrics
+  const std::vector<MetricSample> metrics = snapshot_metrics();
+  out += "\"counters\":{";
+  bool first = true;
+  for (const MetricSample& m : metrics) {
+    if (m.is_gauge) continue;
+    if (!first) out.push_back(',');
+    first = false;
+    out += json_quote(m.name);
+    out.push_back(':');
+    out += std::to_string(m.value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const MetricSample& m : metrics) {
+    if (!m.is_gauge) continue;
+    if (!first) out.push_back(',');
+    first = false;
+    out += json_quote(m.name);
+    out.push_back(':');
+    out += std::to_string(m.value);
+  }
+  out += "},";
+
+  // --- phase aggregates
+  out += "\"phases\":[";
+  first = true;
+  for (const PhaseSample& p : snapshot_phases()) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":";
+    out += json_quote(p.name);
+    out += ",";
+    append_kv_u64(out, "count", p.count);
+    append_kv_ms(out, "total_ms", static_cast<double>(p.total_us) / 1000.0,
+                 false);
+    out += "}";
+  }
+  out += "],";
+
+  // --- warnings
+  out += "\"warnings\":[";
+  first = true;
+  for (const std::string& w : snapshot_warnings()) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += json_quote(w);
+  }
+  out += "]}";
+  return out;
+}
+
+bool write_run_report(const std::string& path, const std::string& json,
+                      std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  if (!ok && error != nullptr) *error = "short write to " + path;
+  return ok;
+}
+
+}  // namespace llpmst::obs

@@ -1,0 +1,49 @@
+// JSON run report: one stable document combining run metadata, the
+// algorithm's MstAlgoStats/HeapStats/LLP instrumentation, every registered
+// observability counter/gauge, aggregated phase timings, and warnings.
+// This is what `mst_tool --metrics-json` and the bench `--metrics-json`
+// flags write; tools/ and CI validate it against the schema described in
+// docs/observability.md:
+//
+//   {
+//     "schema": "llpmst-run-report", "schema_version": 1,
+//     "run": {"tool":..., "algorithm":..., "threads":N,
+//             "graph": {"vertices":N, "edges":M}, "wall_ms":X},
+//     "algo": { heap/fix/sweep stats ... } | null,
+//     "counters": {"llp_prim/heap_inserts": N, ...},
+//     "gauges":   {"boruvka/rounds": N, ...},
+//     "phases":   [{"name":..., "count":N, "total_ms":X}, ...],
+//     "warnings": ["..."]
+//   }
+//
+// The report itself is always available — an LLPMST_OBS=0 build emits the
+// same document with empty counters/gauges/phases, so downstream parsers
+// never branch on the build flavour.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "mst/mst_result.hpp"
+
+namespace llpmst::obs {
+
+/// Metadata describing the measured run.
+struct RunInfo {
+  std::string tool;       // emitting binary, e.g. "mst_tool"
+  std::string algorithm;  // algorithm label; empty when not applicable
+  std::size_t threads = 0;
+  std::size_t vertices = 0;
+  std::size_t edges = 0;
+  double wall_ms = 0.0;
+};
+
+/// Builds the report document.  `algo` may be null (no per-algorithm stats).
+[[nodiscard]] std::string build_run_report(const RunInfo& info,
+                                           const MstAlgoStats* algo);
+
+/// Writes `json` to `path`.  Returns false and sets *error on I/O failure.
+bool write_run_report(const std::string& path, const std::string& json,
+                      std::string* error);
+
+}  // namespace llpmst::obs

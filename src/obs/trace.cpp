@@ -1,0 +1,167 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+namespace llpmst::obs {
+
+#if LLPMST_OBS
+
+namespace {
+
+struct TraceEvent {
+  std::string name;
+  std::uint64_t ts_us = 0;
+  std::uint64_t dur_us = 0;  // for "C" events: the counter value
+  std::uint32_t tid = 0;
+  char ph = 'X';
+};
+
+// One buffer per emitting thread.  The owning thread appends; the reader
+// (trace_json, after trace_stop) walks all buffers.  The per-buffer mutex is
+// uncontended in steady state — it exists so a read overlapping a straggler
+// emit is defined behaviour rather than a race.
+struct TraceBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  std::uint64_t dropped = 0;
+};
+
+struct TraceState {
+  std::atomic<bool> collecting{false};
+  std::mutex buffers_mu;
+  std::vector<std::unique_ptr<TraceBuffer>> buffers;  // stable addresses
+};
+
+TraceState& state() {
+  static TraceState* s = new TraceState;  // leaked: outlives all threads
+  return *s;
+}
+
+TraceBuffer& local_buffer() {
+  thread_local TraceBuffer* buf = [] {
+    TraceState& s = state();
+    std::lock_guard lock(s.buffers_mu);
+    s.buffers.push_back(std::make_unique<TraceBuffer>());
+    return s.buffers.back().get();
+  }();
+  return *buf;
+}
+
+void emit(std::string_view name, std::uint64_t ts_us, std::uint64_t dur_us,
+          char ph) {
+  TraceBuffer& buf = local_buffer();
+  std::lock_guard lock(buf.mu);
+  if (buf.events.size() >= kMaxTraceEventsPerThread) {
+    if (buf.dropped++ == 0) {
+      add_warning("trace buffer full on one thread; dropping further events");
+    }
+    return;
+  }
+  buf.events.push_back(TraceEvent{
+      std::string(name), ts_us, dur_us,
+      static_cast<std::uint32_t>(shard_id()), ph});
+}
+
+}  // namespace
+
+void trace_start() {
+  TraceState& s = state();
+  {
+    std::lock_guard lock(s.buffers_mu);
+    for (auto& buf : s.buffers) {
+      std::lock_guard bl(buf->mu);
+      buf->events.clear();
+      buf->dropped = 0;
+    }
+  }
+  s.collecting.store(true, std::memory_order_release);
+}
+
+void trace_stop() {
+  state().collecting.store(false, std::memory_order_release);
+}
+
+bool trace_collecting() {
+  return state().collecting.load(std::memory_order_relaxed);
+}
+
+void trace_emit(std::string_view name, std::uint64_t ts_us,
+                std::uint64_t dur_us) {
+  if (!trace_collecting()) return;
+  emit(name, ts_us, dur_us, 'X');
+}
+
+void trace_emit_counter(std::string_view name, std::uint64_t ts_us,
+                        std::uint64_t value) {
+  if (!trace_collecting()) return;
+  emit(name, ts_us, value, 'C');
+}
+
+std::size_t trace_event_count() {
+  TraceState& s = state();
+  std::size_t n = 0;
+  std::lock_guard lock(s.buffers_mu);
+  for (auto& buf : s.buffers) {
+    std::lock_guard bl(buf->mu);
+    n += buf->events.size();
+  }
+  return n;
+}
+
+std::string trace_json() {
+  TraceState& s = state();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  char line[160];
+  std::lock_guard lock(s.buffers_mu);
+  for (auto& buf : s.buffers) {
+    std::lock_guard bl(buf->mu);
+    for (const TraceEvent& e : buf->events) {
+      if (!first) out.push_back(',');
+      first = false;
+      out += "{\"name\":";
+      out += json_quote(e.name);
+      if (e.ph == 'C') {
+        std::snprintf(line, sizeof(line),
+                      ",\"cat\":\"llpmst\",\"ph\":\"C\",\"ts\":%llu,"
+                      "\"pid\":0,\"tid\":%u,\"args\":{\"value\":%llu}}",
+                      static_cast<unsigned long long>(e.ts_us), e.tid,
+                      static_cast<unsigned long long>(e.dur_us));
+      } else {
+        std::snprintf(line, sizeof(line),
+                      ",\"cat\":\"llpmst\",\"ph\":\"X\",\"ts\":%llu,"
+                      "\"dur\":%llu,\"pid\":0,\"tid\":%u}",
+                      static_cast<unsigned long long>(e.ts_us),
+                      static_cast<unsigned long long>(e.dur_us), e.tid);
+      }
+      out += line;
+    }
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+#else  // !LLPMST_OBS
+
+std::string trace_json() {
+  return "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}";
+}
+
+#endif  // LLPMST_OBS
+
+bool write_trace_json(const std::string& path, std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  const std::string json = trace_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  if (!ok && error != nullptr) *error = "short write to " + path;
+  return ok;
+}
+
+}  // namespace llpmst::obs

@@ -1,0 +1,67 @@
+// Chrome trace-event export: collected spans serialize to the JSON format
+// understood by chrome://tracing and https://ui.perfetto.dev.
+//
+// Usage (what mst_tool --trace does):
+//   obs::set_enabled(true);       // phase timers feed the trace
+//   obs::trace_start();
+//   run_algorithm();
+//   obs::trace_stop();
+//   obs::write_trace_json("trace.json", &err);
+//
+// Collection is per-thread: each thread appends to its own buffer (guarded
+// by a per-buffer mutex that is only ever contended by the final reader),
+// so concurrent workers never serialize against each other.  `tid` is the
+// obs shard id of the emitting thread.  Buffers are capped at
+// kMaxTraceEventsPerThread; overflow drops events and records a warning.
+//
+// Emitted JSON: {"traceEvents":[{"name":...,"cat":"llpmst","ph":"X",
+// "ts":<us>,"dur":<us>,"pid":0,"tid":<n>}, ...],"displayTimeUnit":"ms"}
+// plus "C" (counter-track) events for per-round series.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace llpmst::obs {
+
+#if LLPMST_OBS
+inline constexpr std::size_t kMaxTraceEventsPerThread = 1u << 20;
+
+/// Clears previous events and begins collecting.
+void trace_start();
+/// Stops collecting.  Call (after joining parallel work) before reading.
+void trace_stop();
+[[nodiscard]] bool trace_collecting();
+
+/// Appends a complete ("ph":"X") span to the calling thread's buffer.
+/// No-op unless collecting.  Timestamps come from obs::now_us().
+void trace_emit(std::string_view name, std::uint64_t ts_us,
+                std::uint64_t dur_us);
+/// Appends a counter-track ("ph":"C") sample — a stepped series in the
+/// trace viewer, e.g. active edges per Boruvka round.
+void trace_emit_counter(std::string_view name, std::uint64_t ts_us,
+                        std::uint64_t value);
+
+/// Number of events currently buffered across all threads.
+[[nodiscard]] std::size_t trace_event_count();
+#else
+inline void trace_start() {}
+inline void trace_stop() {}
+[[nodiscard]] inline bool trace_collecting() { return false; }
+inline void trace_emit(std::string_view, std::uint64_t, std::uint64_t) {}
+inline void trace_emit_counter(std::string_view, std::uint64_t,
+                               std::uint64_t) {}
+[[nodiscard]] inline std::size_t trace_event_count() { return 0; }
+#endif  // LLPMST_OBS
+
+/// Serializes everything collected so far (a valid, possibly empty, trace
+/// document even when obs is compiled out).
+[[nodiscard]] std::string trace_json();
+
+/// Writes trace_json() to `path`.  Returns false and sets *error on I/O
+/// failure.
+bool write_trace_json(const std::string& path, std::string* error);
+
+}  // namespace llpmst::obs

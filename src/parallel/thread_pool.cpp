@@ -1,8 +1,29 @@
 #include "parallel/thread_pool.hpp"
 
+#include "obs/trace.hpp"
 #include "support/assert.hpp"
 
 namespace llpmst {
+
+namespace {
+
+/// Runs one worker's share of a team region, emitting a trace span when
+/// region tracing is on.  The span carries the worker's thread (trace tid),
+/// so concurrent regions stack up lane-by-lane in the viewer.
+inline void run_region(const std::function<void(std::size_t)>& f,
+                       std::size_t worker_id) {
+  // trace_collecting() first: it is a compile-time false in LLPMST_OBS=0
+  // builds, so the whole branch folds away there.
+  if (obs::trace_collecting() && ThreadPool::trace_regions()) {
+    const std::uint64_t t0 = obs::now_us();
+    f(worker_id);
+    obs::trace_emit("pool/region", t0, obs::now_us() - t0);
+    return;
+  }
+  f(worker_id);
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads)
     : num_threads_(num_threads == 0 ? 1 : num_threads) {
@@ -23,7 +44,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::run_team(const std::function<void(std::size_t)>& f) {
   if (num_threads_ == 1) {
-    f(0);
+    run_region(f, 0);
     return;
   }
   {
@@ -35,7 +56,7 @@ void ThreadPool::run_team(const std::function<void(std::size_t)>& f) {
   }
   work_ready_.notify_all();
 
-  f(0);  // the caller participates as worker 0
+  run_region(f, 0);  // the caller participates as worker 0
 
   std::unique_lock lock(mutex_);
   work_done_.wait(lock, [this] { return active_workers_ == 0; });
@@ -55,7 +76,7 @@ void ThreadPool::worker_loop(std::size_t worker_id) {
       seen_epoch = epoch_;
       job = job_;
     }
-    (*job)(worker_id);
+    run_region(*job, worker_id);
     {
       std::lock_guard lock(mutex_);
       if (--active_workers_ == 0) work_done_.notify_one();

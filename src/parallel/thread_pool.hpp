@@ -15,6 +15,7 @@
 // the pool by reference, so the caller decides the parallelism degree.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -50,7 +51,20 @@ class ThreadPool {
   /// on first use.  Benchmarks construct their own pools per thread-count.
   static ThreadPool& default_pool();
 
+  /// When on (and a trace is collecting), every team region emits one
+  /// "pool/region" span per participating worker, which renders the
+  /// parallel structure of a run in the trace viewer.  Off by default:
+  /// regions are the hottest dispatch path in the library.
+  static void set_trace_regions(bool on) {
+    trace_regions_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] static bool trace_regions() {
+    return trace_regions_.load(std::memory_order_relaxed);
+  }
+
  private:
+  inline static std::atomic<bool> trace_regions_{false};
+
   void worker_loop(std::size_t worker_id);
 
   std::size_t num_threads_;

@@ -1,0 +1,276 @@
+// The observability layer: sharded counters under a real worker team,
+// nested phase paths, trace JSON well-formedness, the run report document,
+// and the compiled-out no-op contract.
+//
+// This file must compile (and pass) under both LLPMST_OBS=1 and
+// LLPMST_OBS=0 — CI builds the disabled flavour to keep the no-op branch
+// honest.  Tests that measure real recording guard on obs::kCompiledIn.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "mst/mst_result.hpp"
+#include "obs/metrics.hpp"
+#include "obs/phase_timer.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace llpmst {
+namespace {
+
+// --- The compile-time contract. ---------------------------------------
+static_assert(obs::kCompiledIn == (LLPMST_OBS != 0));
+#if !LLPMST_OBS
+// The disabled build must make every recorder an empty object so that
+// instrumented call sites carry no storage and fold to nothing.
+static_assert(std::is_empty_v<obs::Counter>);
+static_assert(std::is_empty_v<obs::Gauge>);
+static_assert(std::is_empty_v<obs::PhaseTimer>);
+#endif
+
+/// Minimal JSON well-formedness check: balanced {}/[] outside strings,
+/// nothing after the top-level value.  Not a full parser, but enough to
+/// catch the classic serializer bugs (trailing commas are caught by the
+/// stricter python -m json.tool pass in CI).
+bool json_balanced(const std::string& s) {
+  std::vector<char> stack;
+  bool in_string = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;  // skip the escaped character
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': stack.push_back('}'); break;
+      case '[': stack.push_back(']'); break;
+      case '}':
+      case ']':
+        if (stack.empty() || stack.back() != c) return false;
+        stack.pop_back();
+        if (stack.empty()) {
+          // Only whitespace may follow the top-level value.
+          for (std::size_t j = i + 1; j < s.size(); ++j) {
+            if (s[j] != ' ' && s[j] != '\n' && s[j] != '\t' &&
+                s[j] != '\r') {
+              return false;
+            }
+          }
+          return true;
+        }
+        break;
+      default: break;
+    }
+  }
+  return false;  // unterminated string or never closed
+}
+
+std::uint64_t find_counter(const std::vector<obs::MetricSample>& samples,
+                           const std::string& name) {
+  for (const auto& s : samples) {
+    if (s.name == name && !s.is_gauge) return s.value;
+  }
+  return 0;
+}
+
+const obs::PhaseSample* find_phase(
+    const std::vector<obs::PhaseSample>& phases, const std::string& name) {
+  for (const auto& p : phases) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+TEST(ObsCounter, AggregatesAcrossTeamWorkers) {
+  obs::reset_metrics();
+  obs::Counter& c = obs::counter("test/team_adds");
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kAddsPerWorker = 10000;
+  ThreadPool pool(kThreads);
+  pool.run_team([&](std::size_t) {
+    for (std::uint64_t i = 0; i < kAddsPerWorker; ++i) c.increment();
+  });
+  if constexpr (obs::kCompiledIn) {
+    // Every worker's shard must be folded into the aggregate — a lost
+    // shard here would mean shard_id() handed two threads the same slot
+    // index with non-atomic writes (the slots are atomic, so even shared
+    // slots must not lose counts).
+    EXPECT_EQ(c.value(), kThreads * kAddsPerWorker);
+    EXPECT_EQ(find_counter(obs::snapshot_metrics(), "test/team_adds"),
+              kThreads * kAddsPerWorker);
+  } else {
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_TRUE(obs::snapshot_metrics().empty());
+  }
+}
+
+TEST(ObsCounter, ResetZeroesButKeepsRegistration) {
+  obs::reset_metrics();
+  obs::Counter& c = obs::counter("test/resettable");
+  c.add(41);
+  obs::reset_metrics();
+  c.increment();  // the cached reference must survive the reset
+  if constexpr (obs::kCompiledIn) {
+    EXPECT_EQ(c.value(), 1u);
+  }
+}
+
+TEST(ObsGauge, SetMaxIsRaiseOnly) {
+  obs::reset_metrics();
+  obs::Gauge& g = obs::gauge("test/high_water");
+  g.set_max(7);
+  g.set_max(3);
+  if constexpr (obs::kCompiledIn) {
+    EXPECT_EQ(g.value(), 7u);
+    g.set(2);  // plain set may lower
+    EXPECT_EQ(g.value(), 2u);
+  }
+}
+
+TEST(ObsPhaseTimer, NestedScopesProduceJoinedPaths) {
+  if constexpr (!obs::kCompiledIn) GTEST_SKIP() << "obs compiled out";
+  obs::reset_metrics();
+  obs::set_enabled(true);
+  {
+    obs::PhaseTimer outer("outer");
+    {
+      obs::PhaseTimer inner("inner");
+    }
+    {
+      obs::PhaseTimer inner("inner");
+    }
+  }
+  obs::set_enabled(false);
+  const auto phases = obs::snapshot_phases();
+  const obs::PhaseSample* outer = find_phase(phases, "outer");
+  const obs::PhaseSample* inner = find_phase(phases, "outer/inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->count, 1u);
+  EXPECT_EQ(inner->count, 2u);
+  // The child's time is a subset of the parent's.
+  EXPECT_LE(inner->total_us, outer->total_us);
+  EXPECT_EQ(find_phase(phases, "inner"), nullptr)
+      << "nested phase leaked out of its parent path";
+}
+
+TEST(ObsPhaseTimer, DisabledAtRuntimeRecordsNothing) {
+  if constexpr (!obs::kCompiledIn) GTEST_SKIP() << "obs compiled out";
+  obs::reset_metrics();
+  obs::set_enabled(false);
+  {
+    obs::PhaseTimer t("should_not_appear");
+  }
+  EXPECT_EQ(find_phase(obs::snapshot_phases(), "should_not_appear"),
+            nullptr);
+}
+
+TEST(ObsTrace, JsonIsWellFormedAndRoundTrips) {
+  obs::reset_metrics();
+  obs::set_enabled(true);
+  obs::trace_start();
+  {
+    obs::PhaseTimer t("trace_span");
+  }
+  obs::trace_emit_counter("trace_counter", obs::now_us(), 42);
+  obs::trace_stop();
+  obs::set_enabled(false);
+
+  const std::string json = obs::trace_json();
+  EXPECT_TRUE(json_balanced(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  if constexpr (obs::kCompiledIn) {
+    EXPECT_GE(obs::trace_event_count(), 2u);
+    EXPECT_NE(json.find("\"trace_span\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"trace_counter\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  } else {
+    // The disabled build still serializes a valid (empty) document.
+    EXPECT_EQ(obs::trace_event_count(), 0u);
+  }
+}
+
+TEST(ObsTrace, StartClearsPreviousEvents) {
+  if constexpr (!obs::kCompiledIn) GTEST_SKIP() << "obs compiled out";
+  obs::trace_start();
+  obs::trace_emit("stale", obs::now_us(), 1);
+  obs::trace_stop();
+  obs::trace_start();
+  obs::trace_stop();
+  EXPECT_EQ(obs::trace_event_count(), 0u);
+}
+
+TEST(ObsWarnings, RecordedRegardlessOfBuildFlavour) {
+  obs::clear_warnings();
+  obs::add_warning("something looked off");
+  const auto warnings = obs::snapshot_warnings();
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_EQ(warnings[0], "something looked off");
+  obs::clear_warnings();
+  EXPECT_TRUE(obs::snapshot_warnings().empty());
+}
+
+TEST(ObsReport, DocumentIsWellFormedWithAndWithoutAlgoStats) {
+  obs::reset_metrics();
+  obs::clear_warnings();
+  obs::RunInfo info;
+  info.tool = "test_obs";
+  info.algorithm = "llp-prim";
+  info.threads = 4;
+  info.vertices = 100;
+  info.edges = 250;
+  info.wall_ms = 1.5;
+
+  const std::string bare = obs::build_run_report(info, nullptr);
+  EXPECT_TRUE(json_balanced(bare)) << bare;
+  EXPECT_NE(bare.find("\"schema\":\"llpmst-run-report\""),
+            std::string::npos);
+  EXPECT_NE(bare.find("\"algo\":null"), std::string::npos);
+
+  MstAlgoStats stats;
+  stats.heap.pushes = 12;
+  stats.fixed_via_mwe = 34;
+  stats.llp_sweeps = 5;
+  const std::string full = obs::build_run_report(info, &stats);
+  EXPECT_TRUE(json_balanced(full)) << full;
+  EXPECT_NE(full.find("\"heap\""), std::string::npos);
+  EXPECT_NE(full.find("\"llp\""), std::string::npos);
+  EXPECT_NE(full.find("\"tool\":\"test_obs\""), std::string::npos);
+}
+
+TEST(ObsReport, NonConvergenceSurfacesAsWarningAndCounter) {
+  obs::reset_metrics();
+  obs::clear_warnings();
+  MstAlgoStats stats;
+  stats.llp_converged = false;
+  record_algo_metrics("test_algo", stats);
+  if constexpr (obs::kCompiledIn) {
+    EXPECT_EQ(find_counter(obs::snapshot_metrics(),
+                           "test_algo/non_convergence"),
+              1u);
+    const auto warnings = obs::snapshot_warnings();
+    ASSERT_EQ(warnings.size(), 1u);
+    EXPECT_NE(warnings[0].find("test_algo"), std::string::npos);
+  }
+  obs::clear_warnings();
+}
+
+TEST(ObsReport, JsonQuoteEscapes) {
+  EXPECT_EQ(obs::json_quote("plain"), "\"plain\"");
+  EXPECT_EQ(obs::json_quote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(obs::json_quote("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(obs::json_quote("a\nb"), "\"a\\nb\"");
+}
+
+}  // namespace
+}  // namespace llpmst

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Validate an llpmst-run-report JSON document against schema_version 1.
+
+    tools/check_report_schema.py out.json [more.json ...]
+
+Exits non-zero (listing every violation) if any document deviates from the
+contract in docs/observability.md.  Uses only the standard library so CI
+needs no extra packages.
+"""
+import json
+import sys
+
+
+def check(doc, errors, where):
+    def err(msg):
+        errors.append(f"{where}: {msg}")
+
+    def expect(cond, msg):
+        if not cond:
+            err(msg)
+        return cond
+
+    if not expect(isinstance(doc, dict), "top level is not an object"):
+        return
+    expect(doc.get("schema") == "llpmst-run-report",
+           f"schema is {doc.get('schema')!r}")
+    expect(doc.get("schema_version") == 1,
+           f"schema_version is {doc.get('schema_version')!r}")
+
+    run = doc.get("run")
+    if expect(isinstance(run, dict), "run is not an object"):
+        for key, typ in (("tool", str), ("algorithm", str), ("threads", int),
+                         ("wall_ms", (int, float))):
+            expect(isinstance(run.get(key), typ),
+                   f"run.{key} is {run.get(key)!r}")
+        graph = run.get("graph")
+        if expect(isinstance(graph, dict), "run.graph is not an object"):
+            for key in ("vertices", "edges"):
+                expect(isinstance(graph.get(key), int),
+                       f"run.graph.{key} is {graph.get(key)!r}")
+
+    algo = doc.get("algo")
+    if expect(algo is None or isinstance(algo, dict),
+              "algo is neither null nor an object") and algo is not None:
+        for sub in ("heap", "llp"):
+            expect(isinstance(algo.get(sub), dict),
+                   f"algo.{sub} is not an object")
+        if isinstance(algo.get("llp"), dict):
+            expect(isinstance(algo["llp"].get("converged"), bool),
+                   "algo.llp.converged is not a bool")
+
+    for section in ("counters", "gauges"):
+        values = doc.get(section)
+        if expect(isinstance(values, dict), f"{section} is not an object"):
+            for name, v in values.items():
+                expect(isinstance(v, int) and v >= 0,
+                       f"{section}[{name!r}] = {v!r} is not a non-negative "
+                       "integer")
+
+    phases = doc.get("phases")
+    if expect(isinstance(phases, list), "phases is not an array"):
+        for i, p in enumerate(phases):
+            if not expect(isinstance(p, dict), f"phases[{i}] not an object"):
+                continue
+            expect(isinstance(p.get("name"), str),
+                   f"phases[{i}].name is {p.get('name')!r}")
+            expect(isinstance(p.get("count"), int),
+                   f"phases[{i}].count is {p.get('count')!r}")
+            expect(isinstance(p.get("total_ms"), (int, float)),
+                   f"phases[{i}].total_ms is {p.get('total_ms')!r}")
+
+    warnings = doc.get("warnings")
+    if expect(isinstance(warnings, list), "warnings is not an array"):
+        for i, w in enumerate(warnings):
+            expect(isinstance(w, str), f"warnings[{i}] is {w!r}")
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    errors = []
+    for path in sys.argv[1:]:
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            errors.append(f"{path}: unreadable: {e}")
+            continue
+        check(doc, errors, path)
+        if not errors:
+            print(f"{path}: ok")
+    for e in errors:
+        print(f"FAIL {e}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,7 +12,10 @@ mkdir -p "$OUT"
 run() {
   local name="$1"; shift
   echo "=== $name ==="
-  "$BUILD/bench/$name" "$@" | tee "$OUT/$name.txt"
+  # The metrics run report (counters, phase timings) lands next to the
+  # human-readable log; tools/trace2summary.py and CI consume it.
+  "$BUILD/bench/$name" "$@" --metrics-json "$OUT/$name.metrics.json" \
+    | tee "$OUT/$name.txt"
   "$BUILD/bench/$name" "$@" --csv > "$OUT/$name.csv"
 }
 

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Summarize a Chrome trace-event JSON produced by --trace.
+
+Aggregates the complete ("ph":"X") spans by name and prints per-phase
+totals, counts, and percentages of the traced wall span:
+
+    tools/trace2summary.py trace.json
+    tools/trace2summary.py --top 10 trace.json
+
+Works on any trace-event file (the format is a de-facto standard), but the
+phase names it prints are the nested paths emitted by the llpmst
+observability layer ("llp_boruvka/round/hook", "pool/region", ...).
+"""
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def load_events(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    # Both container shapes of the spec: {"traceEvents": [...]} or a bare
+    # JSON array.
+    events = doc["traceEvents"] if isinstance(doc, dict) else doc
+    if not isinstance(events, list):
+        raise ValueError("no traceEvents array found")
+    return events
+
+
+def summarize(events):
+    """Returns (per-name stats, wall span in us, counter-track names)."""
+    spans = defaultdict(lambda: {"count": 0, "total_us": 0, "max_us": 0})
+    counters = set()
+    t_min, t_max = None, None
+    for e in events:
+        ph = e.get("ph")
+        if ph == "C":
+            counters.add(e.get("name", "?"))
+            continue
+        if ph != "X":
+            continue
+        name = e.get("name", "?")
+        ts = e.get("ts", 0)
+        dur = e.get("dur", 0)
+        s = spans[name]
+        s["count"] += 1
+        s["total_us"] += dur
+        s["max_us"] = max(s["max_us"], dur)
+        t_min = ts if t_min is None else min(t_min, ts)
+        t_max = ts + dur if t_max is None else max(t_max, ts + dur)
+    wall_us = (t_max - t_min) if t_min is not None else 0
+    return spans, wall_us, counters
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("trace", help="trace-event JSON file (from --trace)")
+    ap.add_argument("--top", type=int, default=0,
+                    help="only print the N phases with the largest totals")
+    args = ap.parse_args()
+
+    try:
+        events = load_events(args.trace)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as e:
+        print(f"error reading {args.trace}: {e}", file=sys.stderr)
+        return 1
+
+    spans, wall_us, counters = summarize(events)
+    if not spans:
+        print("no complete ('ph':'X') spans in the trace")
+        return 0
+
+    # Sort by total time, largest first.  Percentages are of the traced
+    # wall span; nested phases overlap their parents, so columns do not
+    # sum to 100%.
+    rows = sorted(spans.items(), key=lambda kv: -kv[1]["total_us"])
+    if args.top > 0:
+        rows = rows[: args.top]
+
+    name_w = max(len("phase"), max(len(n) for n, _ in rows))
+    print(f"{'phase':<{name_w}}  {'count':>8}  {'total ms':>10}  "
+          f"{'mean us':>9}  {'max us':>8}  {'% wall':>6}")
+    for name, s in rows:
+        pct = 100.0 * s["total_us"] / wall_us if wall_us else 0.0
+        mean = s["total_us"] / s["count"]
+        print(f"{name:<{name_w}}  {s['count']:>8}  "
+              f"{s['total_us'] / 1000.0:>10.3f}  {mean:>9.1f}  "
+              f"{s['max_us']:>8}  {pct:>5.1f}%")
+    print(f"\ntraced wall span: {wall_us / 1000.0:.3f} ms, "
+          f"{sum(s['count'] for s in spans.values())} spans, "
+          f"{len(spans)} distinct phases"
+          + (f", counter tracks: {', '.join(sorted(counters))}"
+             if counters else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

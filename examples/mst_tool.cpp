@@ -17,9 +17,8 @@
 #include "graph/generators/random_graph.hpp"
 #include "graph/generators/rmat.hpp"
 #include "graph/generators/road.hpp"
-#include "graph/io/dimacs.hpp"
 #include "graph/io/edge_list_io.hpp"
-#include "graph/io/metis.hpp"
+#include "graph/io/read_graph.hpp"
 #include "llp/llp_boruvka.hpp"
 #include "llp/llp_prim.hpp"
 #include "llp/llp_prim_async.hpp"
@@ -34,43 +33,13 @@
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "support/cli.hpp"
+#include "support/failpoint.hpp"
 #include "support/stats.hpp"
 #include "support/timer.hpp"
 
 namespace {
 
 using namespace llpmst;
-
-bool ends_with(const std::string& s, const std::string& suffix) {
-  return s.size() >= suffix.size() &&
-         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
-
-/// Loads a graph by extension; empty error string on success.
-std::string load_graph(const std::string& path, EdgeList& out) {
-  if (ends_with(path, ".gr")) {
-    DimacsResult r = read_dimacs(path);
-    if (!r.ok()) return r.error;
-    out = std::move(r.graph);
-    return {};
-  }
-  if (ends_with(path, ".metis") || ends_with(path, ".graph")) {
-    EdgeListResult r = read_metis(path);
-    if (!r.ok()) return r.error;
-    out = std::move(r.graph);
-    return {};
-  }
-  if (ends_with(path, ".bin")) {
-    EdgeListResult r = read_edge_list_binary(path);
-    if (!r.ok()) return r.error;
-    out = std::move(r.graph);
-    return {};
-  }
-  EdgeListResult r = read_edge_list_text(path);
-  if (!r.ok()) return r.error;
-  out = std::move(r.graph);
-  return {};
-}
 
 }  // namespace
 
@@ -99,8 +68,33 @@ int main(int argc, char** argv) {
                               "run the exact minimality verifier (O(m*depth))");
   auto& output = cli.add_string("output", "",
                                 "write chosen edges as 'u v w' lines");
+  auto& failpoints = cli.add_string(
+      "failpoints", "",
+      "arm fault-injection points, e.g. 'llp/sweep=10%sleep(500)' "
+      "(also read from $LLPMST_FAILPOINTS; no-op when compiled out)");
+  auto& deadline_ms = cli.add_double(
+      "deadline-ms", 0.0,
+      "wall-clock budget for --algorithm auto; on expiry the run falls "
+      "back to sequential kruskal (0 = no deadline)");
   cli.parse(argc, argv);
   if (!algo_alias.empty()) algorithm = algo_alias;
+
+  // --- Fault injection (chaos/testing): CLI spec wins over the env var.
+  fail::configure_from_env();
+  if (!failpoints.empty()) {
+    if (!fail::kCompiledIn) {
+      std::fprintf(stderr,
+                   "warning: --failpoints ignored (compiled out; rebuild "
+                   "with -DLLPMST_FAILPOINTS=ON)\n");
+    } else {
+      std::string fp_error;
+      fail::configure(failpoints, &fp_error);
+      if (!fp_error.empty()) {
+        std::fprintf(stderr, "bad --failpoints spec: %s\n", fp_error.c_str());
+        return 2;
+      }
+    }
+  }
 
   // --- Observability: flip the runtime gates before any work we want to
   // measure.  Counters are always recorded; phase timers and tracing only
@@ -115,12 +109,13 @@ int main(int argc, char** argv) {
   // --- Acquire the graph.
   EdgeList list;
   if (!input.empty()) {
-    const std::string err = load_graph(input, list);
-    if (!err.empty()) {
+    Expected<EdgeList> loaded = read_graph(input);
+    if (!loaded.ok()) {
       std::fprintf(stderr, "error reading %s: %s\n", input.c_str(),
-                   err.c_str());
+                   loaded.status().to_string().c_str());
       return 1;
     }
+    list = std::move(*loaded);
     std::printf("Loaded %s\n", input.c_str());
   } else if (generate == "road") {
     RoadParams p;
@@ -151,10 +146,21 @@ int main(int argc, char** argv) {
   Timer t;
   MstResult result;
   std::string used = algorithm;
+  std::string fallback_reason;
   if (algorithm == "auto") {
-    AutoMstResult r = minimum_spanning_forest(g, pool);
+    AutoMstOptions auto_opts;
+    auto_opts.deadline_ms = deadline_ms;
+    AutoMstResult r = minimum_spanning_forest(g, pool,
+                                              Connectivity::kUnknown,
+                                              auto_opts);
     result = std::move(r.result);
     used = "auto -> " + r.algorithm;
+    if (r.fell_back) {
+      fallback_reason = r.fallback_reason;
+      std::printf("FALLBACK  : parallel run failed (%s); recomputed with "
+                  "sequential kruskal\n",
+                  r.fallback_reason.c_str());
+    }
   } else if (algorithm == "kruskal") {
     result = kruskal(g);
   } else if (algorithm == "prim") {
@@ -189,7 +195,11 @@ int main(int argc, char** argv) {
               format_count(result.edges.size()).c_str(),
               format_count(result.num_trees).c_str(),
               format_count(result.total_weight).c_str());
-  if (!result.stats.llp_converged) {
+  if (result.stats.outcome != RunOutcome::kOk) {
+    std::printf("WARNING   : run stopped early (%s); the result may be "
+                "partial\n",
+                run_outcome_name(result.stats.outcome));
+  } else if (!result.stats.llp_converged) {
     std::printf("WARNING   : LLP sweep cap hit before convergence; the "
                 "result may be partial\n");
   }
@@ -222,10 +232,10 @@ int main(int argc, char** argv) {
       const WeightedEdge& we = g.edge(e);
       tree.add_edge(we.u, we.v, we.w);
     }
-    const std::string err = write_edge_list_text(output, tree);
-    if (!err.empty()) {
+    const Status st = write_edge_list_text(output, tree);
+    if (!st.ok()) {
       std::fprintf(stderr, "error writing %s: %s\n", output.c_str(),
-                   err.c_str());
+                   st.to_string().c_str());
       return 1;
     }
     std::printf("Wrote     : %s\n", output.c_str());
@@ -240,6 +250,10 @@ int main(int argc, char** argv) {
     info.vertices = g.num_vertices();
     info.edges = g.num_edges();
     info.wall_ms = solve_ms;
+    info.outcome = fallback_reason.empty()
+                       ? run_outcome_name(result.stats.outcome)
+                       : "fallback";
+    info.fallback_reason = fallback_reason;
     std::string err;
     if (!obs::write_run_report(metrics_json,
                                obs::build_run_report(info, &result.stats),

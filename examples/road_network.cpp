@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
     std::printf("Loading %s ...\n", input.c_str());
     DimacsResult r = read_dimacs(input);
     if (!r.ok()) {
-      std::fprintf(stderr, "error: %s\n", r.error.c_str());
+      std::fprintf(stderr, "error: %s\n", r.status.to_string().c_str());
       return 1;
     }
     list = std::move(r.graph);

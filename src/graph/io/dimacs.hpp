@@ -9,29 +9,30 @@
 //
 // read_dimacs maps vertices to 0-based ids and normalizes (the both-ways arc
 // listing collapses to one undirected edge).  Malformed input is reported
-// via the returned error string, never by crashing.
+// via the returned Status, never by crashing: kIoError for OS-level
+// failures, kCorruptInput for anything wrong with the bytes themselves.
 #pragma once
 
-#include <optional>
 #include <string>
 
 #include "graph/edge_list.hpp"
+#include "support/status.hpp"
 
 namespace llpmst {
 
 struct DimacsResult {
   EdgeList graph;
-  std::string error;  // empty on success
+  Status status;  // OK on success
 
-  [[nodiscard]] bool ok() const { return error.empty(); }
+  [[nodiscard]] bool ok() const { return status.ok(); }
 };
 
-/// Reads a .gr file.  On failure, `error` describes the first problem.
+/// Reads a .gr file.  On failure, `status` describes the first problem.
 [[nodiscard]] DimacsResult read_dimacs(const std::string& path);
 
 /// Writes a normalized edge list as .gr (arcs emitted both directions, as
-/// the road files do).  Returns an empty string on success.
-[[nodiscard]] std::string write_dimacs(const std::string& path,
-                                       const EdgeList& list);
+/// the road files do).
+[[nodiscard]] Status write_dimacs(const std::string& path,
+                                  const EdgeList& list);
 
 }  // namespace llpmst

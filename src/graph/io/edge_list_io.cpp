@@ -6,6 +6,9 @@
 #include <cstring>
 #include <vector>
 
+#include "graph/io/io_util.hpp"
+#include "support/failpoint.hpp"
+
 namespace llpmst {
 
 namespace {
@@ -16,29 +19,42 @@ struct BinaryRecord {
   std::uint32_t u, v, w;
 };
 static_assert(sizeof(BinaryRecord) == 12);
+
+Status corrupt(std::string message) {
+  return {StatusCode::kCorruptInput, std::move(message)};
+}
 }  // namespace
 
 EdgeListResult read_edge_list_text(const std::string& path) {
   EdgeListResult result;
+  if (const auto a = LLPMST_FAILPOINT("io/edge_list_text");
+      a != fail::Action::kNone) {
+    result.status = io_detail::injected_status(a, "io/edge_list_text");
+    return result;
+  }
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
-    result.error = "cannot open '" + path + "'";
+    result.status = {StatusCode::kIoError, "cannot open '" + path + "'"};
     return result;
   }
 
-  char buf[512];
+  std::string buf;
   std::size_t line_no = 0;
   VertexId max_vertex = 0;
   bool any = false;
-  while (std::fgets(buf, sizeof buf, f) != nullptr) {
+  while (io_detail::read_line(f, buf)) {
     ++line_no;
-    const char* p = buf;
+    const char* p = buf.c_str();
+    const char* end = buf.c_str() + buf.size();
     while (*p == ' ' || *p == '\t') ++p;
-    if (*p == '\0' || *p == '\n' || *p == '#') continue;
+    if (p == end || *p == '#' || *p == '\r') continue;
 
+    // Integer-only parse: "nan", "inf", negatives, floats, and hex all fail
+    // from_chars here and surface as malformed lines — the weight domain is
+    // uint32 by contract, and anything non-finite must be rejected, not
+    // coerced.
     std::uint64_t vals[3];
     const char* cur = p;
-    const char* end = buf + std::strlen(buf);
     bool ok = true;
     for (int k = 0; k < 3 && ok; ++k) {
       while (cur < end && (*cur == ' ' || *cur == '\t')) ++cur;
@@ -46,19 +62,19 @@ EdgeListResult read_edge_list_text(const std::string& path) {
       ok = (ec == std::errc() && next != cur);
       cur = next;
     }
-    // Trailing garbage other than whitespace/newline is an error.
-    while (ok && cur < end &&
-           (*cur == ' ' || *cur == '\t' || *cur == '\n' || *cur == '\r')) {
+    // Trailing garbage other than whitespace is an error.
+    while (ok && cur < end && (*cur == ' ' || *cur == '\t' || *cur == '\r')) {
       ++cur;
     }
     if (!ok || cur != end) {
-      result.error = "malformed line " + std::to_string(line_no);
+      result.status = corrupt("malformed line " + std::to_string(line_no));
       std::fclose(f);
       return result;
     }
     if (vals[0] >= kInvalidVertex || vals[1] >= kInvalidVertex ||
         vals[2] > 0xffffffffull) {
-      result.error = "value out of range at line " + std::to_string(line_no);
+      result.status =
+          corrupt("value out of range at line " + std::to_string(line_no));
       std::fclose(f);
       return result;
     }
@@ -74,24 +90,32 @@ EdgeListResult read_edge_list_text(const std::string& path) {
   return result;
 }
 
-std::string write_edge_list_text(const std::string& path,
-                                 const EdgeList& list) {
+Status write_edge_list_text(const std::string& path, const EdgeList& list) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return "cannot open '" + path + "' for writing";
+  if (f == nullptr) {
+    return {StatusCode::kIoError, "cannot open '" + path + "' for writing"};
+  }
   std::fprintf(f, "# llpmst edge list: %zu vertices, %zu edges\n",
                list.num_vertices(), list.num_edges());
   for (const WeightedEdge& e : list.edges()) {
     std::fprintf(f, "%u %u %u\n", e.u, e.v, e.w);
   }
-  return std::fclose(f) == 0 ? std::string{}
-                             : "write error closing '" + path + "'";
+  if (std::fclose(f) != 0) {
+    return {StatusCode::kIoError, "write error closing '" + path + "'"};
+  }
+  return Status::Ok();
 }
 
 EdgeListResult read_edge_list_binary(const std::string& path) {
   EdgeListResult result;
+  if (const auto a = LLPMST_FAILPOINT("io/edge_list_binary");
+      a != fail::Action::kNone) {
+    result.status = io_detail::injected_status(a, "io/edge_list_binary");
+    return result;
+  }
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
-    result.error = "cannot open '" + path + "'";
+    result.status = {StatusCode::kIoError, "cannot open '" + path + "'"};
     return result;
   }
 
@@ -99,18 +123,18 @@ EdgeListResult read_edge_list_binary(const std::string& path) {
   std::uint32_t version = 0;
   std::uint64_t n = 0, m = 0;
   if (std::fread(magic, 1, 4, f) != 4 || std::memcmp(magic, kMagic, 4) != 0) {
-    result.error = "bad magic (not an llpmst binary edge list)";
+    result.status = corrupt("bad magic (not an llpmst binary edge list)");
     std::fclose(f);
     return result;
   }
   if (std::fread(&version, sizeof version, 1, f) != 1 || version != kVersion) {
-    result.error = "unsupported version";
+    result.status = corrupt("unsupported version");
     std::fclose(f);
     return result;
   }
   if (std::fread(&n, sizeof n, 1, f) != 1 ||
       std::fread(&m, sizeof m, 1, f) != 1 || n >= kInvalidVertex) {
-    result.error = "corrupt header";
+    result.status = corrupt("corrupt header");
     std::fclose(f);
     return result;
   }
@@ -119,18 +143,26 @@ EdgeListResult read_edge_list_binary(const std::string& path) {
   // allocating anything — a corrupt header must not drive a huge reserve().
   const long header_end = std::ftell(f);
   if (header_end < 0 || std::fseek(f, 0, SEEK_END) != 0) {
-    result.error = "cannot determine file size";
+    result.status = {StatusCode::kIoError, "cannot determine file size"};
     std::fclose(f);
     return result;
   }
   const long file_end = std::ftell(f);
   std::fseek(f, header_end, SEEK_SET);
-  const std::uint64_t available =
-      static_cast<std::uint64_t>(file_end - header_end) /
-      sizeof(BinaryRecord);
-  if (m > available) {
-    result.error = "truncated edge records (header declares more than the "
-                   "file holds)";
+  const std::uint64_t record_bytes =
+      static_cast<std::uint64_t>(file_end - header_end);
+  // Divide rather than multiply: m is untrusted and m * 12 can wrap.
+  if (m > record_bytes / sizeof(BinaryRecord)) {
+    result.status = corrupt(
+        "truncated edge records (header declares more than the file holds)");
+    std::fclose(f);
+    return result;
+  }
+  if (record_bytes != m * sizeof(BinaryRecord)) {
+    // Extra bytes past the declared records mean the header and the payload
+    // disagree — refusing is safer than guessing which one is right.
+    result.status =
+        corrupt("trailing bytes after the declared edge records");
     std::fclose(f);
     return result;
   }
@@ -144,13 +176,13 @@ EdgeListResult read_edge_list_binary(const std::string& path) {
         static_cast<std::size_t>(std::min<std::uint64_t>(remaining,
                                                          chunk.size()));
     if (std::fread(chunk.data(), sizeof(BinaryRecord), want, f) != want) {
-      result.error = "truncated edge records";
+      result.status = corrupt("truncated edge records");
       std::fclose(f);
       return result;
     }
     for (std::size_t i = 0; i < want; ++i) {
       if (chunk[i].u >= n || chunk[i].v >= n) {
-        result.error = "edge endpoint out of range";
+        result.status = corrupt("edge endpoint out of range");
         std::fclose(f);
         return result;
       }
@@ -163,10 +195,11 @@ EdgeListResult read_edge_list_binary(const std::string& path) {
   return result;
 }
 
-std::string write_edge_list_binary(const std::string& path,
-                                   const EdgeList& list) {
+Status write_edge_list_binary(const std::string& path, const EdgeList& list) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return "cannot open '" + path + "' for writing";
+  if (f == nullptr) {
+    return {StatusCode::kIoError, "cannot open '" + path + "' for writing"};
+  }
   const std::uint64_t n = list.num_vertices();
   const std::uint64_t m = list.num_edges();
   bool ok = std::fwrite(kMagic, 1, 4, f) == 4 &&
@@ -186,7 +219,8 @@ std::string write_edge_list_binary(const std::string& path,
          chunk.size();
   }
   ok = (std::fclose(f) == 0) && ok;
-  return ok ? std::string{} : "write error on '" + path + "'";
+  if (!ok) return {StatusCode::kIoError, "write error on '" + path + "'"};
+  return Status::Ok();
 }
 
 }  // namespace llpmst

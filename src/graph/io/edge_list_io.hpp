@@ -3,34 +3,38 @@
 //     format for SNAP-style datasets;
 //   * binary: a fixed little-endian header + packed (u, v, w) records — fast
 //     reload of generated benchmark graphs between runs.
-// Readers validate and report errors via the result struct.
+// Readers validate and report errors via the result's Status: kIoError for
+// OS failures, kCorruptInput for bad bytes (malformed lines, out-of-range
+// ids, truncated or oversized record sections).
 #pragma once
 
 #include <string>
 
 #include "graph/edge_list.hpp"
+#include "support/status.hpp"
 
 namespace llpmst {
 
 struct EdgeListResult {
   EdgeList graph;
-  std::string error;  // empty on success
+  Status status;  // OK on success
 
-  [[nodiscard]] bool ok() const { return error.empty(); }
+  [[nodiscard]] bool ok() const { return status.ok(); }
 };
 
 /// Reads "u v w" lines; vertex space is max id + 1.  Normalizes.
 [[nodiscard]] EdgeListResult read_edge_list_text(const std::string& path);
 
-/// Writes one "u v w" line per edge.  Returns empty string on success.
-[[nodiscard]] std::string write_edge_list_text(const std::string& path,
-                                               const EdgeList& list);
+/// Writes one "u v w" line per edge.
+[[nodiscard]] Status write_edge_list_text(const std::string& path,
+                                          const EdgeList& list);
 
 /// Binary format: magic "LLPM", u32 version, u64 n, u64 m, then m packed
-/// {u32 u, u32 v, u32 w} records.  Validates magic/version/truncation.
+/// {u32 u, u32 v, u32 w} records.  Validates magic/version/truncation and
+/// rejects trailing bytes after the declared records.
 [[nodiscard]] EdgeListResult read_edge_list_binary(const std::string& path);
 
-[[nodiscard]] std::string write_edge_list_binary(const std::string& path,
-                                                 const EdgeList& list);
+[[nodiscard]] Status write_edge_list_binary(const std::string& path,
+                                            const EdgeList& list);
 
 }  // namespace llpmst

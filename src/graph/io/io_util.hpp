@@ -1,0 +1,47 @@
+// Internal helpers shared by the graph readers (not part of the public API).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "support/failpoint.hpp"
+#include "support/status.hpp"
+
+namespace llpmst::io_detail {
+
+/// Reads one full line of unbounded length into `line` (newline stripped).
+/// Returns false at EOF with nothing read.  Fixed-size fgets buffers are NOT
+/// equivalent: a >buffer-size line gets chunked, and the continuation of a
+/// long comment line silently parses as data — an adversarial-input bug the
+/// fuzz suite caught.
+inline bool read_line(std::FILE* f, std::string& line) {
+  line.clear();
+  char buf[4096];
+  while (std::fgets(buf, sizeof buf, f) != nullptr) {
+    line += buf;
+    if (!line.empty() && line.back() == '\n') {
+      line.pop_back();
+      return true;
+    }
+  }
+  return !line.empty();
+}
+
+/// Converts a fired reader failpoint into the Status the reader returns:
+/// a `return` spec models an I/O-layer fault, an `alloc` spec models memory
+/// exhaustion while parsing.  kNone maps to OK (nothing fired).
+inline Status injected_status(fail::Action a, const char* point) {
+  switch (a) {
+    case fail::Action::kNone:
+      return Status::Ok();
+    case fail::Action::kAlloc:
+      return {StatusCode::kResourceExhausted,
+              std::string("injected allocation failure at ") + point};
+    case fail::Action::kError:
+      break;
+  }
+  return {StatusCode::kInjectedFault,
+          std::string("injected fault at ") + point};
+}
+
+}  // namespace llpmst::io_detail

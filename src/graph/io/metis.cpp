@@ -6,23 +6,12 @@
 #include <string>
 #include <vector>
 
+#include "graph/io/io_util.hpp"
+#include "support/failpoint.hpp"
+
 namespace llpmst {
 
 namespace {
-
-/// Reads one full line of unbounded length.
-bool read_line(std::FILE* f, std::string& line) {
-  line.clear();
-  char buf[4096];
-  while (std::fgets(buf, sizeof buf, f) != nullptr) {
-    line += buf;
-    if (!line.empty() && line.back() == '\n') {
-      line.pop_back();
-      return true;
-    }
-  }
-  return !line.empty();
-}
 
 bool next_token(const char*& cur, const char* end, std::uint64_t& out) {
   while (cur < end && (*cur == ' ' || *cur == '\t' || *cur == '\r')) ++cur;
@@ -33,13 +22,28 @@ bool next_token(const char*& cur, const char* end, std::uint64_t& out) {
   return true;
 }
 
+/// True iff only whitespace remains — distinguishes "no more tokens" from
+/// "a token that failed to parse" (garbage must be an error, not ignored).
+bool only_whitespace(const char* cur, const char* end) {
+  while (cur < end && (*cur == ' ' || *cur == '\t' || *cur == '\r')) ++cur;
+  return cur == end;
+}
+
+Status corrupt(std::string message) {
+  return {StatusCode::kCorruptInput, std::move(message)};
+}
+
 }  // namespace
 
 EdgeListResult read_metis(const std::string& path) {
   EdgeListResult result;
+  if (const auto a = LLPMST_FAILPOINT("io/metis"); a != fail::Action::kNone) {
+    result.status = io_detail::injected_status(a, "io/metis");
+    return result;
+  }
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
-    result.error = "cannot open '" + path + "'";
+    result.status = {StatusCode::kIoError, "cannot open '" + path + "'"};
     return result;
   }
 
@@ -49,8 +53,8 @@ EdgeListResult read_metis(const std::string& path) {
   // Header (skipping % comments).
   std::uint64_t n = 0, m = 0, fmt = 0;
   for (;;) {
-    if (!read_line(f, line)) {
-      result.error = "missing header line";
+    if (!io_detail::read_line(f, line)) {
+      result.status = corrupt("missing header line");
       std::fclose(f);
       return result;
     }
@@ -59,22 +63,29 @@ EdgeListResult read_metis(const std::string& path) {
     const char* cur = line.data();
     const char* end = line.data() + line.size();
     if (!next_token(cur, end, n) || !next_token(cur, end, m)) {
-      result.error = "malformed header at line " + std::to_string(line_no);
+      result.status =
+          corrupt("malformed header at line " + std::to_string(line_no));
       std::fclose(f);
       return result;
     }
     std::uint64_t maybe_fmt = 0;
     if (next_token(cur, end, maybe_fmt)) fmt = maybe_fmt;
+    if (!only_whitespace(cur, end)) {
+      result.status = corrupt("trailing garbage in header at line " +
+                              std::to_string(line_no));
+      std::fclose(f);
+      return result;
+    }
     break;
   }
   if (n >= kInvalidVertex) {
-    result.error = "vertex count exceeds 32-bit id space";
+    result.status = corrupt("vertex count exceeds 32-bit id space");
     std::fclose(f);
     return result;
   }
   if (fmt != 0 && fmt != 1) {
-    result.error = "unsupported fmt " + std::to_string(fmt) +
-                   " (only edge-weighted fmt 0/1 supported)";
+    result.status = corrupt("unsupported fmt " + std::to_string(fmt) +
+                            " (only edge-weighted fmt 0/1 supported)");
     std::fclose(f);
     return result;
   }
@@ -87,8 +98,8 @@ EdgeListResult read_metis(const std::string& path) {
 
   std::uint64_t vertex = 0;
   while (vertex < n) {
-    if (!read_line(f, line)) {
-      result.error = "fewer vertex lines than the header declares";
+    if (!io_detail::read_line(f, line)) {
+      result.status = corrupt("fewer vertex lines than the header declares");
       std::fclose(f);
       return result;
     }
@@ -101,14 +112,14 @@ EdgeListResult read_metis(const std::string& path) {
     while (next_token(cur, end, nbr)) {
       std::uint64_t w = 1;
       if (weighted && !next_token(cur, end, w)) {
-        result.error = "missing edge weight at line " +
-                       std::to_string(line_no);
+        result.status =
+            corrupt("missing edge weight at line " + std::to_string(line_no));
         std::fclose(f);
         return result;
       }
       if (nbr < 1 || nbr > n || w > 0xffffffffull) {
-        result.error = "neighbor or weight out of range at line " +
-                       std::to_string(line_no);
+        result.status = corrupt("neighbor or weight out of range at line " +
+                                std::to_string(line_no));
         std::fclose(f);
         return result;
       }
@@ -119,20 +130,29 @@ EdgeListResult read_metis(const std::string& path) {
                               static_cast<Weight>(w));
       }
     }
+    // next_token stopped: either the line is exhausted or it hit a token
+    // that is not a number.  Silently ignoring the latter used to hide
+    // corrupt adjacency data.
+    if (!only_whitespace(cur, end)) {
+      result.status = corrupt("trailing garbage in adjacency at line " +
+                              std::to_string(line_no));
+      std::fclose(f);
+      return result;
+    }
     ++vertex;
   }
   std::fclose(f);
   result.graph.normalize();
-  if (result.graph.num_edges() != m) {
-    // Not fatal — self loops / duplicates get dropped — but a big mismatch
-    // suggests a malformed file.  Accept and let the caller inspect counts.
-  }
+  // The header's edge count is advisory (self loops / duplicates get
+  // dropped); callers can compare num_edges() against expectations.
   return result;
 }
 
-std::string write_metis(const std::string& path, const EdgeList& list) {
+Status write_metis(const std::string& path, const EdgeList& list) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return "cannot open '" + path + "' for writing";
+  if (f == nullptr) {
+    return {StatusCode::kIoError, "cannot open '" + path + "' for writing"};
+  }
 
   const std::size_t n = list.num_vertices();
   // Build adjacency (both directions) to emit per-vertex lines.
@@ -152,8 +172,10 @@ std::string write_metis(const std::string& path, const EdgeList& list) {
     }
     std::fputc('\n', f);
   }
-  return std::fclose(f) == 0 ? std::string{}
-                             : "write error closing '" + path + "'";
+  if (std::fclose(f) != 0) {
+    return {StatusCode::kIoError, "write error closing '" + path + "'"};
+  }
+  return Status::Ok();
 }
 
 }  // namespace llpmst

@@ -18,7 +18,7 @@ namespace llpmst {
 
 [[nodiscard]] EdgeListResult read_metis(const std::string& path);
 
-[[nodiscard]] std::string write_metis(const std::string& path,
-                                      const EdgeList& list);
+[[nodiscard]] Status write_metis(const std::string& path,
+                                 const EdgeList& list);
 
 }  // namespace llpmst

@@ -1,0 +1,57 @@
+#include "graph/io/read_graph.hpp"
+
+#include <utility>
+
+#include "graph/io/dimacs.hpp"
+#include "graph/io/edge_list_io.hpp"
+#include "graph/io/metis.hpp"
+
+namespace llpmst {
+
+namespace {
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+GraphFormat detect_graph_format(const std::string& path) {
+  if (ends_with(path, ".gr")) return GraphFormat::kDimacs;
+  if (ends_with(path, ".metis") || ends_with(path, ".graph")) {
+    return GraphFormat::kMetis;
+  }
+  if (ends_with(path, ".bin")) return GraphFormat::kBinary;
+  return GraphFormat::kText;
+}
+
+Expected<EdgeList> read_graph(const std::string& path, GraphFormat format) {
+  if (format == GraphFormat::kAuto) format = detect_graph_format(path);
+  switch (format) {
+    case GraphFormat::kDimacs: {
+      DimacsResult r = read_dimacs(path);
+      if (!r.ok()) return r.status;
+      return std::move(r.graph);
+    }
+    case GraphFormat::kMetis: {
+      EdgeListResult r = read_metis(path);
+      if (!r.ok()) return r.status;
+      return std::move(r.graph);
+    }
+    case GraphFormat::kBinary: {
+      EdgeListResult r = read_edge_list_binary(path);
+      if (!r.ok()) return r.status;
+      return std::move(r.graph);
+    }
+    case GraphFormat::kText:
+    case GraphFormat::kAuto: {
+      EdgeListResult r = read_edge_list_text(path);
+      if (!r.ok()) return r.status;
+      return std::move(r.graph);
+    }
+  }
+  return Status{StatusCode::kInvalidArgument, "unknown graph format"};
+}
+
+}  // namespace llpmst

@@ -1,0 +1,31 @@
+// Unified graph-loading entry point: picks the reader from the file
+// extension and returns Expected<EdgeList>, so every tool and service gets
+// the same dispatch rules (and the same structured errors) instead of each
+// reimplementing them.
+//
+//   .gr                -> DIMACS        (read_dimacs)
+//   .metis / .graph    -> METIS         (read_metis)
+//   .bin               -> llpmst binary (read_edge_list_binary)
+//   anything else      -> "u v w" text  (read_edge_list_text)
+#pragma once
+
+#include <string>
+
+#include "graph/edge_list.hpp"
+#include "support/status.hpp"
+
+namespace llpmst {
+
+enum class GraphFormat { kAuto, kDimacs, kMetis, kBinary, kText };
+
+/// Maps a path to the format read_graph would use (kAuto resolves by
+/// extension; never returns kAuto).
+[[nodiscard]] GraphFormat detect_graph_format(const std::string& path);
+
+/// Loads a graph file.  On failure the Status carries the reader's verdict:
+/// kIoError (open/size failures), kCorruptInput (bad bytes), or the
+/// injected-fault codes when a chaos failpoint is armed.
+[[nodiscard]] Expected<EdgeList> read_graph(
+    const std::string& path, GraphFormat format = GraphFormat::kAuto);
+
+}  // namespace llpmst

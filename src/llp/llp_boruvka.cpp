@@ -2,11 +2,13 @@
 
 namespace llpmst {
 
-MstResult llp_boruvka(const CsrGraph& g, ThreadPool& pool) {
+MstResult llp_boruvka(const CsrGraph& g, ThreadPool& pool,
+                      const CancelToken* cancel) {
   BoruvkaConfig config;
   config.jumping = PointerJumping::kAsynchronous;
   config.dedup_contracted_edges = false;
   config.obs_label = "llp_boruvka";
+  config.cancel = cancel;
   return boruvka_engine(g, pool, config);
 }
 

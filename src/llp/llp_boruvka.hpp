@@ -19,7 +19,10 @@
 
 namespace llpmst {
 
-[[nodiscard]] MstResult llp_boruvka(const CsrGraph& g, ThreadPool& pool);
+/// `cancel` (optional) stops the run between rounds; a triggered token or an
+/// injected fault yields result.stats.outcome != kOk with a PARTIAL forest.
+[[nodiscard]] MstResult llp_boruvka(const CsrGraph& g, ThreadPool& pool,
+                                    const CancelToken* cancel = nullptr);
 
 /// Ablation entry point: run LLP-Boruvka with explicit engine knobs (which
 /// pointer-jumping flavour, whether contraction dedups).  llp_boruvka() is

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <string>
 
 #include "obs/metrics.hpp"
 #include "parallel/atomic_utils.hpp"
@@ -41,17 +42,18 @@ LlpComponentsResult llp_connected_components(const CsrGraph& g,
         // fetch-min rather than a blind store.
         atomic_fetch_min(G[v], forced(v));
       });
-  // A cap hit means the predicate is buggy or the cap was set too low; the
-  // partial labels are still a sound over-approximation (labels only ever
-  // decrease toward the fixpoint), so surface the condition instead of
-  // aborting and let callers/reports decide.
+  // A stopped run (cap hit, cancellation, injected fault) leaves labels as
+  // a sound over-approximation (labels only ever decrease toward the
+  // fixpoint), so surface the condition instead of aborting and let
+  // callers/reports decide.
   if (!out.llp.converged) {
-    obs::add_warning(
-        "llp_connected_components: sweep cap hit before convergence; "
-        "labels are an unconverged over-approximation");
+    obs::add_warning(std::string("llp_connected_components: run stopped (") +
+                     run_outcome_name(out.llp.outcome) +
+                     "); labels are an unconverged over-approximation");
     std::fprintf(stderr,
-                 "warning: llp_connected_components hit the sweep cap "
-                 "without converging\n");
+                 "warning: llp_connected_components stopped without "
+                 "converging (%s)\n",
+                 run_outcome_name(out.llp.outcome));
   }
 
   out.label.resize(n);

@@ -9,11 +9,12 @@
 #include "parallel/concurrent_bag.hpp"
 #include "parallel/parallel_for.hpp"
 #include "support/assert.hpp"
+#include "support/failpoint.hpp"
 
 namespace llpmst {
 
 MstResult llp_prim_parallel(const CsrGraph& g, ThreadPool& pool,
-                            VertexId root) {
+                            VertexId root, const CancelToken* cancel) {
   const std::size_t n = g.num_vertices();
   LLPMST_CHECK_MSG(n >= 1, "LLP-Prim requires a non-empty graph");
   LLPMST_CHECK(root < n);
@@ -57,11 +58,20 @@ MstResult llp_prim_parallel(const CsrGraph& g, ThreadPool& pool,
     // Section V-A early termination: all vertices fixed -> done.
     if (num_fixed == n) break;
 
+    // Cancellation checkpoint, once per super-step: a partial forest is
+    // still a forest (every recorded edge was individually claimed), so
+    // stopping between super-steps is always safe — just incomplete.
+    if (cancel != nullptr && cancel->cancelled()) {
+      r.stats.outcome = cancel->reason();
+      break;
+    }
+
     // --- Parallel drain of R.  Every frontier vertex is already fixed; the
     // team explores their arcs, early-fixing across MWEs (claim CAS) and
     // lowering tentative distances (fetch-min).  Each batch is one worklist
     // sweep in the Algorithm 1 sense (counted in stats.llp_sweeps).
     while (!frontier.empty() && num_fixed < n) {
+      if (cancel != nullptr && cancel->cancelled()) break;  // rechecked above
       obs::PhaseTimer relax_span("relax");
       ++r.stats.llp_sweeps;
       parallel_for_worker(
@@ -112,6 +122,13 @@ MstResult llp_prim_parallel(const CsrGraph& g, ThreadPool& pool,
 
     // --- R drained: flush staged vertices into the heap (sequential — the
     // paper's acknowledged bottleneck), then pop the next nearest vertex.
+    // Chaos hook at the bag→heap handoff: the single-threaded window where
+    // a sleep/yield maximally skews the parallel/sequential interleaving,
+    // and where an injected failure models the handoff going wrong.
+    if (LLPMST_FAILPOINT("llp_prim/handoff") != fail::Action::kNone) {
+      r.stats.outcome = RunOutcome::kInjectedFault;
+      break;
+    }
     {
       obs::PhaseTimer flush_span("heap_flush");
       std::vector<VertexId> staged;
@@ -142,7 +159,9 @@ MstResult llp_prim_parallel(const CsrGraph& g, ThreadPool& pool,
     if (!advanced) break;
   }
 
-  LLPMST_CHECK_MSG(num_fixed == n,
+  // On a clean run all vertices must have been fixed; an aborted run
+  // (cancellation / injected fault) legitimately leaves some unfixed.
+  LLPMST_CHECK_MSG(r.stats.outcome != RunOutcome::kOk || num_fixed == n,
                    "LLP-Prim requires a connected graph; use LLP-Boruvka "
                    "for forests");
   r.stats.fixed_via_mwe = fixed_via_mwe.load(std::memory_order_relaxed);

@@ -18,10 +18,16 @@
 
 #include "mst/mst_result.hpp"
 #include "parallel/thread_pool.hpp"
+#include "support/cancel.hpp"
 
 namespace llpmst {
 
+/// `cancel` (optional) is polled once per super-step; a triggered token (or
+/// the "llp_prim/handoff" failpoint) stops the run early with
+/// result.stats.outcome != kOk and a PARTIAL edge set — callers must check
+/// the outcome before trusting the forest (mst::auto does, and falls back).
 [[nodiscard]] MstResult llp_prim_parallel(const CsrGraph& g, ThreadPool& pool,
-                                          VertexId root = 0);
+                                          VertexId root = 0,
+                                          const CancelToken* cancel = nullptr);
 
 }  // namespace llpmst

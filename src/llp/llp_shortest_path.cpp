@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <string>
 
 #include "ds/binary_heap.hpp"
 #include "obs/metrics.hpp"
@@ -81,12 +82,13 @@ ShortestPathResult llp_shortest_paths(const CsrGraph& g, ThreadPool& pool,
   // (callers see out.llp.converged, reports get a warning) and return the
   // partial vector.
   if (!out.llp.converged) {
-    obs::add_warning(
-        "llp_shortest_paths: sweep cap hit before convergence; distances "
-        "are unconverged lower bounds");
+    obs::add_warning(std::string("llp_shortest_paths: run stopped (") +
+                     run_outcome_name(out.llp.outcome) +
+                     "); distances are unconverged lower bounds");
     std::fprintf(stderr,
-                 "warning: llp_shortest_paths hit the sweep cap without "
-                 "converging\n");
+                 "warning: llp_shortest_paths stopped without converging "
+                 "(%s)\n",
+                 run_outcome_name(out.llp.outcome));
   }
 
   out.dist.resize(n);

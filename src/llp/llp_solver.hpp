@@ -27,13 +27,19 @@
 #include "obs/phase_timer.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
+#include "support/cancel.hpp"
+#include "support/failpoint.hpp"
+#include "support/status.hpp"
 
 namespace llpmst {
 
 struct LlpStats {
   std::uint64_t sweeps = 0;    // full passes over the index space
   std::uint64_t advances = 0;  // total advance() calls
-  bool converged = false;      // false iff the sweep cap was hit
+  /// Why the loop stopped: kOk (fixpoint reached), kNonConverged (sweep cap),
+  /// kCancelled / kDeadlineExceeded (CancelToken), kInjectedFault (failpoint).
+  RunOutcome outcome = RunOutcome::kOk;
+  bool converged = false;      // mirror of outcome == kOk, kept for callers
 };
 
 struct LlpOptions {
@@ -41,10 +47,17 @@ struct LlpOptions {
   /// converges well below that — the cap converts a buggy predicate into a
   /// diagnosable non-convergence instead of a hang).
   std::uint64_t max_sweeps = 0;
+  /// Optional cooperative cancellation: polled before every sweep and, while
+  /// a sweep runs, between parallel_for chunks — a watchdog deadline stops
+  /// even a wedged or non-converging run at chunk granularity.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Runs Algorithm 1 over indices [0, n).  Returns statistics; `converged`
-/// is true when a full sweep found no forbidden index.
+/// is true when a full sweep found no forbidden index, and `outcome` says
+/// why the loop stopped otherwise.  A cancelled or faulted run leaves G in
+/// a sound intermediate lattice state (below or at the fixpoint) — partial,
+/// not corrupt.
 template <typename Forbidden, typename Advance>
 LlpStats llp_solve(ThreadPool& pool, std::size_t n, Forbidden&& forbidden,
                    Advance&& advance, const LlpOptions& options = {}) {
@@ -55,7 +68,21 @@ LlpStats llp_solve(ThreadPool& pool, std::size_t n, Forbidden&& forbidden,
   obs::PhaseTimer solve_span("llp_solve");
   std::atomic<std::uint64_t> advanced{0};
   for (;;) {
-    if (stats.sweeps >= cap) break;  // converged stays false
+    if (options.cancel != nullptr && options.cancel->cancelled()) {
+      stats.outcome = options.cancel->reason();
+      break;
+    }
+    if (stats.sweeps >= cap) {
+      stats.outcome = RunOutcome::kNonConverged;
+      break;
+    }
+    // Chaos hook: one evaluation per sweep.  Sleep/yield stretches the
+    // window between sweeps (exposing schedule assumptions); a failure spec
+    // stops the solve with a structured outcome.
+    if (LLPMST_FAILPOINT("llp/sweep") != fail::Action::kNone) {
+      stats.outcome = RunOutcome::kInjectedFault;
+      break;
+    }
     ++stats.sweeps;
     advanced.store(0, std::memory_order_relaxed);
     {
@@ -63,7 +90,7 @@ LlpStats llp_solve(ThreadPool& pool, std::size_t n, Forbidden&& forbidden,
       // idle, a real span in traces — this is the per-sweep visibility the
       // Algorithm 1 analysis needs.
       obs::PhaseTimer sweep_span("sweep");
-      parallel_for(pool, 0, n, [&](std::size_t j) {
+      const auto body = [&](std::size_t j) {
         // Re-testing forbidden(j) right before advancing is the whole
         // synchronization story: lattice-linearity makes a stale "forbidden"
         // verdict impossible (forbidden states stay forbidden until
@@ -74,19 +101,33 @@ LlpStats llp_solve(ThreadPool& pool, std::size_t n, Forbidden&& forbidden,
           ++local;
         }
         if (local != 0) advanced.fetch_add(local, std::memory_order_relaxed);
-      });
+      };
+      if (options.cancel != nullptr) {
+        if (!parallel_for_interruptible(pool, 0, n, *options.cancel, body)) {
+          stats.advances += advanced.load(std::memory_order_relaxed);
+          stats.outcome = options.cancel->reason();
+          break;
+        }
+      } else {
+        parallel_for(pool, 0, n, body);
+      }
     }
     const std::uint64_t a = advanced.load(std::memory_order_relaxed);
     stats.advances += a;
-    if (a == 0) {
-      stats.converged = true;
-      break;
-    }
+    if (a == 0) break;  // outcome stays kOk: we have our solution
   }
+  stats.converged = (stats.outcome == RunOutcome::kOk);
   if (obs::kCompiledIn) {
     obs::counter("llp_solve/sweeps").add(stats.sweeps);
     obs::counter("llp_solve/advances").add(stats.advances);
-    if (!stats.converged) obs::counter("llp_solve/cap_hits").increment();
+    if (stats.outcome == RunOutcome::kNonConverged) {
+      obs::counter("llp_solve/cap_hits").increment();
+    } else if (stats.outcome == RunOutcome::kCancelled ||
+               stats.outcome == RunOutcome::kDeadlineExceeded) {
+      obs::counter("llp_solve/cancellations").increment();
+    } else if (stats.outcome == RunOutcome::kInjectedFault) {
+      obs::counter("llp_solve/injected_faults").increment();
+    }
   }
   return stats;
 }

@@ -1,11 +1,49 @@
 #include "mst/auto.hpp"
 
+#include <exception>
+#include <string>
+
 #include "graph/algorithms/connected_components.hpp"
 #include "llp/llp_boruvka.hpp"
 #include "llp/llp_prim.hpp"
 #include "llp/llp_prim_parallel.hpp"
+#include "mst/kruskal.hpp"
+#include "obs/metrics.hpp"
+#include "support/failpoint.hpp"
 
 namespace llpmst {
+
+namespace {
+
+/// Runs the chosen parallel algorithm, converting every failure mode —
+/// structured outcome, injected FailpointError, bad_alloc, any other
+/// exception — into a (ok, reason) verdict the portfolio can act on.
+template <typename Run>
+bool run_guarded(Run&& run, MstResult& result, std::string& reason) {
+  try {
+    result = run();
+  } catch (const fail::FailpointError& e) {
+    reason = std::string("exception: ") + e.what();
+    return false;
+  } catch (const std::bad_alloc&) {
+    reason = "exception: out of memory";
+    return false;
+  } catch (const std::exception& e) {
+    reason = std::string("exception: ") + e.what();
+    return false;
+  }
+  if (result.stats.outcome != RunOutcome::kOk) {
+    reason = run_outcome_name(result.stats.outcome);
+    return false;
+  }
+  if (!result.stats.llp_converged) {
+    reason = "non_converged";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 AutoMstResult minimum_spanning_forest(const CsrGraph& g, ThreadPool& pool,
                                       Connectivity connectivity,
@@ -31,16 +69,62 @@ AutoMstResult minimum_spanning_forest(const CsrGraph& g, ThreadPool& pool,
     }
   }
 
+  // Deadline and external cancellation combine into one token the chosen
+  // algorithm polls.  An external token is mirrored (checked here and passed
+  // through) rather than copied so the caller keeps ownership semantics.
+  CancelToken token;
+  if (options.deadline_ms > 0) token.set_deadline_after_ms(options.deadline_ms);
+  const CancelToken* cancel = nullptr;
+  if (options.deadline_ms > 0) {
+    cancel = &token;
+  } else if (options.cancel != nullptr) {
+    cancel = options.cancel;
+  }
+  // Both supplied: poll the caller's token from inside ours via the deadline
+  // token — cheapest correct composition is to check the external token at
+  // the same super-step cadence, which the algorithms already do when given
+  // a single token.  We approximate by preferring the deadline token and
+  // letting the caller's cancel() win only between algorithm attempts; the
+  // common cases (deadline only, external only) are exact.
+
   const std::size_t threads = pool.num_threads();
+  std::string reason;
+  bool ok = true;
   if (!connected || threads >= options.boruvka_crossover) {
     out.algorithm = "llp_boruvka";
-    out.result = llp_boruvka(g, pool);
+    ok = run_guarded([&] { return llp_boruvka(g, pool, cancel); }, out.result,
+                     reason);
   } else if (threads == 1) {
     out.algorithm = "llp_prim";
+    // Sequential LLP-Prim is the dependable path already; no cancel wiring.
     out.result = llp_prim(g);
   } else {
     out.algorithm = "llp_prim_parallel";
-    out.result = llp_prim_parallel(g, pool);
+    ok = run_guarded([&] { return llp_prim_parallel(g, pool, 0, cancel); },
+                     out.result, reason);
+  }
+
+  if (!ok) {
+    // A cancel requested by the CALLER is an instruction to stop, not a
+    // failure to route around — honour it and return the partial result.
+    const bool user_cancelled =
+        options.cancel != nullptr &&
+        options.cancel->reason() == RunOutcome::kCancelled;
+    if (options.fallback_to_sequential && !user_cancelled) {
+      if (obs::kCompiledIn) {
+        obs::counter("auto/fallbacks").increment();
+        obs::add_warning("auto: " + out.algorithm + " failed (" + reason +
+                         "); falling back to sequential kruskal");
+      }
+      out.fell_back = true;
+      out.fallback_reason = reason;
+      out.algorithm = "kruskal";
+      out.result = kruskal(g);
+    } else {
+      // No fallback: surface the partial result; the caller inspects
+      // result.stats.outcome / fallback_reason.
+      out.fallback_reason = reason;
+    }
   }
   return out;
 }

@@ -15,17 +15,34 @@
 
 #include "mst/mst_result.hpp"
 #include "parallel/thread_pool.hpp"
+#include "support/cancel.hpp"
 
 namespace llpmst {
 
 struct AutoMstOptions {
   /// Thread count at which the Boruvka family starts winning (Fig. 3's ~8).
   std::size_t boruvka_crossover = 8;
+  /// Wall-clock budget for the chosen parallel algorithm, in milliseconds
+  /// (0 = none).  Enforced with an internal CancelToken deadline, so a
+  /// wedged or pathologically slow parallel run is stopped cooperatively.
+  double deadline_ms = 0;
+  /// External cancellation, observed alongside the deadline.  A user cancel
+  /// is honoured as a cancel — it does NOT trigger the fallback.
+  const CancelToken* cancel = nullptr;
+  /// When the parallel algorithm fails (deadline, injected fault, thrown
+  /// exception, non-convergence), rerun with sequential Kruskal — slower
+  /// but dependable — instead of returning the partial result.
+  bool fallback_to_sequential = true;
 };
 
 struct AutoMstResult {
   MstResult result;
-  std::string algorithm;  // which algorithm the portfolio chose
+  std::string algorithm;  // which algorithm ultimately produced `result`
+  /// True when the chosen parallel algorithm failed and sequential Kruskal
+  /// produced the result instead; `fallback_reason` says why (e.g.
+  /// "deadline_exceeded", "injected_fault", "exception: ...").
+  bool fell_back = false;
+  std::string fallback_reason;
 };
 
 /// Computes the MSF with the recommended algorithm.  `connected` may be

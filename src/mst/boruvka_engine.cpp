@@ -12,6 +12,7 @@
 #include "parallel/parallel_for.hpp"
 #include "parallel/scan.hpp"
 #include "support/assert.hpp"
+#include "support/failpoint.hpp"
 
 namespace llpmst {
 
@@ -59,6 +60,19 @@ MstResult boruvka_engine(const CsrGraph& g, ThreadPool& pool,
   std::uint64_t jump_rounds = 0;  // pointer-jumping iterations across rounds
 
   while (!edges.empty()) {
+    // Cancellation checkpoint, once per round: every edge already drained
+    // into `chosen` was a genuine MSF edge, so stopping between rounds
+    // yields a valid partial forest.
+    if (config.cancel != nullptr && config.cancel->cancelled()) {
+      r.stats.outcome = config.cancel->reason();
+      break;
+    }
+    // Chaos hook, once per round.  Sleep/yield here widens the window
+    // between a round's barriers; a failure spec aborts mid-contraction.
+    if (LLPMST_FAILPOINT("boruvka/contract") != fail::Action::kNone) {
+      r.stats.outcome = RunOutcome::kInjectedFault;
+      break;
+    }
     ++r.stats.rounds;
     const std::size_t me = edges.size();
     // Per-round visibility: the geometric shrink of the active edge list is

@@ -22,6 +22,7 @@
 
 #include "mst/mst_result.hpp"
 #include "parallel/thread_pool.hpp"
+#include "support/cancel.hpp"
 
 namespace llpmst {
 
@@ -49,6 +50,11 @@ struct BoruvkaConfig {
   /// so the two engine clients stay distinguishable in reports.  Must be a
   /// string literal (borrowed, not owned).
   const char* obs_label = "boruvka";
+  /// Optional cooperative cancellation, polled once per round (rounds shrink
+  /// the edge list geometrically, so this is O(log n) polls total).  A
+  /// triggered token — or the "boruvka/contract" failpoint — stops the run
+  /// with stats.outcome != kOk and the PARTIAL forest built so far.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Runs Boruvka rounds until no edges remain; returns the unique MSF.

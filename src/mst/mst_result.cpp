@@ -13,9 +13,15 @@ void finalize_result(const CsrGraph& g, MstResult& r) {
   LLPMST_ASSERT(std::adjacent_find(r.edges.begin(), r.edges.end()) ==
                 r.edges.end());
   r.total_weight = 0;
+  r.weight_overflow = false;
   for (const EdgeId e : r.edges) {
     LLPMST_ASSERT(e < g.num_edges());
-    r.total_weight += g.edge(e).w;
+    if (!checked_weight_add(r.total_weight, g.edge(e).w)) {
+      r.weight_overflow = true;
+    }
+  }
+  if (r.weight_overflow && obs::kCompiledIn) {
+    obs::add_warning("mst total_weight overflowed the 64-bit accumulator");
   }
   r.num_trees = g.num_vertices() - r.edges.size();
 }
@@ -38,7 +44,26 @@ void record_algo_metrics(const char* algo, const MstAlgoStats& s) {
   add("pointer_jumps", s.pointer_jumps);
   add("sweeps", s.llp_sweeps);
   add("advances", s.llp_advances);
-  if (!s.llp_converged) {
+  switch (s.outcome) {
+    case RunOutcome::kOk:
+      break;
+    case RunOutcome::kNonConverged:
+      obs::counter(p + "non_convergence").increment();
+      obs::add_warning(p + "llp sweep cap hit without convergence");
+      break;
+    case RunOutcome::kCancelled:
+    case RunOutcome::kDeadlineExceeded:
+      obs::counter(p + "cancellations").increment();
+      obs::add_warning(p + "run stopped: " +
+                       run_outcome_name(s.outcome));
+      break;
+    case RunOutcome::kInjectedFault:
+      obs::counter(p + "injected_faults").increment();
+      obs::add_warning(p + "run stopped by an injected fault");
+      break;
+  }
+  // Legacy flag path: cap hits recorded before outcome existed.
+  if (!s.llp_converged && s.outcome == RunOutcome::kOk) {
     obs::counter(p + "non_convergence").increment();
     obs::add_warning(p + "llp sweep cap hit without convergence");
   }

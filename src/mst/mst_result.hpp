@@ -12,6 +12,7 @@
 #include "ds/binary_heap.hpp"  // HeapStats
 #include "graph/csr_graph.hpp"
 #include "graph/types.hpp"
+#include "support/status.hpp"
 
 namespace llpmst {
 
@@ -27,6 +28,10 @@ struct MstAlgoStats {
   std::uint64_t pointer_jumps = 0;    // advance() steps in pointer jumping
   std::uint64_t llp_sweeps = 0;       // worklist/frontier sweeps (LLP family)
   std::uint64_t llp_advances = 0;     // advance() calls, when llp_solve ran
+  /// Per-run verdict: anything other than kOk means the result is PARTIAL —
+  /// the edge set covers only the work completed before the run stopped
+  /// (cancellation, deadline, injected fault, or sweep-cap non-convergence).
+  RunOutcome outcome = RunOutcome::kOk;
   bool llp_converged = true;          // false iff an LLP sweep cap was hit
 };
 
@@ -39,15 +44,34 @@ void record_algo_metrics(const char* algo, const MstAlgoStats& s);
 struct MstResult {
   /// Chosen undirected edge ids, sorted ascending.
   std::vector<EdgeId> edges;
-  /// Sum of weights of the chosen edges.
+  /// Sum of weights of the chosen edges.  Meaningless when weight_overflow.
   TotalWeight total_weight = 0;
+  /// True if summing the chosen weights overflowed the 64-bit accumulator.
+  /// Unreachable with 32-bit weights and < 2^32 edges, but the check keeps
+  /// the report honest if Weight ever widens — an overflowed total is
+  /// flagged, never silently wrapped.
+  bool weight_overflow = false;
   /// Number of trees in the forest (n - |edges| for a valid MSF).
   std::size_t num_trees = 0;
   MstAlgoStats stats;
 };
 
-/// Sorts edge ids, sums weights, and derives num_trees.  Every algorithm
-/// calls this once at the end.
+/// Adds `w` into `acc`, detecting unsigned wraparound.  Returns false (and
+/// leaves the wrapped value in `acc`) on overflow.  Shared by
+/// finalize_result and the verifier so both sides agree on what "overflow"
+/// means.
+[[nodiscard]] inline bool checked_weight_add(TotalWeight& acc, TotalWeight w) {
+#if defined(__GNUC__) || defined(__clang__)
+  return !__builtin_add_overflow(acc, w, &acc);
+#else
+  const TotalWeight before = acc;
+  acc += w;
+  return acc >= before;
+#endif
+}
+
+/// Sorts edge ids, sums weights (overflow-checked), and derives num_trees.
+/// Every algorithm calls this once at the end.
 void finalize_result(const CsrGraph& g, MstResult& r);
 
 }  // namespace llpmst

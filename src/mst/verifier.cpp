@@ -24,12 +24,19 @@ VerifyResult verify_spanning_forest(const CsrGraph& g, const MstResult& r) {
   // Acyclic: each edge must join two different UF components.
   UnionFind uf(n);
   TotalWeight weight = 0;
+  bool overflow = false;
   for (EdgeId e : r.edges) {
     const WeightedEdge& we = g.edge(e);
     if (!uf.unite(we.u, we.v)) return {false, "chosen edges contain a cycle"};
-    weight += we.w;
+    if (!checked_weight_add(weight, we.w)) overflow = true;
   }
-  if (weight != r.total_weight) {
+  if (overflow != r.weight_overflow) {
+    return {false, overflow
+                       ? "total_weight overflowed but the result did not "
+                         "flag it"
+                       : "result flags weight_overflow but the sum fits"};
+  }
+  if (!overflow && weight != r.total_weight) {
     return {false, "total_weight does not match the edge set"};
   }
 

@@ -42,7 +42,11 @@ std::string build_run_report(const RunInfo& info, const MstAlgoStats* algo) {
   append_kv_u64(out, "vertices", info.vertices);
   append_kv_u64(out, "edges", info.edges, false);
   out += "},";
-  append_kv_ms(out, "wall_ms", info.wall_ms, false);
+  append_kv_ms(out, "wall_ms", info.wall_ms);
+  out += "\"outcome\":";
+  out += json_quote(info.outcome);
+  out += ",\"fallback_reason\":";
+  out += json_quote(info.fallback_reason);
   out += "},";
 
   // --- per-algorithm stats
@@ -64,6 +68,8 @@ std::string build_run_report(const RunInfo& info, const MstAlgoStats* algo) {
     append_kv_u64(out, "advances", algo->llp_advances);
     out += "\"converged\":";
     out += algo->llp_converged ? "true" : "false";
+    out += ",\"outcome\":";
+    out += json_quote(run_outcome_name(algo->outcome));
     out += "}},";
   } else {
     out += "\"algo\":null,";

@@ -36,6 +36,12 @@ struct RunInfo {
   std::size_t vertices = 0;
   std::size_t edges = 0;
   double wall_ms = 0.0;
+  /// Per-run verdict ("ok", "deadline_exceeded", "injected_fault", ...);
+  /// emitted as run.outcome.  Matches run_outcome_name().
+  std::string outcome = "ok";
+  /// Non-empty when the portfolio fell back to sequential Kruskal; emitted
+  /// as run.fallback_reason ("" when no fallback happened).
+  std::string fallback_reason;
 };
 
 /// Builds the report document.  `algo` may be null (no per-algorithm stats).

@@ -15,6 +15,7 @@
 #include <cstddef>
 
 #include "parallel/thread_pool.hpp"
+#include "support/cancel.hpp"
 
 namespace llpmst {
 
@@ -44,6 +45,44 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
       for (std::size_t i = lo; i < hi; ++i) body(i);
     }
   });
+}
+
+/// Dynamic parallel for that polls a CancelToken between chunks: when the
+/// token triggers, workers stop taking new chunks (in-flight chunks finish).
+/// Returns true iff the whole range was processed.  The poll costs one
+/// relaxed load (plus a clock read while a deadline is armed) per `chunk`
+/// elements — this is the cancellation granularity a watchdog can rely on,
+/// as long as individual loop bodies are short.
+template <typename Body>
+bool parallel_for_interruptible(ThreadPool& pool, std::size_t begin,
+                                std::size_t end, const CancelToken& cancel,
+                                Body&& body,
+                                std::size_t chunk = detail::kDynamicChunk) {
+  if (begin >= end) return true;
+  const std::size_t n = end - begin;
+  if (pool.num_threads() == 1 || n <= chunk) {
+    for (std::size_t lo = begin; lo < end; lo += chunk) {
+      if (cancel.cancelled()) return false;
+      const std::size_t hi = lo + chunk < end ? lo + chunk : end;
+      for (std::size_t i = lo; i < hi; ++i) body(i);
+    }
+    return true;
+  }
+  std::atomic<std::size_t> next{begin};
+  std::atomic<bool> stopped{false};
+  pool.run_team([&](std::size_t) {
+    for (;;) {
+      if (cancel.cancelled()) {
+        stopped.store(true, std::memory_order_relaxed);
+        break;
+      }
+      const std::size_t lo = next.fetch_add(chunk, std::memory_order_relaxed);
+      if (lo >= end) break;
+      const std::size_t hi = lo + chunk < end ? lo + chunk : end;
+      for (std::size_t i = lo; i < hi; ++i) body(i);
+    }
+  });
+  return !stopped.load(std::memory_order_relaxed);
 }
 
 /// Static (even pre-split) parallel for over [begin, end).

@@ -1,7 +1,11 @@
 #include "parallel/thread_pool.hpp"
 
+#include <new>
+#include <utility>
+
 #include "obs/trace.hpp"
 #include "support/assert.hpp"
+#include "support/failpoint.hpp"
 
 namespace llpmst {
 
@@ -12,6 +16,17 @@ namespace {
 /// so concurrent regions stack up lane-by-lane in the viewer.
 inline void run_region(const std::function<void(std::size_t)>& f,
                        std::size_t worker_id) {
+  // Chaos hook: "pool/task" fires once per worker per region.  Yield/sleep
+  // specs perturb worker start order; failure specs throw and exercise the
+  // pool's exception propagation end to end.
+  switch (LLPMST_FAILPOINT("pool/task")) {
+    case fail::Action::kError:
+      throw fail::FailpointError("pool/task");
+    case fail::Action::kAlloc:
+      throw std::bad_alloc();
+    case fail::Action::kNone:
+      break;
+  }
   // trace_collecting() first: it is a compile-time false in LLPMST_OBS=0
   // builds, so the whole branch folds away there.
   if (obs::trace_collecting() && ThreadPool::trace_regions()) {
@@ -44,7 +59,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::run_team(const std::function<void(std::size_t)>& f) {
   if (num_threads_ == 1) {
-    run_region(f, 0);
+    run_region(f, 0);  // exceptions propagate naturally on the inline path
     return;
   }
   {
@@ -56,11 +71,24 @@ void ThreadPool::run_team(const std::function<void(std::size_t)>& f) {
   }
   work_ready_.notify_all();
 
-  run_region(f, 0);  // the caller participates as worker 0
+  // The caller participates as worker 0.  Its exception must not skip the
+  // join — the workers still reference f and the caller's stack.
+  std::exception_ptr caller_exception;
+  try {
+    run_region(f, 0);
+  } catch (...) {
+    caller_exception = std::current_exception();
+  }
 
-  std::unique_lock lock(mutex_);
-  work_done_.wait(lock, [this] { return active_workers_ == 0; });
-  job_ = nullptr;
+  std::exception_ptr worker_exception;
+  {
+    std::unique_lock lock(mutex_);
+    work_done_.wait(lock, [this] { return active_workers_ == 0; });
+    job_ = nullptr;
+    worker_exception = std::exchange(worker_exception_, nullptr);
+  }
+  if (caller_exception != nullptr) std::rethrow_exception(caller_exception);
+  if (worker_exception != nullptr) std::rethrow_exception(worker_exception);
 }
 
 void ThreadPool::worker_loop(std::size_t worker_id) {
@@ -76,9 +104,17 @@ void ThreadPool::worker_loop(std::size_t worker_id) {
       seen_epoch = epoch_;
       job = job_;
     }
-    run_region(*job, worker_id);
+    std::exception_ptr thrown;
+    try {
+      run_region(*job, worker_id);
+    } catch (...) {
+      thrown = std::current_exception();
+    }
     {
       std::lock_guard lock(mutex_);
+      if (thrown != nullptr && worker_exception_ == nullptr) {
+        worker_exception_ = std::move(thrown);  // first thrower wins
+      }
       if (--active_workers_ == 0) work_done_.notify_one();
     }
   }

@@ -19,6 +19,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -42,9 +43,16 @@ class ThreadPool {
   [[nodiscard]] std::size_t num_threads() const { return num_threads_; }
 
   /// Runs f(worker_id) on every worker (ids 0..num_threads-1, the calling
-  /// thread is id 0) and returns when all have finished.  Exceptions thrown
-  /// by f terminate the program (parallel regions must not throw — Core
-  /// Guidelines CP.2 region discipline); hot paths use error codes instead.
+  /// thread is id 0) and returns when all have finished.  An exception
+  /// escaping f on ANY worker is captured and rethrown here, on the
+  /// submitting thread, after the team joins — it never terminates the
+  /// process.  When several workers throw, the caller's own exception wins,
+  /// then the first captured worker exception; the rest are dropped.  Other
+  /// workers are not interrupted, so side effects of the region may be
+  /// partially applied — treat a throwing region as poisoned state, not a
+  /// transaction.  Hot paths still prefer error codes (CP.2 discipline);
+  /// this guarantee exists for failure paths: bad_alloc, injected faults,
+  /// bugs that must surface to the submitter instead of aborting a service.
   void run_team(const std::function<void(std::size_t)>& f);
 
   /// A process-wide default pool sized to the hardware concurrency; created
@@ -77,6 +85,9 @@ class ThreadPool {
   std::uint64_t epoch_ = 0;        // incremented per region; wakes workers
   std::size_t active_workers_ = 0; // workers still inside the current region
   bool shutdown_ = false;
+  // First exception a worker threw in the current region (guarded by
+  // mutex_); rethrown by run_team on the submitting thread after the join.
+  std::exception_ptr worker_exception_;
 };
 
 }  // namespace llpmst

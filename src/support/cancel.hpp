@@ -1,0 +1,133 @@
+// Cooperative cancellation with deadline support.
+//
+// A CancelToken is a shared flag the coordinator loops poll at natural
+// checkpoints (per sweep, per Boruvka round, per parallel_for chunk) — the
+// hot per-element paths never see it.  Cancellation is *cooperative*: a run
+// stops at the next checkpoint, hands back whatever partial state is sound,
+// and records why in its RunOutcome.
+//
+// Deadlines piggyback on the same token: set_deadline_after_ms() arms a
+// steady-clock deadline that cancelled() starts reporting once passed.  The
+// first observed trigger latches the reason, so a run that was cancelled
+// explicitly keeps reporting kCancelled even after the deadline also passes.
+//
+// Watchdog is the thread-backed variant for code that should be stopped even
+// when nobody is around to call cancel(): it cancels the token after a
+// timeout unless disarmed first.  Deadline checks cost a clock read, which
+// is why tokens are polled at chunk granularity, not per element.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "support/status.hpp"
+
+namespace llpmst {
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cancellation.  Idempotent; safe from any thread.
+  void cancel() { latch(RunOutcome::kCancelled); }
+
+  /// Arms (or re-arms) a deadline `ms` from now on the steady clock.
+  void set_deadline_after_ms(double ms) {
+    const auto now = std::chrono::steady_clock::now();
+    const auto delta = std::chrono::duration_cast<
+        std::chrono::steady_clock::duration>(std::chrono::duration<double,
+                                                                   std::milli>(
+        ms < 0 ? 0 : ms));
+    deadline_ns_.store(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                (now + delta).time_since_epoch())
+                .count()),
+        std::memory_order_relaxed);
+  }
+
+  /// True once cancelled explicitly or past the deadline.  The reason is
+  /// latched on first observation.
+  [[nodiscard]] bool cancelled() const {
+    if (reason_.load(std::memory_order_acquire) != RunOutcome::kOk) {
+      return true;
+    }
+    const std::uint64_t dl = deadline_ns_.load(std::memory_order_relaxed);
+    if (dl != 0) {
+      const auto now_ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now().time_since_epoch())
+              .count());
+      if (now_ns >= dl) {
+        latch(RunOutcome::kDeadlineExceeded);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// kOk while live; kCancelled / kDeadlineExceeded once triggered.
+  [[nodiscard]] RunOutcome reason() const {
+    (void)cancelled();  // fold a passed deadline into the latched reason
+    return reason_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] Status status() const { return outcome_status(reason()); }
+
+ private:
+  void latch(RunOutcome why) const {
+    RunOutcome expected = RunOutcome::kOk;
+    reason_.compare_exchange_strong(expected, why, std::memory_order_acq_rel,
+                                    std::memory_order_acquire);
+  }
+
+  mutable std::atomic<RunOutcome> reason_{RunOutcome::kOk};
+  std::atomic<std::uint64_t> deadline_ns_{0};  // steady epoch ns; 0 = none
+};
+
+/// Cancels a token after `timeout_ms` unless disarmed first.  The watchdog
+/// thread sleeps on a condition variable, so disarming (or destruction) is
+/// immediate — no busy wait, no stray cancel after disarm.
+class Watchdog {
+ public:
+  Watchdog(CancelToken& token, double timeout_ms)
+      : thread_([this, &token, timeout_ms] {
+          std::unique_lock lock(mutex_);
+          const auto deadline =
+              std::chrono::steady_clock::now() +
+              std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double, std::milli>(
+                      timeout_ms < 0 ? 0 : timeout_ms));
+          cv_.wait_until(lock, deadline, [this] { return disarmed_; });
+          if (!disarmed_) token.cancel();
+        }) {}
+
+  ~Watchdog() { disarm(); }
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Stops the watchdog without cancelling.  Idempotent; joins the thread.
+  void disarm() {
+    {
+      std::lock_guard lock(mutex_);
+      disarmed_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool disarmed_ = false;
+  std::thread thread_;
+};
+
+}  // namespace llpmst

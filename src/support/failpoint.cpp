@@ -1,0 +1,280 @@
+#include "support/failpoint.hpp"
+
+#if LLPMST_FAILPOINTS
+
+#include <charconv>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "support/random.hpp"
+
+namespace llpmst::fail {
+
+namespace {
+
+enum class Task : std::uint8_t { kReturn, kAlloc, kSleep, kYield };
+
+/// One registry entry.  Entries are never erased — disarming just clears
+/// `armed` — so the pointer a hit resolves under the registry mutex stays
+/// valid while the atomics are updated lock-free afterwards.  (The map is
+/// bounded by the number of distinct failpoint names, a small constant.)
+struct Point {
+  bool armed = false;
+  Task task = Task::kYield;
+  std::uint64_t arg = 0;                 // sleep microseconds
+  std::uint32_t prob_permille = 1000;    // fire probability, out of 1000
+  std::atomic<std::int64_t> remaining{-1};  // fires left; -1 = unlimited
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> fires{0};
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::unordered_map<std::string, Point> points;
+  std::atomic<std::uint64_t> seed{0x5eedf01d};
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: outlives static dtors
+  return *r;
+}
+
+/// Deterministic per-thread RNG for probabilistic specs; reseeded lazily
+/// when set_seed() bumps the epoch so chaos iterations replay.
+std::uint64_t next_rand() {
+  static std::atomic<std::uint64_t> thread_counter{0};
+  struct TlsRng {
+    std::uint64_t epoch = ~0ull;
+    std::uint64_t id = thread_counter.fetch_add(1);
+    Xoshiro256 rng{0};
+  };
+  thread_local TlsRng tls;
+  const std::uint64_t epoch =
+      registry().seed.load(std::memory_order_relaxed);
+  if (tls.epoch != epoch) {
+    tls.epoch = epoch;
+    tls.rng = Xoshiro256(SplitMix64::mix(epoch) ^ SplitMix64::mix(tls.id + 1));
+  }
+  return tls.rng.next();
+}
+
+bool parse_u64(std::string_view s, std::uint64_t& out) {
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+/// Parses "[<prob>%][<count>*]<task>[(<arg>)]" into `p`.  Returns false on
+/// any malformed component.  "off" is handled by the caller.
+bool parse_spec(std::string_view spec, Point& p) {
+  // Optional probability prefix.
+  if (const auto pct = spec.find('%'); pct != std::string_view::npos) {
+    std::uint64_t prob = 0;
+    if (!parse_u64(spec.substr(0, pct), prob) || prob > 100) return false;
+    p.prob_permille = static_cast<std::uint32_t>(prob * 10);
+    spec.remove_prefix(pct + 1);
+  }
+  // Optional max-fire-count prefix.
+  if (const auto star = spec.find('*'); star != std::string_view::npos) {
+    std::uint64_t count = 0;
+    if (!parse_u64(spec.substr(0, star), count) || count == 0) return false;
+    p.remaining.store(static_cast<std::int64_t>(count),
+                      std::memory_order_relaxed);
+    spec.remove_prefix(star + 1);
+  }
+  // Task, with optional parenthesized argument.
+  std::string_view arg;
+  if (const auto open = spec.find('('); open != std::string_view::npos) {
+    if (spec.back() != ')') return false;
+    arg = spec.substr(open + 1, spec.size() - open - 2);
+    spec = spec.substr(0, open);
+  }
+  if (spec == "return") {
+    p.task = Task::kReturn;
+    return arg.empty();
+  }
+  if (spec == "alloc") {
+    p.task = Task::kAlloc;
+    return arg.empty();
+  }
+  if (spec == "yield") {
+    p.task = Task::kYield;
+    return arg.empty();
+  }
+  if (spec == "sleep") {
+    p.task = Task::kSleep;
+    // Cap at one second: a typo must perturb, not wedge, a chaos run.
+    return parse_u64(arg, p.arg) && p.arg <= 1'000'000;
+  }
+  return false;
+}
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<int> g_armed_count{0};
+
+Action evaluate(const char* name) {
+  Registry& reg = registry();
+  Point* p = nullptr;
+  {
+    std::lock_guard lock(reg.mutex);
+    const auto it = reg.points.find(name);
+    if (it == reg.points.end() || !it->second.armed) return Action::kNone;
+    p = &it->second;
+  }
+  p->hits.fetch_add(1, std::memory_order_relaxed);
+
+  if (p->prob_permille < 1000 &&
+      next_rand() % 1000 >= p->prob_permille) {
+    return Action::kNone;
+  }
+  // Budgeted points: claim one fire; losers (and exhausted points) pass.
+  for (;;) {
+    std::int64_t left = p->remaining.load(std::memory_order_relaxed);
+    if (left < 0) break;  // unlimited
+    if (left == 0) return Action::kNone;
+    if (p->remaining.compare_exchange_weak(left, left - 1,
+                                           std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  p->fires.fetch_add(1, std::memory_order_relaxed);
+
+  switch (p->task) {
+    case Task::kReturn:
+      return Action::kError;
+    case Task::kAlloc:
+      return Action::kAlloc;
+    case Task::kYield:
+      std::this_thread::yield();
+      return Action::kNone;
+    case Task::kSleep:
+      std::this_thread::sleep_for(std::chrono::microseconds(p->arg));
+      return Action::kNone;
+  }
+  return Action::kNone;
+}
+
+}  // namespace detail
+
+bool arm(std::string_view name, std::string_view spec) {
+  if (name.empty()) return false;
+  if (spec == "off") {
+    disarm(name);
+    return true;
+  }
+  Point parsed;
+  if (!parse_spec(spec, parsed)) return false;
+
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mutex);
+  Point& p = reg.points[std::string(name)];
+  p.task = parsed.task;
+  p.arg = parsed.arg;
+  p.prob_permille = parsed.prob_permille;
+  p.remaining.store(parsed.remaining.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  p.hits.store(0, std::memory_order_relaxed);
+  p.fires.store(0, std::memory_order_relaxed);
+  if (!p.armed) {
+    p.armed = true;
+    detail::g_armed_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+void disarm(std::string_view name) {
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mutex);
+  const auto it = reg.points.find(std::string(name));
+  if (it != reg.points.end() && it->second.armed) {
+    it->second.armed = false;
+    detail::g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void disarm_all() {
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mutex);
+  for (auto& [name, point] : reg.points) {
+    if (point.armed) {
+      point.armed = false;
+      detail::g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::size_t configure(std::string_view multi_spec, std::string* error) {
+  std::size_t armed = 0;
+  while (!multi_spec.empty()) {
+    const auto semi = multi_spec.find(';');
+    std::string_view entry = multi_spec.substr(0, semi);
+    multi_spec = semi == std::string_view::npos
+                     ? std::string_view{}
+                     : multi_spec.substr(semi + 1);
+    if (entry.empty()) continue;
+    const auto eq = entry.find('=');
+    if (eq == std::string_view::npos) continue;  // e.g. env set to "0" or "1"
+    if (!arm(entry.substr(0, eq), entry.substr(eq + 1))) {
+      if (error != nullptr) {
+        *error = "malformed failpoint spec '" + std::string(entry) + "'";
+      }
+      return armed;
+    }
+    ++armed;
+  }
+  return armed;
+}
+
+std::size_t configure_from_env() {
+  const char* env = std::getenv("LLPMST_FAILPOINTS");
+  if (env == nullptr || *env == '\0') return 0;
+  std::string error;
+  const std::size_t armed = configure(env, &error);
+  if (!error.empty()) {
+    std::fprintf(stderr, "LLPMST_FAILPOINTS: %s (ignored)\n", error.c_str());
+  }
+  return armed;
+}
+
+void set_seed(std::uint64_t seed) {
+  registry().seed.store(seed, std::memory_order_relaxed);
+}
+
+std::uint64_t hit_count(std::string_view name) {
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mutex);
+  const auto it = reg.points.find(std::string(name));
+  return it == reg.points.end()
+             ? 0
+             : it->second.hits.load(std::memory_order_relaxed);
+}
+
+std::uint64_t fire_count(std::string_view name) {
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mutex);
+  const auto it = reg.points.find(std::string(name));
+  return it == reg.points.end()
+             ? 0
+             : it->second.fires.load(std::memory_order_relaxed);
+}
+
+std::vector<std::string> armed_points() {
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mutex);
+  std::vector<std::string> names;
+  names.reserve(reg.points.size());
+  for (const auto& [name, point] : reg.points) {
+    if (point.armed) names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace llpmst::fail
+
+#endif  // LLPMST_FAILPOINTS

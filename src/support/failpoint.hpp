@@ -1,0 +1,137 @@
+// Named fault-injection points (failpoints) for chaos testing.
+//
+// A failpoint is a named hook compiled into interesting places — reader
+// entry, thread-pool task dispatch, LLP sweep loops, the LLP-Prim bag/heap
+// handoff, Boruvka contraction — that normally does nothing.  Tests, the
+// LLPMST_FAILPOINTS environment variable, or `mst_tool --failpoints` arm a
+// point with a *spec*, after which hitting it can perturb the schedule
+// (sleep/yield) or force a failure (error return, simulated allocation
+// failure).  This is how we test that the loosely-synchronized algorithms
+// are correct under ANY schedule, not just the default one, and that the
+// error paths actually work.
+//
+// Spec grammar (one point):      [<prob>%][<count>*]<task>[(<arg>)]
+//   tasks:  off          disarm
+//           return       the site returns an error (Action::kError)
+//           alloc        simulated allocation failure (Action::kAlloc)
+//           sleep(us)    sleep for `us` microseconds, then continue
+//           yield        std::this_thread::yield(), then continue
+//   <prob>%   fire with this probability per hit (deterministic RNG)
+//   <count>*  fire at most `count` times ("1*return" = fire-once)
+// Multiple points:               name=spec;name=spec;...
+// Examples:
+//   io/dimacs=return              every read_dimacs call fails
+//   pool/task=25%yield            a quarter of team tasks yield at start
+//   llp_prim/handoff=1*sleep(500) first heap handoff stalls 500us
+//
+// Compile-out contract (mirrors the observability layer): building with
+// -DLLPMST_FAILPOINTS=0 turns every hook into `return Action::kNone` and the
+// whole registry into stubs, so production builds pay literally nothing.
+// With failpoints compiled in but nothing armed, a hook costs one relaxed
+// atomic load.
+#pragma once
+
+#ifndef LLPMST_FAILPOINTS
+#define LLPMST_FAILPOINTS 1
+#endif
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#if LLPMST_FAILPOINTS
+#include <atomic>
+#endif
+
+namespace llpmst::fail {
+
+/// True when the library was compiled with failpoint support.
+inline constexpr bool kCompiledIn = LLPMST_FAILPOINTS != 0;
+
+/// What the hit site must do.  Sleep/yield perturbation happens *inside* the
+/// hook and still returns kNone — only failure tasks reach the caller.
+enum class Action : std::uint8_t {
+  kNone = 0,  // proceed normally
+  kError,     // return a Status{kInjectedFault} / throw FailpointError
+  kAlloc,     // behave as if an allocation failed
+};
+
+/// Thrown by sites that have no error-return channel (thread-pool tasks);
+/// surfaces to the submitter via ThreadPool's exception propagation.
+class FailpointError : public std::runtime_error {
+ public:
+  explicit FailpointError(const std::string& point)
+      : std::runtime_error("injected failpoint: " + point) {}
+};
+
+#if LLPMST_FAILPOINTS
+
+/// Arms `name` with `spec` (grammar above).  Returns false (and arms
+/// nothing) on a malformed spec.  "off" disarms.
+bool arm(std::string_view name, std::string_view spec);
+
+void disarm(std::string_view name);
+void disarm_all();
+
+/// Parses a "name=spec;name=spec" list.  Returns the number of points
+/// armed; on the first malformed entry stops and, when `error` is non-null,
+/// describes it.  Entries without '=' are ignored (so LLPMST_FAILPOINTS=0 in
+/// the environment arms nothing).
+std::size_t configure(std::string_view multi_spec, std::string* error);
+
+/// Reads the LLPMST_FAILPOINTS environment variable (when set) through
+/// configure().  Malformed entries are reported on stderr, not fatal.
+std::size_t configure_from_env();
+
+/// Seeds the deterministic RNG behind probabilistic specs.  Chaos tests call
+/// this per iteration so every seed replays the same perturbation pattern.
+void set_seed(std::uint64_t seed);
+
+/// Times `name` was hit / fired since it was last armed (arming resets the
+/// counters; disarming preserves them).  For test assertions.
+[[nodiscard]] std::uint64_t hit_count(std::string_view name);
+[[nodiscard]] std::uint64_t fire_count(std::string_view name);
+
+/// Names of all currently armed points (for diagnostics).
+[[nodiscard]] std::vector<std::string> armed_points();
+
+namespace detail {
+extern std::atomic<int> g_armed_count;
+Action evaluate(const char* name);
+}  // namespace detail
+
+/// True when at least one point is armed (one relaxed load — the fast path).
+[[nodiscard]] inline bool any_armed() {
+  return detail::g_armed_count.load(std::memory_order_relaxed) != 0;
+}
+
+/// The hook the macro expands to: free when nothing is armed.
+[[nodiscard]] inline Action hit(const char* name) {
+  return any_armed() ? detail::evaluate(name) : Action::kNone;
+}
+
+#else  // !LLPMST_FAILPOINTS — everything is a no-op the optimizer deletes.
+
+inline bool arm(std::string_view, std::string_view) { return false; }
+inline void disarm(std::string_view) {}
+inline void disarm_all() {}
+inline std::size_t configure(std::string_view, std::string*) { return 0; }
+inline std::size_t configure_from_env() { return 0; }
+inline void set_seed(std::uint64_t) {}
+[[nodiscard]] inline std::uint64_t hit_count(std::string_view) { return 0; }
+[[nodiscard]] inline std::uint64_t fire_count(std::string_view) { return 0; }
+[[nodiscard]] inline std::vector<std::string> armed_points() { return {}; }
+[[nodiscard]] inline bool any_armed() { return false; }
+[[nodiscard]] inline Action hit(const char*) { return Action::kNone; }
+
+#endif  // LLPMST_FAILPOINTS
+
+}  // namespace llpmst::fail
+
+/// The instrumentation macro.  Usage at a site with an error channel:
+///   if (LLPMST_FAILPOINT("io/dimacs") != fail::Action::kNone) return ...;
+/// In an LLPMST_FAILPOINTS=0 build this is a constant the branch folds on.
+#define LLPMST_FAILPOINT(name) (::llpmst::fail::hit(name))

@@ -1,0 +1,160 @@
+// Structured error taxonomy for the library's fallible entry points.
+//
+// The rule of thumb (docs/robustness.md):
+//   * LLPMST_CHECK stays for true invariants and API misuse — conditions a
+//     correct program can never hit, where aborting is the right answer;
+//   * everything driven by the outside world (file contents, deadlines,
+//     cancellation, injected faults, resource exhaustion) reports a Status
+//     so a long-running service can degrade instead of dying.
+//
+// Status is a code plus a human-readable message; Expected<T> carries either
+// a value or a non-OK Status.  RunOutcome is the compact per-run verdict the
+// algorithms record in their stats (and the portfolio uses to decide on a
+// sequential fallback) — it converts to a Status via outcome_status().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "support/assert.hpp"
+
+namespace llpmst {
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,     // caller passed something structurally wrong
+  kCorruptInput,        // untrusted input failed validation (parsers)
+  kIoError,             // the OS said no (open/read/write failures)
+  kResourceExhausted,   // allocation failure (real or injected)
+  kCancelled,           // a CancelToken was cancelled explicitly
+  kDeadlineExceeded,    // a CancelToken deadline passed
+  kNonConvergence,      // an LLP sweep cap was hit before the fixpoint
+  kInjectedFault,       // a failpoint forced an error (test/chaos builds)
+  kInternal,            // a bug surfaced as an error instead of an abort
+};
+
+[[nodiscard]] constexpr const char* status_code_name(StatusCode c) {
+  switch (c) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kCorruptInput: return "CORRUPT_INPUT";
+    case StatusCode::kIoError: return "IO_ERROR";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kCancelled: return "CANCELLED";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kNonConvergence: return "NON_CONVERGENCE";
+    case StatusCode::kInjectedFault: return "INJECTED_FAULT";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+class Status {
+ public:
+  /// Default-constructed Status is OK.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  [[nodiscard]] static Status Ok() { return {}; }
+
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  /// "CORRUPT_INPUT: malformed arc line at line 7" — for logs and stderr.
+  [[nodiscard]] std::string to_string() const {
+    if (ok()) return "OK";
+    std::string out = status_code_name(code_);
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a value or a non-OK Status.  T must be default-constructible and
+/// movable (all the graph containers are).  Accessing value() on an error is
+/// an API-misuse abort, not UB.
+template <typename T>
+class Expected {
+ public:
+  /* implicit */ Expected(T value) : value_(std::move(value)) {}
+  /* implicit */ Expected(Status status) : status_(std::move(status)) {
+    LLPMST_CHECK_MSG(!status_.ok(),
+                     "Expected constructed from an OK Status carries no value");
+  }
+
+  [[nodiscard]] bool ok() const { return status_.ok(); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const Status& status() const { return status_; }
+
+  [[nodiscard]] T& value() {
+    LLPMST_CHECK_MSG(ok(), "Expected::value() on an error");
+    return value_;
+  }
+  [[nodiscard]] const T& value() const {
+    LLPMST_CHECK_MSG(ok(), "Expected::value() on an error");
+    return value_;
+  }
+  [[nodiscard]] T& operator*() { return value(); }
+  [[nodiscard]] const T& operator*() const { return value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+
+ private:
+  T value_{};
+  Status status_;
+};
+
+/// Compact per-run verdict recorded by the solvers (LlpStats::outcome,
+/// MstAlgoStats::outcome).  kOk means the run completed and converged.
+enum class RunOutcome : std::uint8_t {
+  kOk = 0,
+  kNonConverged,      // sweep cap hit before the fixpoint
+  kCancelled,         // stopped by an explicit CancelToken::cancel()
+  kDeadlineExceeded,  // stopped by a CancelToken deadline
+  kInjectedFault,     // stopped by an armed failpoint
+};
+
+[[nodiscard]] constexpr const char* run_outcome_name(RunOutcome o) {
+  switch (o) {
+    case RunOutcome::kOk: return "ok";
+    case RunOutcome::kNonConverged: return "non_converged";
+    case RunOutcome::kCancelled: return "cancelled";
+    case RunOutcome::kDeadlineExceeded: return "deadline_exceeded";
+    case RunOutcome::kInjectedFault: return "injected_fault";
+  }
+  return "unknown";
+}
+
+/// Maps a non-OK outcome onto the Status taxonomy (kOk maps to OK).
+[[nodiscard]] inline Status outcome_status(RunOutcome o) {
+  switch (o) {
+    case RunOutcome::kOk:
+      return Status::Ok();
+    case RunOutcome::kNonConverged:
+      return {StatusCode::kNonConvergence,
+              "sweep cap hit before convergence"};
+    case RunOutcome::kCancelled:
+      return {StatusCode::kCancelled, "run cancelled"};
+    case RunOutcome::kDeadlineExceeded:
+      return {StatusCode::kDeadlineExceeded, "run deadline exceeded"};
+    case RunOutcome::kInjectedFault:
+      return {StatusCode::kInjectedFault, "failpoint fired"};
+  }
+  return {StatusCode::kInternal, "unknown outcome"};
+}
+
+}  // namespace llpmst

@@ -1,0 +1,228 @@
+// Chaos suite: the loosely-synchronized parallel MST algorithms must produce
+// the exact same forest under ANY schedule, so we perturb schedules with
+// probabilistic yield/sleep failpoints across 100 deterministic seeds and
+// compare bit-for-bit against sequential Kruskal.  The second half exercises
+// the graceful-degradation story end to end: deadlines and watchdogs stop
+// wedged runs, and mst::auto falls back to sequential Kruskal with a
+// structured reason when its parallel pick fails.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "graph/generators/random_graph.hpp"
+#include "graph/generators/road.hpp"
+#include "llp/llp_solver.hpp"
+#include "mst/auto.hpp"
+#include "mst/verifier.hpp"
+#include "support/cancel.hpp"
+#include "support/failpoint.hpp"
+#include "support/status.hpp"
+#include "test_util.hpp"
+
+namespace llpmst {
+namespace {
+
+using test::csr;
+
+constexpr int kChaosSeeds = 100;
+
+CsrGraph connected_graph() {
+  RoadParams p;            // a 60x60 grid road network: 3600 vertices,
+  p.width = 60;            // always connected, large enough that every
+  p.height = 60;           // parallel_for dispatches a real team
+  p.seed = 7;
+  return csr(generate_road_network(p));
+}
+
+CsrGraph sparse_random_graph() {
+  ErdosRenyiParams p;
+  p.num_vertices = 3000;
+  p.num_edges = 12000;
+  p.seed = 11;
+  return csr(generate_erdos_renyi(p));
+}
+
+class Chaos : public testing::Test {
+ protected:
+  void SetUp() override {
+    if (!fail::kCompiledIn) GTEST_SKIP() << "failpoints compiled out";
+    fail::disarm_all();
+  }
+  void TearDown() override {
+    if (fail::kCompiledIn) fail::disarm_all();
+  }
+};
+
+// ------------------------------------------- schedule-perturbation chaos
+
+TEST_F(Chaos, LlpPrimParallelMatchesKruskalUnderAHundredSeeds) {
+  const CsrGraph g = connected_graph();
+  const MstResult reference = kruskal(g);
+  ThreadPool pool(4);
+
+  // Yield a fifth of team tasks at dispatch and stall a quarter of the
+  // bag/heap handoffs: exactly the windows where a stale frontier or a
+  // half-flushed Q buffer would surface as a wrong tree.
+  std::string error;
+  ASSERT_EQ(fail::configure(
+                "pool/task=20%yield;llp_prim/handoff=25%sleep(50)", &error),
+            2u)
+      << error;
+
+  for (std::uint64_t seed = 1; seed <= kChaosSeeds; ++seed) {
+    fail::set_seed(seed);
+    const MstResult r = llp_prim_parallel(g, pool);
+    ASSERT_EQ(r.stats.outcome, RunOutcome::kOk) << "seed " << seed;
+    ASSERT_EQ(r.edges, reference.edges) << "seed " << seed;
+    ASSERT_EQ(r.total_weight, reference.total_weight) << "seed " << seed;
+    const VerifyResult v = verify_spanning_forest(g, r);
+    ASSERT_TRUE(v.ok) << "seed " << seed << ": " << v.error;
+  }
+  EXPECT_GT(fail::fire_count("llp_prim/handoff"), 0u);
+}
+
+TEST_F(Chaos, LlpBoruvkaMatchesKruskalUnderAHundredSeeds) {
+  const CsrGraph g = sparse_random_graph();
+  const MstResult reference = kruskal(g);
+  ThreadPool pool(4);
+
+  std::string error;
+  ASSERT_EQ(fail::configure(
+                "pool/task=20%yield;boruvka/contract=50%sleep(50)", &error),
+            2u)
+      << error;
+
+  for (std::uint64_t seed = 1; seed <= kChaosSeeds; ++seed) {
+    fail::set_seed(seed);
+    const MstResult r = llp_boruvka(g, pool);
+    ASSERT_EQ(r.stats.outcome, RunOutcome::kOk) << "seed " << seed;
+    ASSERT_EQ(r.edges, reference.edges) << "seed " << seed;
+    const VerifyResult v = verify_spanning_forest(g, r);
+    ASSERT_TRUE(v.ok) << "seed " << seed << ": " << v.error;
+  }
+  EXPECT_GT(fail::fire_count("boruvka/contract"), 0u);
+}
+
+// ------------------------------------------------- deadlines & watchdogs
+
+TEST_F(Chaos, DeadlineStopsANonConvergingLlpSolve) {
+  // forbidden() is always true, so without the deadline this solve would
+  // grind through a million sweeps.  The deadline must stop it at a sweep
+  // (or chunk) checkpoint long before that.
+  ThreadPool pool(4);
+  CancelToken token;
+  token.set_deadline_after_ms(30);
+  LlpOptions o;
+  o.max_sweeps = 1'000'000;
+  o.cancel = &token;
+  const auto start = std::chrono::steady_clock::now();
+  const LlpStats s = llp_solve(
+      pool, 3000, [](std::size_t) { return true; }, [](std::size_t) {}, o);
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_EQ(s.outcome, RunOutcome::kDeadlineExceeded);
+  EXPECT_FALSE(s.converged);
+  EXPECT_LT(s.sweeps, 1'000'000u);
+  EXPECT_LT(elapsed_ms, 10'000) << "deadline failed to stop the solve";
+}
+
+TEST_F(Chaos, WatchdogStopsAWedgedLlpSolve) {
+  // The wedge: every sweep stalls on an injected 1ms sleep and the predicate
+  // never converges.  Nobody calls cancel() — the watchdog must.
+  ASSERT_TRUE(fail::arm("llp/sweep", "sleep(1000)"));
+  ThreadPool pool(2);
+  CancelToken token;
+  Watchdog dog(token, 25);
+  LlpOptions o;
+  o.max_sweeps = 1'000'000;
+  o.cancel = &token;
+  const LlpStats s = llp_solve(
+      pool, 2000, [](std::size_t) { return true; }, [](std::size_t) {}, o);
+  dog.disarm();
+  EXPECT_EQ(s.outcome, RunOutcome::kCancelled);
+  EXPECT_LT(s.sweeps, 1'000'000u);
+}
+
+// ------------------------------------------------- graceful degradation
+
+TEST_F(Chaos, AutoFallsBackToKruskalOnInjectedPrimFault) {
+  const CsrGraph g = connected_graph();
+  const MstResult reference = kruskal(g);
+  ThreadPool pool(4);  // connected + below the crossover -> llp_prim_parallel
+  ASSERT_TRUE(fail::arm("llp_prim/handoff", "return"));
+
+  const AutoMstResult r = minimum_spanning_forest(g, pool);
+  EXPECT_TRUE(r.fell_back);
+  EXPECT_EQ(r.algorithm, "kruskal");
+  EXPECT_EQ(r.fallback_reason, "injected_fault");
+  EXPECT_EQ(r.result.edges, reference.edges);
+  const VerifyResult v = verify_spanning_forest(g, r.result);
+  EXPECT_TRUE(v.ok) << v.error;
+}
+
+TEST_F(Chaos, AutoFallsBackToKruskalOnInjectedBoruvkaFault) {
+  const CsrGraph g = sparse_random_graph();
+  const MstResult reference = kruskal(g);
+  ThreadPool pool(8);  // at the crossover -> llp_boruvka
+  ASSERT_TRUE(fail::arm("boruvka/contract", "return"));
+
+  const AutoMstResult r = minimum_spanning_forest(g, pool);
+  EXPECT_TRUE(r.fell_back);
+  EXPECT_EQ(r.algorithm, "kruskal");
+  EXPECT_EQ(r.fallback_reason, "injected_fault");
+  EXPECT_EQ(r.result.edges, reference.edges);
+}
+
+TEST_F(Chaos, AutoFallsBackToKruskalOnDeadline) {
+  // An already-expired deadline plus a stall on every handoff: the parallel
+  // run stops at its first checkpoint and the portfolio must recover with a
+  // full sequential answer, not hand back the empty partial forest.
+  const CsrGraph g = connected_graph();
+  const MstResult reference = kruskal(g);
+  ThreadPool pool(4);
+  ASSERT_TRUE(fail::arm("llp_prim/handoff", "sleep(500)"));
+
+  AutoMstOptions options;
+  options.deadline_ms = 0.001;
+  const AutoMstResult r =
+      minimum_spanning_forest(g, pool, Connectivity::kUnknown, options);
+  EXPECT_TRUE(r.fell_back);
+  EXPECT_EQ(r.algorithm, "kruskal");
+  EXPECT_EQ(r.fallback_reason, "deadline_exceeded");
+  EXPECT_EQ(r.result.edges, reference.edges);
+}
+
+TEST_F(Chaos, AutoHonoursUserCancelWithoutFallback) {
+  const CsrGraph g = connected_graph();
+  ThreadPool pool(4);
+  CancelToken token;
+  token.cancel();
+
+  AutoMstOptions options;
+  options.cancel = &token;
+  const AutoMstResult r =
+      minimum_spanning_forest(g, pool, Connectivity::kUnknown, options);
+  // A user cancel is a request to stop, not a failure to route around.
+  EXPECT_FALSE(r.fell_back);
+  EXPECT_EQ(r.result.stats.outcome, RunOutcome::kCancelled);
+}
+
+TEST_F(Chaos, FallbackCanBeDisabled) {
+  const CsrGraph g = connected_graph();
+  ThreadPool pool(4);
+  ASSERT_TRUE(fail::arm("llp_prim/handoff", "return"));
+
+  AutoMstOptions options;
+  options.fallback_to_sequential = false;
+  const AutoMstResult r =
+      minimum_spanning_forest(g, pool, Connectivity::kUnknown, options);
+  EXPECT_FALSE(r.fell_back);
+  EXPECT_EQ(r.result.stats.outcome, RunOutcome::kInjectedFault);
+}
+
+}  // namespace
+}  // namespace llpmst

@@ -12,7 +12,9 @@
 #include "graph/io/dimacs.hpp"
 #include "graph/io/edge_list_io.hpp"
 #include "graph/io/metis.hpp"
+#include "support/failpoint.hpp"
 #include "support/random.hpp"
+#include "support/status.hpp"
 
 namespace llpmst {
 namespace {
@@ -60,7 +62,7 @@ EdgeList sample_graph() {
 }
 
 TEST_F(FuzzIo, DimacsSurvivesTruncationAtEveryPrefix) {
-  ASSERT_EQ(write_dimacs(path("g.gr"), sample_graph()), "");
+  ASSERT_TRUE(write_dimacs(path("g.gr"), sample_graph()).ok());
   const std::string full = slurp(path("g.gr"));
   // Every 37th prefix keeps runtime sane while covering all code paths.
   for (std::size_t len = 0; len < full.size(); len += 37) {
@@ -71,7 +73,7 @@ TEST_F(FuzzIo, DimacsSurvivesTruncationAtEveryPrefix) {
 }
 
 TEST_F(FuzzIo, DimacsSurvivesRandomByteCorruption) {
-  ASSERT_EQ(write_dimacs(path("g.gr"), sample_graph()), "");
+  ASSERT_TRUE(write_dimacs(path("g.gr"), sample_graph()).ok());
   const std::string full = slurp(path("g.gr"));
   Xoshiro256 rng(1);
   for (int trial = 0; trial < 200; ++trial) {
@@ -88,7 +90,7 @@ TEST_F(FuzzIo, DimacsSurvivesRandomByteCorruption) {
 }
 
 TEST_F(FuzzIo, BinarySurvivesTruncationAtEveryPrefix) {
-  ASSERT_EQ(write_edge_list_binary(path("g.bin"), sample_graph()), "");
+  ASSERT_TRUE(write_edge_list_binary(path("g.bin"), sample_graph()).ok());
   const std::string full = slurp(path("g.bin"));
   for (std::size_t len = 0; len <= full.size(); len += 5) {
     spit(path("t.bin"), full.substr(0, len));
@@ -98,7 +100,7 @@ TEST_F(FuzzIo, BinarySurvivesTruncationAtEveryPrefix) {
 }
 
 TEST_F(FuzzIo, BinarySurvivesRandomByteCorruption) {
-  ASSERT_EQ(write_edge_list_binary(path("g.bin"), sample_graph()), "");
+  ASSERT_TRUE(write_edge_list_binary(path("g.bin"), sample_graph()).ok());
   const std::string full = slurp(path("g.bin"));
   Xoshiro256 rng(2);
   for (int trial = 0; trial < 300; ++trial) {
@@ -126,7 +128,7 @@ TEST_F(FuzzIo, BinaryRejectsHugeDeclaredCounts) {
 }
 
 TEST_F(FuzzIo, MetisSurvivesTruncationAndCorruption) {
-  ASSERT_EQ(write_metis(path("g.metis"), sample_graph()), "");
+  ASSERT_TRUE(write_metis(path("g.metis"), sample_graph()).ok());
   const std::string full = slurp(path("g.metis"));
   for (std::size_t len = 0; len < full.size(); len += 41) {
     spit(path("t.metis"), full.substr(0, len));
@@ -156,6 +158,116 @@ TEST_F(FuzzIo, TextSurvivesGarbage) {
     const EdgeListResult r = read_edge_list_text(path("noise.txt"));
     if (r.ok()) check_sane(r.graph);
   }
+}
+
+// ------------------------------------------------- adversarial inputs
+
+TEST_F(FuzzIo, DimacsLongCommentLineIsNotParsedAsData) {
+  // A comment line longer than any internal read buffer: with chunked
+  // fgets parsing, the continuation "a 1 9999 1" used to be (mis)read as a
+  // fresh arc line.  The reader must treat the whole physical line as one
+  // comment.
+  std::string file = "p sp 2 1\nc ";
+  file.append(2000, 'x');
+  file += " a 1 2 7\na 1 2 7\n";
+  spit(path("long.gr"), file);
+  const DimacsResult r = read_dimacs(path("long.gr"));
+  ASSERT_TRUE(r.ok()) << r.status.to_string();
+  ASSERT_EQ(r.graph.num_edges(), 1u);
+  EXPECT_EQ(r.graph[0], (WeightedEdge{0, 1, 7}));
+}
+
+TEST_F(FuzzIo, TextLongCommentLineIsNotParsedAsData) {
+  std::string file = "# ";
+  file.append(2000, 'y');
+  file += " 0 1 5\n0 1 5\n";
+  spit(path("long.txt"), file);
+  const EdgeListResult r = read_edge_list_text(path("long.txt"));
+  ASSERT_TRUE(r.ok()) << r.status.to_string();
+  EXPECT_EQ(r.graph.num_edges(), 1u);
+}
+
+TEST_F(FuzzIo, TextLongDataLineParsesWhole) {
+  // A valid data line padded past the old 512-byte buffer must parse as one
+  // line (trailing spaces), not split into a spurious second record.
+  std::string file = "0 1 5";
+  file.append(1500, ' ');
+  file += "\n";
+  spit(path("wide.txt"), file);
+  const EdgeListResult r = read_edge_list_text(path("wide.txt"));
+  ASSERT_TRUE(r.ok()) << r.status.to_string();
+  EXPECT_EQ(r.graph.num_edges(), 1u);
+}
+
+TEST_F(FuzzIo, NonFiniteAndNegativeWeightsRejected) {
+  for (const char* bad : {"0 1 nan\n", "0 1 inf\n", "0 1 -3\n", "0 1 1.5\n",
+                          "0 1 0x10\n"}) {
+    spit(path("bad.txt"), bad);
+    const EdgeListResult r = read_edge_list_text(path("bad.txt"));
+    EXPECT_FALSE(r.ok()) << "accepted: " << bad;
+    EXPECT_EQ(r.status.code(), StatusCode::kCorruptInput) << bad;
+  }
+}
+
+TEST_F(FuzzIo, TextOutOfRangeVertexIdRejected) {
+  spit(path("big.txt"), "0 4294967295 1\n");  // kInvalidVertex
+  const EdgeListResult r = read_edge_list_text(path("big.txt"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status.message().find("out of range"), std::string::npos);
+}
+
+TEST_F(FuzzIo, MetisTrailingGarbageRejected) {
+  // "2 1 1" header, then vertex lines with a stray non-numeric token that
+  // the old reader silently ignored.
+  spit(path("g.metis"), "2 1 1\n2 7 garbage\n1 7\n");
+  const EdgeListResult r = read_metis(path("g.metis"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status.message().find("trailing garbage"), std::string::npos);
+}
+
+TEST_F(FuzzIo, BinaryTrailingBytesRejected) {
+  ASSERT_TRUE(write_edge_list_binary(path("g.bin"), sample_graph()).ok());
+  std::string blob = slurp(path("g.bin"));
+  blob += "EXTRA";
+  spit(path("g.bin"), blob);
+  const EdgeListResult r = read_edge_list_binary(path("g.bin"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status.message().find("trailing bytes"), std::string::npos);
+}
+
+// ------------------------------------------------- injected reader faults
+
+TEST_F(FuzzIo, InjectedReaderFaultYieldsStatusNotAbort) {
+  if (!fail::kCompiledIn) GTEST_SKIP() << "failpoints compiled out";
+  ASSERT_TRUE(write_dimacs(path("g.gr"), sample_graph()).ok());
+
+  fail::disarm_all();
+  ASSERT_TRUE(fail::arm("io/dimacs", "return"));
+  const DimacsResult r1 = read_dimacs(path("g.gr"));
+  EXPECT_FALSE(r1.ok());
+  EXPECT_EQ(r1.status.code(), StatusCode::kInjectedFault);
+
+  ASSERT_TRUE(fail::arm("io/dimacs", "alloc"));
+  const DimacsResult r2 = read_dimacs(path("g.gr"));
+  EXPECT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status.code(), StatusCode::kResourceExhausted);
+
+  fail::disarm_all();
+  const DimacsResult r3 = read_dimacs(path("g.gr"));
+  EXPECT_TRUE(r3.ok()) << r3.status.to_string();
+}
+
+TEST_F(FuzzIo, InjectedFaultBudgetExpires) {
+  if (!fail::kCompiledIn) GTEST_SKIP() << "failpoints compiled out";
+  ASSERT_TRUE(write_edge_list_binary(path("g.bin"), sample_graph()).ok());
+  fail::disarm_all();
+  ASSERT_TRUE(fail::arm("io/edge_list_binary", "2*return"));
+  EXPECT_FALSE(read_edge_list_binary(path("g.bin")).ok());
+  EXPECT_FALSE(read_edge_list_binary(path("g.bin")).ok());
+  // Budget exhausted: the third read goes through.
+  EXPECT_TRUE(read_edge_list_binary(path("g.bin")).ok());
+  EXPECT_EQ(fail::fire_count("io/edge_list_binary"), 2u);
+  fail::disarm_all();
 }
 
 }  // namespace

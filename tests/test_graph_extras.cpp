@@ -41,9 +41,9 @@ TEST_F(MetisIo, RoundTrip) {
   p.num_edges = 600;
   p.seed = 13;
   const EdgeList original = generate_erdos_renyi(p);
-  ASSERT_EQ(write_metis(path("g.metis"), original), "");
+  ASSERT_TRUE(write_metis(path("g.metis"), original).ok());
   const EdgeListResult r = read_metis(path("g.metis"));
-  ASSERT_TRUE(r.ok()) << r.error;
+  ASSERT_TRUE(r.ok()) << r.status.to_string();
   EXPECT_EQ(r.graph.num_vertices(), original.num_vertices());
   EXPECT_EQ(r.graph.edges(), original.edges());
 }
@@ -56,7 +56,7 @@ TEST_F(MetisIo, HandWrittenWeighted) {
              "1 10\n"
              "1 20\n");
   const EdgeListResult r = read_metis(path("g.metis"));
-  ASSERT_TRUE(r.ok()) << r.error;
+  ASSERT_TRUE(r.ok()) << r.status.to_string();
   ASSERT_EQ(r.graph.num_edges(), 2u);
   EXPECT_EQ(r.graph[0], (WeightedEdge{0, 1, 10}));
   EXPECT_EQ(r.graph[1], (WeightedEdge{0, 2, 20}));
@@ -65,7 +65,7 @@ TEST_F(MetisIo, HandWrittenWeighted) {
 TEST_F(MetisIo, UnweightedDefaultsToWeightOne) {
   write_file("g.metis", "3 2\n2 3\n1\n1\n");
   const EdgeListResult r = read_metis(path("g.metis"));
-  ASSERT_TRUE(r.ok()) << r.error;
+  ASSERT_TRUE(r.ok()) << r.status.to_string();
   ASSERT_EQ(r.graph.num_edges(), 2u);
   EXPECT_EQ(r.graph[0].w, 1u);
 }
@@ -74,7 +74,7 @@ TEST_F(MetisIo, RejectsVertexWeightedFmt) {
   write_file("g.metis", "2 1 11\n1 2 5\n2 1 5\n");
   const EdgeListResult r = read_metis(path("g.metis"));
   EXPECT_FALSE(r.ok());
-  EXPECT_NE(r.error.find("unsupported fmt"), std::string::npos);
+  EXPECT_NE(r.status.message().find("unsupported fmt"), std::string::npos);
 }
 
 TEST_F(MetisIo, RejectsTruncatedFile) {
@@ -86,14 +86,14 @@ TEST_F(MetisIo, RejectsNeighborOutOfRange) {
   write_file("g.metis", "2 1\n9\n1\n");
   const EdgeListResult r = read_metis(path("g.metis"));
   EXPECT_FALSE(r.ok());
-  EXPECT_NE(r.error.find("out of range"), std::string::npos);
+  EXPECT_NE(r.status.message().find("out of range"), std::string::npos);
 }
 
 TEST_F(MetisIo, MissingWeightReported) {
   write_file("g.metis", "2 1 1\n2\n1 5\n");
   const EdgeListResult r = read_metis(path("g.metis"));
   EXPECT_FALSE(r.ok());
-  EXPECT_NE(r.error.find("missing edge weight"), std::string::npos);
+  EXPECT_NE(r.status.message().find("missing edge weight"), std::string::npos);
 }
 
 // ---------------------------------------------------------------- subgraph

@@ -42,21 +42,21 @@ TEST_F(Integration, GeneratePersistReloadSolveVerify_AllFormats) {
   const MstResult expected = kruskal(csr(original));
 
   // DIMACS.
-  ASSERT_EQ(write_dimacs(path("g.gr"), original), "");
+  ASSERT_TRUE(write_dimacs(path("g.gr"), original).ok());
   const DimacsResult d = read_dimacs(path("g.gr"));
-  ASSERT_TRUE(d.ok()) << d.error;
+  ASSERT_TRUE(d.ok()) << d.status.to_string();
   EXPECT_EQ(kruskal(csr(d.graph)).total_weight, expected.total_weight);
 
   // Text.
-  ASSERT_EQ(write_edge_list_text(path("g.txt"), original), "");
+  ASSERT_TRUE(write_edge_list_text(path("g.txt"), original).ok());
   const EdgeListResult t = read_edge_list_text(path("g.txt"));
-  ASSERT_TRUE(t.ok()) << t.error;
+  ASSERT_TRUE(t.ok()) << t.status.to_string();
   EXPECT_EQ(kruskal(csr(t.graph)).edges, expected.edges);
 
   // Binary.
-  ASSERT_EQ(write_edge_list_binary(path("g.bin"), original), "");
+  ASSERT_TRUE(write_edge_list_binary(path("g.bin"), original).ok());
   const EdgeListResult b = read_edge_list_binary(path("g.bin"));
-  ASSERT_TRUE(b.ok()) << b.error;
+  ASSERT_TRUE(b.ok()) << b.status.to_string();
   EXPECT_EQ(kruskal(csr(b.graph)).edges, expected.edges);
 }
 

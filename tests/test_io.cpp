@@ -37,9 +37,9 @@ class IoTest : public testing::Test {
 
 TEST_F(IoTest, DimacsRoundTrip) {
   const EdgeList original = make_paper_figure1();
-  ASSERT_EQ(write_dimacs(path("g.gr"), original), "");
+  ASSERT_TRUE(write_dimacs(path("g.gr"), original).ok());
   const DimacsResult r = read_dimacs(path("g.gr"));
-  ASSERT_TRUE(r.ok()) << r.error;
+  ASSERT_TRUE(r.ok()) << r.status.to_string();
   EXPECT_EQ(r.graph.num_vertices(), original.num_vertices());
   EXPECT_EQ(r.graph.edges(), original.edges());
 }
@@ -53,7 +53,7 @@ TEST_F(IoTest, DimacsParsesHandWrittenFile) {
              "a 2 3 20\n"
              "a 3 2 20\n");
   const DimacsResult r = read_dimacs(path("hand.gr"));
-  ASSERT_TRUE(r.ok()) << r.error;
+  ASSERT_TRUE(r.ok()) << r.status.to_string();
   EXPECT_EQ(r.graph.num_vertices(), 3u);
   ASSERT_EQ(r.graph.num_edges(), 2u);  // both-ways arcs collapse
   EXPECT_EQ(r.graph[0], (WeightedEdge{0, 1, 10}));
@@ -63,7 +63,7 @@ TEST_F(IoTest, DimacsParsesHandWrittenFile) {
 TEST_F(IoTest, DimacsMissingFile) {
   const DimacsResult r = read_dimacs(path("nope.gr"));
   EXPECT_FALSE(r.ok());
-  EXPECT_NE(r.error.find("cannot open"), std::string::npos);
+  EXPECT_NE(r.status.message().find("cannot open"), std::string::npos);
 }
 
 TEST_F(IoTest, DimacsMissingProblemLine) {
@@ -81,7 +81,7 @@ TEST_F(IoTest, DimacsArcOutOfRange) {
   write_file("bad.gr", "p sp 2 1\na 1 9 5\n");
   const DimacsResult r = read_dimacs(path("bad.gr"));
   EXPECT_FALSE(r.ok());
-  EXPECT_NE(r.error.find("out of range"), std::string::npos);
+  EXPECT_NE(r.status.message().find("out of range"), std::string::npos);
 }
 
 TEST_F(IoTest, DimacsZeroBasedVertexRejected) {
@@ -93,7 +93,7 @@ TEST_F(IoTest, DimacsUnknownLineType) {
   write_file("bad.gr", "p sp 2 1\nq 1 2 3\n");
   const DimacsResult r = read_dimacs(path("bad.gr"));
   EXPECT_FALSE(r.ok());
-  EXPECT_NE(r.error.find("unknown line type"), std::string::npos);
+  EXPECT_NE(r.status.message().find("unknown line type"), std::string::npos);
 }
 
 TEST_F(IoTest, DimacsOversizedWeightRejected) {
@@ -108,16 +108,16 @@ TEST_F(IoTest, TextRoundTrip) {
   p.num_vertices = 100;
   p.num_edges = 300;
   const EdgeList original = generate_erdos_renyi(p);
-  ASSERT_EQ(write_edge_list_text(path("g.txt"), original), "");
+  ASSERT_TRUE(write_edge_list_text(path("g.txt"), original).ok());
   const EdgeListResult r = read_edge_list_text(path("g.txt"));
-  ASSERT_TRUE(r.ok()) << r.error;
+  ASSERT_TRUE(r.ok()) << r.status.to_string();
   EXPECT_EQ(r.graph.edges(), original.edges());
 }
 
 TEST_F(IoTest, TextSkipsCommentsAndBlanks) {
   write_file("g.txt", "# header\n\n0 1 5\n  # indented comment\n1 2 6\n");
   const EdgeListResult r = read_edge_list_text(path("g.txt"));
-  ASSERT_TRUE(r.ok()) << r.error;
+  ASSERT_TRUE(r.ok()) << r.status.to_string();
   EXPECT_EQ(r.graph.num_edges(), 2u);
   EXPECT_EQ(r.graph.num_vertices(), 3u);
 }
@@ -126,7 +126,7 @@ TEST_F(IoTest, TextMalformedLineReported) {
   write_file("g.txt", "0 1 5\n0 two 6\n");
   const EdgeListResult r = read_edge_list_text(path("g.txt"));
   EXPECT_FALSE(r.ok());
-  EXPECT_NE(r.error.find("line 2"), std::string::npos);
+  EXPECT_NE(r.status.message().find("line 2"), std::string::npos);
 }
 
 TEST_F(IoTest, TextMissingColumnReported) {
@@ -149,9 +149,9 @@ TEST_F(IoTest, BinaryRoundTrip) {
   p.num_edges = 2500;
   p.seed = 77;
   const EdgeList original = generate_erdos_renyi(p);
-  ASSERT_EQ(write_edge_list_binary(path("g.bin"), original), "");
+  ASSERT_TRUE(write_edge_list_binary(path("g.bin"), original).ok());
   const EdgeListResult r = read_edge_list_binary(path("g.bin"));
-  ASSERT_TRUE(r.ok()) << r.error;
+  ASSERT_TRUE(r.ok()) << r.status.to_string();
   EXPECT_EQ(r.graph.num_vertices(), original.num_vertices());
   EXPECT_EQ(r.graph.edges(), original.edges());
 }
@@ -160,18 +160,18 @@ TEST_F(IoTest, BinaryBadMagicRejected) {
   write_file("g.bin", "GARBAGEGARBAGEGARBAGEGARBAGE");
   const EdgeListResult r = read_edge_list_binary(path("g.bin"));
   EXPECT_FALSE(r.ok());
-  EXPECT_NE(r.error.find("magic"), std::string::npos);
+  EXPECT_NE(r.status.message().find("magic"), std::string::npos);
 }
 
 TEST_F(IoTest, BinaryTruncationDetected) {
   const EdgeList original = make_path(50);
-  ASSERT_EQ(write_edge_list_binary(path("g.bin"), original), "");
+  ASSERT_TRUE(write_edge_list_binary(path("g.bin"), original).ok());
   // Truncate the file in the middle of the records.
   const auto full = std::filesystem::file_size(path("g.bin"));
   std::filesystem::resize_file(path("g.bin"), full - 10);
   const EdgeListResult r = read_edge_list_binary(path("g.bin"));
   EXPECT_FALSE(r.ok());
-  EXPECT_NE(r.error.find("truncated"), std::string::npos);
+  EXPECT_NE(r.status.message().find("truncated"), std::string::npos);
 }
 
 TEST_F(IoTest, BinaryEndpointOutOfRangeDetected) {
@@ -187,7 +187,7 @@ TEST_F(IoTest, BinaryEndpointOutOfRangeDetected) {
   write_file("g.bin", blob);
   const EdgeListResult r = read_edge_list_binary(path("g.bin"));
   EXPECT_FALSE(r.ok());
-  EXPECT_NE(r.error.find("out of range"), std::string::npos);
+  EXPECT_NE(r.status.message().find("out of range"), std::string::npos);
 }
 
 }  // namespace

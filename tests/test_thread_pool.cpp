@@ -2,9 +2,13 @@
 
 #include <atomic>
 #include <set>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
+#include "support/failpoint.hpp"
 
 namespace llpmst {
 namespace {
@@ -81,6 +85,81 @@ TEST(ThreadPool, DestructionWithNoRegionsIsClean) {
     ThreadPool pool(4);
   }
   SUCCEED();
+}
+
+TEST(ThreadPool, WorkerExceptionPropagatesToSubmitter) {
+  // An exception escaping a *worker* task must surface on the submitting
+  // thread, not std::terminate the process.
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.run_team([&](std::size_t id) {
+        if (id == 2) throw std::runtime_error("boom from worker 2");
+      }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, CallerExceptionStillJoinsTheTeam) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      pool.run_team([&](std::size_t id) {
+        if (id == 0) throw std::runtime_error("boom from caller");
+        completed.fetch_add(1);
+      }),
+      std::runtime_error);
+  // run_team only returns (even by throwing) after the join, so every other
+  // worker finished its share.
+  EXPECT_EQ(completed.load(), 3);
+}
+
+TEST(ThreadPool, PoolIsReusableAfterAnException) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 10; ++round) {
+    EXPECT_THROW(
+        pool.run_team([&](std::size_t id) {
+          if (id == 1) throw std::runtime_error("transient");
+        }),
+        std::runtime_error);
+    std::atomic<int> ok{0};
+    pool.run_team([&](std::size_t) { ok.fetch_add(1); });
+    EXPECT_EQ(ok.load(), 3);
+  }
+}
+
+TEST(ThreadPool, SingleThreadPoolPropagatesInline) {
+  ThreadPool pool(1);
+  EXPECT_THROW(
+      pool.run_team([](std::size_t) { throw std::runtime_error("inline"); }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForBodyExceptionReachesCaller) {
+  ThreadPool pool(4);
+  const std::size_t n = 100000;  // big enough to actually dispatch a team
+  EXPECT_THROW(parallel_for(pool, 0, n,
+                            [&](std::size_t i) {
+                              if (i == n / 2) {
+                                throw std::runtime_error("body");
+                              }
+                            }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, InjectedPoolFaultSurfacesAsFailpointError) {
+  if (!fail::kCompiledIn) GTEST_SKIP() << "failpoints compiled out";
+  ASSERT_TRUE(fail::arm("pool/task", "1*return"));
+  ThreadPool pool(4);
+  try {
+    pool.run_team([](std::size_t) {});
+    FAIL() << "injected fault did not surface";
+  } catch (const fail::FailpointError& e) {
+    EXPECT_NE(std::string(e.what()).find("pool/task"), std::string::npos);
+  }
+  fail::disarm_all();
+  // The budget was 1: the next region runs clean.
+  std::atomic<int> ok{0};
+  pool.run_team([&](std::size_t) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 4);
 }
 
 }  // namespace

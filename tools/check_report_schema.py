@@ -27,12 +27,22 @@ def check(doc, errors, where):
     expect(doc.get("schema_version") == 1,
            f"schema_version is {doc.get('schema_version')!r}")
 
+    outcomes = {"ok", "non_converged", "cancelled", "deadline_exceeded",
+                "injected_fault", "fallback"}
     run = doc.get("run")
     if expect(isinstance(run, dict), "run is not an object"):
         for key, typ in (("tool", str), ("algorithm", str), ("threads", int),
-                         ("wall_ms", (int, float))):
+                         ("wall_ms", (int, float)), ("outcome", str),
+                         ("fallback_reason", str)):
             expect(isinstance(run.get(key), typ),
                    f"run.{key} is {run.get(key)!r}")
+        expect(run.get("outcome") in outcomes,
+               f"run.outcome {run.get('outcome')!r} not one of "
+               f"{sorted(outcomes)}")
+        if run.get("outcome") == "fallback":
+            expect(bool(run.get("fallback_reason")),
+                   "run.outcome is 'fallback' but run.fallback_reason is "
+                   "empty")
         graph = run.get("graph")
         if expect(isinstance(graph, dict), "run.graph is not an object"):
             for key in ("vertices", "edges"):
@@ -48,6 +58,9 @@ def check(doc, errors, where):
         if isinstance(algo.get("llp"), dict):
             expect(isinstance(algo["llp"].get("converged"), bool),
                    "algo.llp.converged is not a bool")
+            expect(algo["llp"].get("outcome") in (outcomes - {"fallback"}),
+                   f"algo.llp.outcome {algo['llp'].get('outcome')!r} not a "
+                   "run outcome")
 
     for section in ("counters", "gauges"):
         values = doc.get(section)

@@ -3,10 +3,22 @@
 # and per-figure CSVs (for re-plotting) under results/.
 #
 #   tools/run_benchmarks.sh [build-dir] [results-dir]
+#
+# Any failing benchmark aborts the whole run with a non-zero exit (set -e +
+# pipefail, so a crash upstream of `tee` is not swallowed) and names the
+# command that failed — partial results/ contents are left in place for
+# inspection.
 set -euo pipefail
 
 BUILD="${1:-build}"
 OUT="${2:-results}"
+
+trap 'echo "error: benchmark run failed at: $BASH_COMMAND" >&2' ERR
+
+if [[ ! -d "$BUILD/bench" ]]; then
+  echo "error: $BUILD/bench not found — build with -DLLPMST_BUILD_BENCHMARKS=ON first" >&2
+  exit 1
+fi
 mkdir -p "$OUT"
 
 run() {
@@ -32,5 +44,11 @@ run bench_llp_transfer
 
 "$BUILD/bench/micro_ds"       | tee "$OUT/micro_ds.txt"
 "$BUILD/bench/micro_parallel" | tee "$OUT/micro_parallel.txt"
+
+# Every emitted run report must satisfy the documented schema; a drift here
+# should fail the nightly, not silently break downstream plotting.
+if command -v python3 > /dev/null; then
+  python3 "$(dirname "$0")/check_report_schema.py" "$OUT"/*.metrics.json
+fi
 
 echo "All outputs in $OUT/"

@@ -39,6 +39,7 @@ int main(int argc, char** argv) {
 
   for (const Workload& w : workloads) {
     const MstResult reference = kruskal(w.graph);
+    set_bench_context(w.name, static_cast<std::size_t>(threads));
     for (const auto jumping :
          {PointerJumping::kAsynchronous, PointerJumping::kSynchronized}) {
       for (const bool dedup : {false, true}) {
@@ -64,6 +65,7 @@ int main(int argc, char** argv) {
   std::printf("(async+no-dedup = LLP-Boruvka; synchronized+dedup = the "
               "parallel Boruvka baseline)\n\n");
   t.print(csv);
+  obs_cli.write_table(t);
   obs_cli.finish("bench_ablation_llp_boruvka");
   return 0;
 }

@@ -45,6 +45,7 @@ int main(int argc, char** argv) {
 
   for (const Workload& w : workloads) {
     const MstResult reference = kruskal(w.graph);
+    set_bench_context(w.name, static_cast<std::size_t>(threads));
     const double n = static_cast<double>(w.graph.num_vertices());
 
     const auto add = [&](const char* variant, const BenchMeasurement& m) {
@@ -90,6 +91,7 @@ int main(int argc, char** argv) {
 
   std::printf("Ablation: LLP-Prim optimization breakdown\n\n");
   t.print(csv);
+  obs_cli.write_table(t);
   std::printf("\nExpected: MWE fixing removes most heap pushes/pops; Q "
               "staging removes adjusts for vertices later fixed for free.\n");
   obs_cli.finish("bench_ablation_llp_prim");

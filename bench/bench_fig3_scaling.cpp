@@ -52,6 +52,7 @@ int main(int argc, char** argv) {
 
   double base_llp_prim = 0, base_boruvka = 0, base_llp_boruvka = 0;
   for (const int threads : thread_counts) {
+    set_bench_context(w.name, static_cast<std::size_t>(threads));
     ThreadPool pool(static_cast<std::size_t>(threads));
     const BenchMeasurement lp = measure_mst(
         "LLP-Prim", w.graph, reference,
@@ -76,6 +77,7 @@ int main(int argc, char** argv) {
   }
 
   t.print(csv);
+  obs_cli.write_table(t);
   obs_cli.finish("bench_fig3_scaling");
   return 0;
 }

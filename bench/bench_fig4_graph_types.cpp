@@ -53,6 +53,7 @@ int main(int argc, char** argv) {
                       static_cast<double>(w.graph.num_vertices());
     for (const long long threads :
          {static_cast<long long>(low), static_cast<long long>(high)}) {
+      set_bench_context(w.name, static_cast<std::size_t>(threads));
       ThreadPool pool(static_cast<std::size_t>(threads));
       const BenchMeasurement lp = measure_mst(
           "LLP-Prim", w.graph, reference,
@@ -79,6 +80,7 @@ int main(int argc, char** argv) {
   }
 
   t.print(csv);
+  obs_cli.write_table(t);
   obs_cli.finish("bench_fig4_graph_types");
   return 0;
 }

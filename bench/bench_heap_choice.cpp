@@ -38,6 +38,7 @@ int main(int argc, char** argv) {
 
   for (const Workload& w : workloads) {
     const MstResult reference = kruskal(w.graph);
+    set_bench_context(w.name, 1);
     const auto add = [&](const char* heap_name,
                          const std::function<MstResult()>& run) {
       const BenchMeasurement m =
@@ -70,6 +71,7 @@ int main(int argc, char** argv) {
 
   std::printf("Ablation: heap choice in Prim\n\n");
   t.print(csv);
+  obs_cli.write_table(t);
   obs_cli.finish("bench_heap_choice");
   return 0;
 }

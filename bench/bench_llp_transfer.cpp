@@ -131,6 +131,7 @@ int main(int argc, char** argv) {
   std::printf("LLP framework transfer (threads=%lld)\n\n",
               static_cast<long long>(threads));
   t.print(csv);
+  obs_cli.write_table(t);
   obs_cli.finish("bench_llp_transfer");
   return 0;
 }

@@ -42,6 +42,7 @@ int main(int argc, char** argv) {
 
   for (const Workload& w : workloads) {
     const MstResult reference = kruskal(w.graph);
+    set_bench_context(w.name, static_cast<std::size_t>(threads));
     double kruskal_ms = 0;
     const auto add = [&](const char* name,
                          const std::function<MstResult()>& run) {
@@ -67,6 +68,7 @@ int main(int argc, char** argv) {
               "sort)\n\n",
               static_cast<long long>(threads));
   t.print(csv);
+  obs_cli.write_table(t);
   obs_cli.finish("bench_sequential_baselines");
   return 0;
 }

@@ -38,6 +38,7 @@ int main(int argc, char** argv) {
   for (const int scale : CliParser::parse_int_list(scales)) {
     const Workload w = make_graph500_workload(scale);
     const MstResult reference = kruskal(w.graph);
+    set_bench_context(w.name, static_cast<std::size_t>(threads));
 
     const auto run = [&](const char* name,
                          const std::function<MstResult()>& f) {
@@ -59,6 +60,7 @@ int main(int argc, char** argv) {
   }
 
   t.print(csv);
+  obs_cli.write_table(t);
   std::printf("\nThe ranking between algorithms should be stable across "
               "scales (the paper's 'results were analogous').\n");
   obs_cli.finish("bench_size_sweep");

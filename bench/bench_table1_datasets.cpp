@@ -49,6 +49,7 @@ int main(int argc, char** argv) {
                              /*connect=*/false));
 
   t.print(csv);
+  obs_cli.write_table(t);
   obs_cli.finish("bench_table1_datasets");
   return 0;
 }

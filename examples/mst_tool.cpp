@@ -29,6 +29,8 @@
 #include "mst/parallel_boruvka.hpp"
 #include "mst/prim.hpp"
 #include "mst/verifier.hpp"
+#include "obs/hw_counters.hpp"
+#include "obs/mem_stats.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -40,6 +42,12 @@
 namespace {
 
 using namespace llpmst;
+
+/// ", N allocations (M bytes)" suffix for the Memory report line.
+std::string strf_allocs(const obs::MemSample& m) {
+  return ", " + format_count(m.alloc_count) + " allocations (" +
+         format_count(m.alloc_bytes) + " bytes)";
+}
 
 }  // namespace
 
@@ -64,6 +72,12 @@ int main(int argc, char** argv) {
   auto& trace_file = cli.add_string(
       "trace", "", "collect and write a Chrome/Perfetto trace-event JSON "
       "to this file");
+  auto& hw_counters = cli.add_bool(
+      "hw-counters", false,
+      "collect hardware counters (cycles, instructions, cache/branch "
+      "misses, task-clock) around the solve via perf_event_open; prints "
+      "them and adds an 'hw' section to --metrics-json (degrades to "
+      "'unavailable' when the PMU or syscall is denied)");
   auto& verify = cli.add_bool("verify", false,
                               "run the exact minimality verifier (O(m*depth))");
   auto& output = cli.add_string("output", "",
@@ -105,6 +119,14 @@ int main(int argc, char** argv) {
     ThreadPool::set_trace_regions(true);
     obs::trace_start();
   }
+  // Hardware counters open before the pool so inherited events cover the
+  // workers.  Failure never fails the run — the report carries the
+  // explicit "unavailable" shape instead.
+  std::string hw_why;
+  if (hw_counters && !obs::hw_begin(&hw_why)) {
+    std::fprintf(stderr, "note: hardware counters unavailable: %s\n",
+                 hw_why.c_str());
+  }
 
   // --- Acquire the graph.
   EdgeList list;
@@ -143,6 +165,10 @@ int main(int argc, char** argv) {
 
   // --- Solve.
   ThreadPool pool(static_cast<std::size_t>(threads));
+  // Counters up to here include graph generation/loading; re-baseline so
+  // the reported hw section covers the solve alone.
+  const obs::HwSample hw_before =
+      obs::hw_active() ? obs::hw_read() : obs::HwSample{};
   Timer t;
   MstResult result;
   std::string used = algorithm;
@@ -188,9 +214,57 @@ int main(int argc, char** argv) {
   const double solve_ms = t.elapsed_ms();
   if (!trace_file.empty()) obs::trace_stop();  // don't trace the verifier
 
+  // Solve-scoped hardware-counter delta (kept "unavailable" when denied).
+  obs::HwSample hw_sample;
+  if (hw_counters) {
+    hw_sample = obs::hw_read();
+    if (hw_sample.available && hw_before.available) {
+      const auto sub = [](std::uint64_t a, std::uint64_t b) {
+        return (a == obs::kHwAbsent || b == obs::kHwAbsent || a < b)
+                   ? obs::kHwAbsent
+                   : a - b;
+      };
+      hw_sample.cycles = sub(hw_sample.cycles, hw_before.cycles);
+      hw_sample.instructions =
+          sub(hw_sample.instructions, hw_before.instructions);
+      hw_sample.cache_references =
+          sub(hw_sample.cache_references, hw_before.cache_references);
+      hw_sample.cache_misses =
+          sub(hw_sample.cache_misses, hw_before.cache_misses);
+      hw_sample.branch_misses =
+          sub(hw_sample.branch_misses, hw_before.branch_misses);
+      if (hw_sample.task_clock_ms >= 0 && hw_before.task_clock_ms >= 0) {
+        hw_sample.task_clock_ms -= hw_before.task_clock_ms;
+      }
+    }
+  }
+
   std::printf("\nAlgorithm : %s (%lld threads)\n", used.c_str(),
               static_cast<long long>(threads));
   std::printf("Time      : %s\n", format_duration_ms(solve_ms).c_str());
+  if (hw_counters) {
+    if (hw_sample.available) {
+      const auto cell = [](std::uint64_t v) {
+        return v == obs::kHwAbsent ? std::string("n/a") : format_count(v);
+      };
+      std::printf("HW        : %s cycles, %s instructions, %s cache misses "
+                  "/ %s refs, %s branch misses\n",
+                  cell(hw_sample.cycles).c_str(),
+                  cell(hw_sample.instructions).c_str(),
+                  cell(hw_sample.cache_misses).c_str(),
+                  cell(hw_sample.cache_references).c_str(),
+                  cell(hw_sample.branch_misses).c_str());
+    } else {
+      std::printf("HW        : unavailable (%s)\n",
+                  hw_sample.unavailable_reason.c_str());
+    }
+  }
+  const obs::MemSample mem = obs::mem_sample();
+  std::printf("Memory    : peak RSS %s bytes%s\n",
+              format_count(mem.peak_rss_bytes).c_str(),
+              mem.alloc_tracking
+                  ? strf_allocs(mem).c_str()
+                  : "");
   std::printf("MSF       : %s edges, %s trees, total weight %s\n",
               format_count(result.edges.size()).c_str(),
               format_count(result.num_trees).c_str(),
@@ -255,9 +329,11 @@ int main(int argc, char** argv) {
                        : "fallback";
     info.fallback_reason = fallback_reason;
     std::string err;
-    if (!obs::write_run_report(metrics_json,
-                               obs::build_run_report(info, &result.stats),
-                               &err)) {
+    if (!obs::write_run_report(
+            metrics_json,
+            obs::build_run_report(info, &result.stats,
+                                  hw_counters ? &hw_sample : nullptr),
+            &err)) {
       std::fprintf(stderr, "error writing %s: %s\n", metrics_json.c_str(),
                    err.c_str());
       return 1;
@@ -274,5 +350,6 @@ int main(int argc, char** argv) {
     std::printf("Trace     : %s (%zu events)\n", trace_file.c_str(),
                 obs::trace_event_count());
   }
+  if (hw_counters) obs::hw_end();
   return 0;
 }

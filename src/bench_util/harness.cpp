@@ -1,9 +1,14 @@
 #include "bench_util/harness.hpp"
 
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <vector>
 
+#include "bench_util/table.hpp"
+#include "obs/hw_counters.hpp"
+#include "obs/mem_stats.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -12,6 +17,157 @@
 #include "support/timer.hpp"
 
 namespace llpmst {
+
+namespace {
+
+// One structured datapoint, buffered until ObsCli::finish() writes the
+// JSONL file.  Collection is opt-in (--bench-json) and guarded by a mutex
+// only on the record path — the timed region itself is untouched.
+struct BenchRecord {
+  std::string workload;
+  std::size_t threads = 0;
+  std::string algo;
+  int warmup = 0;
+  bool verified = false;
+  std::vector<double> samples_ms;
+  obs::HwSample hw;       // delta across the timed reps; available=false
+  bool has_hw = false;    // ... unless the group was running
+};
+
+struct RecordStore {
+  std::mutex mu;
+  bool recording = false;
+  std::string ctx_workload;
+  std::size_t ctx_threads = 0;
+  std::vector<BenchRecord> records;
+};
+
+RecordStore& store() {
+  static RecordStore* s = new RecordStore;
+  return *s;
+}
+
+void append_json_f(std::string& out, const char* key, double v,
+                   bool comma = true) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "\"%s\":%.6g%s", key, v, comma ? "," : "");
+  out += buf;
+}
+
+void append_hw_or_null(std::string& out, const char* key, std::uint64_t v,
+                       bool comma = true) {
+  char buf[96];
+  if (v == obs::kHwAbsent) {
+    std::snprintf(buf, sizeof buf, "\"%s\":null%s", key, comma ? "," : "");
+  } else {
+    std::snprintf(buf, sizeof buf, "\"%s\":%" PRIu64 "%s", key, v,
+                  comma ? "," : "");
+  }
+  out += buf;
+}
+
+/// One llpmst-bench document (single line, no trailing newline).
+std::string render_record(const std::string& bench, const BenchRecord& r) {
+  const Summary s = summarize(r.samples_ms);
+  std::string out;
+  out.reserve(512);
+  out += "{\"schema\":\"llpmst-bench\",\"schema_version\":1,\"bench\":";
+  out += obs::json_quote(bench);
+  out += ",\"workload\":";
+  out += obs::json_quote(r.workload);
+  out += ",\"algo\":";
+  out += obs::json_quote(r.algo);
+  char buf[128];
+  std::snprintf(buf, sizeof buf,
+                ",\"threads\":%zu,\"warmup\":%d,\"repetitions\":%zu,"
+                "\"verified\":%s,\"ms\":{",
+                r.threads, r.warmup, r.samples_ms.size(),
+                r.verified ? "true" : "false");
+  out += buf;
+  append_json_f(out, "median", s.median);
+  append_json_f(out, "p25", s.p25);
+  append_json_f(out, "p75", s.p75);
+  append_json_f(out, "iqr", s.p75 - s.p25);
+  append_json_f(out, "min", s.min);
+  append_json_f(out, "max", s.max);
+  append_json_f(out, "mean", s.mean);
+  append_json_f(out, "stddev", s.stddev, false);
+  out += "},\"samples_ms\":[";
+  for (std::size_t i = 0; i < r.samples_ms.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    std::snprintf(buf, sizeof buf, "%.6g", r.samples_ms[i]);
+    out += buf;
+  }
+  out += "],\"hw\":";
+  if (r.has_hw && r.hw.available) {
+    out += "{\"available\":true,";
+    append_hw_or_null(out, "cycles", r.hw.cycles);
+    append_hw_or_null(out, "instructions", r.hw.instructions);
+    append_hw_or_null(out, "cache_references", r.hw.cache_references);
+    append_hw_or_null(out, "cache_misses", r.hw.cache_misses);
+    append_hw_or_null(out, "branch_misses", r.hw.branch_misses);
+    if (r.hw.task_clock_ms < 0) {
+      out += "\"task_clock_ms\":null}";
+    } else {
+      append_json_f(out, "task_clock_ms", r.hw.task_clock_ms, false);
+      out += "}";
+    }
+  } else {
+    out += "null";
+  }
+  const obs::MemSample mem = obs::mem_sample();
+  out += ",\"mem\":{";
+  std::snprintf(buf, sizeof buf, "\"peak_rss_bytes\":%" PRIu64 ",",
+                mem.peak_rss_bytes);
+  out += buf;
+  if (mem.alloc_tracking) {
+    std::snprintf(buf, sizeof buf,
+                  "\"alloc\":{\"count\":%" PRIu64 ",\"bytes\":%" PRIu64
+                  ",\"frees\":%" PRIu64 "}}",
+                  mem.alloc_count, mem.alloc_bytes, mem.free_count);
+    out += buf;
+  } else {
+    out += "\"alloc\":null}";
+  }
+  out += "}";
+  return out;
+}
+
+void push_record(BenchRecord&& r) {
+  RecordStore& s = store();
+  std::lock_guard lock(s.mu);
+  if (!s.recording) return;
+  r.workload = s.ctx_workload;
+  r.threads = s.ctx_threads;
+  s.records.push_back(std::move(r));
+}
+
+bool recording_active() {
+  RecordStore& s = store();
+  std::lock_guard lock(s.mu);
+  return s.recording;
+}
+
+}  // namespace
+
+void set_bench_context(const std::string& workload, std::size_t threads) {
+  RecordStore& s = store();
+  std::lock_guard lock(s.mu);
+  s.ctx_workload = workload;
+  s.ctx_threads = threads;
+}
+
+void record_bench_samples(const std::string& algo,
+                          const std::vector<double>& samples_ms, int warmup,
+                          bool verified) {
+  if (!recording_active()) return;
+  BenchRecord r;
+  r.algo = algo;
+  r.warmup = warmup;
+  r.verified = verified;
+  r.samples_ms = samples_ms;
+  push_record(std::move(r));
+}
 
 BenchMeasurement measure_mst(const std::string& name, const CsrGraph& g,
                              const MstResult& reference,
@@ -39,6 +195,12 @@ BenchMeasurement measure_mst(const std::string& name, const CsrGraph& g,
     }
   }
 
+  // The hw-counter delta brackets exactly the timed repetitions; reads are
+  // a handful of syscalls, well outside the per-rep Timer windows.
+  const bool record = recording_active();
+  const bool hw = obs::hw_active();
+  const obs::HwSample hw_before = hw ? obs::hw_read() : obs::HwSample{};
+
   std::vector<double> samples;
   samples.reserve(static_cast<std::size_t>(options.repetitions));
   for (int i = 0; i < options.repetitions; ++i) {
@@ -47,6 +209,38 @@ BenchMeasurement measure_mst(const std::string& name, const CsrGraph& g,
     samples.push_back(t.elapsed_ms());
   }
   m.time_ms = summarize(samples);
+
+  if (record) {
+    BenchRecord r;
+    r.algo = name;
+    r.warmup = options.warmup;
+    r.verified = m.verified;
+    r.samples_ms = std::move(samples);
+    if (hw) {
+      const obs::HwSample after = obs::hw_read();
+      if (after.available && hw_before.available) {
+        r.hw = after;
+        const auto sub = [](std::uint64_t a, std::uint64_t b) {
+          return (a == obs::kHwAbsent || b == obs::kHwAbsent || a < b)
+                     ? obs::kHwAbsent
+                     : a - b;
+        };
+        r.hw.cycles = sub(after.cycles, hw_before.cycles);
+        r.hw.instructions = sub(after.instructions, hw_before.instructions);
+        r.hw.cache_references =
+            sub(after.cache_references, hw_before.cache_references);
+        r.hw.cache_misses = sub(after.cache_misses, hw_before.cache_misses);
+        r.hw.branch_misses =
+            sub(after.branch_misses, hw_before.branch_misses);
+        r.hw.task_clock_ms =
+            (after.task_clock_ms < 0 || hw_before.task_clock_ms < 0)
+                ? -1.0
+                : after.task_clock_ms - hw_before.task_clock_ms;
+        r.has_hw = true;
+      }
+    }
+    push_record(std::move(r));
+  }
   return m;
 }
 
@@ -56,7 +250,19 @@ ObsCli::ObsCli(CliParser& cli)
           "write the JSON run report (counters, phases) to this file")),
       trace_(&cli.add_string(
           "trace", "",
-          "collect and write a Chrome trace-event JSON to this file")) {}
+          "collect and write a Chrome trace-event JSON to this file")),
+      bench_json_(&cli.add_string(
+          "bench-json", "",
+          "write one llpmst-bench JSON record per measured datapoint "
+          "(JSON Lines) to this file")),
+      csv_out_(&cli.add_string(
+          "csv-out", "",
+          "also write the result table(s) as CSV to this file (independent "
+          "of --csv, which picks the stdout format)")),
+      hw_counters_(&cli.add_bool(
+          "hw-counters", false,
+          "collect hardware counters (cycles, cache misses, ...) via "
+          "perf_event_open; degrades to 'unavailable' when denied")) {}
 
 void ObsCli::begin() const {
   if (!metrics_json_->empty() || !trace_->empty()) obs::set_enabled(true);
@@ -64,6 +270,39 @@ void ObsCli::begin() const {
     ThreadPool::set_trace_regions(true);
     obs::trace_start();
   }
+  if (!bench_json_->empty()) {
+    RecordStore& s = store();
+    std::lock_guard lock(s.mu);
+    s.recording = true;
+  }
+  if (*hw_counters_) {
+    std::string why;
+    if (!obs::hw_begin(&why)) {
+      std::fprintf(stderr, "note: hardware counters unavailable: %s\n",
+                   why.c_str());
+    }
+  }
+}
+
+bool ObsCli::write_table(const Table& t) const {
+  if (csv_out_->empty()) return true;
+  std::FILE* f = std::fopen(csv_out_->c_str(), csv_written_ ? "a" : "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot open %s for writing\n",
+                 csv_out_->c_str());
+    return false;
+  }
+  if (csv_written_) std::fputc('\n', f);
+  const std::string csv = t.to_csv();
+  const bool ok = std::fwrite(csv.data(), 1, csv.size(), f) == csv.size();
+  std::fclose(f);
+  if (!ok) {
+    std::fprintf(stderr, "error: short write to %s\n", csv_out_->c_str());
+    return false;
+  }
+  if (!csv_written_) std::printf("csv: %s\n", csv_out_->c_str());
+  csv_written_ = true;
+  return true;
 }
 
 bool ObsCli::finish(const std::string& tool, std::size_t threads) const {
@@ -73,14 +312,45 @@ bool ObsCli::finish(const std::string& tool, std::size_t threads) const {
     obs::RunInfo info;
     info.tool = tool;
     info.threads = threads;
+    const obs::HwSample hw_sample = *hw_counters_ ? obs::hw_read()
+                                                  : obs::HwSample{};
     std::string err;
-    if (obs::write_run_report(*metrics_json_,
-                              obs::build_run_report(info, nullptr), &err)) {
+    if (obs::write_run_report(
+            *metrics_json_,
+            obs::build_run_report(info, nullptr,
+                                  *hw_counters_ ? &hw_sample : nullptr),
+            &err)) {
       std::printf("metrics: %s\n", metrics_json_->c_str());
     } else {
       std::fprintf(stderr, "error writing %s: %s\n", metrics_json_->c_str(),
                    err.c_str());
       ok = false;
+    }
+  }
+  if (!bench_json_->empty()) {
+    RecordStore& s = store();
+    std::lock_guard lock(s.mu);
+    std::FILE* f = std::fopen(bench_json_->c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot open %s for writing\n",
+                   bench_json_->c_str());
+      ok = false;
+    } else {
+      bool wrote = true;
+      for (const BenchRecord& r : s.records) {
+        const std::string line = render_record(tool, r);
+        wrote = std::fwrite(line.data(), 1, line.size(), f) == line.size() &&
+                std::fputc('\n', f) != EOF && wrote;
+      }
+      std::fclose(f);
+      if (wrote) {
+        std::printf("bench records: %s (%zu datapoints)\n",
+                    bench_json_->c_str(), s.records.size());
+      } else {
+        std::fprintf(stderr, "error: short write to %s\n",
+                     bench_json_->c_str());
+        ok = false;
+      }
     }
   }
   if (!trace_->empty()) {
@@ -94,6 +364,7 @@ bool ObsCli::finish(const std::string& tool, std::size_t threads) const {
       ok = false;
     }
   }
+  if (*hw_counters_) obs::hw_end();
   return ok;
 }
 

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "ds/binary_heap.hpp"
+#include "obs/hw_counters.hpp"
 #include "obs/phase_timer.hpp"
 #include "support/assert.hpp"
 
@@ -15,6 +16,7 @@ MstResult llp_prim(const CsrGraph& g, VertexId root,
   LLPMST_CHECK(root < n);
 
   obs::PhaseTimer algo_span("llp_prim");
+  obs::ScopedHwCounters hw_scope("llp_prim");
   MstResult r;
   r.edges.reserve(n - 1);
   std::vector<EdgePriority> dist(n, kInfinitePriority);

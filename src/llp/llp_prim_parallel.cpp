@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "ds/binary_heap.hpp"
+#include "obs/hw_counters.hpp"
 #include "obs/phase_timer.hpp"
 #include "parallel/atomic_utils.hpp"
 #include "parallel/concurrent_bag.hpp"
@@ -20,6 +21,7 @@ MstResult llp_prim_parallel(const CsrGraph& g, ThreadPool& pool,
   LLPMST_CHECK(root < n);
 
   obs::PhaseTimer algo_span("llp_prim_parallel");
+  obs::ScopedHwCounters hw_scope("llp_prim_parallel");
   MstResult r;
   // dist[k] packs the tentative priority; its low 32 bits are the edge id,
   // so the parent edge rides along with every fetch-min for free.

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <vector>
 
+#include "obs/hw_counters.hpp"
 #include "obs/metrics.hpp"
 #include "obs/phase_timer.hpp"
 #include "obs/trace.hpp"
@@ -34,6 +35,7 @@ MstResult boruvka_engine(const CsrGraph& g, ThreadPool& pool,
   const std::size_t n = g.num_vertices();
   const std::size_t m = g.num_edges();
   obs::PhaseTimer algo_span(config.obs_label);
+  obs::ScopedHwCounters hw_scope(config.obs_label);
   MstResult r;
 
   std::vector<ActiveEdge> edges;

@@ -1,0 +1,159 @@
+// Hardware performance counters via Linux perf_event_open.
+//
+// A process-wide event group — cycles, instructions, cache-references,
+// cache-misses, branch-misses (grouped, so their ratios are co-scheduled
+// and consistent) plus task-clock (software, always schedulable) — opened
+// with `inherit` so ThreadPool workers spawned after hw_begin() are
+// counted too.
+//
+//   std::string why;
+//   if (obs::hw_begin(&why)) { run(); HwSample s = obs::hw_read(); }
+//   else                     { /* s.available == false, reason in `why` */ }
+//
+// Degradation contract (see docs/observability.md): hw_begin() NEVER
+// fails the run.  When the syscall is denied (containers, seccomp,
+// perf_event_paranoid) or the PMU is absent (many VMs), it returns false
+// with a human-readable reason, and every subsequent hw_read() returns a
+// sample with `available == false` carrying the same reason — the run
+// report serializes that as the explicit "unavailable" shape instead of
+// silently dropping the section.
+//
+// ScopedHwCounters attributes counter deltas to the PhaseTimer phase path
+// live on the calling thread at scope entry (falling back to its label
+// outside any phase); snapshot_hw_phases() returns the aggregates.  Each
+// scope costs ~a dozen read() syscalls, so place them at algorithm/round
+// granularity, never per element.
+//
+// With LLPMST_OBS=0 everything here compiles to no-ops and
+// ScopedHwCounters is an empty class (static-asserted in tests).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace llpmst::obs {
+
+/// Sentinel for an individual counter that could not be opened (reported
+/// as JSON null) while the group as a whole is available.
+inline constexpr std::uint64_t kHwAbsent = ~std::uint64_t{0};
+
+/// One multiplex-scaled reading of the group.  Always defined (both build
+/// flavours) so reports serialize uniformly.
+struct HwSample {
+  bool available = false;
+  std::string unavailable_reason;  // non-empty iff !available
+
+  std::uint64_t cycles = kHwAbsent;
+  std::uint64_t instructions = kHwAbsent;
+  std::uint64_t cache_references = kHwAbsent;
+  std::uint64_t cache_misses = kHwAbsent;
+  std::uint64_t branch_misses = kHwAbsent;
+  double task_clock_ms = -1.0;  // < 0 means absent
+
+  /// min(time_running / time_enabled) across the open events; < 1.0 means
+  /// the kernel multiplexed the PMU and values are extrapolated.
+  double multiplex_ratio = 1.0;
+};
+
+/// Per-phase-path aggregate of ScopedHwCounters deltas.
+struct HwPhaseSample {
+  std::string name;   // the PhaseTimer path (or the scope's label)
+  std::uint64_t count = 0;
+  HwSample totals;    // summed deltas; `available` is always true here
+};
+
+#if LLPMST_OBS
+
+/// Opens and enables the group.  Idempotent; returns true when counting.
+/// On failure returns false, stores the reason in *why (may be null), and
+/// leaves the subsystem in the explicit-unavailable state.
+bool hw_begin(std::string* why);
+
+/// Disables and closes the group (reads after this return unavailable).
+void hw_end();
+
+/// True between a successful hw_begin() and hw_end().
+[[nodiscard]] bool hw_active();
+
+/// Cumulative counts since hw_begin() (whole process, multiplex-scaled).
+/// When inactive, returns the unavailable shape with the begin-failure
+/// reason (or "hardware counters not started").
+[[nodiscard]] HwSample hw_read();
+
+/// Test/ops hook: forces hw_begin() to take the unavailable path (also
+/// triggered by the LLPMST_HW_DISABLE=1 environment variable).
+void hw_force_unavailable(bool forced);
+
+/// Phase-attributed aggregates collected by ScopedHwCounters, sorted by
+/// path.  hw_reset_phases() clears them.
+[[nodiscard]] std::vector<HwPhaseSample> snapshot_hw_phases();
+void hw_reset_phases();
+
+namespace detail {
+/// Raw scaled per-event values for delta computation; mask bit i set when
+/// event i is open.
+struct HwRaw {
+  std::uint64_t v[6] = {0, 0, 0, 0, 0, 0};
+  std::uint32_t mask = 0;
+};
+[[nodiscard]] HwRaw hw_read_raw();
+void hw_fold_phase(const char* label, const HwRaw& start, const HwRaw& end);
+}  // namespace detail
+
+/// RAII delta: reads the group at entry and exit, folds the difference
+/// into the aggregate for the current PhaseTimer path.  Free when the
+/// group is not active.
+class ScopedHwCounters {
+ public:
+  explicit ScopedHwCounters(const char* label) {
+    if (hw_active()) {
+      label_ = label;
+      start_ = detail::hw_read_raw();
+    }
+  }
+  ~ScopedHwCounters() {
+    if (label_ != nullptr) {
+      detail::hw_fold_phase(label_, start_, detail::hw_read_raw());
+    }
+  }
+
+  ScopedHwCounters(const ScopedHwCounters&) = delete;
+  ScopedHwCounters& operator=(const ScopedHwCounters&) = delete;
+
+ private:
+  const char* label_ = nullptr;  // null when inactive at construction
+  detail::HwRaw start_;
+};
+
+#else  // !LLPMST_OBS — all no-ops; ScopedHwCounters stays empty.
+
+inline bool hw_begin(std::string* why) {
+  if (why != nullptr) *why = "observability compiled out (LLPMST_OBS=0)";
+  return false;
+}
+inline void hw_end() {}
+[[nodiscard]] inline bool hw_active() { return false; }
+[[nodiscard]] inline HwSample hw_read() {
+  HwSample s;
+  s.unavailable_reason = "observability compiled out (LLPMST_OBS=0)";
+  return s;
+}
+inline void hw_force_unavailable(bool) {}
+[[nodiscard]] inline std::vector<HwPhaseSample> snapshot_hw_phases() {
+  return {};
+}
+inline void hw_reset_phases() {}
+
+class ScopedHwCounters {
+ public:
+  explicit ScopedHwCounters(const char*) {}
+  ScopedHwCounters(const ScopedHwCounters&) = delete;
+  ScopedHwCounters& operator=(const ScopedHwCounters&) = delete;
+};
+
+#endif  // LLPMST_OBS
+
+}  // namespace llpmst::obs

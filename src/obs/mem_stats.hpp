@@ -1,0 +1,36 @@
+// Memory telemetry: peak RSS and (optionally) global allocation counts.
+//
+// Peak RSS comes from getrusage(RUSAGE_SELF) and is available in every
+// build flavour — it is read only when a report is built, so it costs
+// nothing on any hot path.
+//
+// Allocation count/bytes come from replacement global operator new/delete
+// hooks compiled into mem_stats.cpp when LLPMST_OBS=1 (same switch and
+// zero-cost-when-off policy as the rest of src/obs/, see
+// docs/observability.md).  The hooks are two relaxed atomic adds on top of
+// the underlying malloc/free — the same always-live policy as counters.
+// Bytes freed are tracked via the sized delete overloads; unsized deletes
+// count frees but not bytes, so `alloc_bytes` is a high-water total of
+// bytes requested, not a live-heap figure.
+//
+// With LLPMST_OBS=0 the hooks are not compiled at all (the process keeps
+// the default operator new) and MemSample reports `alloc_tracking=false`
+// with zero alloc fields; the report serializes that as "alloc": null.
+#pragma once
+
+#include <cstdint>
+
+namespace llpmst::obs {
+
+struct MemSample {
+  std::uint64_t peak_rss_bytes = 0;  // ru_maxrss; 0 if getrusage failed
+  bool alloc_tracking = false;       // operator new/delete hooks compiled in
+  std::uint64_t alloc_count = 0;     // operator new calls since process start
+  std::uint64_t alloc_bytes = 0;     // bytes requested from operator new
+  std::uint64_t free_count = 0;      // operator delete calls
+};
+
+/// Snapshot of process memory stats (cheap: one getrusage + atomic loads).
+[[nodiscard]] MemSample mem_sample();
+
+}  // namespace llpmst::obs

@@ -236,15 +236,20 @@ namespace detail {
 
 void phase_push(const char* name) { tls_phase_stack.push_back(name); }
 
-void phase_pop(std::uint64_t start_us) {
-  const std::uint64_t end_us = now_us();
-  const std::uint64_t dur_us = end_us - start_us;
-
+std::string phase_path() {
   std::string path;
   for (const char* frame : tls_phase_stack) {
     if (!path.empty()) path.push_back('/');
     path += frame;
   }
+  return path;
+}
+
+void phase_pop(std::uint64_t start_us) {
+  const std::uint64_t end_us = now_us();
+  const std::uint64_t dur_us = end_us - start_us;
+
+  const std::string path = phase_path();
   tls_phase_stack.pop_back();
 
   Registry& r = registry();

@@ -182,6 +182,9 @@ namespace detail {
 /// active trace, if any).
 void phase_push(const char* name);
 void phase_pop(std::uint64_t start_us);
+/// The '/'-joined path of the PhaseTimers live on the calling thread
+/// ("" outside any phase).  Used by ScopedHwCounters for attribution.
+[[nodiscard]] std::string phase_path();
 #endif
 }  // namespace detail
 

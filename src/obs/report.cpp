@@ -3,6 +3,7 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "obs/mem_stats.hpp"
 #include "obs/metrics.hpp"
 
 namespace llpmst::obs {
@@ -24,12 +25,41 @@ void append_kv_ms(std::string& out, const char* key, double ms,
   out += buf;
 }
 
+/// Emits a counter field that may be kHwAbsent (JSON null).
+void append_hw_u64(std::string& out, const char* key, std::uint64_t v,
+                   bool comma = true) {
+  if (v == kHwAbsent) {
+    out += "\"";
+    out += key;
+    out += "\":null";
+    if (comma) out.push_back(',');
+  } else {
+    append_kv_u64(out, key, v, comma);
+  }
+}
+
+/// The five counters + task-clock of one sample (no braces, no trailing
+/// comma) — shared by the run-level hw section and its phase entries.
+void append_hw_fields(std::string& out, const HwSample& s) {
+  append_hw_u64(out, "cycles", s.cycles);
+  append_hw_u64(out, "instructions", s.instructions);
+  append_hw_u64(out, "cache_references", s.cache_references);
+  append_hw_u64(out, "cache_misses", s.cache_misses);
+  append_hw_u64(out, "branch_misses", s.branch_misses);
+  if (s.task_clock_ms < 0) {
+    out += "\"task_clock_ms\":null";
+  } else {
+    append_kv_ms(out, "task_clock_ms", s.task_clock_ms, false);
+  }
+}
+
 }  // namespace
 
-std::string build_run_report(const RunInfo& info, const MstAlgoStats* algo) {
+std::string build_run_report(const RunInfo& info, const MstAlgoStats* algo,
+                             const HwSample* hw) {
   std::string out;
   out.reserve(4096);
-  out += "{\"schema\":\"llpmst-run-report\",\"schema_version\":1,";
+  out += "{\"schema\":\"llpmst-run-report\",\"schema_version\":2,";
 
   // --- run metadata
   out += "\"run\":{\"tool\":";
@@ -73,6 +103,52 @@ std::string build_run_report(const RunInfo& info, const MstAlgoStats* algo) {
     out += "}},";
   } else {
     out += "\"algo\":null,";
+  }
+
+  // --- hardware counters (schema v2)
+  if (hw == nullptr) {
+    out += "\"hw\":null,";
+  } else if (!hw->available) {
+    out += "\"hw\":{\"available\":false,\"reason\":";
+    out += json_quote(hw->unavailable_reason);
+    out += "},";
+  } else {
+    out += "\"hw\":{\"available\":true,";
+    append_hw_fields(out, *hw);
+    out += ",";
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "\"multiplex_ratio\":%.4f,",
+                  hw->multiplex_ratio);
+    out += buf;
+    out += "\"phases\":[";
+    bool first_hw = true;
+    for (const HwPhaseSample& p : snapshot_hw_phases()) {
+      if (!first_hw) out.push_back(',');
+      first_hw = false;
+      out += "{\"name\":";
+      out += json_quote(p.name);
+      out += ",";
+      append_kv_u64(out, "count", p.count);
+      append_hw_fields(out, p.totals);
+      out += "}";
+    }
+    out += "]},";
+  }
+
+  // --- memory (schema v2; peak RSS works in every flavour)
+  {
+    const MemSample mem = mem_sample();
+    out += "\"mem\":{";
+    append_kv_u64(out, "peak_rss_bytes", mem.peak_rss_bytes);
+    if (mem.alloc_tracking) {
+      out += "\"alloc\":{";
+      append_kv_u64(out, "count", mem.alloc_count);
+      append_kv_u64(out, "bytes", mem.alloc_bytes);
+      append_kv_u64(out, "frees", mem.free_count, false);
+      out += "}},";
+    } else {
+      out += "\"alloc\":null},";
+    }
   }
 
   // --- registry metrics

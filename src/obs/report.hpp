@@ -6,10 +6,14 @@
 // docs/observability.md:
 //
 //   {
-//     "schema": "llpmst-run-report", "schema_version": 1,
+//     "schema": "llpmst-run-report", "schema_version": 2,
 //     "run": {"tool":..., "algorithm":..., "threads":N,
 //             "graph": {"vertices":N, "edges":M}, "wall_ms":X},
 //     "algo": { heap/fix/sweep stats ... } | null,
+//     "hw":   null                                    (not requested)
+//           | {"available": false, "reason": "..."}   (degraded)
+//           | {"available": true, "cycles":N|null, ..., "phases":[...]},
+//     "mem":  {"peak_rss_bytes":N, "alloc": {...} | null},
 //     "counters": {"llp_prim/heap_inserts": N, ...},
 //     "gauges":   {"boruvka/rounds": N, ...},
 //     "phases":   [{"name":..., "count":N, "total_ms":X}, ...],
@@ -17,14 +21,16 @@
 //   }
 //
 // The report itself is always available — an LLPMST_OBS=0 build emits the
-// same document with empty counters/gauges/phases, so downstream parsers
-// never branch on the build flavour.
+// same document with empty counters/gauges/phases (and the "unavailable"
+// hw shape when counters were requested), so downstream parsers never
+// branch on the build flavour.
 #pragma once
 
 #include <cstddef>
 #include <string>
 
 #include "mst/mst_result.hpp"
+#include "obs/hw_counters.hpp"
 
 namespace llpmst::obs {
 
@@ -44,9 +50,13 @@ struct RunInfo {
   std::string fallback_reason;
 };
 
-/// Builds the report document.  `algo` may be null (no per-algorithm stats).
+/// Builds the report document.  `algo` may be null (no per-algorithm
+/// stats); `hw` may be null (hardware counters not requested — the "hw"
+/// section serializes as JSON null).  The "mem" section is always gathered
+/// internally via mem_sample().
 [[nodiscard]] std::string build_run_report(const RunInfo& info,
-                                           const MstAlgoStats* algo);
+                                           const MstAlgoStats* algo,
+                                           const HwSample* hw = nullptr);
 
 /// Writes `json` to `path`.  Returns false and sets *error on I/O failure.
 bool write_run_report(const std::string& path, const std::string& json,

@@ -26,6 +26,17 @@ Summary summarize(std::span<const double> samples) {
   s.median = (n % 2 == 1) ? sorted[n / 2]
                           : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
 
+  // Quartiles by linear interpolation at rank q*(n-1).
+  const auto quantile = [&](double q) {
+    const double rank = q * static_cast<double>(n - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const double frac = rank - static_cast<double>(lo);
+    return lo + 1 < n ? sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac
+                      : sorted[lo];
+  };
+  s.p25 = quantile(0.25);
+  s.p75 = quantile(0.75);
+
   if (n >= 2) {
     double sq = 0.0;
     for (double v : sorted) sq += (v - s.mean) * (v - s.mean);

@@ -16,6 +16,10 @@ struct Summary {
   double mean = 0.0;
   double median = 0.0;
   double stddev = 0.0;  // sample standard deviation (n-1 denominator)
+  // Quartiles (linear interpolation on the sorted sample); p75 - p25 is
+  // the IQR that the bench-record noise guard uses.
+  double p25 = 0.0;
+  double p75 = 0.0;
 };
 
 /// Computes summary statistics.  An empty span yields an all-zero Summary.

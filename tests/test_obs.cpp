@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "mst/mst_result.hpp"
+#include "obs/hw_counters.hpp"
+#include "obs/mem_stats.hpp"
 #include "obs/metrics.hpp"
 #include "obs/phase_timer.hpp"
 #include "obs/report.hpp"
@@ -29,6 +31,7 @@ static_assert(obs::kCompiledIn == (LLPMST_OBS != 0));
 static_assert(std::is_empty_v<obs::Counter>);
 static_assert(std::is_empty_v<obs::Gauge>);
 static_assert(std::is_empty_v<obs::PhaseTimer>);
+static_assert(std::is_empty_v<obs::ScopedHwCounters>);
 #endif
 
 /// Minimal JSON well-formedness check: balanced {}/[] outside strings,
@@ -270,6 +273,151 @@ TEST(ObsReport, JsonQuoteEscapes) {
   EXPECT_EQ(obs::json_quote("a\"b"), "\"a\\\"b\"");
   EXPECT_EQ(obs::json_quote("a\\b"), "\"a\\\\b\"");
   EXPECT_EQ(obs::json_quote("a\nb"), "\"a\\nb\"");
+}
+
+// --- Hardware counters (schema v2 "hw" section). ----------------------
+
+obs::RunInfo test_run_info() {
+  obs::RunInfo info;
+  info.tool = "test_obs";
+  info.algorithm = "llp-prim";
+  info.threads = 1;
+  info.vertices = 10;
+  info.edges = 20;
+  info.wall_ms = 0.5;
+  return info;
+}
+
+TEST(ObsHwCounters, DegradesToExplicitUnavailableWhenDenied) {
+  // Compiled-out builds refuse unconditionally; compiled-in builds are
+  // forced onto the denial path — either way hw_begin must fail softly
+  // with a reason, and the report must carry the explicit shape.
+  obs::hw_force_unavailable(true);
+  std::string why;
+  EXPECT_FALSE(obs::hw_begin(&why));
+  EXPECT_FALSE(why.empty());
+  EXPECT_FALSE(obs::hw_active());
+
+  const obs::HwSample s = obs::hw_read();
+  EXPECT_FALSE(s.available);
+  EXPECT_FALSE(s.unavailable_reason.empty());
+
+  const std::string report =
+      obs::build_run_report(test_run_info(), nullptr, &s);
+  EXPECT_TRUE(json_balanced(report)) << report;
+  EXPECT_NE(report.find("\"hw\":{\"available\":false"), std::string::npos)
+      << report;
+  obs::hw_force_unavailable(false);
+}
+
+TEST(ObsHwCounters, BeginDoesNotThrowAndReadsWhenAvailable) {
+  // On bare metal the group opens and counts must be live; in containers
+  // and VMs without a PMU it must refuse with a reason.  Both outcomes
+  // are correct — the contract is "never fail the run".
+  std::string why;
+  const bool ok = obs::hw_begin(&why);
+  if (!ok) {
+    EXPECT_FALSE(why.empty());
+    GTEST_SKIP() << "hardware counters unavailable here: " << why;
+  }
+  EXPECT_TRUE(obs::hw_active());
+
+  // Burn some cycles so the deltas are visibly non-zero.
+  volatile std::uint64_t sink = 0;
+  for (int i = 0; i < 2000000; ++i) sink += static_cast<std::uint64_t>(i);
+
+  const obs::HwSample s = obs::hw_read();
+  EXPECT_TRUE(s.available);
+  ASSERT_NE(s.cycles, obs::kHwAbsent);
+  EXPECT_GT(s.cycles, 0u);
+  EXPECT_GT(s.multiplex_ratio, 0.0);
+  EXPECT_LE(s.multiplex_ratio, 1.0);
+
+  const std::string report =
+      obs::build_run_report(test_run_info(), nullptr, &s);
+  EXPECT_TRUE(json_balanced(report)) << report;
+  EXPECT_NE(report.find("\"hw\":{\"available\":true"), std::string::npos)
+      << report;
+  obs::hw_end();
+  EXPECT_FALSE(obs::hw_active());
+}
+
+TEST(ObsHwCounters, ScopedDeltasFoldIntoPhaseAggregates) {
+  std::string why;
+  if (!obs::hw_begin(&why)) {
+    GTEST_SKIP() << "hardware counters unavailable here: " << why;
+  }
+  obs::hw_reset_phases();
+  obs::set_enabled(true);
+  {
+    obs::PhaseTimer phase("hw_test_phase");
+    obs::ScopedHwCounters scope("hw_test_label");
+    volatile std::uint64_t sink = 0;
+    for (int i = 0; i < 1000000; ++i) sink += static_cast<std::uint64_t>(i);
+  }
+  obs::set_enabled(false);
+  const auto phases = obs::snapshot_hw_phases();
+  ASSERT_EQ(phases.size(), 1u);
+  EXPECT_EQ(phases[0].name, "hw_test_phase");
+  EXPECT_EQ(phases[0].count, 1u);
+  EXPECT_GT(phases[0].totals.cycles, 0u);
+  obs::hw_reset_phases();
+  obs::hw_end();
+}
+
+// --- Memory stats (schema v2 "mem" section). --------------------------
+
+TEST(ObsMemStats, PeakRssIsPositiveAndMonotonic) {
+  const obs::MemSample before = obs::mem_sample();
+  EXPECT_GT(before.peak_rss_bytes, 0u) << "getrusage reported no peak RSS";
+
+  // Touch a real allocation so the high-water mark cannot shrink.
+  std::vector<char> block(1 << 20, 1);
+  EXPECT_NE(block[1 << 19], 0);
+
+  const obs::MemSample after = obs::mem_sample();
+  EXPECT_GE(after.peak_rss_bytes, before.peak_rss_bytes)
+      << "peak RSS went backwards";
+}
+
+TEST(ObsMemStats, AllocationCountersGrowWhenCompiledIn) {
+  const obs::MemSample before = obs::mem_sample();
+  if constexpr (obs::kCompiledIn) {
+    EXPECT_TRUE(before.alloc_tracking);
+    // Escape the pointer so the allocation cannot be elided.
+    auto* v = new std::vector<int>(1024, 7);
+    EXPECT_EQ((*v)[512], 7);
+    const obs::MemSample during = obs::mem_sample();
+    EXPECT_GT(during.alloc_count, before.alloc_count);
+    EXPECT_GT(during.alloc_bytes, before.alloc_bytes);
+    delete v;
+    const obs::MemSample after = obs::mem_sample();
+    EXPECT_GT(after.free_count, before.free_count);
+    // Cumulative counters never decrease.
+    EXPECT_GE(after.alloc_count, during.alloc_count);
+  } else {
+    EXPECT_FALSE(before.alloc_tracking);
+    EXPECT_EQ(before.alloc_count, 0u);
+  }
+}
+
+// --- The v2 report document. ------------------------------------------
+
+TEST(ObsReport, SchemaV2CarriesHwNullAndMemSections) {
+  const std::string report =
+      obs::build_run_report(test_run_info(), nullptr, nullptr);
+  EXPECT_TRUE(json_balanced(report)) << report;
+  EXPECT_NE(report.find("\"schema_version\":2"), std::string::npos);
+  // --hw-counters not requested: hw must be JSON null, not omitted.
+  EXPECT_NE(report.find("\"hw\":null"), std::string::npos) << report;
+  EXPECT_NE(report.find("\"mem\":{\"peak_rss_bytes\":"), std::string::npos)
+      << report;
+  if constexpr (obs::kCompiledIn) {
+    EXPECT_NE(report.find("\"alloc\":{\"count\":"), std::string::npos)
+        << report;
+  } else {
+    EXPECT_NE(report.find("\"alloc\":null"), std::string::npos) << report;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Compare two sets of llpmst-bench records and flag perf regressions.
+
+Usage:
+    bench_compare.py BASELINE CANDIDATE [--threshold 0.25] [--iqr-mult 1.0]
+                     [--fail-on-missing]
+
+BASELINE and CANDIDATE are each a file or directory.  Files may be JSON
+Lines (one llpmst-bench document per line, the format the benches emit via
+--bench-json) or a JSON array of such documents (the committed-baseline
+format, e.g. bench/baselines/ci-smoke.json).  Directories are scanned
+recursively for *.json / *.jsonl files.
+
+Records are keyed by (bench, workload, algo, threads).  For every key in
+the baseline that also appears in the candidate the medians are compared
+with an IQR-aware noise guard: a key counts as a REGRESSION only when
+
+    median_cand - median_base > iqr_mult * max(iqr_base, iqr_cand)
+AND median_cand > (1 + threshold) * median_base
+
+i.e. the slowdown must clear both the noise floor of the two samples and
+the relative threshold.  Improvements (same rule with the sign flipped)
+are reported but never fail the run.
+
+Exit status: 1 if any regression was flagged (or, with --fail-on-missing,
+any baseline key is absent from the candidate); 0 otherwise.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+SCHEMA = "llpmst-bench"
+
+
+def iter_docs(path):
+    """Yields (source, doc) for every JSON document reachable from path."""
+    p = Path(path)
+    if p.is_dir():
+        for child in sorted(p.rglob("*")):
+            if child.is_file() and child.suffix in (".json", ".jsonl"):
+                yield from iter_docs(child)
+        return
+    if not p.is_file():
+        raise SystemExit(f"error: no such file or directory: {path}")
+    text = p.read_text()
+    stripped = text.lstrip()
+    if not stripped:
+        return
+    if stripped.startswith("["):  # committed-baseline array form
+        try:
+            arr = json.loads(text)
+        except json.JSONDecodeError as e:
+            raise SystemExit(f"error: {p}: invalid JSON: {e}")
+        if not isinstance(arr, list):
+            raise SystemExit(f"error: {p}: expected a JSON array")
+        for doc in arr:
+            yield str(p), doc
+        return
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            yield f"{p}:{lineno}", json.loads(line)
+        except json.JSONDecodeError as e:
+            raise SystemExit(f"error: {p}:{lineno}: invalid JSON: {e}")
+
+
+def load_records(path):
+    """Returns {key: doc}; later records for the same key win."""
+    records = {}
+    skipped = 0
+    for source, doc in iter_docs(path):
+        if not isinstance(doc, dict) or doc.get("schema") != SCHEMA:
+            skipped += 1
+            continue
+        try:
+            key = (doc["bench"], doc["workload"], doc["algo"],
+                   int(doc["threads"]))
+            ms = doc["ms"]
+            float(ms["median"])
+            float(ms["iqr"])
+        except (KeyError, TypeError, ValueError) as e:
+            raise SystemExit(f"error: {source}: malformed bench record: {e}")
+        records[key] = doc
+    return records, skipped
+
+
+def fmt_key(key):
+    bench, workload, algo, threads = key
+    return f"{bench} / {workload} / {algo} / {threads}T"
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("baseline", help="baseline records (file or directory)")
+    ap.add_argument("candidate", help="candidate records (file or directory)")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="relative median change required to flag "
+                         "(default: 0.25 = 25%%)")
+    ap.add_argument("--iqr-mult", type=float, default=1.0,
+                    help="noise guard: |delta| must exceed this multiple of "
+                         "max(IQR_base, IQR_cand) (default: 1.0)")
+    ap.add_argument("--fail-on-missing", action="store_true",
+                    help="exit non-zero when a baseline key is absent from "
+                         "the candidate")
+    args = ap.parse_args()
+
+    base, base_skipped = load_records(args.baseline)
+    cand, cand_skipped = load_records(args.candidate)
+    if not base:
+        raise SystemExit(f"error: no {SCHEMA} records found in "
+                         f"{args.baseline}")
+    if not cand:
+        raise SystemExit(f"error: no {SCHEMA} records found in "
+                         f"{args.candidate}")
+    for n, where in ((base_skipped, args.baseline),
+                     (cand_skipped, args.candidate)):
+        if n:
+            print(f"note: skipped {n} non-{SCHEMA} document(s) in {where}")
+
+    regressions, improvements, stable, missing = [], [], [], []
+    for key in sorted(base):
+        if key not in cand:
+            missing.append(key)
+            continue
+        mb = base[key]["ms"]
+        mc = cand[key]["ms"]
+        med_b, med_c = float(mb["median"]), float(mc["median"])
+        noise = args.iqr_mult * max(float(mb["iqr"]), float(mc["iqr"]))
+        delta = med_c - med_b
+        rel = delta / med_b if med_b > 0 else 0.0
+        row = (key, med_b, med_c, rel, noise)
+        if delta > noise and rel > args.threshold:
+            regressions.append(row)
+        elif -delta > noise and -rel > args.threshold:
+            improvements.append(row)
+        else:
+            stable.append(row)
+
+    new_keys = sorted(set(cand) - set(base))
+
+    print(f"compared {len(base) - len(missing)} key(s) "
+          f"(threshold {args.threshold:.0%}, IQR mult {args.iqr_mult:g})")
+    for label, rows in (("REGRESSION", regressions),
+                        ("improvement", improvements)):
+        for key, med_b, med_c, rel, noise in rows:
+            print(f"  {label:<11} {fmt_key(key)}: "
+                  f"{med_b:.3f} ms -> {med_c:.3f} ms ({rel:+.1%}, "
+                  f"noise floor {noise:.3f} ms)")
+    print(f"  stable: {len(stable)}, improved: {len(improvements)}, "
+          f"regressed: {len(regressions)}")
+    for key in missing:
+        print(f"  warning: baseline key missing from candidate: "
+              f"{fmt_key(key)}")
+    for key in new_keys:
+        print(f"  note: new key not in baseline: {fmt_key(key)}")
+
+    if regressions:
+        print("FAIL: performance regression detected")
+        return 1
+    if missing and args.fail_on_missing:
+        print("FAIL: baseline key(s) missing from candidate")
+        return 1
+    print("OK: no regression")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

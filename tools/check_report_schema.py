@@ -1,17 +1,36 @@
 #!/usr/bin/env python3
-"""Validate an llpmst-run-report JSON document against schema_version 1.
+"""Validate llpmst observability JSON documents against their schemas.
 
-    tools/check_report_schema.py out.json [more.json ...]
+    tools/check_report_schema.py out.json records.bench.jsonl [...]
+
+Understands two document kinds, dispatched on the "schema" field:
+
+  * llpmst-run-report (schema_version 1 or 2) — the --metrics-json run
+    report.  Version 2 adds the "hw" (hardware counters, null-safe) and
+    "mem" (peak RSS + allocation stats) sections.
+  * llpmst-bench (schema_version 1) — one structured datapoint per
+    benchmark measurement, as emitted by --bench-json and consumed by
+    tools/bench_compare.py.
+
+Files ending in .jsonl are treated as JSON Lines (one document per line,
+blank lines and empty files allowed); everything else must hold a single
+JSON document or a JSON array of documents.
 
 Exits non-zero (listing every violation) if any document deviates from the
-contract in docs/observability.md.  Uses only the standard library so CI
-needs no extra packages.
+contracts in docs/observability.md / EXPERIMENTS.md.  Uses only the
+standard library so CI needs no extra packages.
 """
 import json
 import sys
 
+OUTCOMES = {"ok", "non_converged", "cancelled", "deadline_exceeded",
+            "injected_fault", "fallback"}
 
-def check(doc, errors, where):
+HW_COUNTER_FIELDS = ("cycles", "instructions", "cache_references",
+                     "cache_misses", "branch_misses")
+
+
+def make_expect(errors, where):
     def err(msg):
         errors.append(f"{where}: {msg}")
 
@@ -20,15 +39,80 @@ def check(doc, errors, where):
             err(msg)
         return cond
 
-    if not expect(isinstance(doc, dict), "top level is not an object"):
-        return
-    expect(doc.get("schema") == "llpmst-run-report",
-           f"schema is {doc.get('schema')!r}")
-    expect(doc.get("schema_version") == 1,
-           f"schema_version is {doc.get('schema_version')!r}")
+    return expect
 
-    outcomes = {"ok", "non_converged", "cancelled", "deadline_exceeded",
-                "injected_fault", "fallback"}
+
+def check_hw_fields(hw, expect, prefix):
+    """Validates the per-counter fields shared by the report's hw section
+    and its per-phase entries: absent counters are null, present ones are
+    non-negative integers; task_clock_ms is null or a number."""
+    for key in HW_COUNTER_FIELDS:
+        v = hw.get(key, "<missing>")
+        expect(v is None or (isinstance(v, int) and v >= 0),
+               f"{prefix}.{key} = {v!r} is neither null nor a non-negative "
+               "integer")
+    tc = hw.get("task_clock_ms", "<missing>")
+    expect(tc is None or isinstance(tc, (int, float)),
+           f"{prefix}.task_clock_ms = {tc!r} is neither null nor a number")
+
+
+def check_hw(hw, expect):
+    if hw is None:
+        return  # --hw-counters not requested
+    if not expect(isinstance(hw, dict), "hw is neither null nor an object"):
+        return
+    avail = hw.get("available")
+    if not expect(isinstance(avail, bool),
+                  f"hw.available is {avail!r}, not a bool"):
+        return
+    if not avail:
+        expect(isinstance(hw.get("reason"), str) and hw["reason"],
+               "hw.available is false but hw.reason is not a non-empty "
+               "string")
+        return
+    check_hw_fields(hw, expect, "hw")
+    mr = hw.get("multiplex_ratio")
+    expect(isinstance(mr, (int, float)) and 0 <= mr <= 1,
+           f"hw.multiplex_ratio = {mr!r} not a number in [0, 1]")
+    phases = hw.get("phases")
+    if expect(isinstance(phases, list), "hw.phases is not an array"):
+        for i, p in enumerate(phases):
+            if not expect(isinstance(p, dict),
+                          f"hw.phases[{i}] is not an object"):
+                continue
+            expect(isinstance(p.get("name"), str),
+                   f"hw.phases[{i}].name is {p.get('name')!r}")
+            expect(isinstance(p.get("count"), int) and p.get("count", 0) >= 1,
+                   f"hw.phases[{i}].count is {p.get('count')!r}")
+            check_hw_fields(p, expect, f"hw.phases[{i}]")
+
+
+def check_mem(mem, expect):
+    if not expect(isinstance(mem, dict), "mem is not an object"):
+        return
+    rss = mem.get("peak_rss_bytes")
+    expect(isinstance(rss, int) and rss >= 0,
+           f"mem.peak_rss_bytes = {rss!r} is not a non-negative integer")
+    alloc = mem.get("alloc", "<missing>")
+    if alloc == "<missing>":
+        expect(False, "mem.alloc is missing (must be null or an object)")
+    elif alloc is not None:
+        if expect(isinstance(alloc, dict),
+                  "mem.alloc is neither null nor an object"):
+            for key in ("count", "bytes", "frees"):
+                v = alloc.get(key)
+                expect(isinstance(v, int) and v >= 0,
+                       f"mem.alloc.{key} = {v!r} is not a non-negative "
+                       "integer")
+
+
+def check_run_report(doc, errors, where):
+    expect = make_expect(errors, where)
+    version = doc.get("schema_version")
+    if not expect(version in (1, 2),
+                  f"schema_version is {version!r} (expected 1 or 2)"):
+        return
+
     run = doc.get("run")
     if expect(isinstance(run, dict), "run is not an object"):
         for key, typ in (("tool", str), ("algorithm", str), ("threads", int),
@@ -36,9 +120,9 @@ def check(doc, errors, where):
                          ("fallback_reason", str)):
             expect(isinstance(run.get(key), typ),
                    f"run.{key} is {run.get(key)!r}")
-        expect(run.get("outcome") in outcomes,
+        expect(run.get("outcome") in OUTCOMES,
                f"run.outcome {run.get('outcome')!r} not one of "
-               f"{sorted(outcomes)}")
+               f"{sorted(OUTCOMES)}")
         if run.get("outcome") == "fallback":
             expect(bool(run.get("fallback_reason")),
                    "run.outcome is 'fallback' but run.fallback_reason is "
@@ -58,9 +142,14 @@ def check(doc, errors, where):
         if isinstance(algo.get("llp"), dict):
             expect(isinstance(algo["llp"].get("converged"), bool),
                    "algo.llp.converged is not a bool")
-            expect(algo["llp"].get("outcome") in (outcomes - {"fallback"}),
+            expect(algo["llp"].get("outcome") in (OUTCOMES - {"fallback"}),
                    f"algo.llp.outcome {algo['llp'].get('outcome')!r} not a "
                    "run outcome")
+
+    if version >= 2:
+        check_hw(doc.get("hw"), expect)
+        if expect("mem" in doc, "mem section is missing"):
+            check_mem(doc.get("mem"), expect)
 
     for section in ("counters", "gauges"):
         values = doc.get(section)
@@ -88,21 +177,100 @@ def check(doc, errors, where):
             expect(isinstance(w, str), f"warnings[{i}] is {w!r}")
 
 
+def check_bench_record(doc, errors, where):
+    expect = make_expect(errors, where)
+    expect(doc.get("schema_version") == 1,
+           f"schema_version is {doc.get('schema_version')!r}")
+    for key, typ in (("bench", str), ("workload", str), ("algo", str),
+                     ("threads", int), ("warmup", int),
+                     ("repetitions", int), ("verified", bool)):
+        expect(isinstance(doc.get(key), typ),
+               f"{key} is {doc.get(key)!r}")
+
+    ms = doc.get("ms")
+    if expect(isinstance(ms, dict), "ms is not an object"):
+        for key in ("median", "p25", "p75", "iqr", "min", "max", "mean",
+                    "stddev"):
+            v = ms.get(key)
+            expect(isinstance(v, (int, float)),
+                   f"ms.{key} is {v!r}, not a number")
+        if all(isinstance(ms.get(k), (int, float))
+               for k in ("p25", "p75", "iqr")):
+            # The emitter prints each number with %.6g, so the identity
+            # only holds up to 6-significant-digit rounding.
+            tol = 1e-9 + 1e-5 * max(abs(ms["p25"]), abs(ms["p75"]))
+            expect(abs((ms["p75"] - ms["p25"]) - ms["iqr"]) <= tol,
+                   f"ms.iqr {ms['iqr']!r} != p75 - p25")
+
+    samples = doc.get("samples_ms")
+    if expect(isinstance(samples, list) and samples,
+              "samples_ms is not a non-empty array"):
+        for i, s in enumerate(samples):
+            expect(isinstance(s, (int, float)) and s >= 0,
+                   f"samples_ms[{i}] = {s!r} is not a non-negative number")
+        reps = doc.get("repetitions")
+        if isinstance(reps, int):
+            expect(len(samples) == reps,
+                   f"samples_ms has {len(samples)} entries but "
+                   f"repetitions = {reps}")
+
+    if "hw" in doc and doc["hw"] is not None:
+        hw = doc["hw"]
+        if expect(isinstance(hw, dict), "hw is neither null nor an object"):
+            check_hw_fields(hw, expect, "hw")
+    mem = doc.get("mem")
+    if mem is not None:
+        check_mem(mem, expect)
+
+
+def check(doc, errors, where):
+    expect = make_expect(errors, where)
+    if not expect(isinstance(doc, dict), "top level is not an object"):
+        return
+    schema = doc.get("schema")
+    if schema == "llpmst-run-report":
+        check_run_report(doc, errors, where)
+    elif schema == "llpmst-bench":
+        check_bench_record(doc, errors, where)
+    else:
+        expect(False, f"unknown schema {schema!r} (expected "
+                      "'llpmst-run-report' or 'llpmst-bench')")
+
+
+def load_docs(path):
+    """Yields (where, doc) pairs; raises OSError/JSONDecodeError."""
+    with open(path, "r", encoding="utf-8") as f:
+        text = f.read()
+    if path.endswith(".jsonl"):
+        for lineno, line in enumerate(text.splitlines(), 1):
+            if line.strip():
+                yield f"{path}:{lineno}", json.loads(line)
+        return
+    doc = json.loads(text)
+    if isinstance(doc, list):
+        for i, d in enumerate(doc):
+            yield f"{path}[{i}]", d
+    else:
+        yield path, doc
+
+
 def main():
     if len(sys.argv) < 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
     errors = []
     for path in sys.argv[1:]:
+        before = len(errors)
+        count = 0
         try:
-            with open(path, "r", encoding="utf-8") as f:
-                doc = json.load(f)
+            for where, doc in load_docs(path):
+                check(doc, errors, where)
+                count += 1
         except (OSError, json.JSONDecodeError) as e:
             errors.append(f"{path}: unreadable: {e}")
             continue
-        check(doc, errors, path)
-        if not errors:
-            print(f"{path}: ok")
+        if len(errors) == before:
+            print(f"{path}: ok ({count} document(s))")
     for e in errors:
         print(f"FAIL {e}", file=sys.stderr)
     return 1 if errors else 0

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Fixed-seed perf smoke: runs a small, fast subset of the figure benches
+# (both workload morphologies x {LLP-Prim, LLP-Boruvka} and friends) with
+# --bench-json, producing llpmst-bench records that tools/bench_compare.py
+# gates against the committed baseline bench/baselines/ci-smoke.json.
+#
+#   tools/perf_smoke.sh [build-dir] [out-dir]
+#   tools/perf_smoke.sh --update-baseline [build-dir]
+#
+# With --update-baseline the fresh records are merged into the committed
+# baseline (pretty-printed JSON array) instead of being compared — run this
+# after an intentional perf change and commit the result.
+set -euo pipefail
+
+UPDATE=0
+if [[ "${1:-}" == "--update-baseline" ]]; then
+  UPDATE=1
+  shift
+fi
+BUILD="${1:-build}"
+OUT="${2:-perf-smoke-out}"
+TOOLS="$(cd "$(dirname "$0")" && pwd)"
+BASELINE="$TOOLS/../bench/baselines/ci-smoke.json"
+
+trap 'echo "error: perf smoke failed at: $BASH_COMMAND" >&2' ERR
+
+if [[ ! -d "$BUILD/bench" ]]; then
+  echo "error: $BUILD/bench not found — build with -DLLPMST_BUILD_BENCHMARKS=ON first" >&2
+  exit 1
+fi
+mkdir -p "$OUT"
+
+# Smoke scales: small enough for CI minutes, large enough that the medians
+# are not pure overhead.  The workload generators are seeded, so the graphs
+# are bit-identical across runs and machines.
+# Repetitions err high: the smoke graphs are small, so each datapoint is
+# cheap, and the IQR noise guard is only as honest as the sample it sees.
+echo "=== bench_fig2_single_thread (smoke) ==="
+"$BUILD/bench/bench_fig2_single_thread" --road-side 128 --scale 11 --reps 9 \
+  --bench-json "$OUT/fig2.bench.jsonl" > "$OUT/fig2.txt"
+echo "=== bench_fig3_scaling (smoke) ==="
+"$BUILD/bench/bench_fig3_scaling" --road-side 128 --threads 1,2 --reps 9 \
+  --bench-json "$OUT/fig3.bench.jsonl" > "$OUT/fig3.txt"
+echo "=== bench_fig4_graph_types (smoke) ==="
+"$BUILD/bench/bench_fig4_graph_types" --road-side 128 --scale-small 10 \
+  --scale-big 11 --low 1 --high 2 --reps 9 \
+  --bench-json "$OUT/fig4.bench.jsonl" > "$OUT/fig4.txt"
+
+python3 "$TOOLS/check_report_schema.py" "$OUT"/*.bench.jsonl
+
+if [[ "$UPDATE" == 1 ]]; then
+  mkdir -p "$(dirname "$BASELINE")"
+  python3 - "$BASELINE" "$OUT" <<'EOF'
+import json, sys
+from pathlib import Path
+
+baseline_path, out_dir = Path(sys.argv[1]), Path(sys.argv[2])
+docs = []
+for f in sorted(out_dir.glob("*.bench.jsonl")):
+    for line in f.read_text().splitlines():
+        if line.strip():
+            docs.append(json.loads(line))
+baseline_path.write_text(json.dumps(docs, indent=1) + "\n")
+print(f"wrote {len(docs)} record(s) to {baseline_path}")
+EOF
+else
+  # --iqr-mult 3: the smoke datapoints are a few ms each and CI machines
+  # are shared, so cross-run medians wander more than a single run's IQR
+  # suggests.  A regression must clear 3x the worse of the two IQRs on
+  # top of the 25% median threshold before the gate trips; a genuine 2x
+  # slowdown still exceeds both by a wide margin.
+  python3 "$TOOLS/bench_compare.py" "$BASELINE" "$OUT" \
+    --threshold 0.25 --iqr-mult 3
+fi

@@ -24,11 +24,15 @@ mkdir -p "$OUT"
 run() {
   local name="$1"; shift
   echo "=== $name ==="
-  # The metrics run report (counters, phase timings) lands next to the
-  # human-readable log; tools/trace2summary.py and CI consume it.
-  "$BUILD/bench/$name" "$@" --metrics-json "$OUT/$name.metrics.json" \
+  # One invocation per bench: the human-readable table goes to the log via
+  # tee, --csv-out writes the re-plotting CSV, --metrics-json the run
+  # report (counters, phase timings) and --bench-json the structured
+  # llpmst-bench datapoints that tools/bench_compare.py consumes.
+  "$BUILD/bench/$name" "$@" \
+    --metrics-json "$OUT/$name.metrics.json" \
+    --csv-out "$OUT/$name.csv" \
+    --bench-json "$OUT/$name.bench.jsonl" \
     | tee "$OUT/$name.txt"
-  "$BUILD/bench/$name" "$@" --csv > "$OUT/$name.csv"
 }
 
 run bench_table1_datasets
@@ -45,10 +49,12 @@ run bench_llp_transfer
 "$BUILD/bench/micro_ds"       | tee "$OUT/micro_ds.txt"
 "$BUILD/bench/micro_parallel" | tee "$OUT/micro_parallel.txt"
 
-# Every emitted run report must satisfy the documented schema; a drift here
-# should fail the nightly, not silently break downstream plotting.
+# Every emitted run report and bench record must satisfy the documented
+# schemas; a drift here should fail the nightly, not silently break
+# downstream plotting or the perf-regression gate.
 if command -v python3 > /dev/null; then
-  python3 "$(dirname "$0")/check_report_schema.py" "$OUT"/*.metrics.json
+  python3 "$(dirname "$0")/check_report_schema.py" "$OUT"/*.metrics.json \
+    "$OUT"/*.bench.jsonl
 fi
 
 echo "All outputs in $OUT/"

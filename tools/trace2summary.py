@@ -2,14 +2,19 @@
 """Summarize a Chrome trace-event JSON produced by --trace.
 
 Aggregates the complete ("ph":"X") spans by name and prints per-phase
-totals, counts, and percentages of the traced wall span:
+totals, counts, and percentages of the traced wall span; counter tracks
+("ph":"C") are always listed, and --counters prints per-track statistics
+(samples, min, max, last value):
 
     tools/trace2summary.py trace.json
     tools/trace2summary.py --top 10 trace.json
+    tools/trace2summary.py --counters trace.json
 
 Works on any trace-event file (the format is a de-facto standard), but the
 phase names it prints are the nested paths emitted by the llpmst
 observability layer ("llp_boruvka/round/hook", "pool/region", ...).
+Counter values are read from args.value (the llpmst shape) with a fallback
+to the first numeric entry in args.
 """
 import argparse
 import json
@@ -28,15 +33,39 @@ def load_events(path):
     return events
 
 
+def counter_value(event):
+    """Extracts the sampled value from a 'C' event: args.value (the llpmst
+    shape), else the first numeric args entry, else None."""
+    args = event.get("args")
+    if not isinstance(args, dict):
+        return None
+    v = args.get("value")
+    if isinstance(v, (int, float)):
+        return v
+    for v in args.values():
+        if isinstance(v, (int, float)):
+            return v
+    return None
+
+
 def summarize(events):
-    """Returns (per-name stats, wall span in us, counter-track names)."""
+    """Returns (per-name stats, wall span in us, per-track counter stats)."""
     spans = defaultdict(lambda: {"count": 0, "total_us": 0, "max_us": 0})
-    counters = set()
+    counters = defaultdict(lambda: {"count": 0, "min": None, "max": None,
+                                    "last": None, "last_ts": None})
     t_min, t_max = None, None
     for e in events:
         ph = e.get("ph")
         if ph == "C":
-            counters.add(e.get("name", "?"))
+            c = counters[e.get("name", "?")]
+            c["count"] += 1
+            v = counter_value(e)
+            if v is not None:
+                c["min"] = v if c["min"] is None else min(c["min"], v)
+                c["max"] = v if c["max"] is None else max(c["max"], v)
+                ts = e.get("ts", 0)
+                if c["last_ts"] is None or ts >= c["last_ts"]:
+                    c["last"], c["last_ts"] = v, ts
             continue
         if ph != "X":
             continue
@@ -58,6 +87,9 @@ def main():
     ap.add_argument("trace", help="trace-event JSON file (from --trace)")
     ap.add_argument("--top", type=int, default=0,
                     help="only print the N phases with the largest totals")
+    ap.add_argument("--counters", action="store_true",
+                    help="print per-track counter statistics "
+                         "(samples, min, max, last)")
     args = ap.parse_args()
 
     try:
@@ -67,31 +99,50 @@ def main():
         return 1
 
     spans, wall_us, counters = summarize(events)
-    if not spans:
-        print("no complete ('ph':'X') spans in the trace")
+    if not spans and not counters:
+        print("no complete ('ph':'X') spans or counter tracks in the trace")
         return 0
 
-    # Sort by total time, largest first.  Percentages are of the traced
-    # wall span; nested phases overlap their parents, so columns do not
-    # sum to 100%.
-    rows = sorted(spans.items(), key=lambda kv: -kv[1]["total_us"])
-    if args.top > 0:
-        rows = rows[: args.top]
+    if spans:
+        # Sort by total time, largest first.  Percentages are of the traced
+        # wall span; nested phases overlap their parents, so columns do not
+        # sum to 100%.
+        rows = sorted(spans.items(), key=lambda kv: -kv[1]["total_us"])
+        if args.top > 0:
+            rows = rows[: args.top]
 
-    name_w = max(len("phase"), max(len(n) for n, _ in rows))
-    print(f"{'phase':<{name_w}}  {'count':>8}  {'total ms':>10}  "
-          f"{'mean us':>9}  {'max us':>8}  {'% wall':>6}")
-    for name, s in rows:
-        pct = 100.0 * s["total_us"] / wall_us if wall_us else 0.0
-        mean = s["total_us"] / s["count"]
-        print(f"{name:<{name_w}}  {s['count']:>8}  "
-              f"{s['total_us'] / 1000.0:>10.3f}  {mean:>9.1f}  "
-              f"{s['max_us']:>8}  {pct:>5.1f}%")
+        name_w = max(len("phase"), max(len(n) for n, _ in rows))
+        print(f"{'phase':<{name_w}}  {'count':>8}  {'total ms':>10}  "
+              f"{'mean us':>9}  {'max us':>8}  {'% wall':>6}")
+        for name, s in rows:
+            pct = 100.0 * s["total_us"] / wall_us if wall_us else 0.0
+            mean = s["total_us"] / s["count"]
+            print(f"{name:<{name_w}}  {s['count']:>8}  "
+                  f"{s['total_us'] / 1000.0:>10.3f}  {mean:>9.1f}  "
+                  f"{s['max_us']:>8}  {pct:>5.1f}%")
+    else:
+        print("no complete ('ph':'X') spans in the trace "
+              "(counter tracks only)")
+
+    if args.counters and counters:
+        def fmt(v):
+            if v is None:
+                return "-"
+            return f"{v:g}" if isinstance(v, float) else str(v)
+
+        name_w = max(len("counter"), max(len(n) for n in counters))
+        print(f"\n{'counter':<{name_w}}  {'samples':>8}  {'min':>12}  "
+              f"{'max':>12}  {'last':>12}")
+        for name in sorted(counters):
+            c = counters[name]
+            print(f"{name:<{name_w}}  {c['count']:>8}  {fmt(c['min']):>12}  "
+                  f"{fmt(c['max']):>12}  {fmt(c['last']):>12}")
+
     print(f"\ntraced wall span: {wall_us / 1000.0:.3f} ms, "
           f"{sum(s['count'] for s in spans.values())} spans, "
           f"{len(spans)} distinct phases"
           + (f", counter tracks: {', '.join(sorted(counters))}"
-             if counters else ""))
+             if counters else ", no counter tracks"))
     return 0
 
 

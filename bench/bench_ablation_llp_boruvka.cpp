@@ -1,11 +1,17 @@
 // Ablation: what do LLP-Boruvka's design choices buy over the synchronized
-// baseline?  Sweeps the two engine knobs independently:
-//   * pointer jumping: asynchronous/chaotic (LLP) vs bulk-synchronous
-//     rounds with barriers (baseline);
-//   * contraction dedup: keep parallel bundles (LLP) vs sort-dedup
-//     (baseline).
+// baseline, and what does the adaptive runtime buy over fixed scheduling?
+// Sweeps the engine knobs independently:
+//   * pointer jumping: asynchronous/chaotic (LLP, with full path
+//     compression) vs bulk-synchronous rounds with barriers (baseline);
+//   * contraction dedup: keep parallel bundles (LLP) vs hash bundle-min
+//     filtering (baseline);
+//   * load balance: adaptive grain vs work stealing vs fixed chunks;
+//   * scratch: fresh per run vs caller-owned reuse across repetitions.
 // Reports wall time, rounds, and pointer-jump counts per configuration.
+// Every row gets a distinct algo label so --bench-json record keys stay
+// unique (bench_compare.py rejects duplicates).
 #include <cstdio>
+#include <string>
 
 #include "bench_common.hpp"
 #include "llp/llp_boruvka.hpp"
@@ -30,33 +36,77 @@ int main(int argc, char** argv) {
   opts.repetitions = static_cast<int>(reps);
   ThreadPool pool(static_cast<std::size_t>(threads));
 
-  Table t({"Graph", "Jumping", "Dedup", "Median", "Rounds", "PointerJumps"});
+  Table t({"Graph", "Jumping", "Dedup", "LoadBalance", "Scratch", "Median",
+           "Rounds", "PointerJumps"});
 
   const Workload workloads[] = {
       make_road_workload(static_cast<std::uint32_t>(road_side)),
       make_graph500_workload(static_cast<int>(scale), 1, /*connect=*/false),
   };
 
+  const auto lb_name = [](BoruvkaLoadBalance lb) {
+    switch (lb) {
+      case BoruvkaLoadBalance::kAdaptive:
+        return "adaptive";
+      case BoruvkaLoadBalance::kWorkStealing:
+        return "stealing";
+      case BoruvkaLoadBalance::kFixedChunk:
+        return "fixed";
+    }
+    return "?";
+  };
+
   for (const Workload& w : workloads) {
     const MstResult reference = kruskal(w.graph);
     set_bench_context(w.name, static_cast<std::size_t>(threads));
+
+    const auto run_config = [&](const BoruvkaConfig& config,
+                                BoruvkaScratch* scratch) {
+      const char* jumping_cell =
+          config.jumping == PointerJumping::kAsynchronous ? "async (LLP)"
+                                                          : "synchronized";
+      const std::string algo =
+          std::string("engine jump=") +
+          (config.jumping == PointerJumping::kAsynchronous ? "async" : "sync") +
+          " dedup=" + (config.dedup_contracted_edges ? "1" : "0") +
+          " lb=" + lb_name(config.load_balance) +
+          " scratch=" + (scratch != nullptr ? "reuse" : "fresh");
+      BoruvkaConfig run = config;
+      run.scratch = scratch;
+      const BenchMeasurement m = measure_mst(
+          algo, w.graph, reference,
+          [&] { return llp_boruvka_configured(w.graph, pool, run); }, opts);
+      const MstAlgoStats& s = m.last_result.stats;
+      t.add_row({w.name, jumping_cell,
+                 config.dedup_contracted_edges ? "yes" : "no",
+                 lb_name(config.load_balance),
+                 scratch != nullptr ? "reuse" : "fresh", time_cell(m.time_ms),
+                 format_count(s.rounds), format_count(s.pointer_jumps)});
+    };
+
+    // Axis 1: the paper's knobs (jumping x dedup) at the default runtime.
     for (const auto jumping :
          {PointerJumping::kAsynchronous, PointerJumping::kSynchronized}) {
       for (const bool dedup : {false, true}) {
         BoruvkaConfig config;
         config.jumping = jumping;
         config.dedup_contracted_edges = dedup;
-        const BenchMeasurement m = measure_mst(
-            "boruvka_engine", w.graph, reference,
-            [&] { return llp_boruvka_configured(w.graph, pool, config); },
-            opts);
-        const MstAlgoStats& s = m.last_result.stats;
-        t.add_row({w.name,
-                   jumping == PointerJumping::kAsynchronous ? "async (LLP)"
-                                                            : "synchronized",
-                   dedup ? "yes" : "no", time_cell(m.time_ms),
-                   format_count(s.rounds), format_count(s.pointer_jumps)});
+        run_config(config, nullptr);
       }
+    }
+
+    // Axis 2: the runtime knobs (scheduling policy, scratch reuse) at the
+    // LLP-Boruvka configuration.  The adaptive/reuse row is what
+    // llp_boruvka() would do with a persistent scratch; fixed/fresh is the
+    // pre-adaptive runtime.
+    BoruvkaScratch reused;
+    for (const auto lb :
+         {BoruvkaLoadBalance::kAdaptive, BoruvkaLoadBalance::kWorkStealing,
+          BoruvkaLoadBalance::kFixedChunk}) {
+      BoruvkaConfig config;
+      config.load_balance = lb;
+      run_config(config, nullptr);
+      run_config(config, &reused);
     }
   }
 

@@ -32,6 +32,8 @@ struct BenchRecord {
   std::vector<double> samples_ms;
   obs::HwSample hw;       // delta across the timed reps; available=false
   bool has_hw = false;    // ... unless the group was running
+  obs::MemSample mem;     // alloc_* are deltas across the timed reps;
+  bool has_mem = false;   // ... unless the allocator hooks are compiled out
 };
 
 struct RecordStore {
@@ -123,11 +125,24 @@ std::string render_record(const std::string& bench, const BenchRecord& r) {
   if (mem.alloc_tracking) {
     std::snprintf(buf, sizeof buf,
                   "\"alloc\":{\"count\":%" PRIu64 ",\"bytes\":%" PRIu64
-                  ",\"frees\":%" PRIu64 "}}",
+                  ",\"frees\":%" PRIu64 "},",
                   mem.alloc_count, mem.alloc_bytes, mem.free_count);
     out += buf;
   } else {
-    out += "\"alloc\":null}";
+    out += "\"alloc\":null,";
+  }
+  // Unlike "alloc" (process-cumulative at write time, useful only for a
+  // leak-shaped sanity glance), "alloc_delta" brackets exactly this record's
+  // timed repetitions — divide by "repetitions" for per-run counts.  This is
+  // the allocation regression metric bench_compare.py gates on.
+  if (r.has_mem) {
+    std::snprintf(buf, sizeof buf,
+                  "\"alloc_delta\":{\"count\":%" PRIu64 ",\"bytes\":%" PRIu64
+                  ",\"frees\":%" PRIu64 "}}",
+                  r.mem.alloc_count, r.mem.alloc_bytes, r.mem.free_count);
+    out += buf;
+  } else {
+    out += "\"alloc_delta\":null}";
   }
   out += "}";
   return out;
@@ -200,6 +215,10 @@ BenchMeasurement measure_mst(const std::string& name, const CsrGraph& g,
   const bool record = recording_active();
   const bool hw = obs::hw_active();
   const obs::HwSample hw_before = hw ? obs::hw_read() : obs::HwSample{};
+  // The alloc delta brackets the same window: two counter reads (relaxed
+  // atomics in the operator-new hooks), nothing inside the Timer spans.
+  const obs::MemSample mem_before = record ? obs::mem_sample()
+                                           : obs::MemSample{};
 
   std::vector<double> samples;
   samples.reserve(static_cast<std::size_t>(options.repetitions));
@@ -237,6 +256,16 @@ BenchMeasurement measure_mst(const std::string& name, const CsrGraph& g,
                 ? -1.0
                 : after.task_clock_ms - hw_before.task_clock_ms;
         r.has_hw = true;
+      }
+    }
+    if (mem_before.alloc_tracking) {
+      const obs::MemSample after = obs::mem_sample();
+      if (after.alloc_tracking) {
+        r.mem = after;
+        r.mem.alloc_count = after.alloc_count - mem_before.alloc_count;
+        r.mem.alloc_bytes = after.alloc_bytes - mem_before.alloc_bytes;
+        r.mem.free_count = after.free_count - mem_before.free_count;
+        r.has_mem = true;
       }
     }
     push_record(std::move(r));

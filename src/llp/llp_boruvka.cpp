@@ -4,11 +4,15 @@ namespace llpmst {
 
 MstResult llp_boruvka(const CsrGraph& g, ThreadPool& pool,
                       const CancelToken* cancel) {
+  // Per-thread persistent scratch: repeated runs reuse capacity and grain
+  // feedback (see parallel_boruvka.cpp).
+  thread_local BoruvkaScratch scratch;
   BoruvkaConfig config;
   config.jumping = PointerJumping::kAsynchronous;
   config.dedup_contracted_edges = false;
   config.obs_label = "llp_boruvka";
   config.cancel = cancel;
+  config.scratch = &scratch;
   return boruvka_engine(g, pool, config);
 }
 

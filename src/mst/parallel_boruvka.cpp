@@ -5,10 +5,15 @@
 namespace llpmst {
 
 MstResult parallel_boruvka(const CsrGraph& g, ThreadPool& pool) {
+  // Per-thread persistent scratch: repeated runs (benchmark repetitions, a
+  // service loop) reuse the grown capacity and the learned grain feedback
+  // instead of re-allocating and re-measuring from scratch every call.
+  thread_local BoruvkaScratch scratch;
   BoruvkaConfig config;
   config.jumping = PointerJumping::kSynchronized;
   config.dedup_contracted_edges = true;
   config.obs_label = "parallel_boruvka";
+  config.scratch = &scratch;
   return boruvka_engine(g, pool, config);
 }
 

@@ -11,11 +11,14 @@ namespace llpmst {
 
 namespace {
 
+}  // namespace
+
 /// Runs one worker's share of a team region, emitting a trace span when
 /// region tracing is on.  The span carries the worker's thread (trace tid),
 /// so concurrent regions stack up lane-by-lane in the viewer.
-inline void run_region(const std::function<void(std::size_t)>& f,
-                       std::size_t worker_id) {
+namespace {
+template <typename Fn>
+inline void run_region(const Fn& f, std::size_t worker_id) {
   // Chaos hook: "pool/task" fires once per worker per region.  Yield/sleep
   // specs perturb worker start order; failure specs throw and exercise the
   // pool's exception propagation end to end.
@@ -31,11 +34,11 @@ inline void run_region(const std::function<void(std::size_t)>& f,
   // builds, so the whole branch folds away there.
   if (obs::trace_collecting() && ThreadPool::trace_regions()) {
     const std::uint64_t t0 = obs::now_us();
-    f(worker_id);
+    f.invoke(f.obj, worker_id);
     obs::trace_emit("pool/region", t0, obs::now_us() - t0);
     return;
   }
-  f(worker_id);
+  f.invoke(f.obj, worker_id);
 }
 
 }  // namespace
@@ -57,25 +60,25 @@ ThreadPool::~ThreadPool() {
   for (auto& t : threads_) t.join();
 }
 
-void ThreadPool::run_team(const std::function<void(std::size_t)>& f) {
+void ThreadPool::run_team_impl(const TeamFn& fn) {
   if (num_threads_ == 1) {
-    run_region(f, 0);  // exceptions propagate naturally on the inline path
+    run_region(fn, 0);  // exceptions propagate naturally on the inline path
     return;
   }
   {
     std::lock_guard lock(mutex_);
-    LLPMST_CHECK_MSG(job_ == nullptr, "run_team is not reentrant");
-    job_ = &f;
+    LLPMST_CHECK_MSG(job_.obj == nullptr, "run_team is not reentrant");
+    job_ = fn;
     active_workers_ = num_threads_ - 1;
     ++epoch_;
   }
   work_ready_.notify_all();
 
   // The caller participates as worker 0.  Its exception must not skip the
-  // join — the workers still reference f and the caller's stack.
+  // join — the workers still reference fn's target and the caller's stack.
   std::exception_ptr caller_exception;
   try {
-    run_region(f, 0);
+    run_region(fn, 0);
   } catch (...) {
     caller_exception = std::current_exception();
   }
@@ -84,7 +87,7 @@ void ThreadPool::run_team(const std::function<void(std::size_t)>& f) {
   {
     std::unique_lock lock(mutex_);
     work_done_.wait(lock, [this] { return active_workers_ == 0; });
-    job_ = nullptr;
+    job_ = TeamFn{};
     worker_exception = std::exchange(worker_exception_, nullptr);
   }
   if (caller_exception != nullptr) std::rethrow_exception(caller_exception);
@@ -94,7 +97,7 @@ void ThreadPool::run_team(const std::function<void(std::size_t)>& f) {
 void ThreadPool::worker_loop(std::size_t worker_id) {
   std::uint64_t seen_epoch = 0;
   for (;;) {
-    const std::function<void(std::size_t)>* job = nullptr;
+    TeamFn job;
     {
       std::unique_lock lock(mutex_);
       work_ready_.wait(lock, [&] {
@@ -106,7 +109,7 @@ void ThreadPool::worker_loop(std::size_t worker_id) {
     }
     std::exception_ptr thrown;
     try {
-      run_region(*job, worker_id);
+      run_region(job, worker_id);
     } catch (...) {
       thrown = std::current_exception();
     }

@@ -20,9 +20,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <exception>
-#include <functional>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace llpmst {
@@ -53,7 +53,21 @@ class ThreadPool {
   /// transaction.  Hot paths still prefer error codes (CP.2 discipline);
   /// this guarantee exists for failure paths: bad_alloc, injected faults,
   /// bugs that must surface to the submitter instead of aborting a service.
-  void run_team(const std::function<void(std::size_t)>& f);
+  ///
+  /// Dispatch is by borrowed reference (a {object pointer, invoke thunk}
+  /// pair), NOT by std::function: team regions are the hottest dispatch
+  /// path in the library and a capturing lambda must not cost a heap
+  /// allocation per region.  `f` only needs to outlive the call, which the
+  /// join guarantees.
+  template <typename F>
+  void run_team(F&& f) {
+    using Fn = std::remove_reference_t<F>;
+    run_team_impl(TeamFn{
+        const_cast<void*>(static_cast<const void*>(&f)),
+        [](void* obj, std::size_t worker_id) {
+          (*static_cast<Fn*>(obj))(worker_id);
+        }});
+  }
 
   /// A process-wide default pool sized to the hardware concurrency; created
   /// on first use.  Benchmarks construct their own pools per thread-count.
@@ -71,8 +85,15 @@ class ThreadPool {
   }
 
  private:
+  /// Borrowed callable: no ownership, no allocation, trivially copyable.
+  struct TeamFn {
+    void* obj = nullptr;
+    void (*invoke)(void*, std::size_t) = nullptr;
+  };
+
   inline static std::atomic<bool> trace_regions_{false};
 
+  void run_team_impl(const TeamFn& fn);
   void worker_loop(std::size_t worker_id);
 
   std::size_t num_threads_;
@@ -81,7 +102,7 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable work_ready_;
   std::condition_variable work_done_;
-  const std::function<void(std::size_t)>* job_ = nullptr;
+  TeamFn job_;  // valid while a region is in flight (obj != nullptr)
   std::uint64_t epoch_ = 0;        // incremented per region; wakes workers
   std::size_t active_workers_ = 0; // workers still inside the current region
   bool shutdown_ = false;

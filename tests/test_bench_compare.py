@@ -19,9 +19,18 @@ CHECK = TOOLS / "check_report_schema.py"
 
 
 def make_record(algo="LLP-Prim", median=10.0, iqr=0.5, workload="Road 16,384",
-                bench="bench_fig2_single_thread", threads=1):
-    """A schema-complete llpmst-bench record around the given median."""
+                bench="bench_fig2_single_thread", threads=1, allocs=None):
+    """A schema-complete llpmst-bench record around the given median.
+
+    `allocs` is the per-repetition allocation count; None leaves the
+    alloc_delta section null (allocator hooks compiled out).
+    """
     samples = [median - iqr, median, median + iqr]
+    alloc_delta = None
+    if allocs is not None:
+        alloc_delta = {"count": allocs * len(samples),
+                       "bytes": allocs * len(samples) * 64,
+                       "frees": allocs * len(samples)}
     return {
         "schema": "llpmst-bench",
         "schema_version": 1,
@@ -44,7 +53,8 @@ def make_record(algo="LLP-Prim", median=10.0, iqr=0.5, workload="Road 16,384",
         },
         "samples_ms": samples,
         "hw": None,
-        "mem": {"peak_rss_bytes": 1 << 20, "alloc": None},
+        "mem": {"peak_rss_bytes": 1 << 20, "alloc": None,
+                "alloc_delta": alloc_delta},
     }
 
 
@@ -146,9 +156,65 @@ class BenchCompareTest(unittest.TestCase):
 
     def test_synthetic_records_pass_schema_checker(self):
         path = self.tmp / "records.bench.jsonl"
-        write_jsonl(path, [make_record("LLP-Prim")])
+        write_jsonl(path, [make_record("LLP-Prim"),
+                           make_record("LLP-Boruvka", allocs=1000)])
         r = subprocess.run([sys.executable, str(CHECK), str(path)],
                            capture_output=True, text=True)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+    def test_duplicate_key_in_candidate_is_an_error(self):
+        base, cand = self.write_sets(
+            [make_record("LLP-Prim", median=10.0)],
+            [make_record("LLP-Prim", median=10.0),
+             make_record("LLP-Prim", median=30.0)])
+        r = run_compare(base, cand)
+        self.assertNotEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("duplicate bench record", r.stderr)
+
+    def test_duplicate_key_in_baseline_is_an_error(self):
+        # Two baseline files each carrying the same key (e.g. a stale
+        # leftover next to a fresh run) must be rejected, not last-wins.
+        base = self.tmp / "base"
+        cand = self.tmp / "cand"
+        base.mkdir()
+        cand.mkdir()
+        write_jsonl(base / "old.bench.jsonl", [make_record(median=5.0)])
+        write_jsonl(base / "new.bench.jsonl", [make_record(median=10.0)])
+        write_jsonl(cand / "a.bench.jsonl", [make_record(median=10.0)])
+        r = run_compare(base, cand)
+        self.assertNotEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("duplicate bench record", r.stderr)
+
+    def test_alloc_regression_exits_nonzero(self):
+        base, cand = self.write_sets(
+            [make_record("LLP-Prim", allocs=1000)],
+            [make_record("LLP-Prim", allocs=2000)])
+        r = run_compare(base, cand)
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("ALLOC REGRESSION", r.stdout)
+
+    def test_small_alloc_increase_is_ignored(self):
+        # +40% is under the default 50% alloc threshold.
+        base, cand = self.write_sets(
+            [make_record("LLP-Prim", allocs=1000)],
+            [make_record("LLP-Prim", allocs=1400)])
+        r = run_compare(base, cand)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+    def test_tiny_absolute_alloc_increase_is_ignored(self):
+        # 4 -> 40 allocs/rep is a 10x ratio but below the absolute floor:
+        # near-zero counts must not flag on a handful of allocations.
+        base, cand = self.write_sets(
+            [make_record("LLP-Prim", allocs=4)],
+            [make_record("LLP-Prim", allocs=40)])
+        r = run_compare(base, cand)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+    def test_alloc_gate_skipped_when_either_side_lacks_delta(self):
+        base, cand = self.write_sets(
+            [make_record("LLP-Prim", allocs=None)],
+            [make_record("LLP-Prim", allocs=100000)])
+        r = run_compare(base, cand)
         self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
 
 

@@ -22,6 +22,17 @@ i.e. the slowdown must clear both the noise floor of the two samples and
 the relative threshold.  Improvements (same rule with the sign flipped)
 are reported but never fail the run.
 
+When both records carry a mem.alloc_delta section (allocation counts
+bracketing the timed repetitions — the benches emit it whenever the
+allocator hooks are compiled in), the per-repetition allocation count is
+gated too: a key is an ALLOC REGRESSION when the candidate allocates more
+than (1 + --alloc-threshold) times the baseline per repetition (with a
+small absolute floor so near-zero counts don't flag on +1 alloc).
+
+A duplicate key inside either record set is an error: two records for the
+same (bench, workload, algo, threads) means a stale file or a double run,
+and silently comparing whichever came last would gate on the wrong data.
+
 Exit status: 1 if any regression was flagged (or, with --fail-on-missing,
 any baseline key is absent from the candidate); 0 otherwise.
 """
@@ -68,8 +79,9 @@ def iter_docs(path):
 
 
 def load_records(path):
-    """Returns {key: doc}; later records for the same key win."""
+    """Returns {key: doc}; a duplicate key is a hard error."""
     records = {}
+    first_source = {}
     skipped = 0
     for source, doc in iter_docs(path):
         if not isinstance(doc, dict) or doc.get("schema") != SCHEMA:
@@ -83,8 +95,28 @@ def load_records(path):
             float(ms["iqr"])
         except (KeyError, TypeError, ValueError) as e:
             raise SystemExit(f"error: {source}: malformed bench record: {e}")
+        if key in records:
+            raise SystemExit(
+                f"error: duplicate bench record for {fmt_key(key)}:\n"
+                f"  first seen at {first_source[key]}\n"
+                f"  again at      {source}\n"
+                f"(two records for one key means a stale file or a double "
+                f"run — delete the out-of-date one)")
         records[key] = doc
+        first_source[key] = source
     return records, skipped
+
+
+def alloc_per_rep(doc):
+    """Per-repetition allocation count, or None when not recorded."""
+    delta = (doc.get("mem") or {}).get("alloc_delta")
+    reps = doc.get("repetitions")
+    if not isinstance(delta, dict) or not isinstance(reps, int) or reps <= 0:
+        return None
+    count = delta.get("count")
+    if not isinstance(count, int) or count < 0:
+        return None
+    return count / reps
 
 
 def fmt_key(key):
@@ -107,6 +139,13 @@ def main():
     ap.add_argument("--fail-on-missing", action="store_true",
                     help="exit non-zero when a baseline key is absent from "
                          "the candidate")
+    ap.add_argument("--alloc-threshold", type=float, default=0.5,
+                    help="relative per-repetition allocation-count increase "
+                         "required to flag (default: 0.5 = 50%%); compared "
+                         "only when both records carry mem.alloc_delta")
+    ap.add_argument("--alloc-floor", type=float, default=64.0,
+                    help="absolute allocations-per-repetition increase below "
+                         "which the alloc gate never flags (default: 64)")
     args = ap.parse_args()
 
     base, base_skipped = load_records(args.baseline)
@@ -123,6 +162,7 @@ def main():
             print(f"note: skipped {n} non-{SCHEMA} document(s) in {where}")
 
     regressions, improvements, stable, missing = [], [], [], []
+    alloc_regressions, alloc_compared = [], 0
     for key in sorted(base):
         if key not in cand:
             missing.append(key)
@@ -141,6 +181,13 @@ def main():
         else:
             stable.append(row)
 
+        ab, ac = alloc_per_rep(base[key]), alloc_per_rep(cand[key])
+        if ab is not None and ac is not None:
+            alloc_compared += 1
+            if (ac - ab > args.alloc_floor and
+                    ac > (1 + args.alloc_threshold) * ab):
+                alloc_regressions.append((key, ab, ac))
+
     new_keys = sorted(set(cand) - set(base))
 
     print(f"compared {len(base) - len(missing)} key(s) "
@@ -153,6 +200,13 @@ def main():
                   f"noise floor {noise:.3f} ms)")
     print(f"  stable: {len(stable)}, improved: {len(improvements)}, "
           f"regressed: {len(regressions)}")
+    if alloc_compared:
+        for key, ab, ac in alloc_regressions:
+            rel = f" ({(ac - ab) / ab:+.1%})" if ab > 0 else ""
+            print(f"  ALLOC REGRESSION {fmt_key(key)}: "
+                  f"{ab:.0f} -> {ac:.0f} allocs/rep{rel}")
+        print(f"  alloc gate: compared {alloc_compared} key(s), "
+              f"regressed: {len(alloc_regressions)}")
     for key in missing:
         print(f"  warning: baseline key missing from candidate: "
               f"{fmt_key(key)}")
@@ -161,6 +215,9 @@ def main():
 
     if regressions:
         print("FAIL: performance regression detected")
+        return 1
+    if alloc_regressions:
+        print("FAIL: allocation regression detected")
         return 1
     if missing and args.fail_on_missing:
         print("FAIL: baseline key(s) missing from candidate")

@@ -87,23 +87,35 @@ def check_hw(hw, expect):
             check_hw_fields(p, expect, f"hw.phases[{i}]")
 
 
-def check_mem(mem, expect):
+def check_alloc_section(mem, name, expect, required):
+    """Validates mem.<name>, a null-or-{count,bytes,frees} section."""
+    section = mem.get(name, "<missing>")
+    if section == "<missing>":
+        if required:
+            expect(False, f"mem.{name} is missing (must be null or an "
+                          "object)")
+        return
+    if section is None:
+        return
+    if expect(isinstance(section, dict),
+              f"mem.{name} is neither null nor an object"):
+        for key in ("count", "bytes", "frees"):
+            v = section.get(key)
+            expect(isinstance(v, int) and v >= 0,
+                   f"mem.{name}.{key} = {v!r} is not a non-negative "
+                   "integer")
+
+
+def check_mem(mem, expect, bench_record=False):
     if not expect(isinstance(mem, dict), "mem is not an object"):
         return
     rss = mem.get("peak_rss_bytes")
     expect(isinstance(rss, int) and rss >= 0,
            f"mem.peak_rss_bytes = {rss!r} is not a non-negative integer")
-    alloc = mem.get("alloc", "<missing>")
-    if alloc == "<missing>":
-        expect(False, "mem.alloc is missing (must be null or an object)")
-    elif alloc is not None:
-        if expect(isinstance(alloc, dict),
-                  "mem.alloc is neither null nor an object"):
-            for key in ("count", "bytes", "frees"):
-                v = alloc.get(key)
-                expect(isinstance(v, int) and v >= 0,
-                       f"mem.alloc.{key} = {v!r} is not a non-negative "
-                       "integer")
+    check_alloc_section(mem, "alloc", expect, required=True)
+    # alloc_delta (allocations bracketing the timed reps) is emitted only by
+    # bench records; run reports carry cumulative counts alone.
+    check_alloc_section(mem, "alloc_delta", expect, required=bench_record)
 
 
 def check_run_report(doc, errors, where):
@@ -220,7 +232,7 @@ def check_bench_record(doc, errors, where):
             check_hw_fields(hw, expect, "hw")
     mem = doc.get("mem")
     if mem is not None:
-        check_mem(mem, expect)
+        check_mem(mem, expect, bench_record=True)
 
 
 def check(doc, errors, where):

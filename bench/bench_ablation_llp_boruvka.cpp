@@ -14,6 +14,7 @@
 #include <string>
 
 #include "bench_common.hpp"
+#include "core/run_context.hpp"
 #include "llp/llp_boruvka.hpp"
 
 int main(int argc, char** argv) {
@@ -35,6 +36,7 @@ int main(int argc, char** argv) {
   BenchOptions opts;
   opts.repetitions = static_cast<int>(reps);
   ThreadPool pool(static_cast<std::size_t>(threads));
+  RunContext ctx(pool);
 
   Table t({"Graph", "Jumping", "Dedup", "LoadBalance", "Scratch", "Median",
            "Rounds", "PointerJumps"});
@@ -75,7 +77,7 @@ int main(int argc, char** argv) {
       run.scratch = scratch;
       const BenchMeasurement m = measure_mst(
           algo, w.graph, reference,
-          [&] { return llp_boruvka_configured(w.graph, pool, run); }, opts);
+          [&] { return llp_boruvka_configured(w.graph, ctx, run); }, opts);
       const MstAlgoStats& s = m.last_result.stats;
       t.add_row({w.name, jumping_cell,
                  config.dedup_contracted_edges ? "yes" : "no",

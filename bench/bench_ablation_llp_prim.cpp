@@ -9,11 +9,9 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "core/run_context.hpp"
 #include "llp/llp_prim.hpp"
-#include "llp/llp_prim_async.hpp"
-#include "llp/llp_prim_parallel.hpp"
-#include "mst/prim.hpp"
-#include "mst/prim_lazy.hpp"
+#include "mst/registry.hpp"
 #include "parallel/thread_pool.hpp"
 
 int main(int argc, char** argv) {
@@ -43,6 +41,7 @@ int main(int argc, char** argv) {
       make_graph500_workload(static_cast<int>(scale)),
   };
 
+  RunContext ctx;
   for (const Workload& w : workloads) {
     const MstResult reference = kruskal(w.graph);
     set_bench_context(w.name, static_cast<std::size_t>(threads));
@@ -57,18 +56,25 @@ int main(int argc, char** argv) {
                  strf("%.1f%%", 100.0 * static_cast<double>(s.fixed_via_mwe) / n)});
     };
 
-    add("Prim (indexed heap)",
-        measure_mst("prim", w.graph, reference, [&] { return prim(w.graph); },
-                    opts));
-    add("Prim (lazy heap, Sec. IV)",
-        measure_mst("prim_lazy", w.graph, reference,
-                    [&] { return prim_lazy(w.graph); }, opts));
+    const auto registry_row = [&](const char* name) {
+      const MstAlgorithm& algo = mst_algorithm(name);
+      return measure_mst(
+          algo.name, w.graph, reference,
+          [&] { return algo.run(w.graph, ctx); }, opts);
+    };
+    add("Prim (indexed heap)", registry_row("prim"));
+    add("Prim (lazy heap, Sec. IV)", registry_row("prim-lazy"));
 
+    // Toggled variants are bespoke LlpPrimOptions runs, not registry
+    // entries; their record keys carry the knob settings so every key in
+    // the JSONL stays unique.
     const auto llp_variant = [&](bool mwe, bool q) {
       LlpPrimOptions o;
       o.mwe_fixing = mwe;
       o.q_staging = q;
-      return measure_mst("llp_prim", w.graph, reference,
+      const std::string key =
+          strf("llp-prim mwe=%d q=%d", mwe ? 1 : 0, q ? 1 : 0);
+      return measure_mst(key, w.graph, reference,
                          [&, o] { return llp_prim(w.graph, 0, o); }, opts);
     };
     add("LLP-Prim (no MWE, no Q)", llp_variant(false, false));
@@ -79,14 +85,13 @@ int main(int argc, char** argv) {
     // Parallel scheduling: bulk-synchronous frontier super-steps vs the
     // Galois-style asynchronous work-stealing drain of R.
     ThreadPool pool(static_cast<std::size_t>(threads));
+    ctx.attach_pool(pool);
     add(strf("LLP-Prim (superstep, %lldT)",
              static_cast<long long>(threads)).c_str(),
-        measure_mst("llp_prim_parallel", w.graph, reference,
-                    [&] { return llp_prim_parallel(w.graph, pool); }, opts));
+        registry_row("llp-prim-parallel"));
     add(strf("LLP-Prim (async WS, %lldT)",
              static_cast<long long>(threads)).c_str(),
-        measure_mst("llp_prim_async", w.graph, reference,
-                    [&] { return llp_prim_async(w.graph, pool); }, opts));
+        registry_row("llp-prim-async"));
   }
 
   std::printf("Ablation: LLP-Prim optimization breakdown\n\n");

@@ -18,9 +18,8 @@
 #include <vector>
 
 #include "bench_common.hpp"
-#include "llp/llp_prim.hpp"
-#include "mst/boruvka.hpp"
-#include "mst/prim.hpp"
+#include "core/run_context.hpp"
+#include "mst/registry.hpp"
 #include "support/timer.hpp"
 
 int main(int argc, char** argv) {
@@ -51,28 +50,29 @@ int main(int argc, char** argv) {
       make_graph500_workload(static_cast<int>(scale)),
   };
 
+  RunContext ctx;
   for (const Workload& w : workloads) {
     const MstResult reference = kruskal(w.graph);
     set_bench_context(w.name, 1);
 
     struct Contestant {
-      const char* name;
-      std::function<MstResult()> run;
+      const MstAlgorithm* algo;
       std::vector<double> samples;
       MstResult last;
     };
     Contestant cs[] = {
-        {"Prim", [&] { return prim(w.graph); }, {}, {}},
-        {"LLP-Prim (1T)", [&] { return llp_prim(w.graph); }, {}, {}},
-        {"Boruvka (1T)", [&] { return boruvka(w.graph); }, {}, {}},
+        {&mst_algorithm("prim"), {}, {}},
+        {&mst_algorithm("llp-prim"), {}, {}},
+        {&mst_algorithm("boruvka"), {}, {}},
     };
 
     // Warmup + verification round.
     for (auto& c : cs) {
-      const MstResult r = c.run();
+      const MstResult r = c.algo->run(w.graph, ctx);
       if (r.edges != reference.edges ||
           r.total_weight != reference.total_weight) {
-        std::fprintf(stderr, "FATAL: %s produced a different MSF\n", c.name);
+        std::fprintf(stderr, "FATAL: %s produced a different MSF\n",
+                     c.algo->name);
         return 1;
       }
     }
@@ -80,22 +80,23 @@ int main(int argc, char** argv) {
     for (long long rep = 0; rep < reps; ++rep) {
       for (auto& c : cs) {
         Timer timer;
-        c.last = c.run();
+        c.last = c.algo->run(w.graph, ctx);
         c.samples.push_back(timer.elapsed_ms());
       }
     }
 
     // The interleaved loop bypasses measure_mst, so feed the bench-record
-    // store directly (warmup round above doubles as verification).
+    // store directly (warmup round above doubles as verification).  Keys
+    // are the canonical registry names, matching every other bench.
     for (const auto& c : cs) {
-      record_bench_samples(c.name, c.samples, 1, true);
+      record_bench_samples(c.algo->name, c.samples, 1, true);
     }
 
     const double prim_ms = summarize(cs[0].samples).median;
     for (const auto& c : cs) {
       const Summary s = summarize(c.samples);
       const MstAlgoStats& st = c.last.stats;
-      t.add_row({w.name, c.name, time_cell(s),
+      t.add_row({w.name, c.algo->label, time_cell(s),
                  strf("%.2fx", prim_ms / s.median),
                  format_count(st.heap.pushes), format_count(st.heap.pops),
                  format_count(st.fixed_via_mwe)});

@@ -15,9 +15,8 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "llp/llp_boruvka.hpp"
-#include "llp/llp_prim_parallel.hpp"
-#include "mst/parallel_boruvka.hpp"
+#include "core/run_context.hpp"
+#include "mst/registry.hpp"
 
 int main(int argc, char** argv) {
   using namespace llpmst;
@@ -50,19 +49,27 @@ int main(int argc, char** argv) {
   Table t({"Threads", "LLP-Prim", "Boruvka", "LLP-Boruvka",
            "LLP-Prim speedup", "Boruvka speedup", "LLP-Boruvka speedup"});
 
+  const MstAlgorithm& llp_prim = mst_algorithm("llp-prim-parallel");
+  const MstAlgorithm& boruvka = mst_algorithm("parallel-boruvka");
+  const MstAlgorithm& llp_boruvka = mst_algorithm("llp-boruvka");
+
+  // One context for the whole sweep: the Boruvka scratch arena persists
+  // across thread counts, as the engine's thread_local scratch used to.
+  RunContext ctx;
   double base_llp_prim = 0, base_boruvka = 0, base_llp_boruvka = 0;
   for (const int threads : thread_counts) {
     set_bench_context(w.name, static_cast<std::size_t>(threads));
     ThreadPool pool(static_cast<std::size_t>(threads));
+    ctx.attach_pool(pool);
     const BenchMeasurement lp = measure_mst(
-        "LLP-Prim", w.graph, reference,
-        [&] { return llp_prim_parallel(w.graph, pool); }, opts);
+        llp_prim.name, w.graph, reference,
+        [&] { return llp_prim.run(w.graph, ctx); }, opts);
     const BenchMeasurement pb = measure_mst(
-        "Boruvka", w.graph, reference,
-        [&] { return parallel_boruvka(w.graph, pool); }, opts);
+        boruvka.name, w.graph, reference,
+        [&] { return boruvka.run(w.graph, ctx); }, opts);
     const BenchMeasurement lb = measure_mst(
-        "LLP-Boruvka", w.graph, reference,
-        [&] { return llp_boruvka(w.graph, pool); }, opts);
+        llp_boruvka.name, w.graph, reference,
+        [&] { return llp_boruvka.run(w.graph, ctx); }, opts);
 
     if (threads == thread_counts.front()) {
       base_llp_prim = lp.time_ms.median;

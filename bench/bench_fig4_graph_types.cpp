@@ -9,9 +9,8 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "llp/llp_boruvka.hpp"
-#include "llp/llp_prim_parallel.hpp"
-#include "mst/parallel_boruvka.hpp"
+#include "core/run_context.hpp"
+#include "mst/registry.hpp"
 
 int main(int argc, char** argv) {
   using namespace llpmst;
@@ -47,6 +46,11 @@ int main(int argc, char** argv) {
   Table t({"Graph", "m/n", "Threads", "LLP-Prim", "Boruvka", "LLP-Boruvka",
            "Fastest"});
 
+  const MstAlgorithm& llp_prim = mst_algorithm("llp-prim-parallel");
+  const MstAlgorithm& boruvka = mst_algorithm("parallel-boruvka");
+  const MstAlgorithm& llp_boruvka = mst_algorithm("llp-boruvka");
+  RunContext ctx;
+
   for (const Workload& w : workloads) {
     const MstResult reference = kruskal(w.graph);
     const double mn = static_cast<double>(w.graph.num_edges()) /
@@ -55,15 +59,16 @@ int main(int argc, char** argv) {
          {static_cast<long long>(low), static_cast<long long>(high)}) {
       set_bench_context(w.name, static_cast<std::size_t>(threads));
       ThreadPool pool(static_cast<std::size_t>(threads));
+      ctx.attach_pool(pool);
       const BenchMeasurement lp = measure_mst(
-          "LLP-Prim", w.graph, reference,
-          [&] { return llp_prim_parallel(w.graph, pool); }, opts);
+          llp_prim.name, w.graph, reference,
+          [&] { return llp_prim.run(w.graph, ctx); }, opts);
       const BenchMeasurement pb = measure_mst(
-          "Boruvka", w.graph, reference,
-          [&] { return parallel_boruvka(w.graph, pool); }, opts);
+          boruvka.name, w.graph, reference,
+          [&] { return boruvka.run(w.graph, ctx); }, opts);
       const BenchMeasurement lb = measure_mst(
-          "LLP-Boruvka", w.graph, reference,
-          [&] { return llp_boruvka(w.graph, pool); }, opts);
+          llp_boruvka.name, w.graph, reference,
+          [&] { return llp_boruvka.run(w.graph, ctx); }, opts);
 
       const char* fastest = "LLP-Prim";
       double best = lp.time_ms.median;

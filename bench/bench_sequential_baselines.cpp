@@ -5,13 +5,8 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "llp/llp_prim.hpp"
-#include "mst/boruvka.hpp"
-#include "mst/filter_kruskal.hpp"
-#include "mst/kkt.hpp"
-#include "mst/kruskal_parallel.hpp"
-#include "mst/prim.hpp"
-#include "mst/prim_lazy.hpp"
+#include "core/run_context.hpp"
+#include "mst/registry.hpp"
 
 int main(int argc, char** argv) {
   using namespace llpmst;
@@ -32,6 +27,7 @@ int main(int argc, char** argv) {
   BenchOptions opts;
   opts.repetitions = static_cast<int>(reps);
   ThreadPool pool(static_cast<std::size_t>(threads));
+  RunContext ctx(pool);
 
   Table t({"Graph", "Algorithm", "Median", "vs Kruskal"});
 
@@ -44,24 +40,25 @@ int main(int argc, char** argv) {
     const MstResult reference = kruskal(w.graph);
     set_bench_context(w.name, static_cast<std::size_t>(threads));
     double kruskal_ms = 0;
-    const auto add = [&](const char* name,
-                         const std::function<MstResult()>& run) {
-      const BenchMeasurement m = measure_mst(name, w.graph, reference, run,
-                                             opts);
+    // Record keys are canonical registry names; table rows show the label.
+    const auto add = [&](const char* name) {
+      const MstAlgorithm& algo = mst_algorithm(name);
+      const BenchMeasurement m = measure_mst(
+          algo.name, w.graph, reference,
+          [&] { return algo.run(w.graph, ctx); }, opts);
       if (kruskal_ms == 0) kruskal_ms = m.time_ms.median;
-      t.add_row({w.name, name, time_cell(m.time_ms),
+      t.add_row({w.name, algo.label, time_cell(m.time_ms),
                  strf("%.2fx", kruskal_ms / m.time_ms.median)});
     };
 
-    add("Kruskal", [&] { return kruskal(w.graph); });
-    add("Kruskal (parallel sort)",
-        [&] { return kruskal_parallel(w.graph, pool); });
-    add("Filter-Kruskal", [&] { return filter_kruskal(w.graph, pool); });
-    add("Prim", [&] { return prim(w.graph); });
-    add("Prim (lazy heap)", [&] { return prim_lazy(w.graph); });
-    add("Boruvka (classic 1T)", [&] { return boruvka(w.graph); });
-    add("KKT (randomized)", [&] { return kkt_msf(w.graph); });
-    add("LLP-Prim (1T)", [&] { return llp_prim(w.graph); });
+    add("kruskal");
+    add("kruskal-parallel");
+    add("filter-kruskal");
+    add("prim");
+    add("prim-lazy");
+    add("boruvka");
+    add("kkt");
+    add("llp-prim");
   }
 
   std::printf("Sequential / sort-parallel MSF baselines (threads=%lld for "

@@ -5,11 +5,8 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "llp/llp_boruvka.hpp"
-#include "llp/llp_prim.hpp"
-#include "llp/llp_prim_parallel.hpp"
-#include "mst/parallel_boruvka.hpp"
-#include "mst/prim.hpp"
+#include "core/run_context.hpp"
+#include "mst/registry.hpp"
 
 int main(int argc, char** argv) {
   using namespace llpmst;
@@ -29,6 +26,7 @@ int main(int argc, char** argv) {
   BenchOptions opts;
   opts.repetitions = static_cast<int>(reps);
   ThreadPool pool(static_cast<std::size_t>(threads));
+  RunContext ctx(pool);
 
   std::printf("Size sweep: RMAT ef16, threads=%lld\n\n",
               static_cast<long long>(threads));
@@ -40,18 +38,17 @@ int main(int argc, char** argv) {
     const MstResult reference = kruskal(w.graph);
     set_bench_context(w.name, static_cast<std::size_t>(threads));
 
-    const auto run = [&](const char* name,
-                         const std::function<MstResult()>& f) {
-      return measure_mst(name, w.graph, reference, f, opts);
+    const auto run = [&](const char* name) {
+      const MstAlgorithm& algo = mst_algorithm(name);
+      return measure_mst(
+          algo.name, w.graph, reference,
+          [&] { return algo.run(w.graph, ctx); }, opts);
     };
-    const auto p = run("Prim", [&] { return prim(w.graph); });
-    const auto l1 = run("LLP-Prim(1T)", [&] { return llp_prim(w.graph); });
-    const auto lp = run("LLP-Prim",
-                        [&] { return llp_prim_parallel(w.graph, pool); });
-    const auto pb = run("Boruvka",
-                        [&] { return parallel_boruvka(w.graph, pool); });
-    const auto lb =
-        run("LLP-Boruvka", [&] { return llp_boruvka(w.graph, pool); });
+    const auto p = run("prim");
+    const auto l1 = run("llp-prim");
+    const auto lp = run("llp-prim-parallel");
+    const auto pb = run("parallel-boruvka");
+    const auto lb = run("llp-boruvka");
 
     t.add_row({strf("%d", scale), format_count(w.graph.num_vertices()),
                format_count(w.graph.num_edges()), time_cell(p.time_ms),

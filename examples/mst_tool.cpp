@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <string>
 
+#include "core/run_context.hpp"
 #include "graph/algorithms/degree_stats.hpp"
 #include "graph/csr_graph.hpp"
 #include "graph/generators/random_graph.hpp"
@@ -19,15 +20,8 @@
 #include "graph/generators/road.hpp"
 #include "graph/io/edge_list_io.hpp"
 #include "graph/io/read_graph.hpp"
-#include "llp/llp_boruvka.hpp"
-#include "llp/llp_prim.hpp"
-#include "llp/llp_prim_async.hpp"
-#include "llp/llp_prim_parallel.hpp"
 #include "mst/auto.hpp"
-#include "mst/boruvka.hpp"
-#include "mst/kruskal.hpp"
-#include "mst/parallel_boruvka.hpp"
-#include "mst/prim.hpp"
+#include "mst/registry.hpp"
 #include "mst/verifier.hpp"
 #include "obs/hw_counters.hpp"
 #include "obs/mem_stats.hpp"
@@ -60,11 +54,14 @@ int main(int argc, char** argv) {
       "generate", "road", "workload when no --input: road | rmat | er");
   auto& scale = cli.add_int("scale", 14, "generator scale (log2-ish size)");
   auto& seed = cli.add_int("seed", 1, "generator seed");
-  auto& algorithm = cli.add_string(
-      "algorithm", "auto",
-      "auto | kruskal | prim | boruvka | parallel-boruvka | llp-prim | "
-      "llp-prim-parallel | llp-prim-async | llp-boruvka");
+  // The option list is generated from the registry so it cannot drift from
+  // what dispatch actually accepts.
+  auto& algorithm = cli.add_string("algorithm", "auto",
+                                   "auto | " + mst_algorithm_names());
   auto& algo_alias = cli.add_string("algo", "", "shorthand for --algorithm");
+  auto& list_algos = cli.add_bool(
+      "list-algos", false,
+      "print the registered algorithms with their capability flags and exit");
   auto& threads = cli.add_int("threads", 4, "worker threads");
   auto& metrics_json = cli.add_string(
       "metrics-json", "", "write the JSON run report (counters, phases, "
@@ -88,10 +85,29 @@ int main(int argc, char** argv) {
       "(also read from $LLPMST_FAILPOINTS; no-op when compiled out)");
   auto& deadline_ms = cli.add_double(
       "deadline-ms", 0.0,
-      "wall-clock budget for --algorithm auto; on expiry the run falls "
-      "back to sequential kruskal (0 = no deadline)");
+      "wall-clock budget (0 = none): --algorithm auto falls back to "
+      "sequential kruskal on expiry; cancellable algorithms stop early "
+      "with a partial result");
   cli.parse(argc, argv);
   if (!algo_alias.empty()) algorithm = algo_alias;
+
+  if (list_algos) {
+    std::printf("Registered MST/MSF algorithms (%zu):\n",
+                mst_algorithms().size());
+    for (const MstAlgorithm& a : mst_algorithms()) {
+      std::printf("  %-18s %-17s %s\n", a.name,
+                  describe_caps(a.caps).c_str(), a.summary);
+    }
+    std::printf("\nflags: par|seq parallel, msf|tree forest-capable, "
+                "det deterministic, can cancellable\n"
+                "'auto' picks from this table by thread count and "
+                "connectivity (see mst/auto.hpp).\n");
+    return 0;
+  }
+
+  // The per-run context: pool (attached below), deadline, failpoint scope,
+  // scratch arena, cached connectivity.
+  RunContext ctx;
 
   // --- Fault injection (chaos/testing): CLI spec wins over the env var.
   fail::configure_from_env();
@@ -102,7 +118,7 @@ int main(int argc, char** argv) {
                    "with -DLLPMST_FAILPOINTS=ON)\n");
     } else {
       std::string fp_error;
-      fail::configure(failpoints, &fp_error);
+      ctx.arm_failpoints(failpoints, &fp_error);
       if (!fp_error.empty()) {
         std::fprintf(stderr, "bad --failpoints spec: %s\n", fp_error.c_str());
         return 2;
@@ -165,6 +181,20 @@ int main(int argc, char** argv) {
 
   // --- Solve.
   ThreadPool pool(static_cast<std::size_t>(threads));
+  ctx.attach_pool(pool);
+  if (deadline_ms > 0) ctx.set_deadline_ms(deadline_ms);
+  // Resolve the algorithm before starting the clock so an unknown name
+  // fails fast.  "auto" is the portfolio policy over the same registry.
+  const MstAlgorithm* entry = nullptr;
+  if (algorithm != "auto") {
+    entry = find_mst_algorithm(algorithm);
+    if (entry == nullptr) {
+      std::fprintf(stderr,
+                   "unknown --algorithm '%s' (try --list-algos)\n%s",
+                   algorithm.c_str(), cli.usage().c_str());
+      return 2;
+    }
+  }
   // Counters up to here include graph generation/loading; re-baseline so
   // the reported hw section covers the solve alone.
   const obs::HwSample hw_before =
@@ -173,43 +203,21 @@ int main(int argc, char** argv) {
   MstResult result;
   std::string used = algorithm;
   std::string fallback_reason;
-  if (algorithm == "auto") {
-    AutoMstOptions auto_opts;
-    auto_opts.deadline_ms = deadline_ms;
-    AutoMstResult r = minimum_spanning_forest(g, pool,
-                                              Connectivity::kUnknown,
-                                              auto_opts);
-    result = std::move(r.result);
-    used = "auto -> " + r.algorithm;
-    if (r.fell_back) {
-      fallback_reason = r.fallback_reason;
-      std::printf("FALLBACK  : parallel run failed (%s); recomputed with "
-                  "sequential kruskal\n",
-                  r.fallback_reason.c_str());
+  {
+    [[maybe_unused]] auto solve_scope = ctx.obs_scope("mst_tool/solve");
+    if (entry == nullptr) {
+      AutoMstResult r = minimum_spanning_forest(g, ctx);
+      result = std::move(r.result);
+      used = "auto -> " + r.algorithm;
+      if (r.fell_back) {
+        fallback_reason = r.fallback_reason;
+        std::printf("FALLBACK  : parallel run failed (%s); recomputed with "
+                    "sequential kruskal\n",
+                    r.fallback_reason.c_str());
+      }
+    } else {
+      result = entry->run(g, ctx);
     }
-  } else if (algorithm == "kruskal") {
-    result = kruskal(g);
-  } else if (algorithm == "prim") {
-    result = prim(g);
-  } else if (algorithm == "boruvka") {
-    result = boruvka(g);
-  } else if (algorithm == "parallel-boruvka") {
-    result = parallel_boruvka(g, pool);
-  } else if (algorithm == "llp-prim") {
-    // The forest-safe entry: identical to llp_prim on connected graphs,
-    // restarts from a fresh root per component otherwise (the tool promises
-    // an MSF, and generated rmat/er graphs are usually disconnected).
-    result = llp_prim_msf(g);
-  } else if (algorithm == "llp-prim-parallel") {
-    result = llp_prim_parallel(g, pool);
-  } else if (algorithm == "llp-prim-async") {
-    result = llp_prim_async(g, pool);
-  } else if (algorithm == "llp-boruvka") {
-    result = llp_boruvka(g, pool);
-  } else {
-    std::fprintf(stderr, "unknown --algorithm '%s'\n%s", algorithm.c_str(),
-                 cli.usage().c_str());
-    return 2;
   }
   const double solve_ms = t.elapsed_ms();
   if (!trace_file.empty()) obs::trace_stop();  // don't trace the verifier
@@ -278,15 +286,17 @@ int main(int argc, char** argv) {
                 "result may be partial\n");
   }
 
-  // --- Verify.
-  const VerifyResult shape = verify_spanning_forest(g, result);
+  // --- Verify.  The ctx overloads cross-check against (and seed) the
+  // context's cached component count, so an auto run's connectivity check
+  // is not repeated here.
+  const VerifyResult shape = verify_spanning_forest(g, result, ctx);
   if (!shape.ok) {
     std::fprintf(stderr, "SPANNING CHECK FAILED: %s\n", shape.error.c_str());
     return 1;
   }
   if (verify) {
     Timer vt;
-    const VerifyResult full = verify_msf(g, result);
+    const VerifyResult full = verify_msf(g, result, ctx);
     if (!full.ok) {
       std::fprintf(stderr, "MINIMALITY CHECK FAILED: %s\n",
                    full.error.c_str());

@@ -1,21 +1,18 @@
 // Quickstart: build a small weighted graph, compute its MST with every
-// algorithm in the library, and verify the result.
+// algorithm in the registry, and verify the result.
 //
 //   $ ./examples/quickstart
 //
 // This walks the exact graph from Fig. 1 of the paper, so the output can be
-// followed against Section IV/V by hand.
+// followed against Section IV/V by hand.  The algorithm list comes from
+// mst_algorithms() — an algorithm added to the registry shows up here (and
+// in mst_tool --list-algos, and in the conformance tests) automatically.
 #include <cstdio>
 
+#include "core/run_context.hpp"
 #include "graph/csr_graph.hpp"
 #include "graph/generators/special.hpp"
-#include "llp/llp_boruvka.hpp"
-#include "llp/llp_prim.hpp"
-#include "llp/llp_prim_parallel.hpp"
-#include "mst/boruvka.hpp"
-#include "mst/kruskal.hpp"
-#include "mst/parallel_boruvka.hpp"
-#include "mst/prim.hpp"
+#include "mst/registry.hpp"
 #include "mst/verifier.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -36,34 +33,25 @@ int main() {
   }
 
   ThreadPool pool(4);
-  struct Entry {
-    const char* name;
-    MstResult result;
-  };
-  const Entry runs[] = {
-      {"Kruskal", kruskal(g)},
-      {"Prim", prim(g)},
-      {"Boruvka", boruvka(g)},
-      {"LLP-Prim (1T)", llp_prim(g)},
-      {"LLP-Prim (parallel)", llp_prim_parallel(g, pool)},
-      {"Parallel Boruvka", parallel_boruvka(g, pool)},
-      {"LLP-Boruvka", llp_boruvka(g, pool)},
-  };
+  RunContext ctx(pool);
 
   std::printf("\nMinimum spanning tree (weight should be 16):\n");
-  for (const Entry& entry : runs) {
-    std::printf("  %-20s total weight %llu, edges {", entry.name,
-                static_cast<unsigned long long>(entry.result.total_weight));
-    for (std::size_t i = 0; i < entry.result.edges.size(); ++i) {
-      std::printf("%s%u", i ? ", " : "", g.edge(entry.result.edges[i]).w);
+  for (const MstAlgorithm& algo : mst_algorithms()) {
+    const MstResult result = algo.run(g, ctx);
+    std::printf("  %-20s [%s]  total weight %llu, edges {", algo.label,
+                describe_caps(algo.caps).c_str(),
+                static_cast<unsigned long long>(result.total_weight));
+    for (std::size_t i = 0; i < result.edges.size(); ++i) {
+      std::printf("%s%u", i ? ", " : "", g.edge(result.edges[i]).w);
     }
     std::printf("}\n");
-    const VerifyResult v = verify_msf(g, entry.result);
+    const VerifyResult v = verify_msf(g, result, ctx);
     if (!v.ok) {
       std::printf("  VERIFICATION FAILED: %s\n", v.error.c_str());
       return 1;
     }
   }
-  std::printf("\nAll algorithms agree and the tree verified as minimal.\n");
+  std::printf("\nAll %zu algorithms agree and the tree verified as minimal.\n",
+              mst_algorithms().size());
   return 0;
 }

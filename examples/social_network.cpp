@@ -11,6 +11,7 @@
 #include <map>
 #include <vector>
 
+#include "core/run_context.hpp"
 #include "graph/algorithms/degree_stats.hpp"
 #include "graph/csr_graph.hpp"
 #include "graph/generators/rmat.hpp"
@@ -70,7 +71,8 @@ int main(int argc, char** argv) {
 
   // Backbone forest.
   Timer msf_timer;
-  const MstResult msf = llp_boruvka(g, pool);
+  RunContext ctx(pool);
+  const MstResult msf = llp_boruvka(g, ctx);
   const double msf_ms = msf_timer.elapsed_ms();
   const VerifyResult v = verify_spanning_forest(g, msf);
   if (!v.ok) {

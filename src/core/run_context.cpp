@@ -1,0 +1,57 @@
+#include "core/run_context.hpp"
+
+#include "ds/union_find.hpp"
+#include "graph/csr_graph.hpp"
+#include "obs/metrics.hpp"
+#include "support/failpoint.hpp"
+
+namespace llpmst {
+
+RunContext::~RunContext() {
+  if (armed_failpoints_) fail::disarm_all();
+}
+
+ThreadPool& RunContext::pool() {
+  if (pool_ == nullptr) {
+    owned_pool_ = std::make_unique<ThreadPool>(1);
+    pool_ = owned_pool_.get();
+  }
+  return *pool_;
+}
+
+void RunContext::set_deadline_ms(double ms) {
+  if (ms <= 0) return;
+  deadline_token_.set_deadline_after_ms(ms);
+  deadline_armed_ = true;
+}
+
+const CancelToken* RunContext::cancel_token() const {
+  if (deadline_armed_) return &deadline_token_;
+  return external_cancel_;
+}
+
+bool RunContext::user_cancelled() const {
+  return external_cancel_ != nullptr &&
+         external_cancel_->reason() == RunOutcome::kCancelled;
+}
+
+std::size_t RunContext::num_components(const CsrGraph& g) {
+  if (components_graph_ == &g) return components_;
+  // Union-find straight over the CSR edge list: no EdgeList copy (which is
+  // what mst::auto used to build just to ask this question).
+  UnionFind uf(g.num_vertices());
+  for (const WeightedEdge& e : g.edges()) uf.unite(e.u, e.v);
+  components_graph_ = &g;
+  components_ = uf.num_sets();
+  if (obs::kCompiledIn) obs::counter("run_context/cc_computed").increment();
+  return components_;
+}
+
+std::size_t RunContext::arm_failpoints(std::string_view spec,
+                                       std::string* error) {
+  const std::size_t armed = fail::configure(spec, error);
+  if (armed > 0) armed_failpoints_ = true;
+  return armed;
+}
+
+}  // namespace llpmst

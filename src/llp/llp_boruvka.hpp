@@ -14,22 +14,27 @@
 #pragma once
 
 #include "mst/boruvka_engine.hpp"
-#include "mst/mst_result.hpp"
-#include "parallel/thread_pool.hpp"
+#include "mst/registry.hpp"
 
 namespace llpmst {
 
-/// `cancel` (optional) stops the run between rounds; a triggered token or an
-/// injected fault yields result.stats.outcome != kOk with a PARTIAL forest.
-[[nodiscard]] MstResult llp_boruvka(const CsrGraph& g, ThreadPool& pool,
-                                    const CancelToken* cancel = nullptr);
+/// Runs on ctx.pool(), reusing the context's BoruvkaScratch across runs.
+/// ctx.cancel_token() (when set) stops the run between rounds; a triggered
+/// token or an injected fault yields result.stats.outcome != kOk with a
+/// PARTIAL forest.
+[[nodiscard]] MstResult llp_boruvka(const CsrGraph& g, RunContext& ctx);
+/// Registry descriptor (see mst/registry.hpp).
+[[nodiscard]] MstAlgorithm llp_boruvka_algorithm();
 
 /// Ablation entry point: run LLP-Boruvka with explicit engine knobs (which
 /// pointer-jumping flavour, whether contraction dedups).  llp_boruvka() is
 /// configured {kAsynchronous, no dedup}; the baseline is {kSynchronized,
-/// dedup}.
+/// dedup}.  Config fields override the context (config.cancel, when set,
+/// beats ctx.cancel_token(); config.scratch == nullptr means a fresh
+/// engine-internal scratch, NOT the context's — the ablation's
+/// scratch-reuse axis depends on that).
 [[nodiscard]] MstResult llp_boruvka_configured(const CsrGraph& g,
-                                               ThreadPool& pool,
+                                               RunContext& ctx,
                                                const BoruvkaConfig& config);
 
 }  // namespace llpmst

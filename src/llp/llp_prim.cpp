@@ -149,9 +149,24 @@ MstResult llp_prim(const CsrGraph& g, VertexId root,
 }
 
 MstResult llp_prim_msf(const CsrGraph& g) {
+  if (g.num_vertices() == 0) return {};  // empty graph: the empty forest
   LlpPrimOptions options;
   options.allow_forest = true;
   return llp_prim(g, 0, options);
+}
+
+MstResult llp_prim_msf(const CsrGraph& g, RunContext& /*ctx*/) {
+  return llp_prim_msf(g);
+}
+
+MstAlgorithm llp_prim_algorithm() {
+  return {"llp-prim", "LLP-Prim (1T)",
+          "Prim with early fixing + staged heap inserts (Algorithm 5)",
+          {.parallel = false, .msf_capable = true, .deterministic = true,
+           .cancellable = false},
+          [](const CsrGraph& g, RunContext& ctx) {
+            return llp_prim_msf(g, ctx);
+          }};
 }
 
 }  // namespace llpmst

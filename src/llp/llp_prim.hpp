@@ -17,9 +17,11 @@
 // the Fig. 2 single-thread advantage (~20-30%).
 #pragma once
 
-#include "mst/mst_result.hpp"
+#include "mst/registry.hpp"
 
 namespace llpmst {
+
+class RunContext;
 
 /// Ablation switches (both on = the paper's algorithm; both off = classic
 /// Prim with an extra indirection, used to isolate where the win comes from).
@@ -38,5 +40,10 @@ struct LlpPrimOptions {
 
 /// Convenience wrapper: LLP-Prim with forest restarts enabled.
 [[nodiscard]] MstResult llp_prim_msf(const CsrGraph& g);
+/// Uniform registry entry point: forest-safe LLP-Prim (sequential; the
+/// context is unused).  This is what "llp-prim" dispatches to.
+[[nodiscard]] MstResult llp_prim_msf(const CsrGraph& g, RunContext& ctx);
+/// Registry descriptor (see mst/registry.hpp).
+[[nodiscard]] MstAlgorithm llp_prim_algorithm();
 
 }  // namespace llpmst

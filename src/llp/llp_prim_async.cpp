@@ -3,6 +3,7 @@
 #include <atomic>
 #include <vector>
 
+#include "core/run_context.hpp"
 #include "ds/binary_heap.hpp"
 #include "obs/phase_timer.hpp"
 #include "parallel/atomic_utils.hpp"
@@ -12,7 +13,9 @@
 
 namespace llpmst {
 
-MstResult llp_prim_async(const CsrGraph& g, ThreadPool& pool, VertexId root) {
+MstResult llp_prim_async(const CsrGraph& g, RunContext& run_ctx,
+                         VertexId root) {
+  ThreadPool& pool = run_ctx.pool();
   const std::size_t n = g.num_vertices();
   LLPMST_CHECK_MSG(n >= 1, "LLP-Prim requires a non-empty graph");
   LLPMST_CHECK(root < n);
@@ -123,6 +126,16 @@ MstResult llp_prim_async(const CsrGraph& g, ThreadPool& pool, VertexId root) {
   record_algo_metrics("llp_prim_async", r.stats);
   finalize_result(g, r);
   return r;
+}
+
+MstAlgorithm llp_prim_async_algorithm() {
+  return {"llp-prim-async", "LLP-Prim (async)",
+          "early-fixing Prim, R drained by a work-stealing worklist",
+          {.parallel = true, .msf_capable = false, .deterministic = true,
+           .cancellable = false},
+          [](const CsrGraph& g, RunContext& ctx) {
+            return llp_prim_async(g, ctx);
+          }};
 }
 
 }  // namespace llpmst

@@ -14,12 +14,16 @@
 // what bench_ablation_llp_prim's async row measures.
 #pragma once
 
-#include "mst/mst_result.hpp"
-#include "parallel/thread_pool.hpp"
+#include "mst/registry.hpp"
 
 namespace llpmst {
 
-[[nodiscard]] MstResult llp_prim_async(const CsrGraph& g, ThreadPool& pool,
+class RunContext;
+
+/// Runs on ctx.pool().
+[[nodiscard]] MstResult llp_prim_async(const CsrGraph& g, RunContext& ctx,
                                        VertexId root = 0);
+/// Registry descriptor (see mst/registry.hpp).
+[[nodiscard]] MstAlgorithm llp_prim_async_algorithm();
 
 }  // namespace llpmst

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <vector>
 
+#include "core/run_context.hpp"
 #include "ds/binary_heap.hpp"
 #include "obs/hw_counters.hpp"
 #include "obs/phase_timer.hpp"
@@ -14,8 +15,10 @@
 
 namespace llpmst {
 
-MstResult llp_prim_parallel(const CsrGraph& g, ThreadPool& pool,
-                            VertexId root, const CancelToken* cancel) {
+MstResult llp_prim_parallel(const CsrGraph& g, RunContext& ctx,
+                            VertexId root) {
+  ThreadPool& pool = ctx.pool();
+  const CancelToken* cancel = ctx.cancel_token();
   const std::size_t n = g.num_vertices();
   LLPMST_CHECK_MSG(n >= 1, "LLP-Prim requires a non-empty graph");
   LLPMST_CHECK(root < n);
@@ -172,6 +175,16 @@ MstResult llp_prim_parallel(const CsrGraph& g, ThreadPool& pool,
   record_algo_metrics("llp_prim_parallel", r.stats);
   finalize_result(g, r);
   return r;
+}
+
+MstAlgorithm llp_prim_parallel_algorithm() {
+  return {"llp-prim-parallel", "LLP-Prim",
+          "early-fixing Prim, R drained by the team per super-step",
+          {.parallel = true, .msf_capable = false, .deterministic = true,
+           .cancellable = true},
+          [](const CsrGraph& g, RunContext& ctx) {
+            return llp_prim_parallel(g, ctx);
+          }};
 }
 
 }  // namespace llpmst

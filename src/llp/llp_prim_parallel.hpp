@@ -16,18 +16,20 @@
 // The result is the same unique MST for every thread count.
 #pragma once
 
-#include "mst/mst_result.hpp"
-#include "parallel/thread_pool.hpp"
-#include "support/cancel.hpp"
+#include "mst/registry.hpp"
 
 namespace llpmst {
 
-/// `cancel` (optional) is polled once per super-step; a triggered token (or
-/// the "llp_prim/handoff" failpoint) stops the run early with
-/// result.stats.outcome != kOk and a PARTIAL edge set — callers must check
-/// the outcome before trusting the forest (mst::auto does, and falls back).
-[[nodiscard]] MstResult llp_prim_parallel(const CsrGraph& g, ThreadPool& pool,
-                                          VertexId root = 0,
-                                          const CancelToken* cancel = nullptr);
+class RunContext;
+
+/// Runs on ctx.pool().  ctx.cancel_token() (when set) is polled once per
+/// super-step; a triggered token (or the "llp_prim/handoff" failpoint)
+/// stops the run early with result.stats.outcome != kOk and a PARTIAL edge
+/// set — callers must check the outcome before trusting the forest
+/// (mst::auto does, and falls back).
+[[nodiscard]] MstResult llp_prim_parallel(const CsrGraph& g, RunContext& ctx,
+                                          VertexId root = 0);
+/// Registry descriptor (see mst/registry.hpp).
+[[nodiscard]] MstAlgorithm llp_prim_parallel_algorithm();
 
 }  // namespace llpmst

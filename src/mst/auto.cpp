@@ -3,11 +3,8 @@
 #include <exception>
 #include <string>
 
-#include "graph/algorithms/connected_components.hpp"
-#include "llp/llp_boruvka.hpp"
-#include "llp/llp_prim.hpp"
-#include "llp/llp_prim_parallel.hpp"
-#include "mst/kruskal.hpp"
+#include "core/run_context.hpp"
+#include "mst/registry.hpp"
 #include "obs/metrics.hpp"
 #include "support/failpoint.hpp"
 
@@ -43,10 +40,35 @@ bool run_guarded(Run&& run, MstResult& result, std::string& reason) {
   return true;
 }
 
+/// The paper's preference order for the given shape, resolved against the
+/// registry and filtered by capability: a disconnected input discards every
+/// entry that cannot produce a forest.  Falls back to the Kruskal oracle if
+/// (in some trimmed build) no preferred entry is registered.
+const MstAlgorithm& select_algorithm(bool connected, std::size_t threads,
+                                     const AutoMstOptions& options) {
+  const char* preferred[3] = {nullptr, nullptr, nullptr};
+  if (!connected || threads >= options.boruvka_crossover) {
+    preferred[0] = "llp-boruvka";
+    preferred[1] = "parallel-boruvka";
+  } else if (threads == 1) {
+    preferred[0] = "llp-prim";
+  } else {
+    preferred[0] = "llp-prim-parallel";
+    preferred[1] = "llp-boruvka";
+  }
+  for (const char* name : preferred) {
+    if (name == nullptr) continue;
+    const MstAlgorithm* a = find_mst_algorithm(name);
+    if (a == nullptr) continue;
+    if (!connected && !a->caps.msf_capable) continue;
+    return *a;
+  }
+  return mst_algorithm("kruskal");
+}
+
 }  // namespace
 
-AutoMstResult minimum_spanning_forest(const CsrGraph& g, ThreadPool& pool,
-                                      Connectivity connectivity,
+AutoMstResult minimum_spanning_forest(const CsrGraph& g, RunContext& ctx,
                                       const AutoMstOptions& options) {
   AutoMstResult out;
   if (g.num_vertices() == 0) {
@@ -55,71 +77,41 @@ AutoMstResult minimum_spanning_forest(const CsrGraph& g, ThreadPool& pool,
   }
 
   bool connected = false;
-  switch (connectivity) {
+  switch (options.connectivity) {
     case Connectivity::kConnected:
       connected = true;
       break;
     case Connectivity::kDisconnected:
       connected = false;
       break;
-    case Connectivity::kUnknown: {
-      EdgeList list(g.num_vertices(), g.edges());
-      connected = is_connected(list);
+    case Connectivity::kUnknown:
+      // Cached per (context, graph): downstream verification through the
+      // same context reuses the answer instead of recomputing components.
+      connected = ctx.connected(g);
       break;
-    }
   }
 
-  // Deadline and external cancellation combine into one token the chosen
-  // algorithm polls.  An external token is mirrored (checked here and passed
-  // through) rather than copied so the caller keeps ownership semantics.
-  CancelToken token;
-  if (options.deadline_ms > 0) token.set_deadline_after_ms(options.deadline_ms);
-  const CancelToken* cancel = nullptr;
-  if (options.deadline_ms > 0) {
-    cancel = &token;
-  } else if (options.cancel != nullptr) {
-    cancel = options.cancel;
-  }
-  // Both supplied: poll the caller's token from inside ours via the deadline
-  // token — cheapest correct composition is to check the external token at
-  // the same super-step cadence, which the algorithms already do when given
-  // a single token.  We approximate by preferring the deadline token and
-  // letting the caller's cancel() win only between algorithm attempts; the
-  // common cases (deadline only, external only) are exact.
-
-  const std::size_t threads = pool.num_threads();
+  const MstAlgorithm& algo =
+      select_algorithm(connected, ctx.threads(), options);
+  out.algorithm = algo.name;
   std::string reason;
-  bool ok = true;
-  if (!connected || threads >= options.boruvka_crossover) {
-    out.algorithm = "llp_boruvka";
-    ok = run_guarded([&] { return llp_boruvka(g, pool, cancel); }, out.result,
-                     reason);
-  } else if (threads == 1) {
-    out.algorithm = "llp_prim";
-    // Sequential LLP-Prim is the dependable path already; no cancel wiring.
-    out.result = llp_prim(g);
-  } else {
-    out.algorithm = "llp_prim_parallel";
-    ok = run_guarded([&] { return llp_prim_parallel(g, pool, 0, cancel); },
-                     out.result, reason);
-  }
+  bool ok =
+      run_guarded([&] { return algo.run(g, ctx); }, out.result, reason);
 
   if (!ok) {
     // A cancel requested by the CALLER is an instruction to stop, not a
     // failure to route around — honour it and return the partial result.
-    const bool user_cancelled =
-        options.cancel != nullptr &&
-        options.cancel->reason() == RunOutcome::kCancelled;
-    if (options.fallback_to_sequential && !user_cancelled) {
+    if (options.fallback_to_sequential && !ctx.user_cancelled()) {
       if (obs::kCompiledIn) {
         obs::counter("auto/fallbacks").increment();
         obs::add_warning("auto: " + out.algorithm + " failed (" + reason +
                          "); falling back to sequential kruskal");
       }
+      const MstAlgorithm& oracle = mst_algorithm("kruskal");
       out.fell_back = true;
       out.fallback_reason = reason;
-      out.algorithm = "kruskal";
-      out.result = kruskal(g);
+      out.algorithm = oracle.name;
+      out.result = oracle.run(g, ctx);
     } else {
       // No fallback: surface the partial result; the caller inspects
       // result.stats.outcome / fallback_reason.

@@ -73,4 +73,14 @@ MstResult boruvka(const CsrGraph& g) {
   return r;
 }
 
+MstResult boruvka(const CsrGraph& g, RunContext& /*ctx*/) { return boruvka(g); }
+
+MstAlgorithm boruvka_algorithm() {
+  return {"boruvka", "Boruvka (1T)",
+          "sequential Boruvka, faithful per-round BFS (Algorithm 3)",
+          {.parallel = false, .msf_capable = true, .deterministic = true,
+           .cancellable = false},
+          [](const CsrGraph& g, RunContext& ctx) { return boruvka(g, ctx); }};
+}
+
 }  // namespace llpmst

@@ -7,10 +7,16 @@
 // slower than the Prim family in Fig. 2.
 #pragma once
 
-#include "mst/mst_result.hpp"
+#include "mst/registry.hpp"
 
 namespace llpmst {
 
+class RunContext;
+
 [[nodiscard]] MstResult boruvka(const CsrGraph& g);
+/// Uniform registry entry point (sequential; the context is unused).
+[[nodiscard]] MstResult boruvka(const CsrGraph& g, RunContext& ctx);
+/// Registry descriptor (see mst/registry.hpp).
+[[nodiscard]] MstAlgorithm boruvka_algorithm();
 
 }  // namespace llpmst

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "core/run_context.hpp"
 #include "obs/hw_counters.hpp"
 #include "obs/metrics.hpp"
 #include "obs/phase_timer.hpp"
@@ -530,14 +531,19 @@ struct Engine {
 
 }  // namespace
 
-MstResult boruvka_engine(const CsrGraph& g, ThreadPool& pool,
+MstResult boruvka_engine(const CsrGraph& g, RunContext& ctx,
                          const BoruvkaConfig& config) {
   obs::PhaseTimer algo_span(config.obs_label);
   obs::ScopedHwCounters hw_scope(config.obs_label);
+  // Config fields override the context: an explicit cancel token wins over
+  // ctx.cancel_token(), and scratch deliberately does NOT default to the
+  // context's arena (the ablation bench measures fresh-vs-reused scratch;
+  // the named entry points opt in explicitly).
+  BoruvkaConfig cfg = config;
+  if (cfg.cancel == nullptr) cfg.cancel = ctx.cancel_token();
   BoruvkaScratch local_scratch;
-  BoruvkaScratch& s =
-      config.scratch != nullptr ? *config.scratch : local_scratch;
-  Engine engine(g, pool, config, s);
+  BoruvkaScratch& s = cfg.scratch != nullptr ? *cfg.scratch : local_scratch;
+  Engine engine(g, ctx.pool(), cfg, s);
   return engine.run();
 }
 

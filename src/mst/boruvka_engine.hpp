@@ -34,10 +34,11 @@
 
 #include "mst/mst_result.hpp"
 #include "parallel/parallel_for.hpp"
-#include "parallel/thread_pool.hpp"
 #include "support/cancel.hpp"
 
 namespace llpmst {
+
+class RunContext;
 
 /// How step 3 runs.
 enum class PointerJumping {
@@ -138,10 +139,14 @@ struct BoruvkaConfig {
   /// the edge list geometrically, so this is O(log n) polls total).  A
   /// triggered token — or the "boruvka/contract" failpoint — stops the run
   /// with stats.outcome != kOk and the PARTIAL forest built so far.
+  /// nullptr = the engine falls back to RunContext::cancel_token().
   const CancelToken* cancel = nullptr;
   /// Optional caller-owned scratch, reused across runs.  nullptr = the
   /// engine uses an internal scratch for the run (still reused across
-  /// rounds, so per-round allocation stays zero either way).
+  /// rounds, so per-round allocation stays zero either way).  The named
+  /// entry points (parallel_boruvka, llp_boruvka) pass the RunContext's
+  /// arena scratch; the engine itself deliberately does NOT default to it,
+  /// so the ablation's fresh-vs-reused scratch axis stays measurable.
   BoruvkaScratch* scratch = nullptr;
   /// Called after every round's contraction with that round's stats.
   std::function<void(const BoruvkaRoundStats&)> round_observer;
@@ -150,7 +155,8 @@ struct BoruvkaConfig {
 };
 
 /// Runs Boruvka rounds until no edges remain; returns the unique MSF.
-[[nodiscard]] MstResult boruvka_engine(const CsrGraph& g, ThreadPool& pool,
+/// Sweeps run on ctx.pool().
+[[nodiscard]] MstResult boruvka_engine(const CsrGraph& g, RunContext& ctx,
                                        const BoruvkaConfig& config);
 
 }  // namespace llpmst

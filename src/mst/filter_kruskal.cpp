@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "core/run_context.hpp"
 #include "ds/concurrent_union_find.hpp"
 #include "parallel/scan.hpp"
 #include "support/random.hpp"
@@ -93,8 +94,8 @@ struct FilterKruskalState {
 
 }  // namespace
 
-MstResult filter_kruskal(const CsrGraph& g, ThreadPool& pool) {
-  FilterKruskalState state(g, pool);
+MstResult filter_kruskal(const CsrGraph& g, RunContext& ctx) {
+  FilterKruskalState state(g, ctx.pool());
   std::vector<EdgePriority> edges(g.num_edges());
   for (EdgeId e = 0; e < g.num_edges(); ++e) edges[e] = g.edge_priority(e);
   state.solve(edges);
@@ -103,6 +104,16 @@ MstResult filter_kruskal(const CsrGraph& g, ThreadPool& pool) {
   r.edges = std::move(state.chosen);
   finalize_result(g, r);
   return r;
+}
+
+MstAlgorithm filter_kruskal_algorithm() {
+  return {"filter-kruskal", "Filter-Kruskal",
+          "pivot recursion + parallel component filter (OSS 2009)",
+          {.parallel = true, .msf_capable = true, .deterministic = true,
+           .cancellable = false},
+          [](const CsrGraph& g, RunContext& ctx) {
+            return filter_kruskal(g, ctx);
+          }};
 }
 
 }  // namespace llpmst

@@ -11,11 +11,15 @@
 // parallelize; unions happen only in the quiesced base case).
 #pragma once
 
-#include "mst/mst_result.hpp"
-#include "parallel/thread_pool.hpp"
+#include "mst/registry.hpp"
 
 namespace llpmst {
 
-[[nodiscard]] MstResult filter_kruskal(const CsrGraph& g, ThreadPool& pool);
+class RunContext;
+
+/// The filter step runs on ctx.pool(); unions stay sequential.
+[[nodiscard]] MstResult filter_kruskal(const CsrGraph& g, RunContext& ctx);
+/// Registry descriptor (see mst/registry.hpp).
+[[nodiscard]] MstAlgorithm filter_kruskal_algorithm();
 
 }  // namespace llpmst

@@ -199,4 +199,14 @@ MstResult kkt_msf(const CsrGraph& g, std::uint64_t seed) {
   return r;
 }
 
+MstResult kkt_msf(const CsrGraph& g, RunContext& /*ctx*/) { return kkt_msf(g); }
+
+MstAlgorithm kkt_algorithm() {
+  return {"kkt", "KKT",
+          "Karger-Klein-Tarjan randomized MSF, fixed seed (reference [4])",
+          {.parallel = false, .msf_capable = true, .deterministic = true,
+           .cancellable = false},
+          [](const CsrGraph& g, RunContext& ctx) { return kkt_msf(g, ctx); }};
+}
+
 }  // namespace llpmst

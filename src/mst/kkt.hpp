@@ -18,10 +18,17 @@
 
 #include <cstdint>
 
-#include "mst/mst_result.hpp"
+#include "mst/registry.hpp"
 
 namespace llpmst {
 
+class RunContext;
+
 [[nodiscard]] MstResult kkt_msf(const CsrGraph& g, std::uint64_t seed = 1);
+/// Uniform registry entry point (sequential, default seed; the context is
+/// unused).  The fixed seed keeps registry runs reproducible.
+[[nodiscard]] MstResult kkt_msf(const CsrGraph& g, RunContext& ctx);
+/// Registry descriptor (see mst/registry.hpp).
+[[nodiscard]] MstAlgorithm kkt_algorithm();
 
 }  // namespace llpmst

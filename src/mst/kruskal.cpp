@@ -32,4 +32,14 @@ MstResult kruskal(const CsrGraph& g) {
   return r;
 }
 
+MstResult kruskal(const CsrGraph& g, RunContext& /*ctx*/) { return kruskal(g); }
+
+MstAlgorithm kruskal_algorithm() {
+  return {"kruskal", "Kruskal",
+          "sort all edges, grow the forest through union-find (the oracle)",
+          {.parallel = false, .msf_capable = true, .deterministic = true,
+           .cancellable = false},
+          [](const CsrGraph& g, RunContext& ctx) { return kruskal(g, ctx); }};
+}
+
 }  // namespace llpmst

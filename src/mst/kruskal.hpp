@@ -4,10 +4,17 @@
 // sequential baseline.
 #pragma once
 
-#include "mst/mst_result.hpp"
+#include "mst/registry.hpp"
 
 namespace llpmst {
 
+class RunContext;
+
 [[nodiscard]] MstResult kruskal(const CsrGraph& g);
+/// Uniform registry entry point (the context is unused: sequential, no
+/// cancellation points).
+[[nodiscard]] MstResult kruskal(const CsrGraph& g, RunContext& ctx);
+/// Registry descriptor (see mst/registry.hpp).
+[[nodiscard]] MstAlgorithm kruskal_algorithm();
 
 }  // namespace llpmst

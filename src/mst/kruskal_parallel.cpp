@@ -2,12 +2,13 @@
 
 #include <numeric>
 
+#include "core/run_context.hpp"
 #include "ds/union_find.hpp"
 #include "parallel/sort.hpp"
 
 namespace llpmst {
 
-MstResult kruskal_parallel(const CsrGraph& g, ThreadPool& pool) {
+MstResult kruskal_parallel(const CsrGraph& g, RunContext& ctx) {
   const std::size_t n = g.num_vertices();
   const std::size_t m = g.num_edges();
 
@@ -15,7 +16,7 @@ MstResult kruskal_parallel(const CsrGraph& g, ThreadPool& pool) {
   // so no separate index array is needed.
   std::vector<EdgePriority> order(m);
   for (EdgeId e = 0; e < m; ++e) order[e] = g.edge_priority(e);
-  parallel_sort(pool, order);
+  parallel_sort(ctx.pool(), order);
 
   MstResult r;
   r.edges.reserve(n > 0 ? n - 1 : 0);
@@ -30,6 +31,16 @@ MstResult kruskal_parallel(const CsrGraph& g, ThreadPool& pool) {
   }
   finalize_result(g, r);
   return r;
+}
+
+MstAlgorithm kruskal_parallel_algorithm() {
+  return {"kruskal-parallel", "Parallel Kruskal",
+          "Kruskal with the edge sort on the pool, sequential union-find",
+          {.parallel = true, .msf_capable = true, .deterministic = true,
+           .cancellable = false},
+          [](const CsrGraph& g, RunContext& ctx) {
+            return kruskal_parallel(g, ctx);
+          }};
 }
 
 }  // namespace llpmst

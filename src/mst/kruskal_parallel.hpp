@@ -4,11 +4,15 @@
 // 90%" gets compared to the restructured LLP algorithms.
 #pragma once
 
-#include "mst/mst_result.hpp"
-#include "parallel/thread_pool.hpp"
+#include "mst/registry.hpp"
 
 namespace llpmst {
 
-[[nodiscard]] MstResult kruskal_parallel(const CsrGraph& g, ThreadPool& pool);
+class RunContext;
+
+/// Sorts on ctx.pool(); the union-find scan stays sequential.
+[[nodiscard]] MstResult kruskal_parallel(const CsrGraph& g, RunContext& ctx);
+/// Registry descriptor (see mst/registry.hpp).
+[[nodiscard]] MstAlgorithm kruskal_parallel_algorithm();
 
 }  // namespace llpmst

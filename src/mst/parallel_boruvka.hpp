@@ -4,11 +4,16 @@
 // deduplicating contraction.  Handles forests (MSF).
 #pragma once
 
-#include "mst/mst_result.hpp"
-#include "parallel/thread_pool.hpp"
+#include "mst/registry.hpp"
 
 namespace llpmst {
 
-[[nodiscard]] MstResult parallel_boruvka(const CsrGraph& g, ThreadPool& pool);
+class RunContext;
+
+/// Runs on ctx.pool(), polls ctx.cancel_token() between rounds, and reuses
+/// the context's BoruvkaScratch across runs.
+[[nodiscard]] MstResult parallel_boruvka(const CsrGraph& g, RunContext& ctx);
+/// Registry descriptor (see mst/registry.hpp).
+[[nodiscard]] MstAlgorithm parallel_boruvka_algorithm();
 
 }  // namespace llpmst

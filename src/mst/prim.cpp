@@ -9,4 +9,14 @@ MstResult prim(const CsrGraph& g, VertexId root) {
   return prim_with_heap<BinaryHeap<EdgePriority>>(g, root);
 }
 
+MstResult prim(const CsrGraph& g, RunContext& /*ctx*/) { return prim(g); }
+
+MstAlgorithm prim_algorithm() {
+  return {"prim", "Prim",
+          "classic Prim with an indexed binary heap (Fig. 2 baseline)",
+          {.parallel = false, .msf_capable = false, .deterministic = true,
+           .cancellable = false},
+          [](const CsrGraph& g, RunContext& ctx) { return prim(g, ctx); }};
+}
+
 }  // namespace llpmst

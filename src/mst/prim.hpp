@@ -8,12 +8,18 @@
 // does.
 #pragma once
 
-#include "mst/mst_result.hpp"
+#include "mst/registry.hpp"
 
 namespace llpmst {
+
+class RunContext;
 
 /// Runs Prim from `root`.  Heap type is the indexed binary heap; see
 /// prim_with_heap in prim_heaps.hpp for the heap-choice ablation.
 [[nodiscard]] MstResult prim(const CsrGraph& g, VertexId root = 0);
+/// Uniform registry entry point (sequential; the context is unused).
+[[nodiscard]] MstResult prim(const CsrGraph& g, RunContext& ctx);
+/// Registry descriptor (see mst/registry.hpp).
+[[nodiscard]] MstAlgorithm prim_algorithm();
 
 }  // namespace llpmst

@@ -9,4 +9,16 @@ MstResult prim_lazy(const CsrGraph& g, VertexId root) {
   return prim_with_heap<LazyHeap<EdgePriority>>(g, root);
 }
 
+MstResult prim_lazy(const CsrGraph& g, RunContext& /*ctx*/) {
+  return prim_lazy(g);
+}
+
+MstAlgorithm prim_lazy_algorithm() {
+  return {"prim-lazy", "Prim (lazy heap)",
+          "Prim with lazy inserts and stale pops (Section IV's variant)",
+          {.parallel = false, .msf_capable = false, .deterministic = true,
+           .cancellable = false},
+          [](const CsrGraph& g, RunContext& ctx) { return prim_lazy(g, ctx); }};
+}
+
 }  // namespace llpmst

@@ -3,10 +3,16 @@
 // the heap"; stale pops are skipped).  O(m) heap entries, O(m log m) time.
 #pragma once
 
-#include "mst/mst_result.hpp"
+#include "mst/registry.hpp"
 
 namespace llpmst {
 
+class RunContext;
+
 [[nodiscard]] MstResult prim_lazy(const CsrGraph& g, VertexId root = 0);
+/// Uniform registry entry point (sequential; the context is unused).
+[[nodiscard]] MstResult prim_lazy(const CsrGraph& g, RunContext& ctx);
+/// Registry descriptor (see mst/registry.hpp).
+[[nodiscard]] MstAlgorithm prim_lazy_algorithm();
 
 }  // namespace llpmst

@@ -3,13 +3,19 @@
 #include <algorithm>
 #include <vector>
 
+#include "core/run_context.hpp"
 #include "ds/union_find.hpp"
 #include "graph/algorithms/connected_components.hpp"
 #include "mst/forest_path.hpp"
 
 namespace llpmst {
 
-VerifyResult verify_spanning_forest(const CsrGraph& g, const MstResult& r) {
+namespace {
+
+/// Shape + spanning check; on success also reports the component count its
+/// union-find derived (a free byproduct the ctx overloads cache).
+VerifyResult spanning_impl(const CsrGraph& g, const MstResult& r,
+                           std::size_t* components_out) {
   const std::size_t n = g.num_vertices();
   const std::size_t m = g.num_edges();
 
@@ -50,15 +56,13 @@ VerifyResult verify_spanning_forest(const CsrGraph& g, const MstResult& r) {
   if (r.num_trees != uf.num_sets()) {
     return {false, "num_trees does not match the component count"};
   }
+  if (components_out != nullptr) *components_out = uf.num_sets();
   return {true, {}};
 }
 
-VerifyResult verify_msf(const CsrGraph& g, const MstResult& r) {
-  VerifyResult shape = verify_spanning_forest(g, r);
-  if (!shape.ok) return shape;
-
-  // Cycle property: every non-tree edge must be the heaviest edge on the
-  // cycle it closes.  With unique priorities this certifies minimality.
+/// Cycle property: every non-tree edge must be the heaviest edge on the
+/// cycle it closes.  With unique priorities this certifies minimality.
+VerifyResult cycle_property(const CsrGraph& g, const MstResult& r) {
   std::vector<bool> in_tree(g.num_edges(), false);
   for (EdgeId e : r.edges) in_tree[e] = true;
 
@@ -75,6 +79,38 @@ VerifyResult verify_msf(const CsrGraph& g, const MstResult& r) {
     }
   }
   return {true, {}};
+}
+
+}  // namespace
+
+VerifyResult verify_spanning_forest(const CsrGraph& g, const MstResult& r) {
+  return spanning_impl(g, r, nullptr);
+}
+
+VerifyResult verify_spanning_forest(const CsrGraph& g, const MstResult& r,
+                                    RunContext& ctx) {
+  // Fast cross-check against the cached connectivity answer (e.g. from the
+  // mst::auto selection check) before any edge work.
+  if (ctx.components_cached(g) && r.num_trees != ctx.num_components(g)) {
+    return {false, "num_trees does not match the component count"};
+  }
+  std::size_t components = 0;
+  VerifyResult v = spanning_impl(g, r, &components);
+  if (v.ok) ctx.seed_components(g, components);
+  return v;
+}
+
+VerifyResult verify_msf(const CsrGraph& g, const MstResult& r) {
+  VerifyResult shape = verify_spanning_forest(g, r);
+  if (!shape.ok) return shape;
+  return cycle_property(g, r);
+}
+
+VerifyResult verify_msf(const CsrGraph& g, const MstResult& r,
+                        RunContext& ctx) {
+  VerifyResult shape = verify_spanning_forest(g, r, ctx);
+  if (!shape.ok) return shape;
+  return cycle_property(g, r);
 }
 
 }  // namespace llpmst

@@ -22,6 +22,8 @@
 
 namespace llpmst {
 
+class RunContext;
+
 struct VerifyResult {
   bool ok = false;
   std::string error;  // human-readable reason when !ok
@@ -33,5 +35,17 @@ struct VerifyResult {
 /// Shape + spanning only (no minimality); O(n + m).
 [[nodiscard]] VerifyResult verify_spanning_forest(const CsrGraph& g,
                                                   const MstResult& r);
+
+/// Context-aware variants: cross-check the forest's tree count against the
+/// RunContext's cached connectivity answer when one exists (an mst::auto run
+/// through the same context already computed it — a disagreement fails fast
+/// before the edge sweep), and seed the cache from the verifier's own
+/// union-find on success so later consumers skip the component sweep
+/// entirely.  Verification semantics are otherwise identical.
+[[nodiscard]] VerifyResult verify_msf(const CsrGraph& g, const MstResult& r,
+                                      RunContext& ctx);
+[[nodiscard]] VerifyResult verify_spanning_forest(const CsrGraph& g,
+                                                  const MstResult& r,
+                                                  RunContext& ctx);
 
 }  // namespace llpmst

@@ -1,11 +1,13 @@
 // The algorithm portfolio (mst/auto.hpp): picks per the paper's conclusions
-// and always returns the unique MSF.
+// and always returns the unique MSF.  Reported algorithm names are the
+// canonical registry names.
 #include <gtest/gtest.h>
 
 #include "graph/generators/random_graph.hpp"
 #include "graph/generators/road.hpp"
 #include "graph/generators/special.hpp"
 #include "mst/auto.hpp"
+#include "mst/kruskal.hpp"
 #include "test_util.hpp"
 
 namespace llpmst {
@@ -22,65 +24,86 @@ CsrGraph road_graph() {
 
 TEST(AutoMst, SingleThreadPicksSequentialLlpPrim) {
   ThreadPool pool(1);
+  RunContext ctx(pool);
   const CsrGraph g = road_graph();
-  const AutoMstResult r = minimum_spanning_forest(g, pool);
-  EXPECT_EQ(r.algorithm, "llp_prim");
+  const AutoMstResult r = minimum_spanning_forest(g, ctx);
+  EXPECT_EQ(r.algorithm, "llp-prim");
   EXPECT_EQ(r.result.edges, kruskal(g).edges);
 }
 
 TEST(AutoMst, FewThreadsPickParallelLlpPrim) {
   ThreadPool pool(4);
+  RunContext ctx(pool);
   const CsrGraph g = road_graph();
-  const AutoMstResult r = minimum_spanning_forest(g, pool);
-  EXPECT_EQ(r.algorithm, "llp_prim_parallel");
+  const AutoMstResult r = minimum_spanning_forest(g, ctx);
+  EXPECT_EQ(r.algorithm, "llp-prim-parallel");
   EXPECT_EQ(r.result.edges, kruskal(g).edges);
 }
 
 TEST(AutoMst, ManyThreadsPickLlpBoruvka) {
   ThreadPool pool(8);
+  RunContext ctx(pool);
   const CsrGraph g = road_graph();
-  const AutoMstResult r = minimum_spanning_forest(g, pool);
-  EXPECT_EQ(r.algorithm, "llp_boruvka");
+  const AutoMstResult r = minimum_spanning_forest(g, ctx);
+  EXPECT_EQ(r.algorithm, "llp-boruvka");
   EXPECT_EQ(r.result.edges, kruskal(g).edges);
 }
 
 TEST(AutoMst, DisconnectedAlwaysPicksLlpBoruvka) {
   ThreadPool pool(2);
+  RunContext ctx(pool);
   const CsrGraph g = csr(make_forest(3, 50, 7));
-  const AutoMstResult r = minimum_spanning_forest(g, pool);
-  EXPECT_EQ(r.algorithm, "llp_boruvka");
+  const AutoMstResult r = minimum_spanning_forest(g, ctx);
+  EXPECT_EQ(r.algorithm, "llp-boruvka");
   EXPECT_EQ(r.result.num_trees, 3u);
   EXPECT_EQ(r.result.edges, kruskal(g).edges);
 }
 
 TEST(AutoMst, ConnectivityHintSkipsTheCheck) {
   ThreadPool pool(2);
+  RunContext ctx(pool);
   const CsrGraph g = road_graph();
-  const AutoMstResult hinted =
-      minimum_spanning_forest(g, pool, Connectivity::kConnected);
-  EXPECT_EQ(hinted.algorithm, "llp_prim_parallel");
-  const AutoMstResult forced =
-      minimum_spanning_forest(g, pool, Connectivity::kDisconnected);
-  EXPECT_EQ(forced.algorithm, "llp_boruvka");  // hint respected
+  AutoMstOptions opts;
+  opts.connectivity = Connectivity::kConnected;
+  const AutoMstResult hinted = minimum_spanning_forest(g, ctx, opts);
+  EXPECT_EQ(hinted.algorithm, "llp-prim-parallel");
+  opts.connectivity = Connectivity::kDisconnected;
+  const AutoMstResult forced = minimum_spanning_forest(g, ctx, opts);
+  EXPECT_EQ(forced.algorithm, "llp-boruvka");  // hint respected
   EXPECT_EQ(hinted.result.edges, forced.result.edges);
 }
 
 TEST(AutoMst, CrossoverTunable) {
   ThreadPool pool(4);
+  RunContext ctx(pool);
   const CsrGraph g = road_graph();
   AutoMstOptions opts;
+  opts.connectivity = Connectivity::kConnected;
   opts.boruvka_crossover = 2;  // lower the crossover below the pool size
-  const AutoMstResult r =
-      minimum_spanning_forest(g, pool, Connectivity::kConnected, opts);
-  EXPECT_EQ(r.algorithm, "llp_boruvka");
+  const AutoMstResult r = minimum_spanning_forest(g, ctx, opts);
+  EXPECT_EQ(r.algorithm, "llp-boruvka");
 }
 
 TEST(AutoMst, EmptyGraph) {
   ThreadPool pool(2);
+  RunContext ctx(pool);
   const CsrGraph g = csr(EdgeList(0));
-  const AutoMstResult r = minimum_spanning_forest(g, pool);
+  const AutoMstResult r = minimum_spanning_forest(g, ctx);
   EXPECT_EQ(r.algorithm, "trivial");
   EXPECT_TRUE(r.result.edges.empty());
+}
+
+TEST(AutoMst, ConnectivityAnswerIsCachedOnTheContext) {
+  ThreadPool pool(2);
+  RunContext ctx(pool);
+  const CsrGraph g = road_graph();
+  EXPECT_FALSE(ctx.components_cached(g));
+  const AutoMstResult r = minimum_spanning_forest(g, ctx);
+  // The selection's connectivity check seeds the cache; downstream
+  // verification reuses it instead of recomputing components.
+  EXPECT_TRUE(ctx.components_cached(g));
+  EXPECT_EQ(ctx.num_components(g), 1u);
+  EXPECT_EQ(r.result.num_trees, 1u);
 }
 
 }  // namespace

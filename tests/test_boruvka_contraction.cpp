@@ -19,6 +19,8 @@
 
 #include "graph/generators/random_graph.hpp"
 #include "graph/generators/special.hpp"
+#include "llp/llp_boruvka.hpp"
+#include "mst/kruskal.hpp"
 #include "test_util.hpp"
 
 namespace llpmst {
@@ -31,7 +33,7 @@ struct RoundLog {
   std::vector<std::vector<EdgeId>> dropped;     // per-round copies
 };
 
-MstResult run_logged(const CsrGraph& g, ThreadPool& pool, BoruvkaConfig c,
+MstResult run_logged(const CsrGraph& g, RunContext& ctx, BoruvkaConfig c,
                      RoundLog& log) {
   c.collect_dropped_edges = true;
   c.round_observer = [&log](const BoruvkaRoundStats& info) {
@@ -40,7 +42,7 @@ MstResult run_logged(const CsrGraph& g, ThreadPool& pool, BoruvkaConfig c,
     ASSERT_NE(info.dropped_edge_ids, nullptr);
     log.dropped.push_back(*info.dropped_edge_ids);
   };
-  return llp_boruvka_configured(g, pool, c);
+  return llp_boruvka_configured(g, ctx, c);
 }
 
 /// Asserts every per-round invariant plus the whole-run drop accounting.
@@ -105,6 +107,7 @@ void check_rounds(const CsrGraph& g, const MstResult& reference,
 class BoruvkaContraction : public testing::TestWithParam<int> {
  protected:
   ThreadPool pool_{static_cast<std::size_t>(GetParam())};
+  RunContext ctx_{pool_};
 };
 INSTANTIATE_TEST_SUITE_P(Threads, BoruvkaContraction, testing::Values(1, 2, 4));
 
@@ -130,7 +133,7 @@ TEST_P(BoruvkaContraction, RoundInvariantsAcrossAllEngineConfigs) {
         c.dedup_contracted_edges = dedup;
         c.load_balance = lb;
         RoundLog log;
-        const MstResult r = run_logged(g, pool_, c, log);
+        const MstResult r = run_logged(g, ctx_, c, log);
         ASSERT_EQ(r.edges, reference.edges);
         check_rounds(g, reference, log, dedup);
       }
@@ -153,7 +156,7 @@ TEST_P(BoruvkaContraction, ScratchReuseAcrossRunsIsClean) {
       BoruvkaConfig c;
       c.dedup_contracted_edges = true;
       c.scratch = &scratch;
-      const MstResult r = llp_boruvka_configured(*g, pool_, c);
+      const MstResult r = llp_boruvka_configured(*g, ctx_, c);
       EXPECT_EQ(r.edges, kruskal(*g).edges);
     }
   }
@@ -183,7 +186,7 @@ TEST_P(BoruvkaContraction, HundredSeedCrossCheckVsKruskal) {
         BoruvkaConfig c;
         c.dedup_contracted_edges = dedup;
         RoundLog log;
-        const MstResult r = run_logged(g, pool_, c, log);
+        const MstResult r = run_logged(g, ctx_, c, log);
         ASSERT_EQ(r.edges, reference.edges)
             << "dedup=" << dedup << " n=" << g.num_vertices()
             << " m=" << g.num_edges();

@@ -13,8 +13,11 @@
 
 #include "graph/generators/random_graph.hpp"
 #include "graph/generators/road.hpp"
+#include "llp/llp_boruvka.hpp"
+#include "llp/llp_prim_parallel.hpp"
 #include "llp/llp_solver.hpp"
 #include "mst/auto.hpp"
+#include "mst/kruskal.hpp"
 #include "mst/verifier.hpp"
 #include "support/cancel.hpp"
 #include "support/failpoint.hpp"
@@ -61,6 +64,7 @@ TEST_F(Chaos, LlpPrimParallelMatchesKruskalUnderAHundredSeeds) {
   const CsrGraph g = connected_graph();
   const MstResult reference = kruskal(g);
   ThreadPool pool(4);
+  RunContext ctx(pool);
 
   // Yield a fifth of team tasks at dispatch and stall a quarter of the
   // bag/heap handoffs: exactly the windows where a stale frontier or a
@@ -73,7 +77,7 @@ TEST_F(Chaos, LlpPrimParallelMatchesKruskalUnderAHundredSeeds) {
 
   for (std::uint64_t seed = 1; seed <= kChaosSeeds; ++seed) {
     fail::set_seed(seed);
-    const MstResult r = llp_prim_parallel(g, pool);
+    const MstResult r = llp_prim_parallel(g, ctx);
     ASSERT_EQ(r.stats.outcome, RunOutcome::kOk) << "seed " << seed;
     ASSERT_EQ(r.edges, reference.edges) << "seed " << seed;
     ASSERT_EQ(r.total_weight, reference.total_weight) << "seed " << seed;
@@ -87,6 +91,7 @@ TEST_F(Chaos, LlpBoruvkaMatchesKruskalUnderAHundredSeeds) {
   const CsrGraph g = sparse_random_graph();
   const MstResult reference = kruskal(g);
   ThreadPool pool(4);
+  RunContext ctx(pool);
 
   std::string error;
   ASSERT_EQ(fail::configure(
@@ -96,7 +101,7 @@ TEST_F(Chaos, LlpBoruvkaMatchesKruskalUnderAHundredSeeds) {
 
   for (std::uint64_t seed = 1; seed <= kChaosSeeds; ++seed) {
     fail::set_seed(seed);
-    const MstResult r = llp_boruvka(g, pool);
+    const MstResult r = llp_boruvka(g, ctx);
     ASSERT_EQ(r.stats.outcome, RunOutcome::kOk) << "seed " << seed;
     ASSERT_EQ(r.edges, reference.edges) << "seed " << seed;
     const VerifyResult v = verify_spanning_forest(g, r);
@@ -152,10 +157,11 @@ TEST_F(Chaos, WatchdogStopsAWedgedLlpSolve) {
 TEST_F(Chaos, AutoFallsBackToKruskalOnInjectedPrimFault) {
   const CsrGraph g = connected_graph();
   const MstResult reference = kruskal(g);
-  ThreadPool pool(4);  // connected + below the crossover -> llp_prim_parallel
+  ThreadPool pool(4);  // connected + below the crossover -> llp-prim-parallel
+  RunContext ctx(pool);
   ASSERT_TRUE(fail::arm("llp_prim/handoff", "return"));
 
-  const AutoMstResult r = minimum_spanning_forest(g, pool);
+  const AutoMstResult r = minimum_spanning_forest(g, ctx);
   EXPECT_TRUE(r.fell_back);
   EXPECT_EQ(r.algorithm, "kruskal");
   EXPECT_EQ(r.fallback_reason, "injected_fault");
@@ -167,10 +173,11 @@ TEST_F(Chaos, AutoFallsBackToKruskalOnInjectedPrimFault) {
 TEST_F(Chaos, AutoFallsBackToKruskalOnInjectedBoruvkaFault) {
   const CsrGraph g = sparse_random_graph();
   const MstResult reference = kruskal(g);
-  ThreadPool pool(8);  // at the crossover -> llp_boruvka
+  ThreadPool pool(8);  // at the crossover -> llp-boruvka
+  RunContext ctx(pool);
   ASSERT_TRUE(fail::arm("boruvka/contract", "return"));
 
-  const AutoMstResult r = minimum_spanning_forest(g, pool);
+  const AutoMstResult r = minimum_spanning_forest(g, ctx);
   EXPECT_TRUE(r.fell_back);
   EXPECT_EQ(r.algorithm, "kruskal");
   EXPECT_EQ(r.fallback_reason, "injected_fault");
@@ -184,12 +191,11 @@ TEST_F(Chaos, AutoFallsBackToKruskalOnDeadline) {
   const CsrGraph g = connected_graph();
   const MstResult reference = kruskal(g);
   ThreadPool pool(4);
+  RunContext ctx(pool);
   ASSERT_TRUE(fail::arm("llp_prim/handoff", "sleep(500)"));
 
-  AutoMstOptions options;
-  options.deadline_ms = 0.001;
-  const AutoMstResult r =
-      minimum_spanning_forest(g, pool, Connectivity::kUnknown, options);
+  ctx.set_deadline_ms(0.001);
+  const AutoMstResult r = minimum_spanning_forest(g, ctx);
   EXPECT_TRUE(r.fell_back);
   EXPECT_EQ(r.algorithm, "kruskal");
   EXPECT_EQ(r.fallback_reason, "deadline_exceeded");
@@ -202,10 +208,9 @@ TEST_F(Chaos, AutoHonoursUserCancelWithoutFallback) {
   CancelToken token;
   token.cancel();
 
-  AutoMstOptions options;
-  options.cancel = &token;
-  const AutoMstResult r =
-      minimum_spanning_forest(g, pool, Connectivity::kUnknown, options);
+  RunContext ctx(pool);
+  ctx.set_cancel(&token);
+  const AutoMstResult r = minimum_spanning_forest(g, ctx);
   // A user cancel is a request to stop, not a failure to route around.
   EXPECT_FALSE(r.fell_back);
   EXPECT_EQ(r.result.stats.outcome, RunOutcome::kCancelled);
@@ -214,12 +219,12 @@ TEST_F(Chaos, AutoHonoursUserCancelWithoutFallback) {
 TEST_F(Chaos, FallbackCanBeDisabled) {
   const CsrGraph g = connected_graph();
   ThreadPool pool(4);
+  RunContext ctx(pool);
   ASSERT_TRUE(fail::arm("llp_prim/handoff", "return"));
 
   AutoMstOptions options;
   options.fallback_to_sequential = false;
-  const AutoMstResult r =
-      minimum_spanning_forest(g, pool, Connectivity::kUnknown, options);
+  const AutoMstResult r = minimum_spanning_forest(g, ctx, options);
   EXPECT_FALSE(r.fell_back);
   EXPECT_EQ(r.result.stats.outcome, RunOutcome::kInjectedFault);
 }

@@ -12,6 +12,8 @@
 #include "graph/generators/special.hpp"
 #include "graph/io/dimacs.hpp"
 #include "graph/io/edge_list_io.hpp"
+#include "llp/llp_prim.hpp"
+#include "mst/kruskal.hpp"
 #include "mst/verifier.hpp"
 #include "test_util.hpp"
 

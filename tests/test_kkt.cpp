@@ -7,6 +7,7 @@
 #include "graph/generators/special.hpp"
 #include "mst/forest_path.hpp"
 #include "mst/kkt.hpp"
+#include "mst/kruskal.hpp"
 #include "test_util.hpp"
 
 namespace llpmst {

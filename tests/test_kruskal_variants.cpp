@@ -6,6 +6,9 @@
 #include "graph/generators/random_graph.hpp"
 #include "graph/generators/rmat.hpp"
 #include "graph/generators/special.hpp"
+#include "mst/filter_kruskal.hpp"
+#include "mst/kruskal.hpp"
+#include "mst/kruskal_parallel.hpp"
 #include "test_util.hpp"
 
 namespace llpmst {
@@ -16,6 +19,7 @@ using test::csr;
 class KruskalVariants : public testing::TestWithParam<int> {
  protected:
   ThreadPool pool_{static_cast<std::size_t>(GetParam())};
+  RunContext ctx_{pool_};
 };
 INSTANTIATE_TEST_SUITE_P(Threads, KruskalVariants, testing::Values(1, 4));
 
@@ -26,7 +30,7 @@ TEST_P(KruskalVariants, ParallelKruskalMatchesOracle) {
     p.num_edges = 10000;
     p.seed = seed;
     const CsrGraph g = csr(generate_erdos_renyi(p));
-    EXPECT_EQ(kruskal_parallel(g, pool_).edges, kruskal(g).edges)
+    EXPECT_EQ(kruskal_parallel(g, ctx_).edges, kruskal(g).edges)
         << "seed " << seed;
   }
 }
@@ -38,7 +42,7 @@ TEST_P(KruskalVariants, FilterKruskalMatchesOracle) {
     p.num_edges = 20000;  // dense enough that filtering actually kicks in
     p.seed = seed + 50;
     const CsrGraph g = csr(generate_erdos_renyi(p));
-    EXPECT_EQ(filter_kruskal(g, pool_).edges, kruskal(g).edges)
+    EXPECT_EQ(filter_kruskal(g, ctx_).edges, kruskal(g).edges)
         << "seed " << seed;
   }
 }
@@ -46,12 +50,12 @@ TEST_P(KruskalVariants, FilterKruskalMatchesOracle) {
 TEST_P(KruskalVariants, FilterKruskalBelowBaseThreshold) {
   // Small inputs take the pure base-case path.
   const CsrGraph g = csr(make_complete(30, 7));
-  EXPECT_EQ(filter_kruskal(g, pool_).edges, kruskal(g).edges);
+  EXPECT_EQ(filter_kruskal(g, ctx_).edges, kruskal(g).edges);
 }
 
 TEST_P(KruskalVariants, FilterKruskalOnForest) {
   const CsrGraph g = csr(make_forest(4, 500, 3));
-  const MstResult r = filter_kruskal(g, pool_);
+  const MstResult r = filter_kruskal(g, ctx_);
   EXPECT_EQ(r.edges, kruskal(g).edges);
   EXPECT_EQ(r.num_trees, 4u);
 }
@@ -62,19 +66,19 @@ TEST_P(KruskalVariants, ParallelKruskalOnRmat) {
   p.edge_factor = 10;
   p.seed = 4;
   const CsrGraph g = csr(generate_rmat(p));
-  EXPECT_EQ(kruskal_parallel(g, pool_).edges, kruskal(g).edges);
-  EXPECT_EQ(filter_kruskal(g, pool_).edges, kruskal(g).edges);
+  EXPECT_EQ(kruskal_parallel(g, ctx_).edges, kruskal(g).edges);
+  EXPECT_EQ(filter_kruskal(g, ctx_).edges, kruskal(g).edges);
 }
 
 TEST_P(KruskalVariants, TrivialGraphs) {
   const CsrGraph empty = csr(EdgeList(1));
-  EXPECT_TRUE(kruskal_parallel(empty, pool_).edges.empty());
-  EXPECT_TRUE(filter_kruskal(empty, pool_).edges.empty());
+  EXPECT_TRUE(kruskal_parallel(empty, ctx_).edges.empty());
+  EXPECT_TRUE(filter_kruskal(empty, ctx_).edges.empty());
   EdgeList two(2);
   two.add_edge(0, 1, 9);
   two.normalize();
   const CsrGraph g2 = csr(two);
-  EXPECT_EQ(filter_kruskal(g2, pool_).total_weight, 9u);
+  EXPECT_EQ(filter_kruskal(g2, ctx_).total_weight, 9u);
 }
 
 }  // namespace

@@ -8,6 +8,10 @@
 #include "graph/generators/rmat.hpp"
 #include "graph/generators/road.hpp"
 #include "graph/generators/special.hpp"
+#include "llp/llp_prim.hpp"
+#include "llp/llp_prim_parallel.hpp"
+#include "mst/kruskal.hpp"
+#include "mst/prim.hpp"
 #include "test_util.hpp"
 
 namespace llpmst {
@@ -134,7 +138,8 @@ TEST_P(LlpPrimParallel, MatchesSequentialOnManyGraphs) {
   for (std::uint64_t seed = 1; seed <= 3; ++seed) {
     const CsrGraph g = medium_connected_graph(seed + 10);
     const MstResult seq = llp_prim(g);
-    const MstResult par = llp_prim_parallel(g, pool);
+    RunContext ctx(pool);
+    const MstResult par = llp_prim_parallel(g, ctx);
     ASSERT_EQ(par.edges, seq.edges) << "seed " << seed;
     EXPECT_EQ(par.stats.fixed_via_heap + par.stats.fixed_via_mwe,
               g.num_vertices());
@@ -150,7 +155,8 @@ TEST_P(LlpPrimParallel, DenseRmatGraph) {
   connect_components(list);
   const CsrGraph g = csr(list);
   ThreadPool pool(static_cast<std::size_t>(GetParam()));
-  EXPECT_EQ(llp_prim_parallel(g, pool).edges, kruskal(g).edges);
+  RunContext ctx(pool);
+  EXPECT_EQ(llp_prim_parallel(g, ctx).edges, kruskal(g).edges);
 }
 
 TEST(LlpPrimParallelStats, MweShareGrowsWithDensity) {
@@ -159,8 +165,9 @@ TEST(LlpPrimParallelStats, MweShareGrowsWithDensity) {
   // than the sparse road graph... (the share is also what R-set parallelism
   // feeds on).  Sanity-check the instrumentation is populated.
   ThreadPool pool(4);
+  RunContext ctx(pool);
   const CsrGraph road = medium_connected_graph(2);
-  const MstResult r = llp_prim_parallel(road, pool);
+  const MstResult r = llp_prim_parallel(road, ctx);
   EXPECT_GT(r.stats.fixed_via_mwe, road.num_vertices() / 10);
   EXPECT_GT(r.stats.edges_relaxed, 0u);
 }

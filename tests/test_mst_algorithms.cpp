@@ -5,6 +5,13 @@
 #include <set>
 
 #include "graph/generators/special.hpp"
+#include "llp/llp_boruvka.hpp"
+#include "llp/llp_prim.hpp"
+#include "llp/llp_prim_parallel.hpp"
+#include "mst/kruskal.hpp"
+#include "mst/parallel_boruvka.hpp"
+#include "mst/prim.hpp"
+#include "mst/prim_lazy.hpp"
 #include "mst/verifier.hpp"
 #include "test_util.hpp"
 
@@ -132,10 +139,11 @@ TEST(MstAlgorithmsDeathTest, PrimFamilyRejectsDisconnected) {
   const EdgeList list = make_forest(2, 5, 3);
   const CsrGraph g = csr(list);
   ThreadPool pool(1);
+  RunContext ctx(pool);
   EXPECT_DEATH((void)prim(g), "connected");
   EXPECT_DEATH((void)prim_lazy(g), "connected");
-  EXPECT_DEATH((void)llp_prim(g), "connected");
-  EXPECT_DEATH((void)llp_prim_parallel(g, pool), "connected");
+  EXPECT_DEATH((void)llp_prim(g, 0), "connected");
+  EXPECT_DEATH((void)llp_prim_parallel(g, ctx), "connected");
 }
 
 TEST(MstAlgorithms, PrimRootChoiceDoesNotChangeTree) {
@@ -159,11 +167,12 @@ TEST(MstAlgorithms, StarGraphTakesAllEdges) {
 TEST(MstAlgorithms, BoruvkaRoundCountLogarithmic) {
   const CsrGraph g = csr(make_complete(64, 9));
   ThreadPool pool(2);
-  const MstResult r = parallel_boruvka(g, pool);
+  RunContext ctx(pool);
+  const MstResult r = parallel_boruvka(g, ctx);
   // Components at least halve per round: <= ceil(log2(64)) + 1 slack.
   EXPECT_LE(r.stats.rounds, 7u);
   EXPECT_GE(r.stats.rounds, 1u);
-  const MstResult llp = llp_boruvka(g, pool);
+  const MstResult llp = llp_boruvka(g, ctx);
   EXPECT_LE(llp.stats.rounds, 7u);
 }
 

@@ -12,6 +12,10 @@
 #include "graph/generators/rmat.hpp"
 #include "graph/generators/road.hpp"
 #include "graph/generators/special.hpp"
+#include "llp/llp_boruvka.hpp"
+#include "llp/llp_prim_parallel.hpp"
+#include "mst/kruskal.hpp"
+#include "mst/parallel_boruvka.hpp"
 #include "mst/verifier.hpp"
 #include "test_util.hpp"
 
@@ -154,13 +158,14 @@ TEST(MsfDeterminism, RepeatedParallelRunsIdentical) {
   connect_components(list);
   const CsrGraph g = csr(list);
   ThreadPool pool(8);
+  RunContext ctx(pool);
 
   const MstResult reference = kruskal(g);
   for (int run = 0; run < 10; ++run) {
-    ASSERT_EQ(llp_boruvka(g, pool).edges, reference.edges) << "run " << run;
-    ASSERT_EQ(llp_prim_parallel(g, pool).edges, reference.edges)
+    ASSERT_EQ(llp_boruvka(g, ctx).edges, reference.edges) << "run " << run;
+    ASSERT_EQ(llp_prim_parallel(g, ctx).edges, reference.edges)
         << "run " << run;
-    ASSERT_EQ(parallel_boruvka(g, pool).edges, reference.edges)
+    ASSERT_EQ(parallel_boruvka(g, ctx).edges, reference.edges)
         << "run " << run;
   }
 }

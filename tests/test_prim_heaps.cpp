@@ -9,6 +9,7 @@
 #include "graph/generators/random_graph.hpp"
 #include "graph/generators/rmat.hpp"
 #include "graph/generators/road.hpp"
+#include "mst/kruskal.hpp"
 #include "mst/prim_heaps.hpp"
 #include "test_util.hpp"
 

@@ -5,21 +5,11 @@
 #include <string>
 #include <vector>
 
+#include "core/run_context.hpp"
 #include "graph/csr_graph.hpp"
 #include "graph/edge_list.hpp"
-#include "llp/llp_boruvka.hpp"
-#include "llp/llp_prim.hpp"
-#include "llp/llp_prim_async.hpp"
-#include "llp/llp_prim_parallel.hpp"
-#include "mst/boruvka.hpp"
-#include "mst/filter_kruskal.hpp"
-#include "mst/kkt.hpp"
-#include "mst/kruskal.hpp"
-#include "mst/kruskal_parallel.hpp"
 #include "mst/mst_result.hpp"
-#include "mst/parallel_boruvka.hpp"
-#include "mst/prim.hpp"
-#include "mst/prim_lazy.hpp"
+#include "mst/registry.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace llpmst::test {
@@ -36,39 +26,19 @@ struct MsfAlgo {
 };
 
 /// Every MSF implementation in the library, all expected to produce the
-/// identical (unique) forest.
+/// identical (unique) forest.  Driven by the registry: a newly registered
+/// algorithm is swept by these tests with zero edits here, and
+/// `connected_only` comes straight from its capability flags.
 inline std::vector<MsfAlgo> all_msf_algorithms() {
-  return {
-      {"kruskal", false,
-       [](const CsrGraph& g, ThreadPool&) { return kruskal(g); }},
-      {"kruskal_parallel", false,
-       [](const CsrGraph& g, ThreadPool& p) {
-         return kruskal_parallel(g, p);
-       }},
-      {"filter_kruskal", false,
-       [](const CsrGraph& g, ThreadPool& p) { return filter_kruskal(g, p); }},
-      {"kkt", false,
-       [](const CsrGraph& g, ThreadPool&) { return kkt_msf(g); }},
-      {"prim", true, [](const CsrGraph& g, ThreadPool&) { return prim(g); }},
-      {"prim_lazy", true,
-       [](const CsrGraph& g, ThreadPool&) { return prim_lazy(g); }},
-      {"boruvka", false,
-       [](const CsrGraph& g, ThreadPool&) { return boruvka(g); }},
-      {"parallel_boruvka", false,
-       [](const CsrGraph& g, ThreadPool& p) { return parallel_boruvka(g, p); }},
-      {"llp_prim", true,
-       [](const CsrGraph& g, ThreadPool&) { return llp_prim(g); }},
-      {"llp_prim_msf", false,
-       [](const CsrGraph& g, ThreadPool&) { return llp_prim_msf(g); }},
-      {"llp_prim_parallel", true,
-       [](const CsrGraph& g, ThreadPool& p) {
-         return llp_prim_parallel(g, p);
-       }},
-      {"llp_prim_async", true,
-       [](const CsrGraph& g, ThreadPool& p) { return llp_prim_async(g, p); }},
-      {"llp_boruvka", false,
-       [](const CsrGraph& g, ThreadPool& p) { return llp_boruvka(g, p); }},
-  };
+  std::vector<MsfAlgo> out;
+  for (const MstAlgorithm& a : mst_algorithms()) {
+    out.push_back({a.name, !a.caps.msf_capable,
+                   [algo = &a](const CsrGraph& g, ThreadPool& pool) {
+                     RunContext ctx(pool);
+                     return algo->run(g, ctx);
+                   }});
+  }
+  return out;
 }
 
 }  // namespace llpmst::test

@@ -23,10 +23,13 @@
 #include "mst/auto.hpp"
 #include "mst/registry.hpp"
 #include "mst/verifier.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/exposition.hpp"
 #include "obs/hw_counters.hpp"
 #include "obs/mem_stats.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
+#include "obs/sched_events.hpp"
 #include "obs/trace.hpp"
 #include "support/cli.hpp"
 #include "support/failpoint.hpp"
@@ -68,7 +71,10 @@ int main(int argc, char** argv) {
       "algo stats) to this file");
   auto& trace_file = cli.add_string(
       "trace", "", "collect and write a Chrome/Perfetto trace-event JSON "
-      "to this file");
+      "to this file (includes per-worker scheduler tracks)");
+  auto& stats_out = cli.add_string(
+      "stats-out", "", "write an OpenMetrics/Prometheus text exposition "
+      "(counters, phases, scheduler summary) to this file");
   auto& hw_counters = cli.add_bool(
       "hw-counters", false,
       "collect hardware counters (cycles, instructions, cache/branch "
@@ -129,8 +135,12 @@ int main(int argc, char** argv) {
   // --- Observability: flip the runtime gates before any work we want to
   // measure.  Counters are always recorded; phase timers and tracing only
   // cost anything once these are on.
-  const bool want_obs = !metrics_json.empty() || !trace_file.empty();
-  if (want_obs) obs::set_enabled(true);
+  const bool want_obs =
+      !metrics_json.empty() || !trace_file.empty() || !stats_out.empty();
+  if (want_obs) {
+    obs::set_enabled(true);
+    obs::sched_start();  // per-worker event rings (no-op when compiled out)
+  }
   if (!trace_file.empty()) {
     ThreadPool::set_trace_regions(true);
     obs::trace_start();
@@ -220,7 +230,14 @@ int main(int argc, char** argv) {
     }
   }
   const double solve_ms = t.elapsed_ms();
-  if (!trace_file.empty()) obs::trace_stop();  // don't trace the verifier
+  // Stop the scheduler rings at the join, then fold the worker timelines
+  // into the trace (pid-1 tracks) before the trace itself closes — neither
+  // should cover the verifier below.
+  obs::sched_stop();
+  if (!trace_file.empty()) {
+    obs::export_sched_to_trace();
+    obs::trace_stop();
+  }
 
   // Solve-scoped hardware-counter delta (kept "unavailable" when denied).
   obs::HwSample hw_sample;
@@ -326,7 +343,12 @@ int main(int argc, char** argv) {
   }
 
   // --- Observability artefacts.
-  if (!metrics_json.empty()) {
+  if (!metrics_json.empty() && !obs::kCompiledIn) {
+    // Clear notice instead of a silently empty report: the run report's
+    // counters/phases/rounds only exist in the instrumented build.
+    std::printf("Metrics   : observability compiled out (LLPMST_OBS=0); no "
+                "report written — rebuild with -DLLPMST_OBS=ON\n");
+  } else if (!metrics_json.empty()) {
     obs::RunInfo info;
     info.tool = "mst_tool";
     info.algorithm = used;
@@ -359,6 +381,18 @@ int main(int argc, char** argv) {
     }
     std::printf("Trace     : %s (%zu events)\n", trace_file.c_str(),
                 obs::trace_event_count());
+  }
+  if (!stats_out.empty()) {
+    // Unlike --metrics-json, the exposition is written in BOTH build
+    // flavours: an LLPMST_OBS=0 build emits a minimal-but-valid document
+    // (build_info + EOF) so scrapers never branch on the flavour.
+    std::string err;
+    if (!obs::write_openmetrics(stats_out, &err)) {
+      std::fprintf(stderr, "error writing %s: %s\n", stats_out.c_str(),
+                   err.c_str());
+      return 1;
+    }
+    std::printf("Stats     : %s\n", stats_out.c_str());
   }
   if (hw_counters) obs::hw_end();
   return 0;

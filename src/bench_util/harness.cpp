@@ -7,10 +7,12 @@
 #include <vector>
 
 #include "bench_util/table.hpp"
+#include "obs/critical_path.hpp"
 #include "obs/hw_counters.hpp"
 #include "obs/mem_stats.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
+#include "obs/sched_events.hpp"
 #include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "support/assert.hpp"
@@ -34,6 +36,9 @@ struct BenchRecord {
   bool has_hw = false;    // ... unless the group was running
   obs::MemSample mem;     // alloc_* are deltas across the timed reps;
   bool has_mem = false;   // ... unless the allocator hooks are compiled out
+  double sched_util = 0;  // scheduler utilization across the timed reps;
+  double steal_rate = 0;  // ... and steal success rate,
+  bool has_sched = false;  // ... unless obs is compiled out / no events
 };
 
 struct RecordStore {
@@ -144,6 +149,17 @@ std::string render_record(const std::string& bench, const BenchRecord& r) {
   } else {
     out += "\"alloc_delta\":null}";
   }
+  // Scheduler telemetry for this record's timed reps.  bench_compare.py
+  // reports (never gates) drift in these — utilization collapse is a lead
+  // worth surfacing, but too noisy to fail CI on.
+  if (r.has_sched) {
+    std::snprintf(buf, sizeof buf,
+                  ",\"sched\":{\"utilization\":%.4f,\"steal_rate\":%.4f}",
+                  r.sched_util, r.steal_rate);
+    out += buf;
+  } else {
+    out += ",\"sched\":null";
+  }
   out += "}";
   return out;
 }
@@ -219,6 +235,11 @@ BenchMeasurement measure_mst(const std::string& name, const CsrGraph& g,
   // atomics in the operator-new hooks), nothing inside the Timer spans.
   const obs::MemSample mem_before = record ? obs::mem_sample()
                                            : obs::MemSample{};
+  // Scheduler rings bracket the same window.  The per-event cost is two
+  // relaxed stores on a thread-owned line, so leaving them on for the
+  // timed reps stays inside the perf-smoke noise floor.
+  const bool sched = record && obs::kCompiledIn;
+  if (sched) obs::sched_start();
 
   std::vector<double> samples;
   samples.reserve(static_cast<std::size_t>(options.repetitions));
@@ -228,6 +249,7 @@ BenchMeasurement measure_mst(const std::string& name, const CsrGraph& g,
     samples.push_back(t.elapsed_ms());
   }
   m.time_ms = summarize(samples);
+  if (sched) obs::sched_stop();
 
   if (record) {
     BenchRecord r;
@@ -235,6 +257,14 @@ BenchMeasurement measure_mst(const std::string& name, const CsrGraph& g,
     r.warmup = options.warmup;
     r.verified = m.verified;
     r.samples_ms = std::move(samples);
+    if (sched) {
+      const obs::SchedulerSummary ss = obs::scheduler_summary();
+      if (ss.has_events) {
+        r.sched_util = ss.utilization;
+        r.steal_rate = ss.steal_success_rate;
+        r.has_sched = true;
+      }
+    }
     if (hw) {
       const obs::HwSample after = obs::hw_read();
       if (after.available && hw_before.available) {
@@ -335,7 +365,12 @@ bool ObsCli::write_table(const Table& t) const {
 }
 
 bool ObsCli::finish(const std::string& tool, std::size_t threads) const {
-  if (!trace_->empty()) obs::trace_stop();
+  if (!trace_->empty()) {
+    // Fold the last measured datapoint's scheduler timelines into the
+    // trace (pid-1 tracks) before it closes.
+    obs::export_sched_to_trace();
+    obs::trace_stop();
+  }
   bool ok = true;
   if (!metrics_json_->empty()) {
     obs::RunInfo info;

@@ -1,12 +1,14 @@
 #include "llp/llp_prim_parallel.hpp"
 
 #include <atomic>
+#include <utility>
 #include <vector>
 
 #include "core/run_context.hpp"
 #include "ds/binary_heap.hpp"
 #include "obs/hw_counters.hpp"
 #include "obs/phase_timer.hpp"
+#include "obs/round_stats.hpp"
 #include "parallel/atomic_utils.hpp"
 #include "parallel/concurrent_bag.hpp"
 #include "parallel/parallel_for.hpp"
@@ -79,6 +81,9 @@ MstResult llp_prim_parallel(const CsrGraph& g, RunContext& ctx,
       if (cancel != nullptr && cancel->cancelled()) break;  // rechecked above
       obs::PhaseTimer relax_span("relax");
       ++r.stats.llp_sweeps;
+      const bool rounds_on = obs::kCompiledIn && obs::enabled();
+      const std::uint64_t step_t0 = rounds_on ? obs::now_us() : 0;
+      const std::size_t frontier_in = frontier.size();
       parallel_for_worker(
           pool, 0, frontier.size(),
           [&](std::size_t idx, std::size_t w) {
@@ -123,6 +128,16 @@ MstResult llp_prim_parallel(const CsrGraph& g, RunContext& ctx,
       bag_r.drain_into(frontier);
       num_fixed += frontier.size();
       for (const VertexId k : frontier) r.edges.push_back(chosen_edge[k]);
+      if (rounds_on) {
+        obs::RoundRecord round;
+        round.label = "llp_prim_parallel";
+        round.round = r.stats.llp_sweeps;
+        round.components = n - num_fixed;  // unfixed vertices remaining
+        round.edges = frontier_in;         // frontier entering the super-step
+        round.advances = frontier.size();  // vertices newly fixed via MWE
+        round.wall_ms = static_cast<double>(obs::now_us() - step_t0) * 1e-3;
+        obs::record_round(std::move(round));
+      }
     }
 
     // --- R drained: flush staged vertices into the heap (sequential — the

@@ -22,9 +22,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <utility>
 
 #include "obs/metrics.hpp"
 #include "obs/phase_timer.hpp"
+#include "obs/round_stats.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
 #include "support/cancel.hpp"
@@ -66,6 +68,9 @@ LlpStats llp_solve(ThreadPool& pool, std::size_t n, Forbidden&& forbidden,
       options.max_sweeps != 0 ? options.max_sweeps : 4 * n + 16;
 
   obs::PhaseTimer solve_span("llp_solve");
+  // Per-sweep round telemetry (schema-v3 "rounds"): label is left empty so
+  // record_round() attributes the sweep to the caller's nested phase path.
+  const bool rounds_on = obs::kCompiledIn && obs::enabled();
   std::atomic<std::uint64_t> advanced{0};
   for (;;) {
     if (options.cancel != nullptr && options.cancel->cancelled()) {
@@ -85,6 +90,7 @@ LlpStats llp_solve(ThreadPool& pool, std::size_t n, Forbidden&& forbidden,
     }
     ++stats.sweeps;
     advanced.store(0, std::memory_order_relaxed);
+    const std::uint64_t sweep_t0 = rounds_on ? obs::now_us() : 0;
     {
       // Per-sweep span ("llp_solve/sweep"): one enabled() check when obs is
       // idle, a real span in traces — this is the per-sweep visibility the
@@ -114,6 +120,14 @@ LlpStats llp_solve(ThreadPool& pool, std::size_t n, Forbidden&& forbidden,
     }
     const std::uint64_t a = advanced.load(std::memory_order_relaxed);
     stats.advances += a;
+    if (rounds_on) {
+      obs::RoundRecord r;
+      r.round = stats.sweeps;
+      r.edges = n;  // full-sweep engine: the whole index space is scanned
+      r.advances = a;
+      r.wall_ms = static_cast<double>(obs::now_us() - sweep_t0) * 1e-3;
+      obs::record_round(std::move(r));
+    }
     if (a == 0) break;  // outcome stays kOk: we have our solution
   }
   stats.converged = (stats.outcome == RunOutcome::kOk);

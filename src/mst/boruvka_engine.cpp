@@ -2,12 +2,14 @@
 
 #include <atomic>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/run_context.hpp"
 #include "obs/hw_counters.hpp"
 #include "obs/metrics.hpp"
 #include "obs/phase_timer.hpp"
+#include "obs/round_stats.hpp"
 #include "obs/trace.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/scan.hpp"
@@ -97,6 +99,9 @@ struct Engine {
   std::size_t threads;
   std::size_t k = 0;  // live components in the current (dense) id space
   bool steal_fallback = false;  // extract sweep rerouted after measured skew
+  /// max/mean per-worker busy time of the last extract() sweep; 0.0 on
+  /// paths that do not time per-worker shares (serial, steal, fixed-chunk).
+  double last_extract_imbalance = 0.0;
   std::atomic<std::uint32_t> emit_pos{0};  // cursor into s.msf_edges
   std::atomic<std::uint64_t> jump_count{0};
   std::uint64_t jump_rounds = 0;
@@ -135,6 +140,7 @@ struct Engine {
   template <typename View>
   void extract(const View& ev) {
     obs::PhaseTimer span("mwe_select");
+    last_extract_imbalance = 0.0;
     const std::size_t me = ev.size();
     auto body = [this, &ev](std::size_t i) {
       const EdgePriority p = ev.prio(i);
@@ -178,7 +184,17 @@ struct Engine {
     const std::uint64_t wall = detail::grain_clock_ns() - t0;
     s.extract_grain.update(me, static_cast<double>(wall));
     std::uint64_t busy = 0;
-    for (std::size_t w = 0; w < threads; ++w) busy += s.worker_ns[w];
+    std::uint64_t busy_max = 0;
+    for (std::size_t w = 0; w < threads; ++w) {
+      busy += s.worker_ns[w];
+      if (s.worker_ns[w] > busy_max) busy_max = s.worker_ns[w];
+    }
+    if (busy > 0) {
+      // max/mean: 1.0 = perfectly balanced; feeds the round telemetry.
+      last_extract_imbalance = static_cast<double>(busy_max) *
+                               static_cast<double>(threads) /
+                               static_cast<double>(busy);
+    }
     // utilization = busy / (wall * threads); below ~55% on a sweep that is
     // long enough to matter (>100us) means stragglers, not noise.
     if (wall > 100'000 && busy * 100 < wall * threads * 55) {
@@ -451,6 +467,7 @@ struct Engine {
 
     std::size_t active = m;
     bool first_round = true;
+    const bool rounds_on = obs::kCompiledIn && obs::enabled();
     while (active > 0) {
       // Cancellation checkpoint, once per round: every edge already drained
       // into `chosen` was a genuine MSF edge, so stopping between rounds
@@ -473,6 +490,7 @@ struct Engine {
       if (obs::trace_collecting()) {
         obs::trace_emit_counter(active_label, obs::now_us(), active);
       }
+      const std::uint64_t round_t0 = rounds_on ? obs::now_us() : 0;
 
       BoruvkaRoundStats info;
       info.round = r.stats.rounds;
@@ -501,6 +519,18 @@ struct Engine {
       active = kept;
       k = k_new;
       first_round = false;
+
+      if (rounds_on) {
+        obs::RoundRecord rr;
+        rr.label = cfg.obs_label;
+        rr.round = r.stats.rounds;
+        rr.components = info.components;
+        rr.edges = info.active_edges;
+        rr.advances = info.msf_edges_emitted;
+        rr.wall_ms = static_cast<double>(obs::now_us() - round_t0) * 1e-3;
+        rr.imbalance = last_extract_imbalance;
+        obs::record_round(std::move(rr));
+      }
 
       if (cfg.round_observer) {
         info.self_loops_dropped = self_loops;

@@ -3,8 +3,10 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "obs/critical_path.hpp"
 #include "obs/mem_stats.hpp"
 #include "obs/metrics.hpp"
+#include "obs/round_stats.hpp"
 
 namespace llpmst::obs {
 
@@ -59,7 +61,7 @@ std::string build_run_report(const RunInfo& info, const MstAlgoStats* algo,
                              const HwSample* hw) {
   std::string out;
   out.reserve(4096);
-  out += "{\"schema\":\"llpmst-run-report\",\"schema_version\":2,";
+  out += "{\"schema\":\"llpmst-run-report\",\"schema_version\":3,";
 
   // --- run metadata
   out += "\"run\":{\"tool\":";
@@ -190,6 +192,75 @@ std::string build_run_report(const RunInfo& info, const MstAlgoStats* algo,
     out += "}";
   }
   out += "],";
+
+  // --- per-round solver telemetry (schema v3; [] when nothing recorded)
+  out += "\"rounds\":[";
+  first = true;
+  for (const RoundRecord& rr : snapshot_rounds()) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"label\":";
+    out += json_quote(rr.label);
+    out += ",";
+    append_kv_u64(out, "round", rr.round);
+    append_kv_u64(out, "components", rr.components);
+    append_kv_u64(out, "edges", rr.edges);
+    append_kv_u64(out, "advances", rr.advances);
+    append_kv_ms(out, "wall_ms", rr.wall_ms);
+    char ibuf[48];
+    std::snprintf(ibuf, sizeof(ibuf), "\"imbalance\":%.4f}", rr.imbalance);
+    out += ibuf;
+  }
+  out += "],";
+
+  // --- scheduler summary (schema v3; null when no events were collected)
+  {
+    const SchedulerSummary sched = scheduler_summary();
+    if (!sched.has_events) {
+      out += "\"scheduler\":null,";
+    } else {
+      char buf[96];
+      out += "\"scheduler\":{";
+      std::snprintf(buf, sizeof(buf), "\"utilization\":%.4f,",
+                    sched.utilization);
+      out += buf;
+      std::snprintf(buf, sizeof(buf), "\"steal_success_rate\":%.4f,",
+                    sched.steal_success_rate);
+      out += buf;
+      append_kv_u64(out, "span_us", sched.span_us);
+      append_kv_u64(out, "busy_us", sched.busy_us);
+      append_kv_u64(out, "idle_us", sched.idle_us);
+      append_kv_u64(out, "steal_attempts", sched.steal_attempts);
+      append_kv_u64(out, "steal_successes", sched.steal_successes);
+      append_kv_u64(out, "critical_path_us", sched.critical_path_us);
+      append_kv_u64(out, "dropped_events", sched.dropped_events);
+      out += "\"workers\":[";
+      bool first_w = true;
+      for (const WorkerBreakdown& w : sched.workers) {
+        if (!first_w) out.push_back(',');
+        first_w = false;
+        out += "{";
+        append_kv_u64(out, "worker", w.worker);
+        append_kv_u64(out, "busy_us", w.busy_us);
+        append_kv_u64(out, "idle_us", w.idle_us);
+        append_kv_u64(out, "tasks", w.tasks);
+        append_kv_u64(out, "steal_attempts", w.steal_attempts);
+        append_kv_u64(out, "steal_successes", w.steal_successes, false);
+        out += "}";
+      }
+      out += "],\"grain_hist\":[";
+      bool first_g = true;
+      for (const auto& [bucket, count] : sched.grain_hist) {
+        if (!first_g) out.push_back(',');
+        first_g = false;
+        out += "{";
+        append_kv_u64(out, "grain", bucket);
+        append_kv_u64(out, "count", count, false);
+        out += "}";
+      }
+      out += "]},";
+    }
+  }
 
   // --- warnings
   out += "\"warnings\":[";

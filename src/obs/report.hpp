@@ -6,7 +6,7 @@
 // docs/observability.md:
 //
 //   {
-//     "schema": "llpmst-run-report", "schema_version": 2,
+//     "schema": "llpmst-run-report", "schema_version": 3,
 //     "run": {"tool":..., "algorithm":..., "threads":N,
 //             "graph": {"vertices":N, "edges":M}, "wall_ms":X},
 //     "algo": { heap/fix/sweep stats ... } | null,
@@ -17,6 +17,11 @@
 //     "counters": {"llp_prim/heap_inserts": N, ...},
 //     "gauges":   {"boruvka/rounds": N, ...},
 //     "phases":   [{"name":..., "count":N, "total_ms":X}, ...],
+//     "rounds":   [{"label":..., "round":N, "components":N, "edges":N,
+//                   "advances":N, "wall_ms":X, "imbalance":X}, ...],
+//     "scheduler": null | {"utilization":X, "steal_success_rate":X,
+//                          "span_us":N, ..., "workers":[...],
+//                          "grain_hist":[...]},
 //     "warnings": ["..."]
 //   }
 //

@@ -1,0 +1,60 @@
+#include "obs/round_stats.hpp"
+
+#if LLPMST_OBS
+
+#include <mutex>
+#include <utility>
+
+namespace llpmst::obs {
+
+namespace {
+
+struct RoundStore {
+  std::mutex mu;
+  std::vector<RoundRecord> records;
+  std::uint64_t dropped = 0;
+};
+
+RoundStore& store() {
+  static RoundStore* s = new RoundStore;  // leaked: outlives all threads
+  return *s;
+}
+
+}  // namespace
+
+void record_round(RoundRecord r) {
+  if (!enabled()) return;
+  if (r.label.empty()) r.label = detail::phase_path();
+  RoundStore& s = store();
+  std::lock_guard lock(s.mu);
+  if (s.records.size() >= kMaxRoundRecords) {
+    if (s.dropped++ == 0) {
+      add_warning("round-stats buffer full; dropping further round records");
+    }
+    return;
+  }
+  s.records.push_back(std::move(r));
+}
+
+std::vector<RoundRecord> snapshot_rounds() {
+  RoundStore& s = store();
+  std::lock_guard lock(s.mu);
+  return s.records;
+}
+
+std::uint64_t rounds_dropped() {
+  RoundStore& s = store();
+  std::lock_guard lock(s.mu);
+  return s.dropped;
+}
+
+void reset_rounds() {
+  RoundStore& s = store();
+  std::lock_guard lock(s.mu);
+  s.records.clear();
+  s.dropped = 0;
+}
+
+}  // namespace llpmst::obs
+
+#endif  // LLPMST_OBS

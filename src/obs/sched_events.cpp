@@ -1,0 +1,119 @@
+#include "obs/sched_events.hpp"
+
+#if LLPMST_OBS
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+namespace llpmst::obs {
+
+namespace {
+
+// An event packed into two 64-bit words so the ring can be written and read
+// with plain relaxed atomics (no per-slot locking, no seqlock):
+//   word a: kind in the top 8 bits, timestamp (us) in the low 56 — the obs
+//           epoch is process-relative, so 56 bits is > 2000 years;
+//   word b: the value payload.
+constexpr std::uint64_t kTsMask = (std::uint64_t{1} << 56) - 1;
+
+struct Slot {
+  std::atomic<std::uint64_t> a{0};
+  std::atomic<std::uint64_t> b{0};
+};
+
+// One ring per emitting thread.  The owner is the only writer of `slots`
+// and the only thread advancing `head`; sched_start() resets `head` from
+// the coordinator, which the lifecycle contract makes safe (no region in
+// flight) and the atomics keep defined even when violated.
+struct SchedRing {
+  explicit SchedRing(std::uint32_t w)
+      : worker(w), slots(new Slot[kSchedRingCapacity]) {}
+  const std::uint32_t worker;
+  std::atomic<std::uint64_t> head{0};  // total events ever written
+  std::unique_ptr<Slot[]> slots;
+};
+
+struct SchedState {
+  std::atomic<bool> collecting{false};
+  std::mutex rings_mu;
+  std::vector<std::unique_ptr<SchedRing>> rings;  // stable addresses
+};
+
+SchedState& state() {
+  static SchedState* s = new SchedState;  // leaked: outlives all threads
+  return *s;
+}
+
+SchedRing& local_ring() {
+  thread_local SchedRing* ring = [] {
+    SchedState& s = state();
+    std::lock_guard lock(s.rings_mu);
+    s.rings.push_back(std::make_unique<SchedRing>(
+        static_cast<std::uint32_t>(shard_id())));
+    return s.rings.back().get();
+  }();
+  return *ring;
+}
+
+}  // namespace
+
+bool sched_collecting() {
+  return state().collecting.load(std::memory_order_relaxed);
+}
+
+void sched_start() {
+  SchedState& s = state();
+  {
+    std::lock_guard lock(s.rings_mu);
+    for (auto& ring : s.rings) {
+      ring->head.store(0, std::memory_order_relaxed);
+    }
+  }
+  s.collecting.store(true, std::memory_order_release);
+}
+
+void sched_stop() {
+  state().collecting.store(false, std::memory_order_release);
+}
+
+void sched_record(SchedEventKind kind, std::uint64_t ts_us,
+                  std::uint64_t value) {
+  if (!sched_collecting()) return;
+  SchedRing& ring = local_ring();
+  const std::uint64_t h = ring.head.load(std::memory_order_relaxed);
+  Slot& slot = ring.slots[h & (kSchedRingCapacity - 1)];
+  slot.a.store((static_cast<std::uint64_t>(kind) << 56) | (ts_us & kTsMask),
+               std::memory_order_relaxed);
+  slot.b.store(value, std::memory_order_relaxed);
+  // Release: a snapshot that sees this head sees the slot words above.
+  ring.head.store(h + 1, std::memory_order_release);
+}
+
+SchedSnapshot snapshot_sched_events() {
+  SchedSnapshot snap;
+  SchedState& s = state();
+  std::lock_guard lock(s.rings_mu);
+  for (auto& ring : s.rings) {
+    const std::uint64_t h = ring->head.load(std::memory_order_acquire);
+    const std::uint64_t count = std::min<std::uint64_t>(h, kSchedRingCapacity);
+    snap.dropped += h - count;
+    snap.events.reserve(snap.events.size() + count);
+    for (std::uint64_t i = h - count; i < h; ++i) {
+      const Slot& slot = ring->slots[i & (kSchedRingCapacity - 1)];
+      const std::uint64_t a = slot.a.load(std::memory_order_relaxed);
+      SchedEvent e;
+      e.kind = static_cast<SchedEventKind>(a >> 56);
+      e.worker = ring->worker;
+      e.ts_us = a & kTsMask;
+      e.value = slot.b.load(std::memory_order_relaxed);
+      snap.events.push_back(e);
+    }
+  }
+  return snap;
+}
+
+}  // namespace llpmst::obs
+
+#endif  // LLPMST_OBS

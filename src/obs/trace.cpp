@@ -14,6 +14,7 @@ struct TraceEvent {
   std::string name;
   std::uint64_t ts_us = 0;
   std::uint64_t dur_us = 0;  // for "C" events: the counter value
+  std::uint32_t pid = 0;     // 0 = phase spans; 1 = scheduler timelines
   std::uint32_t tid = 0;
   char ph = 'X';
 };
@@ -49,8 +50,9 @@ TraceBuffer& local_buffer() {
   return *buf;
 }
 
-void emit(std::string_view name, std::uint64_t ts_us, std::uint64_t dur_us,
-          char ph) {
+void emit_full(std::string_view name, std::uint64_t ts_us,
+               std::uint64_t dur_us, std::uint32_t pid, std::uint32_t tid,
+               char ph) {
   TraceBuffer& buf = local_buffer();
   std::lock_guard lock(buf.mu);
   if (buf.events.size() >= kMaxTraceEventsPerThread) {
@@ -59,9 +61,14 @@ void emit(std::string_view name, std::uint64_t ts_us, std::uint64_t dur_us,
     }
     return;
   }
-  buf.events.push_back(TraceEvent{
-      std::string(name), ts_us, dur_us,
-      static_cast<std::uint32_t>(shard_id()), ph});
+  buf.events.push_back(TraceEvent{std::string(name), ts_us, dur_us, pid, tid,
+                                  ph});
+}
+
+void emit(std::string_view name, std::uint64_t ts_us, std::uint64_t dur_us,
+          char ph) {
+  emit_full(name, ts_us, dur_us, 0, static_cast<std::uint32_t>(shard_id()),
+            ph);
 }
 
 }  // namespace
@@ -99,6 +106,13 @@ void trace_emit_counter(std::string_view name, std::uint64_t ts_us,
   emit(name, ts_us, value, 'C');
 }
 
+void trace_emit_for(std::uint32_t pid, std::uint32_t tid,
+                    std::string_view name, char ph, std::uint64_t ts_us,
+                    std::uint64_t dur_us) {
+  if (!trace_collecting()) return;
+  emit_full(name, ts_us, dur_us, pid, tid, ph);
+}
+
 std::size_t trace_event_count() {
   TraceState& s = state();
   std::size_t n = 0;
@@ -126,15 +140,22 @@ std::string trace_json() {
       if (e.ph == 'C') {
         std::snprintf(line, sizeof(line),
                       ",\"cat\":\"llpmst\",\"ph\":\"C\",\"ts\":%llu,"
-                      "\"pid\":0,\"tid\":%u,\"args\":{\"value\":%llu}}",
-                      static_cast<unsigned long long>(e.ts_us), e.tid,
+                      "\"pid\":%u,\"tid\":%u,\"args\":{\"value\":%llu}}",
+                      static_cast<unsigned long long>(e.ts_us), e.pid, e.tid,
                       static_cast<unsigned long long>(e.dur_us));
+      } else if (e.ph == 'i') {
+        // Instant event, thread-scoped ("s":"t").
+        std::snprintf(line, sizeof(line),
+                      ",\"cat\":\"llpmst\",\"ph\":\"i\",\"ts\":%llu,"
+                      "\"s\":\"t\",\"pid\":%u,\"tid\":%u}",
+                      static_cast<unsigned long long>(e.ts_us), e.pid, e.tid);
       } else {
         std::snprintf(line, sizeof(line),
                       ",\"cat\":\"llpmst\",\"ph\":\"X\",\"ts\":%llu,"
-                      "\"dur\":%llu,\"pid\":0,\"tid\":%u}",
+                      "\"dur\":%llu,\"pid\":%u,\"tid\":%u}",
                       static_cast<unsigned long long>(e.ts_us),
-                      static_cast<unsigned long long>(e.dur_us), e.tid);
+                      static_cast<unsigned long long>(e.dur_us), e.pid,
+                      e.tid);
       }
       out += line;
     }

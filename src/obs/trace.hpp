@@ -44,6 +44,14 @@ void trace_emit(std::string_view name, std::uint64_t ts_us,
 void trace_emit_counter(std::string_view name, std::uint64_t ts_us,
                         std::uint64_t value);
 
+/// Appends an event with an explicit pid/tid instead of the calling
+/// thread's shard id — how the scheduler timelines render as their own
+/// per-worker tracks (pid 1) next to the phase spans (pid 0).  `ph` is 'X'
+/// (complete span, dur_us used) or 'i' (instant, dur_us ignored).
+void trace_emit_for(std::uint32_t pid, std::uint32_t tid,
+                    std::string_view name, char ph, std::uint64_t ts_us,
+                    std::uint64_t dur_us);
+
 /// Number of events currently buffered across all threads.
 [[nodiscard]] std::size_t trace_event_count();
 #else
@@ -53,6 +61,8 @@ inline void trace_stop() {}
 inline void trace_emit(std::string_view, std::uint64_t, std::uint64_t) {}
 inline void trace_emit_counter(std::string_view, std::uint64_t,
                                std::uint64_t) {}
+inline void trace_emit_for(std::uint32_t, std::uint32_t, std::string_view,
+                           char, std::uint64_t, std::uint64_t) {}
 [[nodiscard]] inline std::size_t trace_event_count() { return 0; }
 #endif  // LLPMST_OBS
 

@@ -20,6 +20,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "obs/sched_events.hpp"
 #include "parallel/thread_pool.hpp"
 #include "support/cancel.hpp"
 
@@ -136,10 +137,16 @@ void parallel_for_adaptive(ThreadPool& pool, std::size_t begin,
   const std::size_t n = end - begin;
   const std::uint64_t t0 = detail::grain_clock_ns();
   if (pool.num_threads() == 1 || feedback.prefers_serial(n)) {
+    if (obs::sched_collecting()) {
+      obs::sched_record(obs::SchedEventKind::kGrainSerial, obs::now_us(), n);
+    }
     for (std::size_t i = begin; i < end; ++i) body(i);
   } else {
-    parallel_for(pool, begin, end, body,
-                 feedback.grain(n, pool.num_threads()));
+    const std::size_t g = feedback.grain(n, pool.num_threads());
+    if (obs::sched_collecting()) {
+      obs::sched_record(obs::SchedEventKind::kGrain, obs::now_us(), g);
+    }
+    parallel_for(pool, begin, end, body, g);
   }
   feedback.update(n, static_cast<double>(detail::grain_clock_ns() - t0));
 }

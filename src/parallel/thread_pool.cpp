@@ -3,6 +3,7 @@
 #include <new>
 #include <utility>
 
+#include "obs/sched_events.hpp"
 #include "obs/trace.hpp"
 #include "support/assert.hpp"
 #include "support/failpoint.hpp"
@@ -30,15 +31,20 @@ inline void run_region(const Fn& f, std::size_t worker_id) {
     case fail::Action::kNone:
       break;
   }
-  // trace_collecting() first: it is a compile-time false in LLPMST_OBS=0
-  // builds, so the whole branch folds away there.
-  if (obs::trace_collecting() && ThreadPool::trace_regions()) {
-    const std::uint64_t t0 = obs::now_us();
+  // Both gates are compile-time false in LLPMST_OBS=0 builds, so the whole
+  // timed branch folds away there; with obs in but idle the cost is two
+  // relaxed loads per worker per region.
+  const bool trace = obs::trace_collecting() && ThreadPool::trace_regions();
+  const bool sched = obs::sched_collecting();
+  if (!trace && !sched) {
     f.invoke(f.obj, worker_id);
-    obs::trace_emit("pool/region", t0, obs::now_us() - t0);
     return;
   }
+  const std::uint64_t t0 = obs::now_us();
   f.invoke(f.obj, worker_id);
+  const std::uint64_t dur = obs::now_us() - t0;
+  if (trace) obs::trace_emit("pool/region", t0, dur);
+  if (sched) obs::sched_record(obs::SchedEventKind::kTask, t0, dur);
 }
 
 }  // namespace

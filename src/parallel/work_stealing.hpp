@@ -27,6 +27,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/sched_events.hpp"
 #include "parallel/thread_pool.hpp"
 #include "support/assert.hpp"
 
@@ -94,8 +95,30 @@ void work_stealing_run(ThreadPool& pool, const std::vector<T>& initial,
   pool.run_team([&](std::size_t w) {
     WorkStealingContext<T> ctx(state, w);
     std::size_t next_victim = (w + 1) % workers;
+    // Scheduler events are batched per idle episode, not per probe: one
+    // kIdle span plus one kStealAttempt (value = failed probes) when work
+    // is found again, and one kStealSuccess per actual steal — bounded
+    // event volume no matter how hot the steal loop spins.
+    const bool sched = obs::sched_collecting();
+    std::uint64_t idle_start = 0;  // 0 = not in an idle episode
+    std::uint64_t failed_probes = 0;
+    const auto flush_idle = [&] {
+      if (idle_start == 0 && failed_probes == 0) return;
+      const std::uint64_t now = obs::now_us();
+      if (idle_start != 0) {
+        obs::sched_record(obs::SchedEventKind::kIdle, idle_start,
+                          now - idle_start);
+      }
+      if (failed_probes != 0) {
+        obs::sched_record(obs::SchedEventKind::kStealAttempt, now,
+                          failed_probes);
+      }
+      idle_start = 0;
+      failed_probes = 0;
+    };
     for (;;) {
       bool have = false;
+      bool stolen = false;
       T item{};
 
       // Own deque first (LIFO for locality).
@@ -119,18 +142,32 @@ void work_stealing_run(ThreadPool& pool, const std::vector<T>& initial,
             item = dq.items.front();
             dq.items.pop_front();
             have = true;
+            stolen = true;
+          } else if (sched) {
+            ++failed_probes;
           }
         }
       }
 
       if (have) {
+        if (sched) {
+          flush_idle();
+          if (stolen) {
+            obs::sched_record(obs::SchedEventKind::kStealSuccess,
+                              obs::now_us(), 1);
+          }
+        }
         body(item, ctx);
         state.pending.fetch_sub(1, std::memory_order_acq_rel);
         continue;
       }
+      if (sched && idle_start == 0) idle_start = obs::now_us();
       // Nothing found anywhere: done only if no item is pending (being
       // processed items may still push).
-      if (state.pending.load(std::memory_order_acquire) == 0) return;
+      if (state.pending.load(std::memory_order_acquire) == 0) {
+        if (sched) flush_idle();
+        return;
+      }
       // Someone is still working; back off briefly and retry.
       std::this_thread::yield();
     }

@@ -19,11 +19,14 @@ CHECK = TOOLS / "check_report_schema.py"
 
 
 def make_record(algo="LLP-Prim", median=10.0, iqr=0.5, workload="Road 16,384",
-                bench="bench_fig2_single_thread", threads=1, allocs=None):
+                bench="bench_fig2_single_thread", threads=1, allocs=None,
+                util=None):
     """A schema-complete llpmst-bench record around the given median.
 
     `allocs` is the per-repetition allocation count; None leaves the
-    alloc_delta section null (allocator hooks compiled out).
+    alloc_delta section null (allocator hooks compiled out).  `util` fills
+    the "sched" section's utilization; None omits the section entirely
+    (a pre-PR-6 record).
     """
     samples = [median - iqr, median, median + iqr]
     alloc_delta = None
@@ -31,7 +34,7 @@ def make_record(algo="LLP-Prim", median=10.0, iqr=0.5, workload="Road 16,384",
         alloc_delta = {"count": allocs * len(samples),
                        "bytes": allocs * len(samples) * 64,
                        "frees": allocs * len(samples)}
-    return {
+    record = {
         "schema": "llpmst-bench",
         "schema_version": 1,
         "bench": bench,
@@ -56,6 +59,9 @@ def make_record(algo="LLP-Prim", median=10.0, iqr=0.5, workload="Road 16,384",
         "mem": {"peak_rss_bytes": 1 << 20, "alloc": None,
                 "alloc_delta": alloc_delta},
     }
+    if util is not None:
+        record["sched"] = {"utilization": util, "steal_rate": 0.1}
+    return record
 
 
 def write_jsonl(path, records):
@@ -215,6 +221,43 @@ class BenchCompareTest(unittest.TestCase):
             [make_record("LLP-Prim", allocs=None)],
             [make_record("LLP-Prim", allocs=100000)])
         r = run_compare(base, cand)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+    def test_utilization_drift_is_reported_but_never_fails(self):
+        # A 0.70 -> 0.30 utilization collapse is worth a log line, but the
+        # drift report must not affect the exit status.
+        base, cand = self.write_sets(
+            [make_record("LLP-Prim", util=0.70)],
+            [make_record("LLP-Prim", util=0.30)])
+        r = run_compare(base, cand)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("util drift", r.stdout)
+        self.assertIn("report-only", r.stdout)
+
+    def test_small_utilization_drift_is_not_reported(self):
+        base, cand = self.write_sets(
+            [make_record("LLP-Prim", util=0.70)],
+            [make_record("LLP-Prim", util=0.68)])
+        r = run_compare(base, cand)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertNotIn("util drift", r.stdout)
+
+    def test_utilization_skipped_when_either_side_lacks_sched(self):
+        # Old baselines predate the "sched" section; comparing against a
+        # new candidate must neither report drift nor fail.
+        base, cand = self.write_sets(
+            [make_record("LLP-Prim")],
+            [make_record("LLP-Prim", util=0.05)])
+        r = run_compare(base, cand)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertNotIn("util drift", r.stdout)
+        self.assertNotIn("utilization:", r.stdout)
+
+    def test_records_with_sched_pass_schema_checker(self):
+        path = self.tmp / "records.bench.jsonl"
+        write_jsonl(path, [make_record("LLP-Prim", util=0.5)])
+        r = subprocess.run([sys.executable, str(CHECK), str(path)],
+                           capture_output=True, text=True)
         self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
 
 

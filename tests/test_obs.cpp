@@ -7,16 +7,23 @@
 // honest.  Tests that measure real recording guard on obs::kCompiledIn.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <string>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "mst/mst_result.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/exposition.hpp"
 #include "obs/hw_counters.hpp"
 #include "obs/mem_stats.hpp"
 #include "obs/metrics.hpp"
 #include "obs/phase_timer.hpp"
 #include "obs/report.hpp"
+#include "obs/round_stats.hpp"
+#include "obs/sched_events.hpp"
 #include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -401,23 +408,304 @@ TEST(ObsMemStats, AllocationCountersGrowWhenCompiledIn) {
   }
 }
 
-// --- The v2 report document. ------------------------------------------
+// --- The v3 report document. ------------------------------------------
 
-TEST(ObsReport, SchemaV2CarriesHwNullAndMemSections) {
+TEST(ObsReport, SchemaV3CarriesHwNullMemRoundsAndScheduler) {
+  obs::reset_rounds();
   const std::string report =
       obs::build_run_report(test_run_info(), nullptr, nullptr);
   EXPECT_TRUE(json_balanced(report)) << report;
-  EXPECT_NE(report.find("\"schema_version\":2"), std::string::npos);
+  EXPECT_NE(report.find("\"schema_version\":3"), std::string::npos);
   // --hw-counters not requested: hw must be JSON null, not omitted.
   EXPECT_NE(report.find("\"hw\":null"), std::string::npos) << report;
   EXPECT_NE(report.find("\"mem\":{\"peak_rss_bytes\":"), std::string::npos)
       << report;
+  // v3: the rounds array and scheduler section are always present — empty
+  // and null when nothing was collected, never omitted.
+  EXPECT_NE(report.find("\"rounds\":["), std::string::npos) << report;
+  EXPECT_NE(report.find("\"scheduler\":"), std::string::npos) << report;
   if constexpr (obs::kCompiledIn) {
     EXPECT_NE(report.find("\"alloc\":{\"count\":"), std::string::npos)
         << report;
   } else {
     EXPECT_NE(report.find("\"alloc\":null"), std::string::npos) << report;
   }
+}
+
+TEST(ObsReport, SchemaV3SerializesRecordedRounds) {
+  if constexpr (!obs::kCompiledIn) GTEST_SKIP() << "obs compiled out";
+  obs::reset_rounds();
+  obs::set_enabled(true);
+  obs::RoundRecord r;
+  r.label = "report_site";
+  r.round = 7;
+  r.components = 11;
+  r.edges = 13;
+  r.advances = 17;
+  r.wall_ms = 0.25;
+  r.imbalance = 1.5;
+  obs::record_round(r);
+  obs::set_enabled(false);
+  const std::string report =
+      obs::build_run_report(test_run_info(), nullptr, nullptr);
+  EXPECT_TRUE(json_balanced(report)) << report;
+  EXPECT_NE(report.find("\"label\":\"report_site\""), std::string::npos)
+      << report;
+  EXPECT_NE(report.find("\"round\":7"), std::string::npos) << report;
+  EXPECT_NE(report.find("\"imbalance\":1.5"), std::string::npos) << report;
+  obs::reset_rounds();
+}
+
+// --- Scheduler event rings (schema v3 "scheduler" section). -----------
+
+TEST(ObsSchedEvents, RecordsOnlyWhileCollecting) {
+  if constexpr (!obs::kCompiledIn) GTEST_SKIP() << "obs compiled out";
+  obs::sched_record(obs::SchedEventKind::kTask, 10, 5);  // before start
+  obs::sched_start();
+  EXPECT_TRUE(obs::sched_collecting());
+  obs::sched_record(obs::SchedEventKind::kTask, 100, 40);
+  obs::sched_record(obs::SchedEventKind::kStealSuccess, 150, 1);
+  obs::sched_stop();
+  EXPECT_FALSE(obs::sched_collecting());
+  obs::sched_record(obs::SchedEventKind::kTask, 200, 5);  // after stop
+  const obs::SchedSnapshot snap = obs::snapshot_sched_events();
+  ASSERT_EQ(snap.events.size(), 2u)
+      << "events recorded outside start/stop leaked into the ring";
+  EXPECT_EQ(snap.dropped, 0u);
+  EXPECT_EQ(snap.events[0].kind, obs::SchedEventKind::kTask);
+  EXPECT_EQ(snap.events[0].ts_us, 100u);
+  EXPECT_EQ(snap.events[0].value, 40u);
+  EXPECT_EQ(snap.events[1].kind, obs::SchedEventKind::kStealSuccess);
+  EXPECT_EQ(snap.events[1].ts_us, 150u);
+  // Buffered events survive until the next start, which clears them.
+  obs::sched_start();
+  obs::sched_stop();
+  EXPECT_TRUE(obs::snapshot_sched_events().events.empty());
+}
+
+TEST(ObsSchedEvents, DropOldestKeepsNewestAndCountsDrops) {
+  if constexpr (!obs::kCompiledIn) GTEST_SKIP() << "obs compiled out";
+  obs::sched_start();
+  const std::uint64_t extra = 100;
+  const std::uint64_t total = obs::kSchedRingCapacity + extra;
+  for (std::uint64_t i = 0; i < total; ++i) {
+    obs::sched_record(obs::SchedEventKind::kTask, i, i);
+  }
+  obs::sched_stop();
+  const obs::SchedSnapshot snap = obs::snapshot_sched_events();
+  EXPECT_EQ(snap.events.size(), obs::kSchedRingCapacity);
+  EXPECT_EQ(snap.dropped, extra);
+  // Drop-oldest: the survivors are exactly the newest capacity events.
+  std::uint64_t min_ts = UINT64_MAX, max_ts = 0;
+  for (const obs::SchedEvent& e : snap.events) {
+    min_ts = std::min(min_ts, e.ts_us);
+    max_ts = std::max(max_ts, e.ts_us);
+  }
+  EXPECT_EQ(min_ts, extra);
+  EXPECT_EQ(max_ts, total - 1);
+  obs::sched_start();  // leave no bulk buffered for later tests
+  obs::sched_stop();
+}
+
+// --- Critical-path analysis (pure, both flavours). --------------------
+
+TEST(ObsCriticalPath, EmptySnapshotHasNoEvents) {
+  const obs::SchedulerSummary sum = obs::analyze_sched({});
+  EXPECT_FALSE(sum.has_events);
+  EXPECT_EQ(sum.utilization, 0.0);
+  EXPECT_TRUE(sum.workers.empty());
+}
+
+TEST(ObsCriticalPath, AnalyzesSyntheticTimeline) {
+  obs::SchedSnapshot snap;
+  auto add = [&snap](obs::SchedEventKind k, std::uint32_t w,
+                     std::uint64_t ts, std::uint64_t v) {
+    obs::SchedEvent e;
+    e.kind = k;
+    e.worker = w;
+    e.ts_us = ts;
+    e.value = v;
+    snap.events.push_back(e);
+  };
+  // Worker 0 busy [0,100); worker 1 idles [0,50) then busy [50,150).
+  add(obs::SchedEventKind::kTask, 0, 0, 100);
+  add(obs::SchedEventKind::kIdle, 1, 0, 50);
+  add(obs::SchedEventKind::kTask, 1, 50, 100);
+  add(obs::SchedEventKind::kStealAttempt, 1, 50, 3);  // 3 failed probes
+  add(obs::SchedEventKind::kStealSuccess, 1, 50, 1);
+  add(obs::SchedEventKind::kGrain, 0, 10, 4096);
+  add(obs::SchedEventKind::kGrain, 0, 20, 5000);  // same pow2 bucket
+  add(obs::SchedEventKind::kGrainSerial, 0, 30, 64);
+  snap.dropped = 2;
+
+  const obs::SchedulerSummary sum = obs::analyze_sched(snap);
+  EXPECT_TRUE(sum.has_events);
+  EXPECT_EQ(sum.span_us, 150u);
+  EXPECT_EQ(sum.busy_us, 200u);
+  EXPECT_EQ(sum.idle_us, 50u);
+  EXPECT_EQ(sum.dropped_events, 2u);
+  EXPECT_NEAR(sum.utilization, 200.0 / (150.0 * 2.0), 1e-12);
+  EXPECT_EQ(sum.steal_attempts, 4u);
+  EXPECT_EQ(sum.steal_successes, 1u);
+  EXPECT_DOUBLE_EQ(sum.steal_success_rate, 0.25);
+  // Only [50,100) has both workers busy; the rest is critical path.
+  EXPECT_EQ(sum.critical_path_us, 100u);
+  ASSERT_EQ(sum.workers.size(), 2u);
+  EXPECT_EQ(sum.workers[0].worker, 0u);
+  EXPECT_EQ(sum.workers[0].busy_us, 100u);
+  EXPECT_EQ(sum.workers[0].tasks, 1u);
+  EXPECT_EQ(sum.workers[1].idle_us, 50u);
+  EXPECT_EQ(sum.workers[1].steal_successes, 1u);
+  // Grain histogram: bucket 0 = ran inline, 4096 holds both grain picks.
+  ASSERT_EQ(sum.grain_hist.size(), 2u);
+  EXPECT_EQ(sum.grain_hist[0], (std::pair<std::uint64_t, std::uint64_t>{
+                                   0u, 1u}));
+  EXPECT_EQ(sum.grain_hist[1], (std::pair<std::uint64_t, std::uint64_t>{
+                                   4096u, 2u}));
+}
+
+TEST(ObsCriticalPath, PointOnlySnapshotCountsAsFullyUtilized) {
+  obs::SchedSnapshot snap;
+  obs::SchedEvent e;
+  e.kind = obs::SchedEventKind::kStealSuccess;
+  e.ts_us = 42;
+  e.value = 1;
+  snap.events.push_back(e);
+  const obs::SchedulerSummary sum = obs::analyze_sched(snap);
+  EXPECT_TRUE(sum.has_events);
+  EXPECT_EQ(sum.span_us, 0u);
+  // Zero span: defined as fully utilized, keeping the (0, 1] contract.
+  EXPECT_DOUBLE_EQ(sum.utilization, 1.0);
+}
+
+// --- Per-round solver telemetry (schema v3 "rounds" array). -----------
+
+TEST(ObsRounds, RecordSnapshotAndResetHonourTheEnabledGate) {
+  if constexpr (!obs::kCompiledIn) GTEST_SKIP() << "obs compiled out";
+  obs::reset_rounds();
+  obs::set_enabled(false);
+  obs::RoundRecord gated;
+  gated.label = "gated";
+  obs::record_round(gated);
+  EXPECT_TRUE(obs::snapshot_rounds().empty()) << "recorded while disabled";
+
+  obs::set_enabled(true);
+  obs::RoundRecord r;
+  r.label = "test_site";
+  r.round = 3;
+  r.components = 17;
+  r.edges = 99;
+  r.advances = 5;
+  r.wall_ms = 1.25;
+  r.imbalance = 2.0;
+  obs::record_round(r);
+  obs::set_enabled(false);
+
+  const std::vector<obs::RoundRecord> rounds = obs::snapshot_rounds();
+  ASSERT_EQ(rounds.size(), 1u);
+  EXPECT_EQ(rounds[0].label, "test_site");
+  EXPECT_EQ(rounds[0].round, 3u);
+  EXPECT_EQ(rounds[0].components, 17u);
+  EXPECT_EQ(rounds[0].edges, 99u);
+  EXPECT_EQ(rounds[0].advances, 5u);
+  EXPECT_DOUBLE_EQ(rounds[0].wall_ms, 1.25);
+  EXPECT_DOUBLE_EQ(rounds[0].imbalance, 2.0);
+  EXPECT_EQ(obs::rounds_dropped(), 0u);
+  obs::reset_rounds();
+  EXPECT_TRUE(obs::snapshot_rounds().empty());
+}
+
+TEST(ObsRounds, EmptyLabelInheritsThePhasePath) {
+  if constexpr (!obs::kCompiledIn) GTEST_SKIP() << "obs compiled out";
+  obs::reset_metrics();
+  obs::reset_rounds();
+  obs::set_enabled(true);
+  {
+    obs::PhaseTimer t("round_site");
+    obs::RoundRecord r;
+    r.round = 1;
+    obs::record_round(r);  // empty label -> caller's phase path
+  }
+  obs::set_enabled(false);
+  const std::vector<obs::RoundRecord> rounds = obs::snapshot_rounds();
+  ASSERT_EQ(rounds.size(), 1u);
+  EXPECT_EQ(rounds[0].label, "round_site");
+  obs::reset_rounds();
+}
+
+// --- OpenMetrics exposition (--stats-out). ----------------------------
+
+TEST(ObsExposition, RendersTerminatedDocumentInBothFlavours) {
+  obs::reset_metrics();
+  obs::clear_warnings();
+  const std::string doc = obs::render_openmetrics();
+  // The document always ends with the "# EOF" terminator...
+  const std::string tail = "# EOF\n";
+  ASSERT_GE(doc.size(), tail.size());
+  EXPECT_EQ(doc.compare(doc.size() - tail.size(), tail.size(), tail), 0)
+      << doc;
+  // ...and carries the build-flavour marker scrapers branch on.
+  const std::string marker = std::string("llpmst_build_info{obs=\"") +
+                             (obs::kCompiledIn ? '1' : '0') + "\"} 1";
+  EXPECT_NE(doc.find(marker), std::string::npos) << doc;
+  EXPECT_NE(doc.find("llpmst_warnings 0"), std::string::npos) << doc;
+}
+
+TEST(ObsExposition, CountersPhasesAndRoundsMapToFamilies) {
+  if constexpr (!obs::kCompiledIn) GTEST_SKIP() << "obs compiled out";
+  obs::reset_metrics();
+  obs::reset_rounds();
+  obs::clear_warnings();
+  obs::set_enabled(true);
+  obs::counter("expo/test_counter").add(7);
+  {
+    obs::PhaseTimer t("expo_phase");
+  }
+  obs::RoundRecord r;
+  r.label = "expo_site";
+  r.round = 2;
+  r.wall_ms = 1.0;
+  obs::record_round(r);
+  obs::set_enabled(false);
+
+  const std::string doc = obs::render_openmetrics();
+  // '/' sanitizes to '_' and the counter sample carries "_total".
+  EXPECT_NE(doc.find("# TYPE llpmst_expo_test_counter counter"),
+            std::string::npos)
+      << doc;
+  EXPECT_NE(doc.find("llpmst_expo_test_counter_total 7"), std::string::npos)
+      << doc;
+  EXPECT_NE(doc.find("llpmst_phase_seconds_total{phase=\"expo_phase\"}"),
+            std::string::npos)
+      << doc;
+  EXPECT_NE(doc.find("llpmst_phase_count_total{phase=\"expo_phase\"} 1"),
+            std::string::npos)
+      << doc;
+  // One recorded round at site "expo_site".
+  EXPECT_NE(doc.find("llpmst_solver_rounds{site=\"expo_site\"} 1"),
+            std::string::npos)
+      << doc;
+  EXPECT_NE(doc.find("llpmst_solver_round_seconds_total{site=\"expo_site\"}"),
+            std::string::npos)
+      << doc;
+  obs::reset_rounds();
+  obs::reset_metrics();
+}
+
+TEST(ObsExposition, SchedulerSummaryShowsUpAfterCollection) {
+  if constexpr (!obs::kCompiledIn) GTEST_SKIP() << "obs compiled out";
+  obs::reset_metrics();
+  obs::sched_start();
+  obs::sched_record(obs::SchedEventKind::kTask, obs::now_us(), 25);
+  obs::sched_stop();
+  const std::string doc = obs::render_openmetrics();
+  EXPECT_NE(doc.find("llpmst_sched_utilization_ratio"), std::string::npos)
+      << doc;
+  EXPECT_NE(doc.find("llpmst_sched_worker_busy_seconds_total{worker=\""),
+            std::string::npos)
+      << doc;
+  obs::sched_start();  // clear the rings for whatever runs next
+  obs::sched_stop();
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "parallel/parallel_for.hpp"
@@ -80,6 +81,92 @@ TEST_P(ParallelPrimitives, BlocksCoverRangeWithoutOverlap) {
     for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
   });
   for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1);
+}
+
+// --- GrainFeedback: the adaptive-grain controller. --------------------
+// The clamp bounds [128, 65536] and the ~30us serial cutoff are part of
+// the contract parallel_for_adaptive call sites tune against.
+
+TEST(GrainFeedback, GrainClampsToFloorWhenElementsAreExpensive) {
+  GrainFeedback fb;
+  fb.update(1000, 1e9);  // 1 ms per element measured
+  EXPECT_DOUBLE_EQ(fb.ns_per_item(), 1e6);
+  // Target chunk cost / cost-per-item would be a fraction of an element;
+  // the floor keeps every dequeue worth its atomic.
+  EXPECT_EQ(fb.grain(1u << 20, 4), 128u);
+}
+
+TEST(GrainFeedback, GrainClampsToCeilingWhenElementsAreCheap) {
+  GrainFeedback fb;
+  fb.update(1u << 20, 1000.0);  // ~0.001 ns per element measured
+  // Unclamped this would be tens of millions; the ceiling preserves load
+  // balance even when elements are nearly free.
+  EXPECT_EQ(fb.grain(100000000, 1), std::size_t{1} << 16);
+}
+
+TEST(GrainFeedback, NoFeedbackSplitsByRangeShape) {
+  GrainFeedback fb;
+  EXPECT_DOUBLE_EQ(fb.ns_per_item(), 0.0);
+  // n / (threads * 4 slices): 65536 / 16 = 4096, inside the clamp window.
+  EXPECT_EQ(fb.grain(65536, 4), 4096u);
+  // Small ranges still clamp up to the floor.
+  EXPECT_EQ(fb.grain(100, 8), 128u);
+}
+
+TEST(GrainFeedback, UpdateMixesWithEwmaAlphaHalf) {
+  GrainFeedback fb;
+  fb.update(100, 10000.0);  // first sample is taken whole: 100 ns/item
+  EXPECT_DOUBLE_EQ(fb.ns_per_item(), 100.0);
+  fb.update(100, 20000.0);  // 0.5 * 100 + 0.5 * 200
+  EXPECT_DOUBLE_EQ(fb.ns_per_item(), 150.0);
+  fb.update(0, 99999.0);  // empty ranges must not poison the estimate
+  EXPECT_DOUBLE_EQ(fb.ns_per_item(), 150.0);
+}
+
+TEST(GrainFeedback, PrefersSerialOnlyBelowTheMeasuredCutoff) {
+  GrainFeedback fb;
+  // Unknown cost predicts optimistically (parallel) so the first call
+  // gathers a real measurement.
+  EXPECT_FALSE(fb.prefers_serial(10));
+  fb.update(100, 10000.0);  // 100 ns/item
+  EXPECT_TRUE(fb.prefers_serial(100));    // ~10us predicted < ~30us cutoff
+  EXPECT_FALSE(fb.prefers_serial(1000));  // ~100us predicted
+}
+
+TEST_P(ParallelPrimitives, AdaptiveForVisitsEveryIndexOnceAcrossRounds) {
+  const std::size_t n = 50000;
+  GrainFeedback fb;
+  // Repeated invocations move the grain as the EWMA settles; coverage must
+  // hold on the untrained first round and the trained later ones alike.
+  for (int rep = 0; rep < 3; ++rep) {
+    std::vector<std::atomic<int>> hits(n);
+    for (auto& h : hits) h.store(0, std::memory_order_relaxed);
+    parallel_for_adaptive(pool_, 0, n, fb, [&](std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "rep " << rep << " index " << i;
+    }
+  }
+  EXPECT_GT(fb.ns_per_item(), 0.0) << "loop timing never fed back";
+}
+
+TEST_P(ParallelPrimitives, AdaptiveForRunsInlineBelowTheSerialCutoff) {
+  GrainFeedback fb;
+  fb.update(1u << 20, 1000.0);  // measured: elements are nearly free
+  ASSERT_TRUE(fb.prefers_serial(256));
+  const std::thread::id me = std::this_thread::get_id();
+  std::atomic<int> calls{0};
+  std::atomic<int> off_thread{0};
+  parallel_for_adaptive(pool_, 0, 256, fb, [&](std::size_t) {
+    calls.fetch_add(1, std::memory_order_relaxed);
+    if (std::this_thread::get_id() != me) {
+      off_thread.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_EQ(calls.load(), 256);
+  EXPECT_EQ(off_thread.load(), 0)
+      << "serial-cutoff path dispatched a team anyway";
 }
 
 TEST_P(ParallelPrimitives, ReduceMatchesSequential) {

@@ -29,6 +29,13 @@ gated too: a key is an ALLOC REGRESSION when the candidate allocates more
 than (1 + --alloc-threshold) times the baseline per repetition (with a
 small absolute floor so near-zero counts don't flag on +1 alloc).
 
+When both records carry a "sched" section ({utilization, steal_rate},
+emitted since schema PR 6), utilization drift beyond --util-drift is
+REPORTED — never gated: utilization collapse is a scaling lead worth
+surfacing in the log, but it is far too machine/noise-dependent to fail
+CI on.  Records without the section (older baselines) are simply not
+compared.
+
 A duplicate key inside either record set is an error: two records for the
 same (bench, workload, algo, threads) means a stale file or a double run,
 and silently comparing whichever came last would gate on the wrong data.
@@ -119,6 +126,17 @@ def alloc_per_rep(doc):
     return count / reps
 
 
+def sched_util(doc):
+    """The record's scheduler utilization, or None when not recorded."""
+    sched = doc.get("sched")
+    if not isinstance(sched, dict):
+        return None
+    u = sched.get("utilization")
+    if not isinstance(u, (int, float)) or not 0 <= u <= 1:
+        return None
+    return float(u)
+
+
 def fmt_key(key):
     bench, workload, algo, threads = key
     return f"{bench} / {workload} / {algo} / {threads}T"
@@ -146,6 +164,10 @@ def main():
     ap.add_argument("--alloc-floor", type=float, default=64.0,
                     help="absolute allocations-per-repetition increase below "
                          "which the alloc gate never flags (default: 64)")
+    ap.add_argument("--util-drift", type=float, default=0.05,
+                    help="absolute scheduler-utilization change worth "
+                         "reporting (default: 0.05); informational only, "
+                         "never fails the run")
     args = ap.parse_args()
 
     base, base_skipped = load_records(args.baseline)
@@ -163,6 +185,7 @@ def main():
 
     regressions, improvements, stable, missing = [], [], [], []
     alloc_regressions, alloc_compared = [], 0
+    util_drifts, util_compared = [], 0
     for key in sorted(base):
         if key not in cand:
             missing.append(key)
@@ -188,6 +211,12 @@ def main():
                     ac > (1 + args.alloc_threshold) * ab):
                 alloc_regressions.append((key, ab, ac))
 
+        ub, uc = sched_util(base[key]), sched_util(cand[key])
+        if ub is not None and uc is not None:
+            util_compared += 1
+            if abs(uc - ub) > args.util_drift:
+                util_drifts.append((key, ub, uc))
+
     new_keys = sorted(set(cand) - set(base))
 
     print(f"compared {len(base) - len(missing)} key(s) "
@@ -207,6 +236,15 @@ def main():
                   f"{ab:.0f} -> {ac:.0f} allocs/rep{rel}")
         print(f"  alloc gate: compared {alloc_compared} key(s), "
               f"regressed: {len(alloc_regressions)}")
+    if util_compared:
+        # Informational only: utilization is machine- and load-dependent,
+        # so drift is surfaced for humans but never fails the run.
+        for key, ub, uc in util_drifts:
+            print(f"  util drift {fmt_key(key)}: "
+                  f"{ub:.1%} -> {uc:.1%} ({uc - ub:+.1%})")
+        print(f"  utilization: compared {util_compared} key(s), "
+              f"drifted >{args.util_drift:.0%}: {len(util_drifts)} "
+              f"(report-only, never gated)")
     for key in missing:
         print(f"  warning: baseline key missing from candidate: "
               f"{fmt_key(key)}")

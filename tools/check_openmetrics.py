@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Lint the OpenMetrics text exposition written by `mst_tool --stats-out`.
+
+    tools/check_openmetrics.py stats.prom [...]
+
+Checks the subset of the OpenMetrics spec the emitter
+(src/obs/exposition.cpp) promises:
+
+  * the document ends with a single "# EOF" line (nothing after it);
+  * every sample line parses as  name[{labels}] value  with a valid metric
+    name ([a-zA-Z_:][a-zA-Z0-9_:]*) and a finite number value;
+  * every sample belongs to a family declared by a preceding "# TYPE"
+    line, and no family is declared twice;
+  * counter samples use the family name + "_total" suffix; gauge samples
+    use the family name as-is;
+  * label values are well-formed (balanced quotes, no raw newlines);
+  * "llpmst_build_info" is present with an obs="0"|"1" label — the marker
+    scrapers use to tell the build flavour apart.
+
+Exits non-zero listing every violation.  Standard library only.
+"""
+import re
+import sys
+
+NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+# name, optional {labels}, whitespace, value (the emitter writes no
+# timestamps or exemplars).
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r" (?P<value>\S+)$")
+LABEL_RE = re.compile(
+    r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\["\\n])*"$')
+
+
+def check_file(path, errors):
+    def err(lineno, msg):
+        errors.append(f"{path}:{lineno}: {msg}")
+
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            text = f.read()
+    except OSError as e:
+        errors.append(f"{path}: unreadable: {e}")
+        return
+
+    lines = text.splitlines()
+    if not lines or lines[-1] != "# EOF":
+        err(len(lines), 'document does not end with "# EOF"')
+    if not text.endswith("\n"):
+        err(len(lines), "missing trailing newline")
+
+    families = {}  # family name -> type
+    seen_build_info = False
+    for lineno, line in enumerate(lines, 1):
+        if line == "# EOF":
+            if lineno != len(lines):
+                err(lineno, '"# EOF" is not the last line')
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in ("counter", "gauge",
+                                                   "histogram", "summary",
+                                                   "info", "unknown"):
+                err(lineno, f"malformed TYPE line: {line!r}")
+                continue
+            family = parts[2]
+            if not NAME_RE.fullmatch(family):
+                err(lineno, f"invalid family name {family!r}")
+            if family in families:
+                err(lineno, f"family {family!r} declared twice")
+            families[family] = parts[3]
+            continue
+        if line.startswith("#") or not line.strip():
+            continue  # other comments are permitted
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            err(lineno, f"unparseable sample line: {line!r}")
+            continue
+        name, labels, value = m.group("name"), m.group("labels"), \
+            m.group("value")
+        try:
+            v = float(value)
+        except ValueError:
+            err(lineno, f"sample value {value!r} is not a number")
+            continue
+        if v != v or v in (float("inf"), float("-inf")):
+            err(lineno, f"sample value {value!r} is not finite")
+        if labels:
+            for pair in split_labels(labels[1:-1]):
+                if not LABEL_RE.fullmatch(pair):
+                    err(lineno, f"malformed label {pair!r}")
+
+        family = None
+        if name in families:
+            family = name
+        elif name.endswith("_total") and name[:-len("_total")] in families:
+            family = name[:-len("_total")]
+        if family is None:
+            err(lineno, f"sample {name!r} has no preceding TYPE declaration")
+            continue
+        ftype = families[family]
+        if ftype == "counter" and not name.endswith("_total"):
+            err(lineno, f"counter sample {name!r} lacks the _total suffix")
+        if ftype == "gauge" and name.endswith("_total") and name != family:
+            err(lineno, f"gauge sample {name!r} should not use _total")
+        if family == "llpmst_build_info":
+            if labels and re.search(r'obs="[01]"', labels):
+                seen_build_info = True
+            else:
+                err(lineno, 'llpmst_build_info lacks an obs="0|1" label')
+
+    if not seen_build_info:
+        errors.append(f'{path}: no llpmst_build_info{{obs="0|1"}} sample')
+
+
+def split_labels(body):
+    """Splits 'a="x",b="y"' into pairs, honouring escaped quotes."""
+    pairs, cur, in_quotes, escaped = [], "", False, False
+    for ch in body:
+        if escaped:
+            cur += ch
+            escaped = False
+            continue
+        if ch == "\\" and in_quotes:
+            cur += ch
+            escaped = True
+            continue
+        if ch == '"':
+            in_quotes = not in_quotes
+            cur += ch
+            continue
+        if ch == "," and not in_quotes:
+            pairs.append(cur)
+            cur = ""
+            continue
+        cur += ch
+    if cur:
+        pairs.append(cur)
+    return pairs
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    errors = []
+    for path in sys.argv[1:]:
+        before = len(errors)
+        check_file(path, errors)
+        if len(errors) == before:
+            print(f"{path}: ok")
+    for e in errors:
+        print(f"FAIL {e}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

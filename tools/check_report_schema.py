@@ -5,12 +5,16 @@
 
 Understands two document kinds, dispatched on the "schema" field:
 
-  * llpmst-run-report (schema_version 1 or 2) — the --metrics-json run
+  * llpmst-run-report (schema_version 1, 2 or 3) — the --metrics-json run
     report.  Version 2 adds the "hw" (hardware counters, null-safe) and
-    "mem" (peak RSS + allocation stats) sections.
+    "mem" (peak RSS + allocation stats) sections; version 3 adds the
+    "rounds" array (per-round solver telemetry) and the "scheduler"
+    section (utilization / steal / critical-path summary, null when no
+    scheduler events were collected).
   * llpmst-bench (schema_version 1) — one structured datapoint per
     benchmark measurement, as emitted by --bench-json and consumed by
-    tools/bench_compare.py.
+    tools/bench_compare.py.  May carry an optional "sched" section
+    (null or {utilization, steal_rate}).
 
 Files ending in .jsonl are treated as JSON Lines (one document per line,
 blank lines and empty files allowed); everything else must hold a single
@@ -118,11 +122,77 @@ def check_mem(mem, expect, bench_record=False):
     check_alloc_section(mem, "alloc_delta", expect, required=bench_record)
 
 
+def check_rounds(rounds, expect):
+    """Validates the v3 "rounds" array: always present, possibly empty."""
+    if not expect(isinstance(rounds, list), "rounds is not an array"):
+        return
+    for i, r in enumerate(rounds):
+        if not expect(isinstance(r, dict), f"rounds[{i}] is not an object"):
+            continue
+        expect(isinstance(r.get("label"), str),
+               f"rounds[{i}].label is {r.get('label')!r}")
+        for key in ("round", "components", "edges", "advances"):
+            v = r.get(key)
+            expect(isinstance(v, int) and v >= 0,
+                   f"rounds[{i}].{key} = {v!r} is not a non-negative integer")
+        for key in ("wall_ms", "imbalance"):
+            v = r.get(key)
+            expect(isinstance(v, (int, float)) and v >= 0,
+                   f"rounds[{i}].{key} = {v!r} is not a non-negative number")
+
+
+def check_scheduler(sched, expect):
+    """Validates the v3 "scheduler" section: null (no events) or a summary
+    object whose ratios sit in [0, 1] and counts are non-negative ints."""
+    if sched == "<missing>":
+        expect(False, "scheduler section is missing (must be null or an "
+                      "object)")
+        return
+    if sched is None:
+        return  # no scheduler events were collected (e.g. LLPMST_OBS=0)
+    if not expect(isinstance(sched, dict),
+                  "scheduler is neither null nor an object"):
+        return
+    for key in ("utilization", "steal_success_rate"):
+        v = sched.get(key)
+        expect(isinstance(v, (int, float)) and 0 <= v <= 1,
+               f"scheduler.{key} = {v!r} is not a number in [0, 1]")
+    for key in ("span_us", "busy_us", "idle_us", "steal_attempts",
+                "steal_successes", "critical_path_us", "dropped_events"):
+        v = sched.get(key)
+        expect(isinstance(v, int) and v >= 0,
+               f"scheduler.{key} = {v!r} is not a non-negative integer")
+    workers = sched.get("workers")
+    if expect(isinstance(workers, list) and workers,
+              "scheduler.workers is not a non-empty array"):
+        for i, w in enumerate(workers):
+            if not expect(isinstance(w, dict),
+                          f"scheduler.workers[{i}] is not an object"):
+                continue
+            for key in ("worker", "busy_us", "idle_us", "tasks",
+                        "steal_attempts", "steal_successes"):
+                v = w.get(key)
+                expect(isinstance(v, int) and v >= 0,
+                       f"scheduler.workers[{i}].{key} = {v!r} is not a "
+                       "non-negative integer")
+    hist = sched.get("grain_hist")
+    if expect(isinstance(hist, list), "scheduler.grain_hist is not an array"):
+        for i, h in enumerate(hist):
+            if not expect(isinstance(h, dict),
+                          f"scheduler.grain_hist[{i}] is not an object"):
+                continue
+            for key in ("grain", "count"):
+                v = h.get(key)
+                expect(isinstance(v, int) and v >= 0,
+                       f"scheduler.grain_hist[{i}].{key} = {v!r} is not a "
+                       "non-negative integer")
+
+
 def check_run_report(doc, errors, where):
     expect = make_expect(errors, where)
     version = doc.get("schema_version")
-    if not expect(version in (1, 2),
-                  f"schema_version is {version!r} (expected 1 or 2)"):
+    if not expect(version in (1, 2, 3),
+                  f"schema_version is {version!r} (expected 1, 2 or 3)"):
         return
 
     run = doc.get("run")
@@ -162,6 +232,10 @@ def check_run_report(doc, errors, where):
         check_hw(doc.get("hw"), expect)
         if expect("mem" in doc, "mem section is missing"):
             check_mem(doc.get("mem"), expect)
+
+    if version >= 3:
+        check_rounds(doc.get("rounds"), expect)
+        check_scheduler(doc.get("scheduler", "<missing>"), expect)
 
     for section in ("counters", "gauges"):
         values = doc.get(section)
@@ -233,6 +307,16 @@ def check_bench_record(doc, errors, where):
     mem = doc.get("mem")
     if mem is not None:
         check_mem(mem, expect, bench_record=True)
+
+    # Optional scheduler telemetry (records from before PR 6 lack the key).
+    sched = doc.get("sched")
+    if sched is not None:
+        if expect(isinstance(sched, dict),
+                  "sched is neither null nor an object"):
+            for key in ("utilization", "steal_rate"):
+                v = sched.get(key)
+                expect(isinstance(v, (int, float)) and 0 <= v <= 1,
+                       f"sched.{key} = {v!r} is not a number in [0, 1]")
 
 
 def check(doc, errors, where):

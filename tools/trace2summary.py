@@ -9,12 +9,22 @@ totals, counts, and percentages of the traced wall span; counter tracks
     tools/trace2summary.py trace.json
     tools/trace2summary.py --top 10 trace.json
     tools/trace2summary.py --counters trace.json
+    tools/trace2summary.py --utilization trace.json
 
 Works on any trace-event file (the format is a de-facto standard), but the
 phase names it prints are the nested paths emitted by the llpmst
 observability layer ("llp_boruvka/round/hook", "pool/region", ...).
 Counter values are read from args.value (the llpmst shape) with a fallback
-to the first numeric entry in args.
+to the first numeric entry in args.  Entries that are not JSON objects are
+skipped (some writers emit metadata strings), and the wall span covers
+counter samples as well as complete spans — a trace whose first record is
+a counter event from a worker thread summarizes correctly.
+
+--utilization reads the per-worker scheduler tracks an obs-enabled build
+exports under pid 1 ("sched/task" / "sched/idle" spans, "sched/steal"
+instants) and prints a busy/idle/steal breakdown per worker plus the
+top-k longest solver rounds.  A trace without those tracks (e.g. from an
+LLPMST_OBS=0 build) reports that and exits 0.
 """
 import argparse
 import json
@@ -55,15 +65,21 @@ def summarize(events):
                                     "last": None, "last_ts": None})
     t_min, t_max = None, None
     for e in events:
+        if not isinstance(e, dict):
+            continue  # tolerate metadata strings some writers emit
         ph = e.get("ph")
         if ph == "C":
             c = counters[e.get("name", "?")]
             c["count"] += 1
             v = counter_value(e)
+            ts = e.get("ts", 0)
+            # Counter samples extend the wall span too: a trace that opens
+            # with a worker-thread counter event must not shrink the span.
+            t_min = ts if t_min is None else min(t_min, ts)
+            t_max = ts if t_max is None else max(t_max, ts)
             if v is not None:
                 c["min"] = v if c["min"] is None else min(c["min"], v)
                 c["max"] = v if c["max"] is None else max(c["max"], v)
-                ts = e.get("ts", 0)
                 if c["last_ts"] is None or ts >= c["last_ts"]:
                     c["last"], c["last_ts"] = v, ts
             continue
@@ -82,6 +98,65 @@ def summarize(events):
     return spans, wall_us, counters
 
 
+def utilization_report(events, top):
+    """Per-worker busy/idle/steal breakdown from the pid-1 scheduler tracks
+    plus the longest solver rounds; returns the process exit code."""
+    workers = {}
+    t_min, t_max = None, None
+    rounds = []  # (dur_us, ts, name) for pid-0 per-round spans
+    for e in events:
+        if not isinstance(e, dict):
+            continue
+        name = e.get("name", "")
+        ph = e.get("ph")
+        ts = e.get("ts", 0)
+        dur = e.get("dur", 0)
+        if e.get("pid") == 1 and name.startswith("sched/"):
+            w = workers.setdefault(e.get("tid", 0),
+                                   {"busy_us": 0, "idle_us": 0,
+                                    "tasks": 0, "steals": 0})
+            if name == "sched/task" and ph == "X":
+                w["busy_us"] += dur
+                w["tasks"] += 1
+            elif name == "sched/idle" and ph == "X":
+                w["idle_us"] += dur
+            elif name == "sched/steal":
+                w["steals"] += 1
+            t_min = ts if t_min is None else min(t_min, ts)
+            t_max = ts + dur if t_max is None else max(t_max, ts + dur)
+        elif ph == "X" and (name == "round" or name.endswith("/round")):
+            rounds.append((dur, ts, name))
+
+    if not workers:
+        print("no scheduler tracks (pid 1, 'sched/*') in this trace — "
+              "collect it with an LLPMST_OBS=1 build and --trace")
+        return 0
+
+    span_us = (t_max - t_min) if t_min is not None else 0
+    print(f"{'worker':>6}  {'busy ms':>10}  {'idle ms':>10}  {'tasks':>7}  "
+          f"{'steals':>7}  {'% busy':>6}")
+    total_busy = 0
+    for tid in sorted(workers):
+        w = workers[tid]
+        total_busy += w["busy_us"]
+        pct = 100.0 * w["busy_us"] / span_us if span_us else 0.0
+        print(f"{tid:>6}  {w['busy_us'] / 1000.0:>10.3f}  "
+              f"{w['idle_us'] / 1000.0:>10.3f}  {w['tasks']:>7}  "
+              f"{w['steals']:>7}  {pct:>5.1f}%")
+    util = total_busy / (span_us * len(workers)) if span_us else 1.0
+    print(f"\nscheduler span: {span_us / 1000.0:.3f} ms over "
+          f"{len(workers)} workers, utilization {min(util, 1.0):.1%}")
+
+    if rounds:
+        k = top if top > 0 else 5
+        rounds.sort(reverse=True)
+        print(f"\ntop {min(k, len(rounds))} longest rounds:")
+        for dur, ts, name in rounds[:k]:
+            print(f"  {name}  start {ts / 1000.0:.3f} ms  "
+                  f"dur {dur / 1000.0:.3f} ms")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("trace", help="trace-event JSON file (from --trace)")
@@ -90,6 +165,9 @@ def main():
     ap.add_argument("--counters", action="store_true",
                     help="print per-track counter statistics "
                          "(samples, min, max, last)")
+    ap.add_argument("--utilization", action="store_true",
+                    help="per-worker busy/idle/steal breakdown from the "
+                         "pid-1 scheduler tracks + top-k longest rounds")
     args = ap.parse_args()
 
     try:
@@ -97,6 +175,9 @@ def main():
     except (OSError, ValueError, KeyError, json.JSONDecodeError) as e:
         print(f"error reading {args.trace}: {e}", file=sys.stderr)
         return 1
+
+    if args.utilization:
+        return utilization_report(events, args.top)
 
     spans, wall_us, counters = summarize(events)
     if not spans and not counters:

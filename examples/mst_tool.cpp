@@ -5,12 +5,17 @@
 //            --output tree.txt --verify
 //
 // Reads a graph (format by extension: .gr DIMACS, .metis METIS, .bin llpmst
-// binary, anything else whitespace edge list), or generates one
-// (--generate road|rmat|er --scale N), runs the chosen MSF algorithm,
-// optionally verifies minimality exactly, prints a report, and can write
-// the chosen edges out.
+// binary, anything else whitespace edge list), generates one
+// (--generate road|rmat|er --scale N), or runs a named adversarial workload
+// (--scenario NAME, catalog via --list-scenarios); runs the chosen MSF
+// algorithm — optionally under the deterministic schedule simulator
+// (--sim) — verifies the result, prints a report, and can write the chosen
+// edges out.
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "core/run_context.hpp"
 #include "graph/algorithms/degree_stats.hpp"
@@ -31,6 +36,10 @@
 #include "obs/report.hpp"
 #include "obs/sched_events.hpp"
 #include "obs/trace.hpp"
+#include "scenario/repro.hpp"
+#include "scenario/scenario.hpp"
+#include "sim/sim_executor.hpp"
+#include "support/cancel.hpp"
 #include "support/cli.hpp"
 #include "support/failpoint.hpp"
 #include "support/stats.hpp"
@@ -44,6 +53,27 @@ using namespace llpmst;
 std::string strf_allocs(const obs::MemSample& m) {
   return ", " + format_count(m.alloc_count) + " allocations (" +
          format_count(m.alloc_bytes) + " bytes)";
+}
+
+/// "unknown --scenario 'x' (did you mean: a, b?)" — the shared shape for
+/// both --scenario and --algorithm typo diagnostics.  Always exits 2.
+[[noreturn]] int fail_unknown_name(const char* flag, const std::string& input,
+                                   const std::vector<std::string>& candidates,
+                                   const char* list_hint) {
+  std::string msg = "unknown " + std::string(flag) + " '" + input + "'";
+  const std::vector<std::string> near =
+      CliParser::suggest_similar(input, candidates);
+  if (!near.empty()) {
+    msg += " (did you mean: ";
+    for (std::size_t i = 0; i < near.size(); ++i) {
+      if (i > 0) msg += ", ";
+      msg += near[i];
+    }
+    msg += "?)";
+  }
+  std::fprintf(stderr, "%s\ntry %s for the full list\n", msg.c_str(),
+               list_hint);
+  std::exit(2);
 }
 
 }  // namespace
@@ -65,6 +95,27 @@ int main(int argc, char** argv) {
   auto& list_algos = cli.add_bool(
       "list-algos", false,
       "print the registered algorithms with their capability flags and exit");
+  auto& scenario_name = cli.add_string(
+      "scenario", "",
+      "run a named adversarial scenario instead of --input/--generate "
+      "(see --list-scenarios); arms the scenario's failpoints and deadline "
+      "and checks the result against the Kruskal oracle");
+  auto& list_scenarios = cli.add_bool(
+      "list-scenarios", false,
+      "print the scenario catalog (name, family, what it stresses) and exit");
+  auto& use_sim = cli.add_bool(
+      "sim", false,
+      "run under the deterministic schedule simulator: worker interleaving "
+      "is chosen by a PRNG seeded with --seed and recorded as a replayable "
+      "schedule trace");
+  auto& sim_timeline = cli.add_string(
+      "sim-timeline", "",
+      "scripted fault timeline for --sim, e.g. "
+      "'@120:cancel, hit(llp/sweep:3):arm(boruvka/round=1*return)'");
+  auto& sim_step_ns = cli.add_int(
+      "sim-step-ns", 1000,
+      "virtual nanoseconds the simulated clock advances per scheduling "
+      "decision (--sim)");
   auto& threads = cli.add_int("threads", 4, "worker threads");
   auto& metrics_json = cli.add_string(
       "metrics-json", "", "write the JSON run report (counters, phases, "
@@ -111,24 +162,58 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (list_scenarios) {
+    std::printf("Adversarial scenarios (%zu):\n", scenarios().size());
+    for (const Scenario& s : scenarios()) {
+      std::printf("  %-24s [%s] %s%s\n", s.name, s.family, s.summary,
+                  *s.failpoints != '\0' ? " (arms failpoints)" : "");
+    }
+    std::printf("\nrun one with --scenario NAME --seed S; the result is "
+                "checked against the sequential Kruskal oracle.\n");
+    return 0;
+  }
+
+  // --- Resolve the scenario before anything heavy (typos fail fast with a
+  // suggestion list, same contract as --algorithm below).
+  const Scenario* scen = nullptr;
+  if (!scenario_name.empty()) {
+    scen = find_scenario(scenario_name);
+    if (scen == nullptr) {
+      std::vector<std::string> names;
+      for (const Scenario& s : scenarios()) names.emplace_back(s.name);
+      fail_unknown_name("--scenario", scenario_name, names,
+                        "--list-scenarios");
+    }
+  }
+
   // The per-run context: pool (attached below), deadline, failpoint scope,
   // scratch arena, cached connectivity.
   RunContext ctx;
 
-  // --- Fault injection (chaos/testing): CLI spec wins over the env var.
+  // --- Fault injection (chaos/testing): CLI spec wins over the env var;
+  // a scenario's own failpoints are armed alongside whatever the caller
+  // asked for.
   fail::configure_from_env();
-  if (!failpoints.empty()) {
+  std::string armed_failpoints = failpoints;
+  if (scen != nullptr && *scen->failpoints != '\0') {
+    if (!armed_failpoints.empty()) armed_failpoints += ';';
+    armed_failpoints += scen->failpoints;
+  }
+  if (!armed_failpoints.empty()) {
     if (!fail::kCompiledIn) {
       std::fprintf(stderr,
                    "warning: --failpoints ignored (compiled out; rebuild "
                    "with -DLLPMST_FAILPOINTS=ON)\n");
     } else {
       std::string fp_error;
-      ctx.arm_failpoints(failpoints, &fp_error);
+      ctx.arm_failpoints(armed_failpoints, &fp_error);
       if (!fp_error.empty()) {
         std::fprintf(stderr, "bad --failpoints spec: %s\n", fp_error.c_str());
         return 2;
       }
+      // --seed also seeds the fault-injection RNG, so a repro command
+      // replays probabilistic specs, not just count-based ones.
+      fail::set_seed(static_cast<std::uint64_t>(seed));
     }
   }
 
@@ -156,7 +241,14 @@ int main(int argc, char** argv) {
 
   // --- Acquire the graph.
   EdgeList list;
-  if (!input.empty()) {
+  if (scen != nullptr) {
+    list = scen->make(static_cast<std::uint64_t>(seed));
+    std::printf("Scenario  : %s [%s] seed %lld\n", scen->name, scen->family,
+                static_cast<long long>(seed));
+    if (scen->deadline_ms > 0 && deadline_ms <= 0) {
+      deadline_ms = scen->deadline_ms;
+    }
+  } else if (!input.empty()) {
     Expected<EdgeList> loaded = read_graph(input);
     if (!loaded.ok()) {
       std::fprintf(stderr, "error reading %s: %s\n", input.c_str(),
@@ -189,9 +281,32 @@ int main(int argc, char** argv) {
   const CsrGraph g = CsrGraph::build(list);
   std::printf("Graph: %s\n", describe(compute_stats(g)).c_str());
 
-  // --- Solve.
+  // --- Solve.  Under --sim the pool is replaced by the deterministic
+  // simulator: same Executor surface, PRNG-chosen interleaving, virtual
+  // clock feeding the deadline, recorded schedule trace.
   ThreadPool pool(static_cast<std::size_t>(threads));
   ctx.attach_pool(pool);
+  std::unique_ptr<llpmst::sim::SimExecutor> sim_exec;
+  CancelToken sim_cancel;  // target of timeline `cancel` actions
+  if (use_sim) {
+    llpmst::sim::SimExecutor::Options so;
+    so.seed = static_cast<std::uint64_t>(seed);
+    so.workers = static_cast<std::size_t>(threads);
+    so.step_ns = static_cast<std::uint64_t>(sim_step_ns);
+    so.timeline = sim_timeline;
+    sim_exec = std::make_unique<llpmst::sim::SimExecutor>(so);
+    if (!sim_exec->timeline_error().empty()) {
+      std::fprintf(stderr, "bad --sim-timeline: %s\n",
+                   sim_exec->timeline_error().c_str());
+      return 2;
+    }
+    sim_exec->bind_cancel(&sim_cancel);
+    ctx.attach_executor(sim_exec.get());
+    ctx.set_cancel(&sim_cancel);
+  } else if (!sim_timeline.empty()) {
+    std::fprintf(stderr, "--sim-timeline requires --sim\n");
+    return 2;
+  }
   if (deadline_ms > 0) ctx.set_deadline_ms(deadline_ms);
   // Resolve the algorithm before starting the clock so an unknown name
   // fails fast.  "auto" is the portfolio policy over the same registry.
@@ -199,10 +314,9 @@ int main(int argc, char** argv) {
   if (algorithm != "auto") {
     entry = find_mst_algorithm(algorithm);
     if (entry == nullptr) {
-      std::fprintf(stderr,
-                   "unknown --algorithm '%s' (try --list-algos)\n%s",
-                   algorithm.c_str(), cli.usage().c_str());
-      return 2;
+      std::vector<std::string> names{"auto"};
+      for (const MstAlgorithm& a : mst_algorithms()) names.emplace_back(a.name);
+      fail_unknown_name("--algorithm", algorithm, names, "--list-algos");
     }
   }
   // Counters up to here include graph generation/loading; re-baseline so
@@ -301,6 +415,33 @@ int main(int argc, char** argv) {
   } else if (!result.stats.llp_converged) {
     std::printf("WARNING   : LLP sweep cap hit before convergence; the "
                 "result may be partial\n");
+  }
+  if (sim_exec != nullptr) {
+    std::printf("Schedule  : %llu decisions%s\n    trace: %s\n",
+                static_cast<unsigned long long>(sim_exec->decisions()),
+                sim_exec->replay_diverged() ? " (REPLAY DIVERGED)" : "",
+                sim_exec->trace().encode().c_str());
+  }
+
+  // --- Scenario conformance: every complete run must match the Kruskal
+  // oracle bit-for-bit.  A failure prints the one-line repro command.
+  if (scen != nullptr && result.stats.outcome == RunOutcome::kOk) {
+    const std::string violation = check_scenario_result(*scen, g, result);
+    if (!violation.empty()) {
+      ReproSpec rs;
+      rs.scenario = scen->name;
+      rs.algo = algorithm;
+      rs.seed = static_cast<std::uint64_t>(seed);
+      rs.threads = static_cast<std::size_t>(threads);
+      rs.failpoints = failpoints;
+      rs.timeline = sim_timeline;
+      rs.deadline_ms = deadline_ms;
+      rs.sim = use_sim;
+      std::fprintf(stderr, "SCENARIO CHECK FAILED: %s\n%s\n",
+                   violation.c_str(), format_repro_command(rs).c_str());
+      return 1;
+    }
+    std::printf("Scenario  : conformant with the Kruskal oracle\n");
   }
 
   // --- Verify.  The ctx overloads cross-check against (and seed) the

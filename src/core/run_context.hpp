@@ -110,8 +110,21 @@ class RunContext {
   /// with one context so scratch stays warm across the sweep).
   void attach_pool(ThreadPool& pool) { pool_ = &pool; }
   [[nodiscard]] bool has_pool() const { return pool_ != nullptr; }
+
+  /// The executor algorithms run their team regions on.  Defaults to the
+  /// pool; attach_executor() overrides it — this is the seam the
+  /// deterministic simulator (src/sim/SimExecutor) plugs into without the
+  /// algorithms knowing.  The executor takes precedence over any attached
+  /// pool until detached (attach_executor(nullptr)).
+  [[nodiscard]] Executor& executor() {
+    return executor_ != nullptr ? *executor_ : static_cast<Executor&>(pool());
+  }
+  void attach_executor(Executor* exec) { executor_ = exec; }
+  [[nodiscard]] bool has_executor() const { return executor_ != nullptr; }
+
   /// Thread budget without forcing pool creation.
   [[nodiscard]] std::size_t threads() const {
+    if (executor_ != nullptr) return executor_->num_threads();
     return pool_ != nullptr ? pool_->num_threads() : 1;
   }
 
@@ -171,6 +184,7 @@ class RunContext {
 
  private:
   ThreadPool* pool_ = nullptr;
+  Executor* executor_ = nullptr;  // borrowed; overrides pool_ when set
   std::unique_ptr<ThreadPool> owned_pool_;
   CancelToken deadline_token_;
   bool deadline_armed_ = false;

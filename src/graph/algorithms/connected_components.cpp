@@ -32,7 +32,7 @@ ComponentsResult connected_components(const EdgeList& list) {
 }
 
 ComponentsResult connected_components_parallel(const EdgeList& list,
-                                               ThreadPool& pool) {
+                                               Executor& pool) {
   const std::size_t n = list.num_vertices();
   const auto& edges = list.edges();
 

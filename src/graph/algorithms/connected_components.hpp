@@ -7,7 +7,7 @@
 
 #include "graph/csr_graph.hpp"
 #include "graph/edge_list.hpp"
-#include "parallel/thread_pool.hpp"
+#include "parallel/executor.hpp"
 
 namespace llpmst {
 
@@ -23,7 +23,7 @@ struct ComponentsResult {
 /// Parallel label propagation with pointer jumping (the same machinery as
 /// LLP-Boruvka's star contraction, exposed as a standalone algorithm).
 [[nodiscard]] ComponentsResult connected_components_parallel(
-    const EdgeList& list, ThreadPool& pool);
+    const EdgeList& list, Executor& pool);
 
 /// True iff the graph is a single connected component (and non-empty).
 [[nodiscard]] bool is_connected(const EdgeList& list);

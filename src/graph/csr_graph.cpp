@@ -9,7 +9,7 @@
 
 namespace llpmst {
 
-CsrGraph CsrGraph::build(const EdgeList& list, ThreadPool* pool) {
+CsrGraph CsrGraph::build(const EdgeList& list, Executor* pool) {
   LLPMST_CHECK_MSG(list.is_normalized(),
                    "CsrGraph::build requires a normalized EdgeList "
                    "(call EdgeList::normalize() first)");

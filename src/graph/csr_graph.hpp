@@ -18,7 +18,7 @@
 
 #include "graph/edge_list.hpp"
 #include "graph/types.hpp"
-#include "parallel/thread_pool.hpp"
+#include "parallel/executor.hpp"
 #include "support/assert.hpp"
 
 namespace llpmst {
@@ -30,7 +30,7 @@ class CsrGraph {
   /// Builds from a normalized edge list.  If `pool` is non-null the offsets
   /// and arcs are computed with parallel scans; the result is identical
   /// either way.  LLPMST_CHECKs that the list is normalized.
-  static CsrGraph build(const EdgeList& list, ThreadPool* pool = nullptr);
+  static CsrGraph build(const EdgeList& list, Executor* pool = nullptr);
 
   [[nodiscard]] std::size_t num_vertices() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
   [[nodiscard]] std::size_t num_edges() const { return edges_.size(); }

@@ -18,7 +18,7 @@
 
 namespace llpmst {
 
-/// Runs on ctx.pool(), reusing the context's BoruvkaScratch across runs.
+/// Runs on ctx.executor(), reusing the context's BoruvkaScratch across runs.
 /// ctx.cancel_token() (when set) stops the run between rounds; a triggered
 /// token or an injected fault yields result.stats.outcome != kOk with a
 /// PARTIAL forest.

@@ -12,7 +12,7 @@
 namespace llpmst {
 
 LlpComponentsResult llp_connected_components(const CsrGraph& g,
-                                             ThreadPool& pool) {
+                                             Executor& pool) {
   const std::size_t n = g.num_vertices();
   std::vector<std::atomic<VertexId>> G(n);
   parallel_for(pool, 0, n, [&](std::size_t v) {

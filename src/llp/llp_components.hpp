@@ -17,7 +17,7 @@
 
 #include "graph/csr_graph.hpp"
 #include "llp/llp_solver.hpp"
-#include "parallel/thread_pool.hpp"
+#include "parallel/executor.hpp"
 
 namespace llpmst {
 
@@ -28,6 +28,6 @@ struct LlpComponentsResult {
 };
 
 [[nodiscard]] LlpComponentsResult llp_connected_components(const CsrGraph& g,
-                                                           ThreadPool& pool);
+                                                           Executor& pool);
 
 }  // namespace llpmst

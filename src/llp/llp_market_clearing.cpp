@@ -87,7 +87,7 @@ MarketInstance random_market_instance(std::size_t n, std::uint32_t max_value,
 }
 
 MarketResult llp_market_clearing(const MarketInstance& inst,
-                                 ThreadPool& pool) {
+                                 Executor& pool) {
   const std::size_t n = inst.n;
   MarketResult out;
   out.price.assign(n, 0);  // the lattice bottom

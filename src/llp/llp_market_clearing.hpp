@@ -20,7 +20,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "parallel/thread_pool.hpp"
+#include "parallel/executor.hpp"
 
 namespace llpmst {
 
@@ -45,7 +45,7 @@ struct MarketResult {
 };
 
 [[nodiscard]] MarketResult llp_market_clearing(const MarketInstance& inst,
-                                               ThreadPool& pool);
+                                               Executor& pool);
 
 /// True iff `price` admits a perfect matching in its demand graph.
 [[nodiscard]] bool is_clearing(const MarketInstance& inst,

@@ -15,7 +15,7 @@ namespace llpmst {
 
 MstResult llp_prim_async(const CsrGraph& g, RunContext& run_ctx,
                          VertexId root) {
-  ThreadPool& pool = run_ctx.pool();
+  Executor& pool = run_ctx.executor();
   const std::size_t n = g.num_vertices();
   LLPMST_CHECK_MSG(n >= 1, "LLP-Prim requires a non-empty graph");
   LLPMST_CHECK(root < n);

@@ -20,7 +20,7 @@ namespace llpmst {
 
 class RunContext;
 
-/// Runs on ctx.pool().
+/// Runs on ctx.executor().
 [[nodiscard]] MstResult llp_prim_async(const CsrGraph& g, RunContext& ctx,
                                        VertexId root = 0);
 /// Registry descriptor (see mst/registry.hpp).

@@ -19,7 +19,7 @@ namespace llpmst {
 
 MstResult llp_prim_parallel(const CsrGraph& g, RunContext& ctx,
                             VertexId root) {
-  ThreadPool& pool = ctx.pool();
+  Executor& pool = ctx.executor();
   const CancelToken* cancel = ctx.cancel_token();
   const std::size_t n = g.num_vertices();
   LLPMST_CHECK_MSG(n >= 1, "LLP-Prim requires a non-empty graph");

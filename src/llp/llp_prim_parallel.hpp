@@ -22,7 +22,7 @@ namespace llpmst {
 
 class RunContext;
 
-/// Runs on ctx.pool().  ctx.cancel_token() (when set) is polled once per
+/// Runs on ctx.executor().  ctx.cancel_token() (when set) is polled once per
 /// super-step; a triggered token (or the "llp_prim/handoff" failpoint)
 /// stops the run early with result.stats.outcome != kOk and a PARTIAL edge
 /// set — callers must check the outcome before trusting the forest

@@ -11,7 +11,7 @@
 
 namespace llpmst {
 
-ShortestPathResult llp_shortest_paths(const CsrGraph& g, ThreadPool& pool,
+ShortestPathResult llp_shortest_paths(const CsrGraph& g, Executor& pool,
                                       VertexId source) {
   const std::size_t n = g.num_vertices();
   LLPMST_CHECK(source < n);

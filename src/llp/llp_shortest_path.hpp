@@ -25,7 +25,7 @@
 
 #include "graph/csr_graph.hpp"
 #include "llp/llp_solver.hpp"
-#include "parallel/thread_pool.hpp"
+#include "parallel/executor.hpp"
 
 namespace llpmst {
 
@@ -41,7 +41,7 @@ struct ShortestPathResult {
 /// Shortest path distances from `source` over the undirected graph (every
 /// edge usable in both directions), computed by the generic LLP engine.
 [[nodiscard]] ShortestPathResult llp_shortest_paths(const CsrGraph& g,
-                                                    ThreadPool& pool,
+                                                    Executor& pool,
                                                     VertexId source);
 
 /// Reference Dijkstra (binary heap) for cross-checking in tests.

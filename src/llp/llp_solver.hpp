@@ -28,7 +28,7 @@
 #include "obs/phase_timer.hpp"
 #include "obs/round_stats.hpp"
 #include "parallel/parallel_for.hpp"
-#include "parallel/thread_pool.hpp"
+#include "parallel/executor.hpp"
 #include "support/cancel.hpp"
 #include "support/failpoint.hpp"
 #include "support/status.hpp"
@@ -61,7 +61,7 @@ struct LlpOptions {
 /// a sound intermediate lattice state (below or at the fixpoint) — partial,
 /// not corrupt.
 template <typename Forbidden, typename Advance>
-LlpStats llp_solve(ThreadPool& pool, std::size_t n, Forbidden&& forbidden,
+LlpStats llp_solve(Executor& pool, std::size_t n, Forbidden&& forbidden,
                    Advance&& advance, const LlpOptions& options = {}) {
   LlpStats stats;
   const std::uint64_t cap =

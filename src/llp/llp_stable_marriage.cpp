@@ -49,7 +49,7 @@ MarriageInstance random_marriage_instance(std::size_t n, std::uint64_t seed) {
 }
 
 MarriageResult llp_stable_marriage(const MarriageInstance& inst,
-                                   ThreadPool& pool) {
+                                   Executor& pool) {
   const std::size_t n = inst.n;
 
   // G[m]: index into m's preference list.  best[w]: the best (lowest-rank)

@@ -20,7 +20,7 @@
 #include <vector>
 
 #include "llp/llp_solver.hpp"
-#include "parallel/thread_pool.hpp"
+#include "parallel/executor.hpp"
 
 namespace llpmst {
 
@@ -46,7 +46,7 @@ struct MarriageResult {
 
 /// Solves via the generic LLP engine.
 [[nodiscard]] MarriageResult llp_stable_marriage(const MarriageInstance& inst,
-                                                 ThreadPool& pool);
+                                                 Executor& pool);
 
 /// Reference sequential Gale–Shapley (men-proposing) for cross-checking.
 [[nodiscard]] std::vector<std::uint32_t> gale_shapley(

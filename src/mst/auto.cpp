@@ -4,6 +4,7 @@
 #include <string>
 
 #include "core/run_context.hpp"
+#include "mst/kruskal.hpp"
 #include "mst/registry.hpp"
 #include "obs/metrics.hpp"
 #include "support/failpoint.hpp"
@@ -107,11 +108,14 @@ AutoMstResult minimum_spanning_forest(const CsrGraph& g, RunContext& ctx,
         obs::add_warning("auto: " + out.algorithm + " failed (" + reason +
                          "); falling back to sequential kruskal");
       }
-      const MstAlgorithm& oracle = mst_algorithm("kruskal");
       out.fell_back = true;
       out.fallback_reason = reason;
-      out.algorithm = oracle.name;
-      out.result = oracle.run(g, ctx);
+      out.algorithm = "kruskal";
+      // The fallback must complete even when the run's DEADLINE already
+      // expired (that expiry is why we are here), so it polls only the
+      // caller's own token: a user cancel arriving mid-fallback still
+      // stops the scan.
+      out.result = kruskal_cancellable(g, ctx.external_cancel());
     } else {
       // No fallback: surface the partial result; the caller inspects
       // result.stats.outcome / fallback_reason.

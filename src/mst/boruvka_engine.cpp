@@ -91,7 +91,7 @@ struct ActiveEdgeView {
 /// small member functions instead of one page-long loop body.
 struct Engine {
   const CsrGraph& g;
-  ThreadPool& pool;
+  Executor& pool;
   const BoruvkaConfig& cfg;
   BoruvkaScratch& s;
   MstResult r;
@@ -114,7 +114,7 @@ struct Engine {
 
   static constexpr std::size_t kMaxProbes = 16;
 
-  Engine(const CsrGraph& graph, ThreadPool& p, const BoruvkaConfig& c,
+  Engine(const CsrGraph& graph, Executor& p, const BoruvkaConfig& c,
          BoruvkaScratch& scratch)
       : g(graph), pool(p), cfg(c), s(scratch), threads(p.num_threads()) {}
 
@@ -573,7 +573,7 @@ MstResult boruvka_engine(const CsrGraph& g, RunContext& ctx,
   if (cfg.cancel == nullptr) cfg.cancel = ctx.cancel_token();
   BoruvkaScratch local_scratch;
   BoruvkaScratch& s = cfg.scratch != nullptr ? *cfg.scratch : local_scratch;
-  Engine engine(g, ctx.pool(), cfg, s);
+  Engine engine(g, ctx.executor(), cfg, s);
   return engine.run();
 }
 

@@ -155,7 +155,7 @@ struct BoruvkaConfig {
 };
 
 /// Runs Boruvka rounds until no edges remain; returns the unique MSF.
-/// Sweeps run on ctx.pool().
+/// Sweeps run on ctx.executor().
 [[nodiscard]] MstResult boruvka_engine(const CsrGraph& g, RunContext& ctx,
                                        const BoruvkaConfig& config);
 

@@ -14,13 +14,13 @@ namespace {
 
 struct FilterKruskalState {
   const CsrGraph& g;
-  ThreadPool& pool;
+  Executor& pool;
   ConcurrentUnionFind uf;
   std::vector<EdgeId> chosen;
   std::size_t components;  // remaining merges possible
   Xoshiro256 rng{0x9e3779b9u};
 
-  explicit FilterKruskalState(const CsrGraph& graph, ThreadPool& p)
+  explicit FilterKruskalState(const CsrGraph& graph, Executor& p)
       : g(graph), pool(p), uf(graph.num_vertices()),
         components(graph.num_vertices()) {}
 
@@ -95,7 +95,7 @@ struct FilterKruskalState {
 }  // namespace
 
 MstResult filter_kruskal(const CsrGraph& g, RunContext& ctx) {
-  FilterKruskalState state(g, ctx.pool());
+  FilterKruskalState state(g, ctx.executor());
   std::vector<EdgePriority> edges(g.num_edges());
   for (EdgeId e = 0; e < g.num_edges(); ++e) edges[e] = g.edge_priority(e);
   state.solve(edges);

@@ -17,7 +17,7 @@ namespace llpmst {
 
 class RunContext;
 
-/// The filter step runs on ctx.pool(); unions stay sequential.
+/// The filter step runs on ctx.executor(); unions stay sequential.
 [[nodiscard]] MstResult filter_kruskal(const CsrGraph& g, RunContext& ctx);
 /// Registry descriptor (see mst/registry.hpp).
 [[nodiscard]] MstAlgorithm filter_kruskal_algorithm();

@@ -3,11 +3,22 @@
 #include <algorithm>
 #include <numeric>
 
+#include "core/run_context.hpp"
 #include "ds/union_find.hpp"
+#include "support/failpoint.hpp"
 
 namespace llpmst {
 
-MstResult kruskal(const CsrGraph& g) {
+namespace {
+/// Cancellation / failpoint polling stride for the union-find scan: cheap
+/// relative to the unite work, fine-grained enough that a deadline or a
+/// user cancel lands mid-scan rather than only at the end.
+constexpr std::size_t kScanStride = 1024;
+}  // namespace
+
+MstResult kruskal(const CsrGraph& g) { return kruskal_cancellable(g, nullptr); }
+
+MstResult kruskal_cancellable(const CsrGraph& g, const CancelToken* cancel) {
   const std::size_t n = g.num_vertices();
   const std::size_t m = g.num_edges();
 
@@ -21,10 +32,24 @@ MstResult kruskal(const CsrGraph& g) {
   MstResult r;
   r.edges.reserve(n > 0 ? n - 1 : 0);
   UnionFind uf(n);
-  for (const EdgeId e : order) {
-    const WeightedEdge& we = g.edge(e);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (i % kScanStride == 0) {
+      // Chaos hook: the fallback oracle's scan.  This is the window where
+      // "user cancel arrives while mst::auto is already falling back" is
+      // exercised deterministically — a scripted timeline cancels on a hit
+      // of this point, and the poll right after observes it.
+      if (LLPMST_FAILPOINT("kruskal/scan") != fail::Action::kNone) {
+        r.stats.outcome = RunOutcome::kInjectedFault;
+        break;
+      }
+      if (cancel != nullptr && cancel->cancelled()) {
+        r.stats.outcome = cancel->reason();
+        break;
+      }
+    }
+    const WeightedEdge& we = g.edge(order[i]);
     if (uf.unite(we.u, we.v)) {
-      r.edges.push_back(e);
+      r.edges.push_back(order[i]);
       if (r.edges.size() + 1 == n) break;  // spanning tree complete
     }
   }
@@ -32,13 +57,15 @@ MstResult kruskal(const CsrGraph& g) {
   return r;
 }
 
-MstResult kruskal(const CsrGraph& g, RunContext& /*ctx*/) { return kruskal(g); }
+MstResult kruskal(const CsrGraph& g, RunContext& ctx) {
+  return kruskal_cancellable(g, ctx.cancel_token());
+}
 
 MstAlgorithm kruskal_algorithm() {
   return {"kruskal", "Kruskal",
           "sort all edges, grow the forest through union-find (the oracle)",
           {.parallel = false, .msf_capable = true, .deterministic = true,
-           .cancellable = false},
+           .cancellable = true},
           [](const CsrGraph& g, RunContext& ctx) { return kruskal(g, ctx); }};
 }
 

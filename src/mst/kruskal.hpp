@@ -8,11 +8,18 @@
 
 namespace llpmst {
 
+class CancelToken;
 class RunContext;
 
 [[nodiscard]] MstResult kruskal(const CsrGraph& g);
-/// Uniform registry entry point (the context is unused: sequential, no
-/// cancellation points).
+/// Kruskal with a cooperative cancellation checkpoint (and the
+/// "kruskal/scan" failpoint) every 1024 scanned edges.  A cancelled run
+/// returns the partial forest built so far with the token's reason in
+/// stats.outcome — this is the path mst::auto's sequential fallback runs
+/// on, so even the fallback honours deadlines and user cancels.
+[[nodiscard]] MstResult kruskal_cancellable(const CsrGraph& g,
+                                            const CancelToken* cancel);
+/// Uniform registry entry point: polls ctx.cancel_token().
 [[nodiscard]] MstResult kruskal(const CsrGraph& g, RunContext& ctx);
 /// Registry descriptor (see mst/registry.hpp).
 [[nodiscard]] MstAlgorithm kruskal_algorithm();

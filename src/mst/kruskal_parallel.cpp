@@ -16,7 +16,7 @@ MstResult kruskal_parallel(const CsrGraph& g, RunContext& ctx) {
   // so no separate index array is needed.
   std::vector<EdgePriority> order(m);
   for (EdgeId e = 0; e < m; ++e) order[e] = g.edge_priority(e);
-  parallel_sort(ctx.pool(), order);
+  parallel_sort(ctx.executor(), order);
 
   MstResult r;
   r.edges.reserve(n > 0 ? n - 1 : 0);

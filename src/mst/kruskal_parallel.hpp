@@ -10,7 +10,7 @@ namespace llpmst {
 
 class RunContext;
 
-/// Sorts on ctx.pool(); the union-find scan stays sequential.
+/// Sorts on ctx.executor(); the union-find scan stays sequential.
 [[nodiscard]] MstResult kruskal_parallel(const CsrGraph& g, RunContext& ctx);
 /// Registry descriptor (see mst/registry.hpp).
 [[nodiscard]] MstAlgorithm kruskal_parallel_algorithm();

@@ -10,7 +10,7 @@ namespace llpmst {
 
 class RunContext;
 
-/// Runs on ctx.pool(), polls ctx.cancel_token() between rounds, and reuses
+/// Runs on ctx.executor(), polls ctx.cancel_token() between rounds, and reuses
 /// the context's BoruvkaScratch across runs.
 [[nodiscard]] MstResult parallel_boruvka(const CsrGraph& g, RunContext& ctx);
 /// Registry descriptor (see mst/registry.hpp).

@@ -16,13 +16,15 @@
 #pragma once
 
 #include <atomic>
-#include <chrono>
 #include <cstddef>
 #include <cstdint>
 
 #include "obs/sched_events.hpp"
+#include "parallel/executor.hpp"
 #include "parallel/thread_pool.hpp"
 #include "support/cancel.hpp"
+#include "support/sim_hooks.hpp"
+#include "support/virtual_time.hpp"
 
 namespace llpmst {
 
@@ -31,12 +33,11 @@ namespace detail {
 /// small enough to balance skewed work.
 inline constexpr std::size_t kDynamicChunk = 1024;
 
-inline std::uint64_t grain_clock_ns() {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
+/// Clock behind GrainFeedback measurements.  Routed through vtime so the
+/// deterministic simulator controls it — grain decisions feed back into
+/// chunk sizes, which are schedule-affecting, so they must not read real
+/// time under simulation.
+inline std::uint64_t grain_clock_ns() { return vtime::steady_now_ns(); }
 }  // namespace detail
 
 /// Per-call-site grain controller for parallel_for_adaptive.
@@ -104,7 +105,7 @@ class GrainFeedback {
 
 /// Dynamic (chunk-stealing) parallel for over [begin, end).
 template <typename Body>
-void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+void parallel_for(Executor& pool, std::size_t begin, std::size_t end,
                   Body&& body,
                   std::size_t chunk = detail::kDynamicChunk) {
   if (begin >= end) return;
@@ -116,6 +117,10 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
   std::atomic<std::size_t> next{begin};
   pool.run_team([&](std::size_t) {
     for (;;) {
+      // Preemption point: each chunk grab is a spot where the OS scheduler
+      // could interleave workers differently — under simulation the
+      // deterministic scheduler decides here instead.
+      simhook::preempt();
       const std::size_t lo = next.fetch_add(chunk, std::memory_order_relaxed);
       if (lo >= end) break;
       const std::size_t hi = lo + chunk < end ? lo + chunk : end;
@@ -130,7 +135,7 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
 /// with similar per-element cost (Boruvka rounds) converge on a grain that
 /// amortizes scheduling without starving load balance.
 template <typename Body>
-void parallel_for_adaptive(ThreadPool& pool, std::size_t begin,
+void parallel_for_adaptive(Executor& pool, std::size_t begin,
                            std::size_t end, GrainFeedback& feedback,
                            Body&& body) {
   if (begin >= end) return;
@@ -158,7 +163,7 @@ void parallel_for_adaptive(ThreadPool& pool, std::size_t begin,
 /// elements — this is the cancellation granularity a watchdog can rely on,
 /// as long as individual loop bodies are short.
 template <typename Body>
-bool parallel_for_interruptible(ThreadPool& pool, std::size_t begin,
+bool parallel_for_interruptible(Executor& pool, std::size_t begin,
                                 std::size_t end, const CancelToken& cancel,
                                 Body&& body,
                                 std::size_t chunk = detail::kDynamicChunk) {
@@ -176,6 +181,7 @@ bool parallel_for_interruptible(ThreadPool& pool, std::size_t begin,
   std::atomic<bool> stopped{false};
   pool.run_team([&](std::size_t) {
     for (;;) {
+      simhook::preempt();
       if (cancel.cancelled()) {
         stopped.store(true, std::memory_order_relaxed);
         break;
@@ -191,7 +197,7 @@ bool parallel_for_interruptible(ThreadPool& pool, std::size_t begin,
 
 /// Static (even pre-split) parallel for over [begin, end).
 template <typename Body>
-void parallel_for_static(ThreadPool& pool, std::size_t begin, std::size_t end,
+void parallel_for_static(Executor& pool, std::size_t begin, std::size_t end,
                          Body&& body) {
   if (begin >= end) return;
   const std::size_t n = end - begin;
@@ -201,6 +207,10 @@ void parallel_for_static(ThreadPool& pool, std::size_t begin, std::size_t end,
     return;
   }
   pool.run_team([&](std::size_t w) {
+    // One preemption point per worker: static splits have no load-balance
+    // races, but the order in which block effects become visible is still a
+    // schedule degree of freedom worth exploring.
+    simhook::preempt();
     const std::size_t lo = begin + n * w / t;
     const std::size_t hi = begin + n * (w + 1) / t;
     for (std::size_t i = lo; i < hi; ++i) body(i);
@@ -211,7 +221,7 @@ void parallel_for_static(ThreadPool& pool, std::size_t begin, std::size_t end,
 /// that feed per-worker buffers (ConcurrentBag) while still load-balancing
 /// skewed per-element work (e.g. high-degree frontier vertices).
 template <typename Body>
-void parallel_for_worker(ThreadPool& pool, std::size_t begin, std::size_t end,
+void parallel_for_worker(Executor& pool, std::size_t begin, std::size_t end,
                          Body&& body,
                          std::size_t chunk = detail::kDynamicChunk) {
   if (begin >= end) return;
@@ -223,6 +233,7 @@ void parallel_for_worker(ThreadPool& pool, std::size_t begin, std::size_t end,
   std::atomic<std::size_t> next{begin};
   pool.run_team([&](std::size_t w) {
     for (;;) {
+      simhook::preempt();
       const std::size_t lo = next.fetch_add(chunk, std::memory_order_relaxed);
       if (lo >= end) break;
       const std::size_t hi = lo + chunk < end ? lo + chunk : end;
@@ -238,7 +249,7 @@ void parallel_for_worker(ThreadPool& pool, std::size_t begin, std::size_t end,
 /// chunked stream compaction — while per-worker timing enables utilization
 /// probes.  Workers race only for WHICH chunks they take, never for bounds.
 template <typename ChunkBody>
-void parallel_chunks(ThreadPool& pool, std::size_t begin, std::size_t end,
+void parallel_chunks(Executor& pool, std::size_t begin, std::size_t end,
                      std::size_t chunk, ChunkBody&& body) {
   if (begin >= end) return;
   if (chunk == 0) chunk = detail::kDynamicChunk;
@@ -253,6 +264,7 @@ void parallel_chunks(ThreadPool& pool, std::size_t begin, std::size_t end,
   std::atomic<std::size_t> next{begin};
   pool.run_team([&](std::size_t w) {
     for (;;) {
+      simhook::preempt();
       const std::size_t lo = next.fetch_add(chunk, std::memory_order_relaxed);
       if (lo >= end) break;
       const std::size_t hi = lo + chunk < end ? lo + chunk : end;
@@ -265,7 +277,7 @@ void parallel_chunks(ThreadPool& pool, std::size_t begin, std::size_t end,
 /// [begin, end).  Workers with an empty block still get called with lo==hi so
 /// per-worker state can be initialized unconditionally.
 template <typename BlockBody>
-void parallel_blocks(ThreadPool& pool, std::size_t begin, std::size_t end,
+void parallel_blocks(Executor& pool, std::size_t begin, std::size_t end,
                      BlockBody&& body) {
   const std::size_t n = end >= begin ? end - begin : 0;
   const std::size_t t = pool.num_threads();
@@ -274,6 +286,7 @@ void parallel_blocks(ThreadPool& pool, std::size_t begin, std::size_t end,
     return;
   }
   pool.run_team([&](std::size_t w) {
+    simhook::preempt();
     const std::size_t lo = begin + n * w / t;
     const std::size_t hi = begin + n * (w + 1) / t;
     body(lo, hi, w);

@@ -1,4 +1,4 @@
-// Parallel reductions over a ThreadPool.
+// Parallel reductions over an Executor.
 //
 //   auto total = parallel_reduce(pool, 0, n, 0.0,
 //       [&](std::size_t i) { return cost[i]; },       // map
@@ -12,12 +12,12 @@
 #include <cstddef>
 #include <vector>
 
-#include "parallel/thread_pool.hpp"
+#include "parallel/executor.hpp"
 
 namespace llpmst {
 
 template <typename T, typename Map, typename Combine>
-[[nodiscard]] T parallel_reduce(ThreadPool& pool, std::size_t begin,
+[[nodiscard]] T parallel_reduce(Executor& pool, std::size_t begin,
                                 std::size_t end, T identity, Map&& map,
                                 Combine&& combine) {
   if (begin >= end) return identity;
@@ -43,7 +43,7 @@ template <typename T, typename Map, typename Combine>
 
 /// Convenience: parallel sum of map(i) over [begin, end).
 template <typename T, typename Map>
-[[nodiscard]] T parallel_sum(ThreadPool& pool, std::size_t begin,
+[[nodiscard]] T parallel_sum(Executor& pool, std::size_t begin,
                              std::size_t end, T identity, Map&& map) {
   return parallel_reduce(pool, begin, end, identity, map,
                          [](T a, T b) { return a + b; });
@@ -51,7 +51,7 @@ template <typename T, typename Map>
 
 /// Parallel count of indices satisfying pred.
 template <typename Pred>
-[[nodiscard]] std::size_t parallel_count(ThreadPool& pool, std::size_t begin,
+[[nodiscard]] std::size_t parallel_count(Executor& pool, std::size_t begin,
                                          std::size_t end, Pred&& pred) {
   return parallel_sum(pool, begin, end, std::size_t{0}, [&](std::size_t i) {
     return pred(i) ? std::size_t{1} : std::size_t{0};

@@ -10,13 +10,13 @@
 #include <cstddef>
 #include <vector>
 
-#include "parallel/thread_pool.hpp"
+#include "parallel/executor.hpp"
 
 namespace llpmst {
 
 /// In-place exclusive scan of data[0..n); returns the grand total.
 template <typename T>
-T exclusive_scan_inplace(ThreadPool& pool, std::vector<T>& data) {
+T exclusive_scan_inplace(Executor& pool, std::vector<T>& data) {
   const std::size_t n = data.size();
   const std::size_t t = pool.num_threads();
   if (t == 1 || n < 4 * t) {
@@ -62,7 +62,7 @@ T exclusive_scan_inplace(ThreadPool& pool, std::vector<T>& data) {
 /// the output, preserving order; out[i] receives emit(i).  Returns the number
 /// kept.  `out` is resized to the result.
 template <typename OutT, typename Pred, typename Emit>
-std::size_t parallel_filter(ThreadPool& pool, std::size_t n,
+std::size_t parallel_filter(Executor& pool, std::size_t n,
                             std::vector<OutT>& out, Pred&& pred,
                             Emit&& emit) {
   const std::size_t t = pool.num_threads();

@@ -1,4 +1,4 @@
-// Parallel merge sort over a ThreadPool.
+// Parallel merge sort over an Executor.
 //
 // Blocks are std::sort-ed in parallel, then merged in log(blocks) rounds of
 // pairwise parallel merges (double-buffered).  The result is identical to a
@@ -14,12 +14,12 @@
 #include <cstddef>
 #include <vector>
 
-#include "parallel/thread_pool.hpp"
+#include "parallel/executor.hpp"
 
 namespace llpmst {
 
 template <typename T, typename Compare = std::less<T>>
-void parallel_sort(ThreadPool& pool, std::vector<T>& data,
+void parallel_sort(Executor& pool, std::vector<T>& data,
                    Compare comp = Compare{}) {
   const std::size_t n = data.size();
   const std::size_t t = pool.num_threads();

@@ -66,7 +66,7 @@ ThreadPool::~ThreadPool() {
   for (auto& t : threads_) t.join();
 }
 
-void ThreadPool::run_team_impl(const TeamFn& fn) {
+void ThreadPool::run_region_impl(const TeamFn& fn) {
   if (num_threads_ == 1) {
     run_region(fn, 0);  // exceptions propagate naturally on the inline path
     return;

@@ -12,7 +12,9 @@
 //
 // Thread-safety: run_team is NOT reentrant (no nested parallel regions) and
 // must be called from one thread at a time.  All library entry points take
-// the pool by reference, so the caller decides the parallelism degree.
+// the pool by Executor reference, so the caller decides both the
+// parallelism degree and the execution substrate (real threads here, the
+// deterministic simulator in src/sim/).
 #pragma once
 
 #include <atomic>
@@ -22,51 +24,24 @@
 #include <exception>
 #include <mutex>
 #include <thread>
-#include <type_traits>
 #include <vector>
+
+#include "parallel/executor.hpp"
 
 namespace llpmst {
 
-class ThreadPool {
+class ThreadPool : public Executor {
  public:
   /// Creates a pool that executes team regions with `num_threads` workers in
   /// total (including the calling thread).  `num_threads == 1` spawns no
   /// threads at all: run_team simply invokes f(0) inline, so sequential runs
   /// have zero runtime overhead.
   explicit ThreadPool(std::size_t num_threads);
-  ~ThreadPool();
-
-  ThreadPool(const ThreadPool&) = delete;
-  ThreadPool& operator=(const ThreadPool&) = delete;
+  ~ThreadPool() override;
 
   /// Number of workers, including the caller.
-  [[nodiscard]] std::size_t num_threads() const { return num_threads_; }
-
-  /// Runs f(worker_id) on every worker (ids 0..num_threads-1, the calling
-  /// thread is id 0) and returns when all have finished.  An exception
-  /// escaping f on ANY worker is captured and rethrown here, on the
-  /// submitting thread, after the team joins — it never terminates the
-  /// process.  When several workers throw, the caller's own exception wins,
-  /// then the first captured worker exception; the rest are dropped.  Other
-  /// workers are not interrupted, so side effects of the region may be
-  /// partially applied — treat a throwing region as poisoned state, not a
-  /// transaction.  Hot paths still prefer error codes (CP.2 discipline);
-  /// this guarantee exists for failure paths: bad_alloc, injected faults,
-  /// bugs that must surface to the submitter instead of aborting a service.
-  ///
-  /// Dispatch is by borrowed reference (a {object pointer, invoke thunk}
-  /// pair), NOT by std::function: team regions are the hottest dispatch
-  /// path in the library and a capturing lambda must not cost a heap
-  /// allocation per region.  `f` only needs to outlive the call, which the
-  /// join guarantees.
-  template <typename F>
-  void run_team(F&& f) {
-    using Fn = std::remove_reference_t<F>;
-    run_team_impl(TeamFn{
-        const_cast<void*>(static_cast<const void*>(&f)),
-        [](void* obj, std::size_t worker_id) {
-          (*static_cast<Fn*>(obj))(worker_id);
-        }});
+  [[nodiscard]] std::size_t num_threads() const override {
+    return num_threads_;
   }
 
   /// A process-wide default pool sized to the hardware concurrency; created
@@ -84,16 +59,18 @@ class ThreadPool {
     return trace_regions_.load(std::memory_order_relaxed);
   }
 
- private:
-  /// Borrowed callable: no ownership, no allocation, trivially copyable.
-  struct TeamFn {
-    void* obj = nullptr;
-    void (*invoke)(void*, std::size_t) = nullptr;
-  };
+ protected:
+  /// Exceptions a worker throws are captured and rethrown on the submitting
+  /// thread after the join — the caller's own exception wins, then the
+  /// first captured worker exception; the rest are dropped.  Other workers
+  /// are not interrupted, so side effects of the region may be partially
+  /// applied — treat a throwing region as poisoned state, not a
+  /// transaction.
+  void run_region_impl(const TeamFn& fn) override;
 
+ private:
   inline static std::atomic<bool> trace_regions_{false};
 
-  void run_team_impl(const TeamFn& fn);
   void worker_loop(std::size_t worker_id);
 
   std::size_t num_threads_;

@@ -25,11 +25,13 @@
 #include <cstddef>
 #include <deque>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "obs/sched_events.hpp"
-#include "parallel/thread_pool.hpp"
+#include "parallel/executor.hpp"
 #include "support/assert.hpp"
+#include "support/sim_hooks.hpp"
 
 namespace llpmst {
 
@@ -80,7 +82,7 @@ class WorkStealingContext {
 /// Exactly-once consumption of every pushed item; NO ordering guarantees
 /// (the LLP property is what makes that acceptable for MST).
 template <typename T, typename Body>
-void work_stealing_run(ThreadPool& pool, const std::vector<T>& initial,
+void work_stealing_run(Executor& pool, const std::vector<T>& initial,
                        Body&& body) {
   const std::size_t workers = pool.num_threads();
   detail::WorkStealingState<T> state(workers);
@@ -117,6 +119,10 @@ void work_stealing_run(ThreadPool& pool, const std::vector<T>& initial,
       failed_probes = 0;
     };
     for (;;) {
+      // Preemption point: between items is where a real scheduler would
+      // reorder the race for work — and where the deterministic simulator
+      // decides instead.  Must stay OUTSIDE the deque lock scopes below.
+      simhook::preempt();
       bool have = false;
       bool stolen = false;
       T item{};
@@ -168,8 +174,15 @@ void work_stealing_run(ThreadPool& pool, const std::vector<T>& initial,
         if (sched) flush_idle();
         return;
       }
-      // Someone is still working; back off briefly and retry.
-      std::this_thread::yield();
+      // Someone is still working; back off briefly and retry.  Under
+      // simulation the yield must hand the baton back to the scheduler —
+      // a real yield would spin forever, since only one virtual worker
+      // runs at a time.
+      if (simhook::active()) {
+        simhook::preempt();
+      } else {
+        std::this_thread::yield();
+      }
     }
   });
 
@@ -196,7 +209,7 @@ struct IndexRange {
 /// finer-grained than fixed chunks exactly when it matters, coarser when it
 /// does not.
 template <typename Body>
-void parallel_for_stealing(ThreadPool& pool, std::size_t begin,
+void parallel_for_stealing(Executor& pool, std::size_t begin,
                            std::size_t end, std::size_t grain, Body&& body) {
   if (begin >= end) return;
   const std::size_t n = end - begin;

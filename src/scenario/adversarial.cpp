@@ -1,0 +1,116 @@
+#include "scenario/adversarial.hpp"
+
+#include <algorithm>
+
+#include "graph/generators/random_graph.hpp"
+#include "graph/generators/rmat.hpp"
+#include "graph/generators/road.hpp"
+#include "support/random.hpp"
+
+namespace llpmst {
+
+EdgeList make_bundle_heavy(const BundleHeavyParams& p) {
+  const std::uint32_t k = std::max(p.clusters, 2u);
+  const std::uint32_t s = std::max(p.cluster_size, 2u);
+  const std::uint32_t width = std::max(p.bundle_width, 1u);
+  const std::size_t n = static_cast<std::size_t>(k) * s;
+  EdgeList list(n);
+  Xoshiro256 rng(SplitMix64::mix(p.seed ^ 0xb0adull));
+
+  // Light intra-cluster paths with globally distinct small weights: round 1
+  // of any Boruvka-style contraction collapses each cluster (every path
+  // edge is some vertex's lightest incident edge).
+  Weight w = 1;
+  for (std::uint32_t c = 0; c < k; ++c) {
+    const VertexId base = c * s;
+    for (std::uint32_t i = 0; i + 1 < s; ++i) {
+      list.add_edge(base + i, base + i + 1, w++);
+    }
+  }
+
+  // Heavy inter-cluster bundles between DISTINCT vertex pairs, so
+  // normalize() keeps every one: after round 1 they all become parallel
+  // edges of one super-vertex pair.  Consecutive clusters get a full
+  // bundle (keeps the graph connected); a few random extra cluster pairs
+  // get one too.
+  const Weight heavy_base = w + 1000;
+  const auto add_bundle = [&](std::uint32_t ca, std::uint32_t cb) {
+    for (std::uint32_t i = 0; i < width; ++i) {
+      // Spread endpoints across the clusters; distinctness comes from i.
+      const VertexId u = ca * s + (i % s);
+      const VertexId v = cb * s + ((i / s + i) % s);
+      const Weight hw =
+          heavy_base + static_cast<Weight>(rng.next() % 64) + i % 7;
+      list.add_edge(u, v, hw);
+    }
+  };
+  for (std::uint32_t c = 0; c + 1 < k; ++c) add_bundle(c, c + 1);
+  for (std::uint32_t extra = 0; extra < k / 2; ++extra) {
+    const auto ca = static_cast<std::uint32_t>(rng.next() % k);
+    const auto cb = static_cast<std::uint32_t>(rng.next() % k);
+    if (ca != cb) add_bundle(std::min(ca, cb), std::max(ca, cb));
+  }
+
+  list.normalize();
+  return list;
+}
+
+EdgeList make_near_duplicate_weights(const NearDuplicateParams& p) {
+  ErdosRenyiParams er;
+  er.num_vertices = p.num_vertices;
+  er.num_edges = p.num_edges;
+  er.max_weight = 1;  // reassigned below; keeps the topology draw cheap
+  er.seed = p.seed;
+  EdgeList list = generate_erdos_renyi(er);
+
+  // Re-weight into the [base, base + spread] collision band.  Weights come
+  // from the generator's own seed stream so (params, seed) stays the whole
+  // story.
+  Xoshiro256 rng(SplitMix64::mix(p.seed ^ 0xd0bbe1ull));
+  const Weight spread = p.spread;
+  for (WeightedEdge& e : list.edges()) {
+    e.w = p.base + (spread == 0
+                        ? 0
+                        : static_cast<Weight>(rng.next() % (spread + 1)));
+  }
+  return list;
+}
+
+EdgeList make_geo_road_hybrid(const GeoRoadHybridParams& p) {
+  RoadParams road;
+  road.width = p.road_width;
+  road.height = p.road_height;
+  road.seed = p.seed;
+  EdgeList grid = generate_road_network(road);
+
+  GeometricParams geo;
+  geo.num_vertices = p.geo_vertices;
+  geo.neighbors = p.geo_neighbors;
+  geo.seed = p.seed + 1;
+  EdgeList cloud = generate_geometric(geo);
+
+  // Disjoint union: cloud vertices are appended after the grid's.
+  const std::size_t offset = grid.num_vertices();
+  EdgeList list(offset + cloud.num_vertices());
+  list.reserve(grid.num_edges() + cloud.num_edges() + p.bridges);
+  for (const WeightedEdge& e : grid.edges()) list.add_edge(e.u, e.v, e.w);
+  for (const WeightedEdge& e : cloud.edges()) {
+    list.add_edge(e.u + offset, e.v + offset, e.w);
+  }
+
+  // Random bridges stitch the morphologies (at least one, so the result is
+  // connected given both halves are).
+  Xoshiro256 rng(SplitMix64::mix(p.seed ^ 0xb41d6eull));
+  const std::uint32_t bridges = std::max(p.bridges, 1u);
+  for (std::uint32_t i = 0; i < bridges; ++i) {
+    const auto u = static_cast<VertexId>(rng.next() % offset);
+    const auto v = static_cast<VertexId>(
+        offset + rng.next() % (list.num_vertices() - offset));
+    list.add_edge(u, v, static_cast<Weight>(1 + rng.next() % (1u << 16)));
+  }
+
+  list.normalize();
+  return list;
+}
+
+}  // namespace llpmst

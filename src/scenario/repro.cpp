@@ -1,0 +1,60 @@
+#include "scenario/repro.hpp"
+
+#include <cstdio>
+
+namespace llpmst {
+
+namespace {
+
+// Single-quote for the shell; embedded single quotes become '\'' (none of
+// our specs contain them today, but a repro line must never be mis-paste-able).
+void append_quoted(std::string& out, std::string_view value) {
+  out += '\'';
+  for (char c : value) {
+    if (c == '\'') {
+      out += "'\\''";
+    } else {
+      out += c;
+    }
+  }
+  out += '\'';
+}
+
+}  // namespace
+
+std::string format_repro_command(const ReproSpec& spec) {
+  std::string out = "repro: ./build/examples/mst_tool";
+  char buf[48];
+
+  if (!spec.scenario.empty()) {
+    out += " --scenario ";
+    out.append(spec.scenario);
+  }
+  std::snprintf(buf, sizeof buf, " --seed %llu",
+                static_cast<unsigned long long>(spec.seed));
+  out += buf;
+  if (!spec.algo.empty()) {
+    out += " --algo ";
+    out.append(spec.algo);
+  }
+  if (spec.threads > 0) {
+    std::snprintf(buf, sizeof buf, " --threads %zu", spec.threads);
+    out += buf;
+  }
+  if (spec.sim) out += " --sim";
+  if (!spec.timeline.empty()) {
+    out += " --sim-timeline ";
+    append_quoted(out, spec.timeline);
+  }
+  if (!spec.failpoints.empty()) {
+    out += " --failpoints ";
+    append_quoted(out, spec.failpoints);
+  }
+  if (spec.deadline_ms > 0) {
+    std::snprintf(buf, sizeof buf, " --deadline-ms %g", spec.deadline_ms);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace llpmst

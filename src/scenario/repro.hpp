@@ -1,0 +1,38 @@
+// One-line repro commands for chaos/sim test failures.
+//
+// Every randomized or fault-injected test failure should hand the developer
+// a command they can paste into a shell to re-run the exact same case.
+// The formatter lives here (not in the tests) so the flag spelling has one
+// home and cannot drift from mst_tool's CLI.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace llpmst {
+
+struct ReproSpec {
+  /// --scenario name; empty = ad-hoc graph, scenario flag omitted.
+  std::string_view scenario;
+  /// --algo name; empty = omitted ("mst::auto" dispatch).
+  std::string_view algo;
+  std::uint64_t seed = 0;
+  /// --threads; 0 = omitted.
+  std::size_t threads = 0;
+  /// --failpoints spec; empty = omitted.  Quoted in the output.
+  std::string_view failpoints;
+  /// --sim-timeline spec; empty = omitted.  Quoted in the output.
+  std::string_view timeline;
+  /// --deadline-ms; <= 0 = omitted.
+  double deadline_ms = 0;
+  /// Run under the deterministic simulator (--sim).
+  bool sim = false;
+};
+
+/// "repro: ./build/examples/mst_tool --scenario bundle-heavy --seed 17
+///  --algo llp-boruvka --threads 4 --failpoints 'boruvka/round=1*return'"
+/// — single line, shell-safe (specs are single-quoted).
+[[nodiscard]] std::string format_repro_command(const ReproSpec& spec);
+
+}  // namespace llpmst

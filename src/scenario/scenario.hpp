@@ -1,0 +1,68 @@
+// The named scenario registry: adversarial workloads as first-class,
+// reproducible objects.
+//
+// A scenario bundles a graph generator configuration, an optional fault
+// timeline / failpoint spec, an optional deadline, and the invariants the
+// run is expected to uphold.  Everything is parameterized by one seed, so
+// "scenario + seed" fully determines the input — the same contract the
+// deterministic simulator extends to the schedule.  mst_tool exposes the
+// registry through --list-scenarios/--scenario; the conformance test runs
+// every scenario against the sequential Kruskal oracle.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "mst/mst_result.hpp"
+
+namespace llpmst {
+
+class CsrGraph;
+
+/// What a scenario's forest must look like (checked against the result and
+/// the oracle).
+struct ScenarioExpect {
+  /// The generated graph is connected for every seed (so the result must be
+  /// a spanning TREE: n-1 edges).
+  bool connected = false;
+  /// Lower bound on the number of components (disconnected scenarios; 1 for
+  /// connected ones).
+  std::size_t min_components = 1;
+};
+
+struct Scenario {
+  const char* name;     // canonical kebab-case id (--scenario <name>)
+  const char* family;   // grouping for the catalog table
+  const char* summary;  // one line: what it stresses and why
+  EdgeList (*make)(std::uint64_t seed);
+  ScenarioExpect expect;
+  /// Failpoint spec armed for the run ("" = none) — PR 2 grammar.
+  const char* failpoints;
+  /// Deadline armed on the RunContext in ms (0 = none).
+  double deadline_ms;
+};
+
+/// All registered scenarios, presentation order (stable addresses).
+[[nodiscard]] const std::vector<Scenario>& scenarios();
+
+/// Lookup by canonical name; nullptr when unknown.
+[[nodiscard]] const Scenario* find_scenario(std::string_view name);
+
+/// "rmat-skew-mild | ... " — generated so help text cannot drift.
+[[nodiscard]] std::string scenario_names(const char* separator = " | ");
+
+/// Checks `result` (produced by any algorithm on the scenario's graph `g`)
+/// against the scenario's expectations AND the Kruskal oracle: forest size,
+/// total weight, bit-identical edge set for deterministic algorithms.
+/// Returns "" when everything holds, else a one-line description of the
+/// first violation.  `compare_edges` = false relaxes the check to total
+/// weight only (for a future non-deterministic entry).
+[[nodiscard]] std::string check_scenario_result(const Scenario& scenario,
+                                                const CsrGraph& g,
+                                                const MstResult& result,
+                                                bool compare_edges = true);
+
+}  // namespace llpmst

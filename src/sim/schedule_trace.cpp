@@ -1,0 +1,126 @@
+#include "sim/schedule_trace.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <string_view>
+#include <utility>
+
+namespace llpmst::sim {
+
+namespace {
+
+constexpr const char* kMagic = "llpsim1";
+
+bool parse_u64(std::string_view s, std::uint64_t& out) {
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+bool parse_hex(std::string_view s, std::uint64_t& out) {
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out, 16);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+}  // namespace
+
+std::string ScheduleTrace::encode() const {
+  std::string out(kMagic);
+  out += ':';
+  out += std::to_string(seed);
+  out += ':';
+  out += std::to_string(workers);
+  out += ':';
+  // RLE over pick runs: "<id-hex>x<count-hex>", '.'-joined.  Schedules are
+  // long stretches of the same winner (a worker draining chunks), so runs
+  // compress well; hex keeps multi-digit worker ids unambiguous around 'x'.
+  for (std::size_t i = 0; i < picks.size();) {
+    std::size_t j = i + 1;
+    while (j < picks.size() && picks[j] == picks[i]) ++j;
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%s%xx%zx", i == 0 ? "" : ".",
+                  static_cast<unsigned>(picks[i]), j - i);
+    out += buf;
+    i = j;
+  }
+  return out;
+}
+
+bool ScheduleTrace::decode(const std::string& text) {
+  std::string_view rest(text);
+  const auto take = [&rest](char sep) -> std::string_view {
+    const auto pos = rest.find(sep);
+    std::string_view head = rest.substr(0, pos);
+    rest = pos == std::string_view::npos ? std::string_view{}
+                                         : rest.substr(pos + 1);
+    return head;
+  };
+  if (take(':') != kMagic) return false;
+  std::uint64_t s = 0;
+  std::uint64_t w = 0;
+  if (!parse_u64(take(':'), s) || !parse_u64(take(':'), w) || w == 0 ||
+      w > 255) {
+    return false;
+  }
+  std::vector<std::uint8_t> decoded;
+  while (!rest.empty()) {
+    std::string_view run = take('.');
+    const auto x = run.find('x');
+    if (x == std::string_view::npos) return false;
+    std::uint64_t id = 0;
+    std::uint64_t count = 0;
+    if (!parse_hex(run.substr(0, x), id) ||
+        !parse_hex(run.substr(x + 1), count) || id >= w || count == 0 ||
+        count > (1u << 28)) {
+      return false;
+    }
+    decoded.insert(decoded.end(), count, static_cast<std::uint8_t>(id));
+  }
+  seed = s;
+  workers = static_cast<std::uint32_t>(w);
+  picks = std::move(decoded);
+  return true;
+}
+
+ScheduleTrace minimize_prefix(
+    const ScheduleTrace& failing,
+    const std::function<bool(const ScheduleTrace&)>& still_fails) {
+  const auto prefix = [&failing](std::size_t len) {
+    ScheduleTrace t;
+    t.seed = failing.seed;
+    t.workers = failing.workers;
+    t.picks.assign(failing.picks.begin(),
+                   failing.picks.begin() + static_cast<std::ptrdiff_t>(len));
+    return t;
+  };
+  const std::size_t n = failing.picks.size();
+
+  // Exponential probe: find the first power-of-two-ish length that fails.
+  std::size_t hi = 0;  // shortest KNOWN-failing length
+  std::size_t lo = 0;  // longest known-passing length (exclusive bound)
+  bool found = false;
+  for (std::size_t len = 0; !found; len = len == 0 ? 1 : len * 2) {
+    if (len >= n) {
+      hi = n;  // the full trace fails by precondition
+      found = true;
+      break;
+    }
+    if (still_fails(prefix(len))) {
+      hi = len;
+      found = true;
+    } else {
+      lo = len + 1;
+    }
+  }
+  // Binary search in [lo, hi] for the shortest failing prefix.
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (still_fails(prefix(mid))) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return prefix(hi);
+}
+
+}  // namespace llpmst::sim

@@ -1,0 +1,50 @@
+// Compact, replayable schedule traces.
+//
+// Every scheduling decision the SimExecutor takes — "grant the baton to
+// worker w" — is appended to a ScheduleTrace.  The trace plus the original
+// (seed, workers) pair is a complete recipe for the run: replaying it feeds
+// the recorded picks back to the scheduler instead of the PRNG, reproducing
+// the interleaving bit for bit.  Traces serialize to a single printable
+// token (run-length encoded) so a failing test can embed the exact schedule
+// in its failure message, and minimize_prefix() greedily shrinks a failing
+// trace to the shortest prefix that still fails — after the prefix the
+// scheduler continues with a deterministic round-robin policy, so shorter
+// prefixes mean simpler repros.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace llpmst::sim {
+
+struct ScheduleTrace {
+  std::uint64_t seed = 0;
+  std::uint32_t workers = 0;
+  /// Chosen worker id per scheduling decision, in decision order.
+  std::vector<std::uint8_t> picks;
+
+  bool operator==(const ScheduleTrace&) const = default;
+
+  /// One printable token: "llpsim1:<seed>:<workers>:<rle picks>", where the
+  /// pick string run-length encodes each id as hex ("2x17" = id 2, 17
+  /// times; runs joined with '.').
+  [[nodiscard]] std::string encode() const;
+
+  /// Inverse of encode(); returns false (leaving *this unchanged) on any
+  /// malformed token.
+  bool decode(const std::string& text);
+};
+
+/// Greedily minimizes a failing trace: finds the shortest prefix of
+/// `failing.picks` for which still_fails(prefix-trace) holds, by exponential
+/// probing from the front followed by a binary search.  `still_fails` must
+/// be deterministic (it re-runs the scenario under replay).  Assumes the
+/// full trace fails; returns it unchanged when even the empty prefix fails
+/// (the failure is schedule-independent).
+[[nodiscard]] ScheduleTrace minimize_prefix(
+    const ScheduleTrace& failing,
+    const std::function<bool(const ScheduleTrace&)>& still_fails);
+
+}  // namespace llpmst::sim

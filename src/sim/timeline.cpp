@@ -1,0 +1,182 @@
+#include "sim/timeline.hpp"
+
+#include <charconv>
+
+#include "support/failpoint.hpp"
+
+namespace llpmst::sim {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool parse_u64(std::string_view s, std::uint64_t& out) {
+  s = trim(s);
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+/// Splits on top-level commas only — commas never appear inside the paren
+/// arguments we accept, but being paren-aware keeps the grammar honest if
+/// they ever do.
+std::vector<std::string_view> split_entries(std::string_view spec) {
+  std::vector<std::string_view> out;
+  std::size_t depth = 0;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < spec.size(); ++i) {
+    if (spec[i] == '(') ++depth;
+    if (spec[i] == ')' && depth > 0) --depth;
+    if (spec[i] == ',' && depth == 0) {
+      out.push_back(spec.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  out.push_back(spec.substr(start));
+  return out;
+}
+
+}  // namespace
+
+bool Timeline::parse(std::string_view spec) {
+  entries_.clear();
+  error_.clear();
+  const auto fail = [this](std::string_view entry, const char* why) {
+    error_ = "malformed timeline entry '" + std::string(entry) + "': " + why;
+    entries_.clear();
+    return false;
+  };
+  for (std::string_view raw : split_entries(spec)) {
+    const std::string_view entry = trim(raw);
+    if (entry.empty()) continue;
+    Entry e{};
+
+    // ---- Trigger: "@<step>:" or "hit(<point>:<k>):".
+    std::string_view rest;
+    if (entry.front() == '@') {
+      const auto colon = entry.find(':');
+      if (colon == std::string_view::npos) return fail(entry, "missing ':'");
+      std::uint64_t step = 0;
+      if (!parse_u64(entry.substr(1, colon - 1), step) || step == 0) {
+        return fail(entry, "bad step ordinal");
+      }
+      e.trigger = TriggerKind::kAtStep;
+      e.at = step;
+      rest = entry.substr(colon + 1);
+    } else if (entry.starts_with("hit(")) {
+      const auto close = entry.find(')');
+      if (close == std::string_view::npos) return fail(entry, "missing ')'");
+      const std::string_view inner = entry.substr(4, close - 4);
+      const auto colon = inner.rfind(':');
+      if (colon == std::string_view::npos) {
+        return fail(entry, "hit() needs <point>:<k>");
+      }
+      std::uint64_t k = 0;
+      if (!parse_u64(inner.substr(colon + 1), k) || k == 0) {
+        return fail(entry, "bad hit ordinal");
+      }
+      const std::string_view point = trim(inner.substr(0, colon));
+      if (point.empty()) return fail(entry, "empty point name");
+      e.trigger = TriggerKind::kOnHit;
+      e.point = std::string(point);
+      e.at = k;
+      const std::string_view after = trim(entry.substr(close + 1));
+      if (after.empty() || after.front() != ':') {
+        return fail(entry, "missing ':' after hit()");
+      }
+      rest = after.substr(1);
+    } else {
+      return fail(entry, "trigger must be '@<step>' or 'hit(<point>:<k>)'");
+    }
+
+    // ---- Action.
+    const std::string_view action = trim(rest);
+    if (action == "cancel") {
+      e.action = ActionKind::kCancel;
+    } else if (action.starts_with("arm(") && action.back() == ')') {
+      const std::string_view inner = action.substr(4, action.size() - 5);
+      const auto eq = inner.find('=');
+      if (eq == std::string_view::npos || eq == 0 || eq + 1 == inner.size()) {
+        return fail(entry, "arm() needs <name>=<spec>");
+      }
+      e.action = ActionKind::kArm;
+      e.arm_name = std::string(trim(inner.substr(0, eq)));
+      e.arm_spec = std::string(trim(inner.substr(eq + 1)));
+    } else if (action.starts_with("advance(") && action.back() == ')') {
+      if (!parse_u64(action.substr(8, action.size() - 9), e.advance_ms)) {
+        return fail(entry, "advance() needs a millisecond count");
+      }
+      e.action = ActionKind::kAdvance;
+    } else {
+      return fail(entry, "action must be cancel, arm(...), or advance(...)");
+    }
+    entries_.push_back(std::move(e));
+  }
+  return true;
+}
+
+std::size_t Timeline::pending() const {
+  std::size_t n = 0;
+  for (const Entry& e : entries_) n += e.fired ? 0 : 1;
+  return n;
+}
+
+void Timeline::fire(Entry& e) {
+  e.fired = true;
+  switch (e.action) {
+    case ActionKind::kCancel:
+      if (token_ != nullptr) token_->cancel();
+      break;
+    case ActionKind::kArm:
+      // Malformed specs were NOT validated at parse time (the spec grammar
+      // belongs to the failpoint registry); a bad one is simply ignored
+      // here, mirroring fail::configure's permissiveness.
+      (void)fail::arm(e.arm_name, e.arm_spec);
+      break;
+    case ActionKind::kAdvance:
+      if (clock_ != nullptr) clock_->advance_ns(e.advance_ms * 1'000'000);
+      break;
+  }
+}
+
+void Timeline::on_step(std::uint64_t decision) {
+  for (Entry& e : entries_) {
+    if (!e.fired && e.trigger == TriggerKind::kAtStep && decision >= e.at) {
+      fire(e);
+    }
+  }
+}
+
+void Timeline::on_failpoint(std::string_view point) {
+  // The timeline keeps its own per-point hit counts: the registry's
+  // hit_count() only counts ARMED points, while "arm X on its 3rd hit"
+  // must count hits before X is armed at all.
+  std::uint64_t count = 0;
+  bool found = false;
+  for (auto& [name, hits] : hit_counts_) {
+    if (name == point) {
+      count = ++hits;
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    hit_counts_.emplace_back(std::string(point), 1);
+    count = 1;
+  }
+  for (Entry& e : entries_) {
+    if (!e.fired && e.trigger == TriggerKind::kOnHit && e.point == point &&
+        count >= e.at) {
+      fire(e);
+    }
+  }
+}
+
+}  // namespace llpmst::sim

@@ -1,0 +1,89 @@
+// Scripted fault timelines for the deterministic simulator.
+//
+// A timeline binds *when* to the simulation's own notion of time, so fault
+// scripts replay exactly: triggers fire at a scheduler decision count or on
+// the k-th hit of a named failpoint site, never at a wall-clock instant.
+//
+// Grammar (entries joined with ','):
+//   @<step>: <action>            fire when the scheduler takes decision
+//                                number <step> (1-based)
+//   hit(<point>:<k>): <action>   fire on the k-th hit of failpoint site
+//                                <point> (1-based; hits are counted by the
+//                                timeline itself, armed or not)
+// Actions:
+//   arm(<name>=<spec>)           arm a failpoint (PR 2 spec grammar; '='
+//                                inside the parens, e.g.
+//                                arm(llp/sweep=1*return))
+//   cancel                       cancel the bound CancelToken
+//   advance(<ms>)                advance the virtual clock by <ms> ms
+//
+// Examples:
+//   "@40: arm(pool/task=1*return)"
+//   "hit(llp/sweep:3): cancel, @200: advance(50)"
+//
+// Semantics worth knowing: an on-hit arm() takes effect from the NEXT hit
+// of the armed point — the triggering hit has already passed its armed
+// check by the time the timeline sees it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "support/cancel.hpp"
+#include "support/virtual_time.hpp"
+
+namespace llpmst::sim {
+
+class Timeline {
+ public:
+  /// Parses `spec` (grammar above).  Returns false and records a
+  /// description in error() on the first malformed entry; a failed parse
+  /// leaves the timeline empty.
+  bool parse(std::string_view spec);
+
+  [[nodiscard]] const std::string& error() const { return error_; }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] std::size_t pending() const;
+
+  /// Binds the objects actions act on.  Both may be null (matching actions
+  /// become no-ops).
+  void bind(CancelToken* token, vtime::VirtualClock* clock) {
+    token_ = token;
+    clock_ = clock;
+  }
+
+  /// The scheduler reports each decision ordinal; fires due @step entries.
+  void on_step(std::uint64_t decision);
+
+  /// Failpoint sites report every hit (via simhook::notify_failpoint);
+  /// fires due hit(point:k) entries.
+  void on_failpoint(std::string_view point);
+
+ private:
+  enum class TriggerKind : std::uint8_t { kAtStep, kOnHit };
+  enum class ActionKind : std::uint8_t { kArm, kCancel, kAdvance };
+
+  struct Entry {
+    TriggerKind trigger;
+    std::uint64_t at = 0;        // decision ordinal / hit ordinal
+    std::string point;           // kOnHit: which site
+    ActionKind action;
+    std::string arm_name;        // kArm
+    std::string arm_spec;        // kArm
+    std::uint64_t advance_ms = 0;  // kAdvance
+    bool fired = false;
+  };
+
+  void fire(Entry& e);
+
+  std::vector<Entry> entries_;
+  std::vector<std::pair<std::string, std::uint64_t>> hit_counts_;
+  std::string error_;
+  CancelToken* token_ = nullptr;
+  vtime::VirtualClock* clock_ = nullptr;
+};
+
+}  // namespace llpmst::sim

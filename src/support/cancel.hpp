@@ -25,6 +25,7 @@
 #include <thread>
 
 #include "support/status.hpp"
+#include "support/virtual_time.hpp"
 
 namespace llpmst {
 
@@ -37,18 +38,14 @@ class CancelToken {
   /// Requests cancellation.  Idempotent; safe from any thread.
   void cancel() { latch(RunOutcome::kCancelled); }
 
-  /// Arms (or re-arms) a deadline `ms` from now on the steady clock.
+  /// Arms (or re-arms) a deadline `ms` from now on the steady clock — the
+  /// virtual clock when the deterministic simulator has one installed (the
+  /// virtual epoch starts at 1s, so even a 0 ms deadline never lands on
+  /// the 0 == "no deadline" encoding below).
   void set_deadline_after_ms(double ms) {
-    const auto now = std::chrono::steady_clock::now();
-    const auto delta = std::chrono::duration_cast<
-        std::chrono::steady_clock::duration>(std::chrono::duration<double,
-                                                                   std::milli>(
-        ms < 0 ? 0 : ms));
+    const double delta_ns = (ms < 0 ? 0 : ms) * 1e6;
     deadline_ns_.store(
-        static_cast<std::uint64_t>(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(
-                (now + delta).time_since_epoch())
-                .count()),
+        vtime::steady_now_ns() + static_cast<std::uint64_t>(delta_ns),
         std::memory_order_relaxed);
   }
 
@@ -60,11 +57,7 @@ class CancelToken {
     }
     const std::uint64_t dl = deadline_ns_.load(std::memory_order_relaxed);
     if (dl != 0) {
-      const auto now_ns = static_cast<std::uint64_t>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(
-              std::chrono::steady_clock::now().time_since_epoch())
-              .count());
-      if (now_ns >= dl) {
+      if (vtime::steady_now_ns() >= dl) {
         latch(RunOutcome::kDeadlineExceeded);
         return true;
       }
@@ -94,6 +87,12 @@ class CancelToken {
 /// Cancels a token after `timeout_ms` unless disarmed first.  The watchdog
 /// thread sleeps on a condition variable, so disarming (or destruction) is
 /// immediate — no busy wait, no stray cancel after disarm.
+///
+/// The watchdog waits in REAL time even under the deterministic simulator:
+/// it exists to stop runs that stopped making progress, and a wedged
+/// simulation would never advance a virtual clock.  Deterministic deadline
+/// tests use CancelToken::set_deadline_after_ms instead, which the
+/// simulator's virtual clock drives.
 class Watchdog {
  public:
   Watchdog(CancelToken& token, double timeout_ms)

@@ -1,5 +1,6 @@
 #include "support/cli.hpp"
 
+#include <algorithm>
 #include <charconv>
 #include <cstdio>
 #include <cstdlib>
@@ -172,6 +173,57 @@ void CliParser::parse(int argc, const char* const* argv) {
         break;  // handled above
     }
   }
+}
+
+std::vector<std::string> CliParser::suggest_similar(
+    const std::string& input, const std::vector<std::string>& candidates,
+    std::size_t max) {
+  // Levenshtein with two rolling rows; inputs are short flag values, so the
+  // quadratic cost is irrelevant.
+  const auto edit_distance = [](const std::string& a, const std::string& b) {
+    std::vector<std::size_t> prev(b.size() + 1);
+    std::vector<std::size_t> cur(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+      cur[0] = i;
+      for (std::size_t j = 1; j <= b.size(); ++j) {
+        const std::size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+        cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+      }
+      std::swap(prev, cur);
+    }
+    return prev[b.size()];
+  };
+
+  // Score: substring hits rank ahead of every edit-distance hit; among
+  // edit-distance hits, closer is better.  Anything further than ~half the
+  // input away is noise, not a typo.
+  struct Scored {
+    std::size_t score;
+    const std::string* name;
+  };
+  std::vector<Scored> scored;
+  const std::size_t cutoff = std::max<std::size_t>(2, input.size() / 2);
+  for (const std::string& c : candidates) {
+    if (c == input) continue;
+    if (c.find(input) != std::string::npos ||
+        input.find(c) != std::string::npos) {
+      scored.push_back({0, &c});
+      continue;
+    }
+    const std::size_t d = edit_distance(input, c);
+    if (d <= cutoff) scored.push_back({d, &c});
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const Scored& x, const Scored& y) {
+                     return x.score < y.score;
+                   });
+  std::vector<std::string> out;
+  for (const Scored& s : scored) {
+    if (out.size() >= max) break;
+    out.push_back(*s.name);
+  }
+  return out;
 }
 
 std::vector<int> CliParser::parse_int_list(const std::string& s) {

@@ -47,6 +47,14 @@ class CliParser {
   /// Parses a comma-separated integer list, e.g. "1,2,4,8" -> {1,2,4,8}.
   static std::vector<int> parse_int_list(const std::string& s);
 
+  /// Candidates from `candidates` most similar to `input`, best first — for
+  /// "unknown name" diagnostics ("did you mean ...?").  Matches on substring
+  /// containment first, then small edit distance; returns at most `max`
+  /// names, possibly none when nothing is plausibly close.
+  static std::vector<std::string> suggest_similar(
+      const std::string& input, const std::vector<std::string>& candidates,
+      std::size_t max = 3);
+
  private:
   enum class Kind { Int, Double, String, Bool };
   struct Flag {

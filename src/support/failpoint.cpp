@@ -11,6 +11,7 @@
 #include <unordered_map>
 
 #include "support/random.hpp"
+#include "support/sim_hooks.hpp"
 
 namespace llpmst::fail {
 
@@ -151,10 +152,21 @@ Action evaluate(const char* name) {
     case Task::kAlloc:
       return Action::kAlloc;
     case Task::kYield:
-      std::this_thread::yield();
+      // Under the deterministic simulator a yield becomes a scheduling
+      // decision; a real yield would be invisible (only one virtual worker
+      // runs at a time).
+      if (simhook::active()) {
+        simhook::preempt();
+      } else {
+        std::this_thread::yield();
+      }
       return Action::kNone;
     case Task::kSleep:
-      std::this_thread::sleep_for(std::chrono::microseconds(p->arg));
+      // Virtual sleep advances the simulated clock instead of stalling the
+      // (serialized) simulation in real time.
+      if (!simhook::virtual_sleep_ns(p->arg * 1000)) {
+        std::this_thread::sleep_for(std::chrono::microseconds(p->arg));
+      }
       return Action::kNone;
   }
   return Action::kNone;

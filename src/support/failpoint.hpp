@@ -44,6 +44,8 @@
 
 #if LLPMST_FAILPOINTS
 #include <atomic>
+
+#include "support/sim_hooks.hpp"
 #endif
 
 namespace llpmst::fail {
@@ -108,8 +110,12 @@ Action evaluate(const char* name);
   return detail::g_armed_count.load(std::memory_order_relaxed) != 0;
 }
 
-/// The hook the macro expands to: free when nothing is armed.
+/// The hook the macro expands to: free when nothing is armed.  Under the
+/// deterministic simulator every hit is ALSO reported to the scenario
+/// timeline — before the armed check, because "arm point X on its k-th hit"
+/// must count hits of points that are not armed yet.
 [[nodiscard]] inline Action hit(const char* name) {
+  if (simhook::active()) simhook::notify_failpoint(name);
   return any_armed() ? detail::evaluate(name) : Action::kNone;
 }
 

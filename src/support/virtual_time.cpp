@@ -1,0 +1,13 @@
+#include "support/virtual_time.hpp"
+
+namespace llpmst::vtime {
+
+namespace detail {
+std::atomic<VirtualClock*> g_clock{nullptr};
+}  // namespace detail
+
+VirtualClock* install_clock(VirtualClock* clock) {
+  return detail::g_clock.exchange(clock, std::memory_order_acq_rel);
+}
+
+}  // namespace llpmst::vtime

@@ -1,0 +1,69 @@
+// Installable virtual clock for deterministic simulation.
+//
+// CancelToken deadlines, GrainFeedback measurements, and the Boruvka
+// utilization probe all read the steady clock.  Under the deterministic
+// scheduler (SimExecutor) those reads must come from a *virtual* clock the
+// simulator advances, or every run would take schedule-affecting decisions
+// from real time and traces would never replay.  vtime::steady_now_ns() is
+// the single indirection point: it returns real steady-clock nanoseconds
+// until a VirtualClock is installed, after which it returns the clock's
+// counter.
+//
+// The install is process-global (one simulator at a time — SimExecutor is
+// not reentrant anyway) and the counter is atomic, so virtual workers can
+// read time while the scheduler advances it.  The epoch starts at 1s rather
+// than 0 because CancelToken encodes "no deadline" as deadline_ns_ == 0: a
+// zero-ms deadline armed at virtual time 0 would otherwise disarm itself.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace llpmst::vtime {
+
+class VirtualClock {
+ public:
+  /// Virtual epoch base.  Nonzero so a deadline armed "0 ms from now" never
+  /// collides with CancelToken's 0 == "no deadline" encoding.
+  static constexpr std::uint64_t kEpochNs = 1'000'000'000;
+
+  [[nodiscard]] std::uint64_t now_ns() const {
+    return now_ns_.load(std::memory_order_relaxed);
+  }
+
+  void advance_ns(std::uint64_t delta) {
+    now_ns_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> now_ns_{kEpochNs};
+};
+
+namespace detail {
+extern std::atomic<VirtualClock*> g_clock;
+}
+
+/// Installs `clock` as the process-wide time source (nullptr restores real
+/// time).  Returns the previously installed clock.  Callers pair install /
+/// restore RAII-style (SimExecutor does this in ctor/dtor).
+VirtualClock* install_clock(VirtualClock* clock);
+
+/// The currently installed virtual clock, or nullptr when running on real
+/// time.
+[[nodiscard]] inline VirtualClock* installed_clock() {
+  return detail::g_clock.load(std::memory_order_acquire);
+}
+
+/// Steady-clock "now" in ns: virtual when a clock is installed, real
+/// otherwise.  This is the only clock the cancellation and grain-feedback
+/// paths may read.
+[[nodiscard]] inline std::uint64_t steady_now_ns() {
+  if (VirtualClock* c = installed_clock(); c != nullptr) return c->now_ns();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace llpmst::vtime

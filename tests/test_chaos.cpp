@@ -19,6 +19,8 @@
 #include "mst/auto.hpp"
 #include "mst/kruskal.hpp"
 #include "mst/verifier.hpp"
+#include "scenario/repro.hpp"
+#include "scenario/scenario.hpp"
 #include "support/cancel.hpp"
 #include "support/failpoint.hpp"
 #include "support/status.hpp"
@@ -31,20 +33,37 @@ using test::csr;
 
 constexpr int kChaosSeeds = 100;
 
+// Chaos workloads come from the named scenario registry so a failure can
+// print a repro command that regenerates the EXACT graph by name.
+constexpr std::uint64_t kConnectedSeed = 7;
+constexpr std::uint64_t kSparseSeed = 11;
+
 CsrGraph connected_graph() {
-  RoadParams p;            // a 60x60 grid road network: 3600 vertices,
-  p.width = 60;            // always connected, large enough that every
-  p.height = 60;           // parallel_for dispatches a real team
-  p.seed = 7;
-  return csr(generate_road_network(p));
+  // A grid road network: always connected, large enough that every
+  // parallel_for dispatches a real team.
+  return csr(find_scenario("road-baseline")->make(kConnectedSeed));
 }
 
 CsrGraph sparse_random_graph() {
-  ErdosRenyiParams p;
-  p.num_vertices = 3000;
-  p.num_edges = 12000;
-  p.seed = 11;
-  return csr(generate_erdos_renyi(p));
+  // ER topology with near-duplicate weights: sparse AND tie-break heavy.
+  return csr(find_scenario("near-duplicate-weights")->make(kSparseSeed));
+}
+
+/// The copy-pasteable one-liner every chaos failure message carries.
+std::string repro(const char* scenario, std::uint64_t graph_seed,
+                  const char* algo, const char* failpoints,
+                  std::uint64_t chaos_seed) {
+  ReproSpec rs;
+  rs.scenario = scenario;
+  rs.algo = algo;
+  rs.seed = graph_seed;
+  rs.threads = 4;
+  rs.failpoints = failpoints;
+  std::string line = format_repro_command(rs);
+  if (chaos_seed != 0) {
+    line += "  # failpoint seed " + std::to_string(chaos_seed);
+  }
+  return line;
 }
 
 class Chaos : public testing::Test {
@@ -69,20 +88,20 @@ TEST_F(Chaos, LlpPrimParallelMatchesKruskalUnderAHundredSeeds) {
   // Yield a fifth of team tasks at dispatch and stall a quarter of the
   // bag/heap handoffs: exactly the windows where a stale frontier or a
   // half-flushed Q buffer would surface as a wrong tree.
+  const char* spec = "pool/task=20%yield;llp_prim/handoff=25%sleep(50)";
   std::string error;
-  ASSERT_EQ(fail::configure(
-                "pool/task=20%yield;llp_prim/handoff=25%sleep(50)", &error),
-            2u)
-      << error;
+  ASSERT_EQ(fail::configure(spec, &error), 2u) << error;
 
   for (std::uint64_t seed = 1; seed <= kChaosSeeds; ++seed) {
     fail::set_seed(seed);
+    const std::string at = repro("road-baseline", kConnectedSeed,
+                                 "llp-prim-parallel", spec, seed);
     const MstResult r = llp_prim_parallel(g, ctx);
-    ASSERT_EQ(r.stats.outcome, RunOutcome::kOk) << "seed " << seed;
-    ASSERT_EQ(r.edges, reference.edges) << "seed " << seed;
-    ASSERT_EQ(r.total_weight, reference.total_weight) << "seed " << seed;
+    ASSERT_EQ(r.stats.outcome, RunOutcome::kOk) << at;
+    ASSERT_EQ(r.edges, reference.edges) << at;
+    ASSERT_EQ(r.total_weight, reference.total_weight) << at;
     const VerifyResult v = verify_spanning_forest(g, r);
-    ASSERT_TRUE(v.ok) << "seed " << seed << ": " << v.error;
+    ASSERT_TRUE(v.ok) << v.error << "\n" << at;
   }
   EXPECT_GT(fail::fire_count("llp_prim/handoff"), 0u);
 }
@@ -93,19 +112,19 @@ TEST_F(Chaos, LlpBoruvkaMatchesKruskalUnderAHundredSeeds) {
   ThreadPool pool(4);
   RunContext ctx(pool);
 
+  const char* spec = "pool/task=20%yield;boruvka/contract=50%sleep(50)";
   std::string error;
-  ASSERT_EQ(fail::configure(
-                "pool/task=20%yield;boruvka/contract=50%sleep(50)", &error),
-            2u)
-      << error;
+  ASSERT_EQ(fail::configure(spec, &error), 2u) << error;
 
   for (std::uint64_t seed = 1; seed <= kChaosSeeds; ++seed) {
     fail::set_seed(seed);
+    const std::string at = repro("near-duplicate-weights", kSparseSeed,
+                                 "llp-boruvka", spec, seed);
     const MstResult r = llp_boruvka(g, ctx);
-    ASSERT_EQ(r.stats.outcome, RunOutcome::kOk) << "seed " << seed;
-    ASSERT_EQ(r.edges, reference.edges) << "seed " << seed;
+    ASSERT_EQ(r.stats.outcome, RunOutcome::kOk) << at;
+    ASSERT_EQ(r.edges, reference.edges) << at;
     const VerifyResult v = verify_spanning_forest(g, r);
-    ASSERT_TRUE(v.ok) << "seed " << seed << ": " << v.error;
+    ASSERT_TRUE(v.ok) << v.error << "\n" << at;
   }
   EXPECT_GT(fail::fire_count("boruvka/contract"), 0u);
 }

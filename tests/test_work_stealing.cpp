@@ -3,6 +3,7 @@
 #include <atomic>
 #include <vector>
 
+#include "parallel/thread_pool.hpp"
 #include "parallel/work_stealing.hpp"
 
 namespace llpmst {

@@ -8,6 +8,7 @@
 // grow them toward the paper's sizes on bigger hardware.
 #pragma once
 
+#include <cstdlib>
 #include <string>
 #include <utility>
 #include <vector>
@@ -19,6 +20,7 @@
 #include "graph/generators/rmat.hpp"
 #include "graph/generators/road.hpp"
 #include "mst/kruskal.hpp"
+#include "scenario/scenario.hpp"
 #include "support/cli.hpp"
 #include "support/stats.hpp"
 
@@ -59,6 +61,70 @@ inline Workload make_graph500_workload(int scale, std::uint64_t seed = 1,
   w.type = "scalefree";
   w.graph = CsrGraph::build(list);
   return w;
+}
+
+/// A workload from the adversarial scenario registry (src/scenario/), so
+/// benches stress the same named regimes the conformance/chaos tests run
+/// instead of re-inventing ad-hoc generator parameters.  The record
+/// workload name is "scenario:<name>" — stable across seeds, so baselines
+/// key on the regime, not the instance.
+inline Workload make_scenario_workload(const Scenario& s,
+                                       std::uint64_t seed = 1) {
+  Workload w;
+  w.name = std::string("scenario:") + s.name;
+  w.type = s.family;
+  w.graph = CsrGraph::build(s.make(seed));
+  return w;
+}
+
+/// Resolves a `--workload` spec:
+///   "scenario:NAME"  — a registry scenario's generator at bench seed;
+///   "road:SIDE"      — the side x side grid road network;
+///   "rmat:SCALE"     — the connected Graph500-style R-MAT.
+/// Returns false with a message in *error (including the known scenario
+/// names on a typo) instead of exiting, so benches can report through
+/// their own CLI error path.
+inline bool make_workload_spec(const std::string& spec, std::uint64_t seed,
+                               Workload* out, std::string* error) {
+  const auto colon = spec.find(':');
+  const std::string kind = spec.substr(0, colon);
+  const std::string arg =
+      colon == std::string::npos ? "" : spec.substr(colon + 1);
+  if (kind == "scenario") {
+    const Scenario* s = find_scenario(arg);
+    if (s == nullptr) {
+      if (error != nullptr) {
+        *error = "unknown scenario '" + arg + "' (known: " +
+                 scenario_names(", ") + ")";
+      }
+      return false;
+    }
+    *out = make_scenario_workload(*s, seed);
+    return true;
+  }
+  if (kind == "road") {
+    const long side = std::strtol(arg.c_str(), nullptr, 10);
+    if (side <= 0) {
+      if (error != nullptr) *error = "bad road side '" + arg + "'";
+      return false;
+    }
+    *out = make_road_workload(static_cast<std::uint32_t>(side), seed);
+    return true;
+  }
+  if (kind == "rmat") {
+    const long scale = std::strtol(arg.c_str(), nullptr, 10);
+    if (scale <= 0) {
+      if (error != nullptr) *error = "bad rmat scale '" + arg + "'";
+      return false;
+    }
+    *out = make_graph500_workload(static_cast<int>(scale), seed);
+    return true;
+  }
+  if (error != nullptr) {
+    *error = "unknown workload spec '" + spec +
+             "' (expected scenario:NAME, road:SIDE, or rmat:SCALE)";
+  }
+  return false;
 }
 
 /// Formats a measurement cell: median with spread.

@@ -26,9 +26,14 @@ int main(int argc, char** argv) {
                 "Reproduces Fig. 3 (multithreaded scaling on the road "
                 "graph)");
   auto& road_side = cli.add_int("road-side", 512, "road grid side length");
+  auto& workload_spec = cli.add_string(
+      "workload", "",
+      "workload override: scenario:NAME (the src/scenario/ registry), "
+      "road:SIDE, or rmat:SCALE; default is road:<--road-side>");
   auto& threads_flag =
       cli.add_string("threads", "1,2,4,8,16,32", "thread counts to sweep");
   auto& reps = cli.add_int("reps", 3, "timed repetitions");
+  auto& seed = cli.add_int("seed", 1, "workload generator seed");
   auto& csv = cli.add_bool("csv", false, "emit CSV");
   ObsCli obs_cli(cli);
   cli.parse(argc, argv);
@@ -39,8 +44,18 @@ int main(int argc, char** argv) {
   BenchOptions opts;
   opts.repetitions = static_cast<int>(reps);
 
-  const Workload w =
-      make_road_workload(static_cast<std::uint32_t>(road_side));
+  Workload w;
+  if (workload_spec.empty()) {
+    w = make_road_workload(static_cast<std::uint32_t>(road_side),
+                           static_cast<std::uint64_t>(seed));
+  } else {
+    std::string werr;
+    if (!make_workload_spec(workload_spec, static_cast<std::uint64_t>(seed),
+                            &w, &werr)) {
+      std::fprintf(stderr, "bad --workload: %s\n", werr.c_str());
+      return 2;
+    }
+  }
   const MstResult reference = kruskal(w.graph);
 
   std::printf("Fig. 3: thread scaling on %s (%zu vertices, %zu edges)\n\n",

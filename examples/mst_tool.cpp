@@ -33,6 +33,7 @@
 #include "obs/hw_counters.hpp"
 #include "obs/mem_stats.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/report.hpp"
 #include "obs/sched_events.hpp"
 #include "obs/trace.hpp"
@@ -126,6 +127,15 @@ int main(int argc, char** argv) {
   auto& stats_out = cli.add_string(
       "stats-out", "", "write an OpenMetrics/Prometheus text exposition "
       "(counters, phases, scheduler summary) to this file");
+  auto& profile_out = cli.add_string(
+      "profile-out", "",
+      "sample the solve with the per-thread CPU-time profiler and write "
+      "folded stacks ('phase;subphase;func count' lines, flamegraph-ready; "
+      "render with tools/prof2flame.py) to this file; degrades to a note "
+      "when the platform cannot profile");
+  auto& profile_hz = cli.add_int(
+      "profile-hz", static_cast<std::int64_t>(obs::kDefaultProfileHz),
+      "profiler sampling rate in samples/second of per-thread CPU time");
   auto& hw_counters = cli.add_bool(
       "hw-counters", false,
       "collect hardware counters (cycles, instructions, cache/branch "
@@ -226,6 +236,10 @@ int main(int argc, char** argv) {
     obs::set_enabled(true);
     obs::sched_start();  // per-worker event rings (no-op when compiled out)
   }
+  // --profile-out needs the phase *stack* for sample attribution, but not
+  // the timing aggregates — the stack-only gate keeps hot-loop PhaseTimer
+  // scopes at a few relaxed stores each (full metrics subsume it).
+  if (!profile_out.empty()) obs::set_phase_stack_enabled(true);
   if (!trace_file.empty()) {
     ThreadPool::set_trace_regions(true);
     obs::trace_start();
@@ -237,6 +251,18 @@ int main(int argc, char** argv) {
   if (hw_counters && !obs::hw_begin(&hw_why)) {
     std::fprintf(stderr, "note: hardware counters unavailable: %s\n",
                  hw_why.c_str());
+  }
+  // The sampling profiler arms the main thread here; pool workers arm
+  // themselves lazily on their first region.  Failure never fails the run
+  // (the folded file degrades to a note, the report to the explicit
+  // "unavailable" shape).
+  const bool want_profile = !profile_out.empty() && obs::kCompiledIn;
+  if (want_profile) {
+    std::string prof_why;
+    if (!obs::prof_start(static_cast<unsigned>(profile_hz), &prof_why)) {
+      std::fprintf(stderr, "note: profiler unavailable: %s\n",
+                   prof_why.c_str());
+    }
   }
 
   // --- Acquire the graph.
@@ -346,8 +372,12 @@ int main(int argc, char** argv) {
   const double solve_ms = t.elapsed_ms();
   // Stop the scheduler rings at the join, then fold the worker timelines
   // into the trace (pid-1 tracks) before the trace itself closes — neither
-  // should cover the verifier below.
+  // should cover the verifier below.  The profiler stops on the same
+  // boundary: its samples attribute the solve, not the verifier.
   obs::sched_stop();
+  if (want_profile) obs::prof_stop();
+  const obs::ProfSnapshot prof =
+      want_profile ? obs::prof_snapshot() : obs::ProfSnapshot{};
   if (!trace_file.empty()) {
     obs::export_sched_to_trace();
     obs::trace_stop();
@@ -505,7 +535,8 @@ int main(int argc, char** argv) {
     if (!obs::write_run_report(
             metrics_json,
             obs::build_run_report(info, &result.stats,
-                                  hw_counters ? &hw_sample : nullptr),
+                                  hw_counters ? &hw_sample : nullptr,
+                                  want_profile ? &prof : nullptr),
             &err)) {
       std::fprintf(stderr, "error writing %s: %s\n", metrics_json.c_str(),
                    err.c_str());
@@ -522,6 +553,32 @@ int main(int argc, char** argv) {
     }
     std::printf("Trace     : %s (%zu events)\n", trace_file.c_str(),
                 obs::trace_event_count());
+  }
+  if (!profile_out.empty() && !obs::kCompiledIn) {
+    // Clear one-line notice instead of an empty file (CI asserts this).
+    std::printf("Profile   : observability compiled out (LLPMST_OBS=0); no "
+                "folded output written — rebuild with -DLLPMST_OBS=ON\n");
+  } else if (!profile_out.empty()) {
+    if (!prof.available) {
+      std::printf("Profile   : unavailable (%s); no folded output written\n",
+                  prof.unavailable_reason.c_str());
+    } else {
+      const std::string folded = obs::prof_render_folded(prof);
+      std::FILE* f = std::fopen(profile_out.c_str(), "w");
+      const bool ok =
+          f != nullptr &&
+          std::fwrite(folded.data(), 1, folded.size(), f) == folded.size();
+      if (f != nullptr) std::fclose(f);
+      if (!ok) {
+        std::fprintf(stderr, "error writing %s\n", profile_out.c_str());
+        return 1;
+      }
+      std::printf("Profile   : %s (%llu samples, %zu stacks, %u Hz%s)\n",
+                  profile_out.c_str(),
+                  static_cast<unsigned long long>(prof.samples),
+                  prof.stacks.size(), prof.hz,
+                  prof.dropped != 0 ? ", ring overflowed" : "");
+    }
   }
   if (!stats_out.empty()) {
     // Unlike --metrics-json, the exposition is written in BOTH build

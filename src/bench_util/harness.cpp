@@ -1,5 +1,6 @@
 #include "bench_util/harness.hpp"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -7,10 +8,12 @@
 #include <vector>
 
 #include "bench_util/table.hpp"
+#include "obs/bandwidth.hpp"
 #include "obs/critical_path.hpp"
 #include "obs/hw_counters.hpp"
 #include "obs/mem_stats.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/report.hpp"
 #include "obs/sched_events.hpp"
 #include "obs/trace.hpp"
@@ -39,11 +42,20 @@ struct BenchRecord {
   double sched_util = 0;  // scheduler utilization across the timed reps;
   double steal_rate = 0;  // ... and steal success rate,
   bool has_sched = false;  // ... unless obs is compiled out / no events
+  // --profile: the top-3 hottest phase paths by profiler samples across
+  // the timed reps, and the estimated DRAM bandwidth (needs hw).
+  std::vector<obs::ProfPhaseCount> prof_top;
+  std::uint64_t prof_samples = 0;
+  unsigned prof_hz = 0;
+  bool has_prof = false;
+  double est_gbps = -1.0;  // < 0 means not computable (no hw / no wall)
 };
 
 struct RecordStore {
   std::mutex mu;
   bool recording = false;
+  bool profile = false;  // bracket timed reps with the sampling profiler
+  unsigned profile_hz = obs::kDefaultProfileHz;
   std::string ctx_workload;
   std::size_t ctx_threads = 0;
   std::vector<BenchRecord> records;
@@ -160,6 +172,32 @@ std::string render_record(const std::string& bench, const BenchRecord& r) {
   } else {
     out += ",\"sched\":null";
   }
+  // Profiler attribution for this record's timed reps (--profile).
+  // bench_compare.py reports (never gates) drift in the top phase paths.
+  if (r.has_prof) {
+    std::snprintf(buf, sizeof buf,
+                  ",\"profile\":{\"hz\":%u,\"samples\":%" PRIu64
+                  ",\"top_phases\":[",
+                  r.prof_hz, r.prof_samples);
+    out += buf;
+    for (std::size_t i = 0; i < r.prof_top.size(); ++i) {
+      if (i != 0) out.push_back(',');
+      out += "{\"name\":";
+      out += obs::json_quote(r.prof_top[i].name);
+      std::snprintf(buf, sizeof buf, ",\"samples\":%" PRIu64 "}",
+                    r.prof_top[i].samples);
+      out += buf;
+    }
+    out += "],\"est_gbps\":";
+    if (r.est_gbps < 0) {
+      out += "null}";
+    } else {
+      std::snprintf(buf, sizeof buf, "%.4f}", r.est_gbps);
+      out += buf;
+    }
+  } else {
+    out += ",\"profile\":null";
+  }
   out += "}";
   return out;
 }
@@ -240,6 +278,20 @@ BenchMeasurement measure_mst(const std::string& name, const CsrGraph& g,
   // timed reps stays inside the perf-smoke noise floor.
   const bool sched = record && obs::kCompiledIn;
   if (sched) obs::sched_start();
+  // The sampling profiler (--profile) brackets the timed reps too: arming
+  // is a handful of syscalls outside the Timer windows, the samples land
+  // inside them — which is the point: the perf-smoke overhead gate measures
+  // exactly this configuration against the unprofiled baseline.
+  bool prof = false;
+  if (record && obs::kCompiledIn) {
+    RecordStore& s = store();
+    unsigned hz = 0;
+    {
+      std::lock_guard lock(s.mu);
+      if (s.profile) hz = s.profile_hz;
+    }
+    if (hz != 0) prof = obs::prof_start(hz, nullptr);
+  }
 
   std::vector<double> samples;
   samples.reserve(static_cast<std::size_t>(options.repetitions));
@@ -250,6 +302,7 @@ BenchMeasurement measure_mst(const std::string& name, const CsrGraph& g,
   }
   m.time_ms = summarize(samples);
   if (sched) obs::sched_stop();
+  if (prof) obs::prof_stop();
 
   if (record) {
     BenchRecord r;
@@ -298,6 +351,34 @@ BenchMeasurement measure_mst(const std::string& name, const CsrGraph& g,
         r.has_mem = true;
       }
     }
+    if (prof) {
+      const obs::ProfSnapshot snap = obs::prof_snapshot();
+      if (snap.available) {
+        r.has_prof = true;
+        r.prof_hz = snap.hz;
+        r.prof_samples = snap.samples;
+        r.prof_top = snap.phases;
+        std::sort(r.prof_top.begin(), r.prof_top.end(),
+                  [](const obs::ProfPhaseCount& a,
+                     const obs::ProfPhaseCount& b) {
+                    if (a.samples != b.samples) return a.samples > b.samples;
+                    return a.name < b.name;
+                  });
+        if (r.prof_top.size() > 3) r.prof_top.resize(3);
+      }
+      // Estimated DRAM bandwidth over the timed reps: hw cache-miss delta
+      // x line size / timed wall.  A lower bound (prefetch and
+      // write-allocate traffic are not counted) — see obs/bandwidth.hpp.
+      if (r.has_hw && r.hw.cache_misses != obs::kHwAbsent) {
+        double wall_ms = 0;
+        for (const double ms : r.samples_ms) wall_ms += ms;
+        if (wall_ms > 0) {
+          r.est_gbps = static_cast<double>(r.hw.cache_misses *
+                                           obs::kCacheLineBytes) /
+                       (wall_ms * 1e6);
+        }
+      }
+    }
     push_record(std::move(r));
   }
   return m;
@@ -321,18 +402,42 @@ ObsCli::ObsCli(CliParser& cli)
       hw_counters_(&cli.add_bool(
           "hw-counters", false,
           "collect hardware counters (cycles, cache misses, ...) via "
-          "perf_event_open; degrades to 'unavailable' when denied")) {}
+          "perf_event_open; degrades to 'unavailable' when denied")),
+      profile_(&cli.add_bool(
+          "profile", false,
+          "bracket every measured datapoint's timed repetitions with the "
+          "per-thread CPU-time sampling profiler and record the top-3 "
+          "hottest phase paths (plus est. DRAM bandwidth with "
+          "--hw-counters) into the bench records")),
+      profile_hz_(&cli.add_int(
+          "profile-hz", static_cast<std::int64_t>(obs::kDefaultProfileHz),
+          "profiler sampling rate in samples/second of per-thread CPU "
+          "time (--profile)")) {}
 
 void ObsCli::begin() const {
   if (!metrics_json_->empty() || !trace_->empty()) obs::set_enabled(true);
+  // --profile needs the phase *stack* for sample attribution but not the
+  // timing aggregates; the stack-only gate keeps hot-loop PhaseTimer
+  // scopes at a few relaxed stores each, so the perf_smoke.sh overhead
+  // gate (<=3% wall vs the unprofiled baseline) measures sampling with
+  // attribution, not the full metrics machinery.
+  if (*profile_) obs::set_phase_stack_enabled(true);
   if (!trace_->empty()) {
     ThreadPool::set_trace_regions(true);
     obs::trace_start();
   }
-  if (!bench_json_->empty()) {
+  if (!bench_json_->empty() || *profile_) {
     RecordStore& s = store();
     std::lock_guard lock(s.mu);
-    s.recording = true;
+    s.recording = !bench_json_->empty();
+    if (*profile_ && !obs::prof_supported()) {
+      std::fprintf(stderr,
+                   "note: --profile ignored (profiler unavailable on this "
+                   "platform or build)\n");
+    } else {
+      s.profile = *profile_;
+      s.profile_hz = static_cast<unsigned>(*profile_hz_);
+    }
   }
   if (*hw_counters_) {
     std::string why;

@@ -12,7 +12,16 @@
 //    "warmup":1,"repetitions":3,"verified":true,
 //    "ms":{"median":..,"p25":..,"p75":..,"iqr":..,"min":..,"max":..,
 //          "mean":..,"stddev":..},
-//    "samples_ms":[..],"hw":null|{..},"mem":{..}}
+//    "samples_ms":[..],"hw":null|{..},"mem":{..},"sched":null|{..},
+//    "profile":null|{"hz":97,"samples":N,
+//                    "top_phases":[{"name":..,"samples":N}, ...x3],
+//                    "est_gbps":X|null}}
+//
+// The "profile" section (--profile) brackets the timed repetitions with the
+// sampling profiler (obs/profiler.hpp) and records the top-3 hottest phase
+// paths plus the estimated DRAM bandwidth (cache-miss delta x line size /
+// timed wall, needs --hw-counters).  tools/bench_compare.py *reports* hot-
+// path drift between records — it never gates on it.
 //
 // tools/bench_compare.py consumes directories of these records for the
 // perf-regression gate; tools/check_report_schema.py validates them.
@@ -67,12 +76,13 @@ void record_bench_samples(const std::string& algo,
                           bool verified);
 
 /// Shared observability flags for the bench binaries.  Construct before
-/// cli.parse() (registers --metrics-json, --trace, --bench-json, --csv-out
-/// and --hw-counters), call begin() right after parse (flips the runtime
-/// gates / opens the hw-counter group / arms record collection), and
-/// finish() once the benchmark work is done (writes the run report, trace,
-/// and bench records).  With no flag passed, every call is a no-op, so
-/// benches pay nothing for carrying the flags.
+/// cli.parse() (registers --metrics-json, --trace, --bench-json, --csv-out,
+/// --hw-counters, --profile and --profile-hz), call begin() right after
+/// parse (flips the runtime gates / opens the hw-counter group / arms
+/// record collection), and finish() once the benchmark work is done
+/// (writes the run report, trace, and bench records).  With no flag
+/// passed, every call is a no-op, so benches pay nothing for carrying the
+/// flags.
 class ObsCli {
  public:
   explicit ObsCli(CliParser& cli);
@@ -99,6 +109,8 @@ class ObsCli {
   std::string* bench_json_;
   std::string* csv_out_;
   bool* hw_counters_;
+  bool* profile_;
+  std::int64_t* profile_hz_;
   mutable bool csv_written_ = false;
 };
 

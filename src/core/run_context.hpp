@@ -37,6 +37,7 @@
 
 #include "obs/hw_counters.hpp"
 #include "obs/phase_timer.hpp"
+#include "obs/profiler.hpp"
 #include "parallel/thread_pool.hpp"
 #include "support/cancel.hpp"
 
@@ -76,11 +77,16 @@ class ScratchArena {
 };
 
 /// RAII observability bundle for one algorithm run: a top-level phase span
-/// plus the hw-counter fold for the same label.  Obtain through
-/// RunContext::obs_scope(); free when observability is off or compiled out.
+/// plus the hw-counter fold for the same label, and — when a profiling
+/// session is live — a per-thread sampler arm, so runs driven from threads
+/// the pool never saw (the daemon-to-be's request threads) still produce
+/// attributed samples.  Obtain through RunContext::obs_scope(); free when
+/// observability is off or compiled out.
 class ObsScope {
  public:
-  explicit ObsScope(const char* label) : phase_(label), hw_(label) {}
+  explicit ObsScope(const char* label) : phase_(label), hw_(label) {
+    obs::prof_ensure_thread_timer();
+  }
   ObsScope(const ObsScope&) = delete;
   ObsScope& operator=(const ObsScope&) = delete;
 

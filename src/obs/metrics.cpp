@@ -117,8 +117,9 @@ Registry& registry() {
 std::atomic<bool> g_enabled{false};
 
 // Per-thread stack of live PhaseTimer frames; phase_pop joins it into the
-// recorded path.  A plain vector of borrowed literals — push/pop only.
-thread_local std::vector<const char*> tls_phase_stack;
+// recorded path.  Fixed-capacity with an atomic depth so the profiler's
+// SIGPROF handler can snapshot it mid-update (see detail::PhaseStack).
+thread_local detail::PhaseStack tls_phase_stack;
 
 }  // namespace
 
@@ -131,6 +132,14 @@ std::size_t shard_id() {
 
 bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
 void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+std::atomic<bool> g_phase_stack{false};
+bool phase_stack_enabled() {
+  return g_phase_stack.load(std::memory_order_relaxed);
+}
+void set_phase_stack_enabled(bool on) {
+  g_phase_stack.store(on, std::memory_order_relaxed);
+}
 
 Counter::Counter(std::string name)
     : name_(std::move(name)), slots_(new Slot[kNumShards]) {}
@@ -234,13 +243,26 @@ void reset_metrics() {
 
 namespace detail {
 
-void phase_push(const char* name) { tls_phase_stack.push_back(name); }
+PhaseStack& phase_stack() { return tls_phase_stack; }
+
+void phase_push(const char* name) {
+  PhaseStack& st = tls_phase_stack;
+  const std::uint32_t d = st.depth.load(std::memory_order_relaxed);
+  if (d < kMaxPhaseDepth) st.frames[d] = name;
+  // Release: the frame write above must be visible before the new depth —
+  // a SIGPROF handler that observes d+1 must see frames[d] populated.
+  st.depth.store(d + 1, std::memory_order_release);
+}
 
 std::string phase_path() {
+  const PhaseStack& st = tls_phase_stack;
+  const std::uint32_t d = std::min<std::uint32_t>(
+      st.depth.load(std::memory_order_relaxed),
+      static_cast<std::uint32_t>(kMaxPhaseDepth));
   std::string path;
-  for (const char* frame : tls_phase_stack) {
+  for (std::uint32_t i = 0; i < d; ++i) {
     if (!path.empty()) path.push_back('/');
-    path += frame;
+    path += st.frames[i];
   }
   return path;
 }
@@ -250,7 +272,11 @@ void phase_pop(std::uint64_t start_us) {
   const std::uint64_t dur_us = end_us - start_us;
 
   const std::string path = phase_path();
-  tls_phase_stack.pop_back();
+  {
+    PhaseStack& st = tls_phase_stack;
+    st.depth.store(st.depth.load(std::memory_order_relaxed) - 1,
+                   std::memory_order_relaxed);
+  }
 
   Registry& r = registry();
   {
@@ -260,6 +286,12 @@ void phase_pop(std::uint64_t start_us) {
     agg.total_us += dur_us;
   }
   if (trace_collecting()) trace_emit(path, start_us, dur_us);
+}
+
+void phase_pop_fast() {
+  PhaseStack& st = tls_phase_stack;
+  st.depth.store(st.depth.load(std::memory_order_relaxed) - 1,
+                 std::memory_order_relaxed);
 }
 
 }  // namespace detail

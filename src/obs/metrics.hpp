@@ -69,6 +69,17 @@ inline constexpr std::size_t kNumShards = 64;
 [[nodiscard]] bool enabled();
 void set_enabled(bool on);
 
+/// Runtime switch for maintaining the per-thread phase *stack* alone —
+/// what the sampling profiler (obs/profiler.hpp) reads for attribution —
+/// without the timing aggregates, trace events, or the per-scope path
+/// string that full `enabled()` mode folds on every PhaseTimer exit.
+/// Cost per scope in this mode: two relaxed/release stores, no clock
+/// reads, no allocation, no mutex — cheap enough for the benches'
+/// profiler-overhead gate (<=3% wall).  Independent of set_enabled();
+/// PhaseTimer maintains the stack when either gate is on.
+[[nodiscard]] bool phase_stack_enabled();
+void set_phase_stack_enabled(bool on);
+
 class Counter {
  public:
   explicit Counter(std::string name);
@@ -126,6 +137,8 @@ inline constexpr std::size_t kNumShards = 0;
 [[nodiscard]] inline std::size_t shard_id() { return 0; }
 [[nodiscard]] inline bool enabled() { return false; }
 inline void set_enabled(bool) {}
+[[nodiscard]] inline bool phase_stack_enabled() { return false; }
+inline void set_phase_stack_enabled(bool) {}
 
 class Counter {
  public:
@@ -182,9 +195,34 @@ namespace detail {
 /// active trace, if any).
 void phase_push(const char* name);
 void phase_pop(std::uint64_t start_us);
+/// Pops without folding into the timing aggregate or the trace — the
+/// stack-only mode (phase_stack_enabled() without enabled()): one relaxed
+/// store, so hot-loop scopes stay cheap while the profiler samples them.
+void phase_pop_fast();
 /// The '/'-joined path of the PhaseTimers live on the calling thread
 /// ("" outside any phase).  Used by ScopedHwCounters for attribution.
 [[nodiscard]] std::string phase_path();
+
+/// Frames deeper than this are counted but not recorded (phase_path()
+/// renders the stored prefix; real nesting depth is ~4).
+inline constexpr std::size_t kMaxPhaseDepth = 16;
+
+/// The per-thread stack of live PhaseTimer frames, laid out so the sampling
+/// profiler's signal handler can read it asynchronously on the owning
+/// thread: `frames[i]` is written *before* `depth` publishes it (release
+/// store), and pop only moves `depth` down — so a handler that loads
+/// `depth` and then reads `frames[0..min(depth, kMaxPhaseDepth))` always
+/// sees string literals that were live at some instant.  The literals
+/// themselves have static storage, so a momentarily stale frame is a stale
+/// *attribution*, never a dangling read.
+struct PhaseStack {
+  const char* frames[kMaxPhaseDepth] = {};
+  std::atomic<std::uint32_t> depth{0};
+};
+
+/// The calling thread's phase stack.  The address is stable for the
+/// thread's lifetime; the profiler captures it once at thread registration.
+[[nodiscard]] PhaseStack& phase_stack();
 #endif
 }  // namespace detail
 

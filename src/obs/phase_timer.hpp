@@ -11,11 +11,16 @@
 // spans ("llp_prim_parallel") and their inner stages ("heap_flush") line up
 // in reports and traces without threading a prefix through every call.
 //
-// Cost: when obs::enabled() is false (the default), construction is one
-// relaxed load and a branch — safe inside per-round loops.  When enabled,
+// Cost: when both gates are off (the default), construction is two relaxed
+// loads and a branch — safe inside per-round loops.  When obs::enabled(),
 // each scope is two clock reads plus one mutex-guarded aggregate update at
 // scope exit, so place timers at round/phase granularity, not per element.
 // Completed scopes also become trace "X" events while a trace is collecting.
+//
+// When only obs::phase_stack_enabled() is on (the sampling profiler's
+// attribution mode), each scope maintains the per-thread phase stack the
+// SIGPROF handler reads — a handful of relaxed/release stores, no clocks,
+// no allocation — and records nothing else.
 #pragma once
 
 #include "obs/metrics.hpp"
@@ -28,20 +33,29 @@ class PhaseTimer {
  public:
   /// `name` must outlive the scope (string literals in practice).
   explicit PhaseTimer(const char* name) {
-    if (!enabled()) return;
-    active_ = true;
-    detail::phase_push(name);
-    start_us_ = now_us();
+    if (enabled()) {
+      mode_ = kFull;
+      detail::phase_push(name);
+      start_us_ = now_us();
+    } else if (phase_stack_enabled()) {
+      mode_ = kStackOnly;
+      detail::phase_push(name);
+    }
   }
   ~PhaseTimer() {
-    if (active_) detail::phase_pop(start_us_);
+    if (mode_ == kFull) {
+      detail::phase_pop(start_us_);
+    } else if (mode_ == kStackOnly) {
+      detail::phase_pop_fast();
+    }
   }
 
   PhaseTimer(const PhaseTimer&) = delete;
   PhaseTimer& operator=(const PhaseTimer&) = delete;
 
  private:
-  bool active_ = false;
+  enum Mode : unsigned char { kOff, kStackOnly, kFull };
+  Mode mode_ = kOff;
   std::uint64_t start_us_ = 0;
 };
 

@@ -1,0 +1,142 @@
+// Sampling CPU profiler: per-thread POSIX CPU-time timers deliver SIGPROF
+// at a configurable rate; an async-signal-safe handler captures the live
+// PhaseTimer path, the worker id, and a bounded frame-pointer stack walk
+// into a per-thread lock-free sample ring (modeled on sched_events.hpp).
+// Snapshotting symbolizes the unique PCs (dladdr + demangle) and folds the
+// samples into flamegraph-ready stacks ("phase;subphase;func 123") plus a
+// per-phase sample histogram for the run report's schema-v4 "profile"
+// section.
+//
+// Design contract:
+//   * Signal safety.  The SIGPROF handler touches only: the owning thread's
+//     pre-registered ProfThread (found via a thread_local pointer whose
+//     first — allocating — access happens at registration, never in the
+//     handler), the thread's PhaseStack (written with release ordering by
+//     PhaseTimer, see obs/metrics.hpp), the ucontext program counter, and a
+//     frame-pointer walk whose every dereference is bounds-checked against
+//     the thread's stack extent (recorded once via pthread_getattr_np), so
+//     it cannot fault even in a build without frame pointers — it just
+//     terminates early.  No allocation, no locks, no formatting; errno is
+//     saved and restored.
+//   * SPSC rings.  The handler is the only writer of its thread's ring (it
+//     runs *on* that thread); slots are relaxed atomics with a release
+//     head store, exactly the sched_events protocol, so a snapshot racing a
+//     straggler sample reads at worst a stale sample, never tears memory.
+//     Full rings drop-oldest and the snapshot reports how many.
+//   * Degradation.  prof_start() NEVER fails the run: on an unsupported
+//     platform (non-Linux, non-x86-64/AArch64) or a timer_create failure it
+//     returns false with a human-readable reason, and prof_snapshot()
+//     returns {available:false, reason} — the same contract hw_counters
+//     uses.  Under LLPMST_OBS=0 everything here is an inline no-op.
+//   * Threads arm lazily.  prof_start() arms the calling thread;
+//     ThreadPool workers arm themselves on their next region via
+//     prof_ensure_thread_timer() (one relaxed load when profiling is off).
+//     Each thread's timer counts *that thread's* CPU time
+//     (CLOCK_THREAD_CPUTIME_ID), so idle threads produce no samples and
+//     the aggregate sample count is proportional to total CPU burn.
+//
+// Lifecycle: prof_start(hz) ... parallel work ... prof_stop();
+// prof_snapshot() after stop (coordinator call, same rule as
+// snapshot_sched_events).  prof_start resets previously buffered samples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace llpmst::obs {
+
+/// Default sampling rate.  Prime, so the sampler cannot phase-lock with
+/// millisecond-periodic work; ~100 Hz keeps the measured overhead well
+/// under the 3% acceptance bound (each sample is ~1-2 us of handler work).
+inline constexpr unsigned kDefaultProfileHz = 97;
+
+/// One folded stack: phase path components and code frames joined by ';'
+/// (outermost first, leaf last), with the number of samples attributed.
+struct ProfStack {
+  std::string stack;
+  std::uint64_t samples = 0;
+};
+
+/// Per-phase-path sample counts ('/'-joined paths, matching
+/// snapshot_phases() naming so the report's phases/profile sections join).
+struct ProfPhaseCount {
+  std::string name;
+  std::uint64_t samples = 0;
+};
+
+struct ProfSnapshot {
+  bool available = false;
+  std::string unavailable_reason;  // non-empty iff !available
+
+  unsigned hz = 0;
+  std::uint64_t samples = 0;  // total captured (sum over stacks)
+  std::uint64_t dropped = 0;  // overwritten by drop-oldest across rings
+  std::vector<ProfPhaseCount> phases;  // sorted by name
+  std::vector<ProfStack> stacks;       // sorted by samples desc, then name
+};
+
+#if LLPMST_OBS
+
+/// Samples retained per thread.  At the default 97 Hz one ring holds ~21 s
+/// of one thread's CPU time; beyond that drop-oldest keeps the newest.
+inline constexpr std::size_t kProfRingCapacity = 2048;
+
+/// True when this build/platform can profile at all (Linux on x86-64 or
+/// AArch64 with POSIX per-thread timers).
+[[nodiscard]] bool prof_supported();
+
+/// Arms the profiler at `hz` samples/second of per-thread CPU time and
+/// arms the calling thread's timer.  Returns true when sampling; on
+/// failure returns false with a reason in *why (may be null) and leaves
+/// the subsystem in the explicit-unavailable state.  Restarting resets
+/// buffered samples.  Never fails the run.
+bool prof_start(unsigned hz, std::string* why);
+
+/// Disarms every registered thread's timer and stops collection.  Buffered
+/// samples stay readable until the next prof_start().
+void prof_stop();
+
+/// One relaxed load; true between a successful prof_start() and prof_stop().
+[[nodiscard]] bool prof_collecting();
+
+/// Arms a per-thread timer for the calling thread if profiling is on and
+/// it has none yet.  One relaxed load when profiling is off — cheap enough
+/// for ThreadPool::run_region to call unconditionally.
+void prof_ensure_thread_timer();
+
+/// Symbolizes and folds all buffered samples (call after prof_stop()).
+/// When the profiler never started (or could not), returns the
+/// unavailable shape with the failure reason.
+[[nodiscard]] ProfSnapshot prof_snapshot();
+
+/// Renders a snapshot as folded-stack text, one "stack count" line each —
+/// the input format of tools/prof2flame.py and Brendan Gregg's
+/// flamegraph.pl.  Empty string for an unavailable snapshot.
+[[nodiscard]] std::string prof_render_folded(const ProfSnapshot& snap);
+
+#else  // !LLPMST_OBS — the whole subsystem folds away.
+
+inline constexpr std::size_t kProfRingCapacity = 0;
+[[nodiscard]] inline bool prof_supported() { return false; }
+inline bool prof_start(unsigned, std::string* why) {
+  if (why != nullptr) *why = "observability compiled out (LLPMST_OBS=0)";
+  return false;
+}
+inline void prof_stop() {}
+[[nodiscard]] inline bool prof_collecting() { return false; }
+inline void prof_ensure_thread_timer() {}
+[[nodiscard]] inline ProfSnapshot prof_snapshot() {
+  ProfSnapshot s;
+  s.unavailable_reason = "observability compiled out (LLPMST_OBS=0)";
+  return s;
+}
+[[nodiscard]] inline std::string prof_render_folded(const ProfSnapshot&) {
+  return {};
+}
+
+#endif  // LLPMST_OBS
+
+}  // namespace llpmst::obs

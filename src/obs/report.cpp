@@ -3,6 +3,7 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "obs/bandwidth.hpp"
 #include "obs/critical_path.hpp"
 #include "obs/mem_stats.hpp"
 #include "obs/metrics.hpp"
@@ -58,10 +59,10 @@ void append_hw_fields(std::string& out, const HwSample& s) {
 }  // namespace
 
 std::string build_run_report(const RunInfo& info, const MstAlgoStats* algo,
-                             const HwSample* hw) {
+                             const HwSample* hw, const ProfSnapshot* profile) {
   std::string out;
   out.reserve(4096);
-  out += "{\"schema\":\"llpmst-run-report\",\"schema_version\":3,";
+  out += "{\"schema\":\"llpmst-run-report\",\"schema_version\":4,";
 
   // --- run metadata
   out += "\"run\":{\"tool\":";
@@ -256,6 +257,83 @@ std::string build_run_report(const RunInfo& info, const MstAlgoStats* algo,
         out += "{";
         append_kv_u64(out, "grain", bucket);
         append_kv_u64(out, "count", count, false);
+        out += "}";
+      }
+      out += "]},";
+    }
+  }
+
+  // --- profiler samples (schema v4; null when not requested)
+  if (profile == nullptr) {
+    out += "\"profile\":null,";
+  } else if (!profile->available) {
+    out += "\"profile\":{\"available\":false,\"reason\":";
+    out += json_quote(profile->unavailable_reason);
+    out += "},";
+  } else {
+    out += "\"profile\":{\"available\":true,";
+    append_kv_u64(out, "hz", profile->hz);
+    append_kv_u64(out, "samples", profile->samples);
+    append_kv_u64(out, "dropped", profile->dropped);
+    out += "\"phases\":[";
+    bool first_p = true;
+    for (const ProfPhaseCount& p : profile->phases) {
+      if (!first_p) out.push_back(',');
+      first_p = false;
+      out += "{\"name\":";
+      out += json_quote(p.name);
+      out += ",";
+      append_kv_u64(out, "samples", p.samples, false);
+      out += "}";
+    }
+    // Top stacks only: the full fold goes to the --profile-out file; the
+    // report carries enough for drift triage without ballooning.
+    out += "],\"top_stacks\":[";
+    first_p = true;
+    std::size_t emitted = 0;
+    for (const ProfStack& st : profile->stacks) {
+      if (emitted++ == 20) break;
+      if (!first_p) out.push_back(',');
+      first_p = false;
+      out += "{\"stack\":";
+      out += json_quote(st.stack);
+      out += ",";
+      append_kv_u64(out, "samples", st.samples, false);
+      out += "}";
+    }
+    out += "]},";
+  }
+
+  // --- estimated DRAM bandwidth per phase (schema v4; derived from hw)
+  if (hw == nullptr) {
+    out += "\"bandwidth\":null,";
+  } else {
+    const BandwidthSnapshot bw = bandwidth_snapshot(hw);
+    if (!bw.available) {
+      out += "\"bandwidth\":{\"available\":false,\"reason\":";
+      out += json_quote(bw.unavailable_reason);
+      out += "},";
+    } else {
+      out += "\"bandwidth\":{\"available\":true,";
+      append_kv_u64(out, "line_bytes", bw.line_bytes);
+      out += "\"phases\":[";
+      bool first_b = true;
+      for (const PhaseBandwidth& p : bw.phases) {
+        if (!first_b) out.push_back(',');
+        first_b = false;
+        out += "{\"name\":";
+        out += json_quote(p.name);
+        out += ",";
+        append_kv_u64(out, "cache_misses", p.cache_misses);
+        append_kv_u64(out, "est_bytes", p.est_bytes);
+        append_kv_ms(out, "wall_ms", p.wall_ms);
+        char bbuf[96];
+        std::snprintf(bbuf, sizeof(bbuf),
+                      "\"est_gbps\":%.4f,\"instr_per_byte\":%.4f,",
+                      p.est_gbps, p.instr_per_byte);
+        out += bbuf;
+        out += "\"verdict\":";
+        out += json_quote(bound_verdict_name(p.verdict));
         out += "}";
       }
       out += "]},";

@@ -6,7 +6,7 @@
 // docs/observability.md:
 //
 //   {
-//     "schema": "llpmst-run-report", "schema_version": 3,
+//     "schema": "llpmst-run-report", "schema_version": 4,
 //     "run": {"tool":..., "algorithm":..., "threads":N,
 //             "graph": {"vertices":N, "edges":M}, "wall_ms":X},
 //     "algo": { heap/fix/sweep stats ... } | null,
@@ -22,6 +22,16 @@
 //     "scheduler": null | {"utilization":X, "steal_success_rate":X,
 //                          "span_us":N, ..., "workers":[...],
 //                          "grain_hist":[...]},
+//     "profile": null                                  (not requested)
+//              | {"available": false, "reason": "..."} (degraded)
+//              | {"available": true, "hz":N, "samples":N, "dropped":N,
+//                 "phases":[{"name":..., "samples":N}, ...],
+//                 "top_stacks":[{"stack":"a;b;c", "samples":N}, ...]},
+//     "bandwidth": null | {"available": false, "reason": "..."}
+//                | {"available": true, "line_bytes":64,
+//                   "phases":[{"name":..., "cache_misses":N,
+//                              "est_bytes":N, "wall_ms":X, "est_gbps":X,
+//                              "instr_per_byte":X, "verdict":"..."}]},
 //     "warnings": ["..."]
 //   }
 //
@@ -36,6 +46,7 @@
 
 #include "mst/mst_result.hpp"
 #include "obs/hw_counters.hpp"
+#include "obs/profiler.hpp"
 
 namespace llpmst::obs {
 
@@ -57,11 +68,16 @@ struct RunInfo {
 
 /// Builds the report document.  `algo` may be null (no per-algorithm
 /// stats); `hw` may be null (hardware counters not requested — the "hw"
-/// section serializes as JSON null).  The "mem" section is always gathered
-/// internally via mem_sample().
+/// section serializes as JSON null); `profile` may be null (profiling not
+/// requested — the "profile" section serializes as JSON null).  The "mem"
+/// section is always gathered internally via mem_sample(); "bandwidth" is
+/// derived from `hw` plus the phase aggregates (null when hw is null, the
+/// degraded shape when hw is degraded — schema v4).
 [[nodiscard]] std::string build_run_report(const RunInfo& info,
                                            const MstAlgoStats* algo,
-                                           const HwSample* hw = nullptr);
+                                           const HwSample* hw = nullptr,
+                                           const ProfSnapshot* profile =
+                                               nullptr);
 
 /// Writes `json` to `path`.  Returns false and sets *error on I/O failure.
 bool write_run_report(const std::string& path, const std::string& json,

@@ -3,6 +3,7 @@
 #include <new>
 #include <utility>
 
+#include "obs/profiler.hpp"
 #include "obs/sched_events.hpp"
 #include "obs/trace.hpp"
 #include "support/assert.hpp"
@@ -31,6 +32,10 @@ inline void run_region(const Fn& f, std::size_t worker_id) {
     case fail::Action::kNone:
       break;
   }
+  // Workers arm their per-thread profiler timers lazily, here: one relaxed
+  // load when profiling is off, a one-time cold arm per thread per profile
+  // session otherwise.  (The coordinator thread is armed by prof_start().)
+  obs::prof_ensure_thread_timer();
   // Both gates are compile-time false in LLPMST_OBS=0 builds, so the whole
   // timed branch folds away there; with obs in but idle the cost is two
   // relaxed loads per worker per region.

@@ -1,0 +1,213 @@
+#!/usr/bin/env python3
+"""End-to-end tests for the run-report side of tools/check_report_schema.py:
+synthesizes v1-v4 llpmst-run-report documents (and bench records with the
+optional profile section) in temp files and asserts on the checker's exit
+status.  The v4 focus: the "profile" and "bandwidth" sections must accept
+null, the {"available": false, "reason"} degradation shape, and the full
+payload — and reject structural violations.
+
+Run directly (python3 tests/test_check_report_schema.py) or via ctest;
+uses only the standard library.
+"""
+import json
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+CHECK = Path(__file__).resolve().parent.parent / "tools" / \
+    "check_report_schema.py"
+
+
+def make_report(version=4):
+    """A schema-complete llpmst-run-report at the given version."""
+    doc = {
+        "schema": "llpmst-run-report",
+        "schema_version": version,
+        "run": {
+            "tool": "test", "algorithm": "llp-prim", "threads": 2,
+            "wall_ms": 1.5, "outcome": "ok", "fallback_reason": "",
+            "graph": {"vertices": 10, "edges": 20},
+        },
+        "algo": None,
+        "counters": {"llp_prim/heap_inserts": 7},
+        "gauges": {},
+        "phases": [{"name": "solve", "count": 1, "total_ms": 1.2}],
+        "warnings": [],
+    }
+    if version >= 2:
+        doc["hw"] = None
+        doc["mem"] = {"peak_rss_bytes": 1024,
+                      "alloc": {"count": 3, "bytes": 96, "frees": 3}}
+    if version >= 3:
+        doc["rounds"] = []
+        doc["scheduler"] = None
+    if version >= 4:
+        doc["profile"] = None
+        doc["bandwidth"] = None
+    return doc
+
+
+def full_profile():
+    return {
+        "available": True, "hz": 97, "samples": 12, "dropped": 0,
+        "phases": [{"name": "solve/round", "samples": 12}],
+        "top_stacks": [{"stack": "solve;round;main", "samples": 12}],
+    }
+
+
+def full_bandwidth():
+    return {
+        "available": True, "line_bytes": 64,
+        "phases": [{"name": "solve/round", "cache_misses": 1000,
+                    "est_bytes": 64000, "wall_ms": 2.0,
+                    "est_gbps": 0.032, "instr_per_byte": None,
+                    "verdict": "unknown"}],
+    }
+
+
+def make_bench_record(profile="absent"):
+    """A schema-complete llpmst-bench record; `profile` is "absent" (a
+    pre-PR-8 record), None, or a profile dict."""
+    doc = {
+        "schema": "llpmst-bench", "schema_version": 1,
+        "bench": "bench_fig3_scaling", "workload": "Road 16,384",
+        "algo": "llp-prim-parallel", "threads": 2, "warmup": 1,
+        "repetitions": 3, "verified": True,
+        "ms": {"median": 10.0, "p25": 9.75, "p75": 10.25, "iqr": 0.5,
+               "min": 9.5, "max": 10.5, "mean": 10.0, "stddev": 0.4},
+        "samples_ms": [9.5, 10.0, 10.5],
+        "hw": None, "mem": None, "sched": None,
+    }
+    if profile != "absent":
+        doc["profile"] = profile
+    return doc
+
+
+class CheckReportSchemaTest(unittest.TestCase):
+    def run_check(self, *docs):
+        """Writes each doc to its own .json file and runs the checker."""
+        with tempfile.TemporaryDirectory() as td:
+            paths = []
+            for i, doc in enumerate(docs):
+                p = Path(td) / f"doc{i}.json"
+                p.write_text(json.dumps(doc))
+                paths.append(str(p))
+            return subprocess.run(
+                [sys.executable, str(CHECK), *paths],
+                capture_output=True, text=True)
+
+    def assert_ok(self, *docs):
+        r = self.run_check(*docs)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+    def assert_fails(self, doc, needle):
+        r = self.run_check(doc)
+        self.assertNotEqual(r.returncode, 0,
+                            "checker accepted a bad document:\n" + r.stdout)
+        self.assertIn(needle, r.stderr, r.stderr)
+
+    # --- version acceptance ---------------------------------------------
+
+    def test_accepts_every_schema_version(self):
+        self.assert_ok(*[make_report(v) for v in (1, 2, 3, 4)])
+
+    def test_rejects_unknown_version(self):
+        doc = make_report(1)
+        doc["schema_version"] = 5
+        self.assert_fails(doc, "schema_version")
+
+    # --- the v4 profile section -----------------------------------------
+
+    def test_profile_null_degraded_and_full_all_pass(self):
+        null = make_report(4)
+        degraded = make_report(4)
+        degraded["profile"] = {"available": False,
+                               "reason": "profiler not started"}
+        full = make_report(4)
+        full["profile"] = full_profile()
+        self.assert_ok(null, degraded, full)
+
+    def test_profile_missing_section_fails(self):
+        doc = make_report(4)
+        del doc["profile"]
+        self.assert_fails(doc, "profile section is missing")
+
+    def test_profile_degraded_without_reason_fails(self):
+        doc = make_report(4)
+        doc["profile"] = {"available": False}
+        self.assert_fails(doc, "profile.reason")
+
+    def test_profile_bad_phase_samples_fails(self):
+        doc = make_report(4)
+        doc["profile"] = full_profile()
+        doc["profile"]["phases"][0]["samples"] = 0
+        self.assert_fails(doc, "profile.phases[0].samples")
+
+    def test_profile_too_many_top_stacks_fails(self):
+        doc = make_report(4)
+        doc["profile"] = full_profile()
+        doc["profile"]["top_stacks"] = [
+            {"stack": f"s{i}", "samples": 1} for i in range(21)]
+        self.assert_fails(doc, "top_stacks has 21")
+
+    # --- the v4 bandwidth section ---------------------------------------
+
+    def test_bandwidth_null_degraded_and_full_all_pass(self):
+        degraded = make_report(4)
+        degraded["bandwidth"] = {"available": False, "reason": "no PMU"}
+        full = make_report(4)
+        full["bandwidth"] = full_bandwidth()
+        self.assert_ok(make_report(4), degraded, full)
+
+    def test_bandwidth_missing_section_fails(self):
+        doc = make_report(4)
+        del doc["bandwidth"]
+        self.assert_fails(doc, "bandwidth section is missing")
+
+    def test_bandwidth_bad_verdict_fails(self):
+        doc = make_report(4)
+        doc["bandwidth"] = full_bandwidth()
+        doc["bandwidth"]["phases"][0]["verdict"] = "cursed"
+        self.assert_fails(doc, "verdict")
+
+    def test_bandwidth_negative_est_gbps_fails(self):
+        doc = make_report(4)
+        doc["bandwidth"] = full_bandwidth()
+        doc["bandwidth"]["phases"][0]["est_gbps"] = -1.0
+        self.assert_fails(doc, "est_gbps")
+
+    # --- v1-v3 documents must not be held to v4 ---------------------------
+
+    def test_old_versions_need_no_v4_sections(self):
+        # A v3 report has neither profile nor bandwidth; that is not an
+        # error — only v4+ documents owe the sections.
+        self.assert_ok(make_report(3), make_report(2), make_report(1))
+
+    # --- bench records: the optional profile section ----------------------
+
+    def test_bench_record_profile_variants_pass(self):
+        self.assert_ok(make_bench_record("absent"),
+                       make_bench_record(None),
+                       make_bench_record({
+                           "hz": 97, "samples": 5,
+                           "top_phases": [{"name": "solve", "samples": 5}],
+                           "est_gbps": None}))
+
+    def test_bench_record_profile_too_many_top_phases_fails(self):
+        doc = make_bench_record({
+            "hz": 97, "samples": 5,
+            "top_phases": [{"name": f"p{i}", "samples": 1}
+                           for i in range(4)],
+            "est_gbps": 1.0})
+        self.assert_fails(doc, "top_phases has 4")
+
+    def test_bench_record_profile_bad_hz_fails(self):
+        doc = make_bench_record({"hz": -1, "samples": 5, "top_phases": [],
+                                 "est_gbps": None})
+        self.assert_fails(doc, "profile.hz")
+
+
+if __name__ == "__main__":
+    unittest.main()

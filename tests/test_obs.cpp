@@ -14,13 +14,17 @@
 #include <utility>
 #include <vector>
 
+#include <ctime>
+
 #include "mst/mst_result.hpp"
+#include "obs/bandwidth.hpp"
 #include "obs/critical_path.hpp"
 #include "obs/exposition.hpp"
 #include "obs/hw_counters.hpp"
 #include "obs/mem_stats.hpp"
 #include "obs/metrics.hpp"
 #include "obs/phase_timer.hpp"
+#include "obs/profiler.hpp"
 #include "obs/report.hpp"
 #include "obs/round_stats.hpp"
 #include "obs/sched_events.hpp"
@@ -410,12 +414,12 @@ TEST(ObsMemStats, AllocationCountersGrowWhenCompiledIn) {
 
 // --- The v3 report document. ------------------------------------------
 
-TEST(ObsReport, SchemaV3CarriesHwNullMemRoundsAndScheduler) {
+TEST(ObsReport, SchemaV4CarriesHwNullMemRoundsAndScheduler) {
   obs::reset_rounds();
   const std::string report =
       obs::build_run_report(test_run_info(), nullptr, nullptr);
   EXPECT_TRUE(json_balanced(report)) << report;
-  EXPECT_NE(report.find("\"schema_version\":3"), std::string::npos);
+  EXPECT_NE(report.find("\"schema_version\":4"), std::string::npos);
   // --hw-counters not requested: hw must be JSON null, not omitted.
   EXPECT_NE(report.find("\"hw\":null"), std::string::npos) << report;
   EXPECT_NE(report.find("\"mem\":{\"peak_rss_bytes\":"), std::string::npos)
@@ -692,6 +696,30 @@ TEST(ObsExposition, CountersPhasesAndRoundsMapToFamilies) {
   obs::reset_metrics();
 }
 
+TEST(ObsExposition, CollidingFamiliesSkipAfterSanitization) {
+  if constexpr (!obs::kCompiledIn) GTEST_SKIP() << "obs compiled out";
+  obs::reset_metrics();
+  // "collide/x" and "collide.x" both sanitize to llpmst_collide_x; the
+  // exposition spec forbids two families with one name, so the second
+  // must be skipped with an explanatory comment, not emitted twice.
+  obs::counter("collide/x").add(1);
+  obs::counter("collide.x").add(2);
+  const std::string doc = obs::render_openmetrics();
+  std::size_t type_lines = 0;
+  for (std::size_t pos = 0;
+       (pos = doc.find("# TYPE llpmst_collide_x counter", pos)) !=
+       std::string::npos;
+       ++pos) {
+    ++type_lines;
+  }
+  EXPECT_EQ(type_lines, 1u) << doc;
+  EXPECT_NE(doc.find("# skipped: duplicate family after sanitization: "
+                     "llpmst_collide_x"),
+            std::string::npos)
+      << doc;
+  obs::reset_metrics();
+}
+
 TEST(ObsExposition, SchedulerSummaryShowsUpAfterCollection) {
   if constexpr (!obs::kCompiledIn) GTEST_SKIP() << "obs compiled out";
   obs::reset_metrics();
@@ -706,6 +734,211 @@ TEST(ObsExposition, SchedulerSummaryShowsUpAfterCollection) {
       << doc;
   obs::sched_start();  // clear the rings for whatever runs next
   obs::sched_stop();
+}
+
+// --- The sampling profiler (schema v4 "profile" section). --------------
+
+/// Burns at least `ms` of this thread's CPU time (the profiler's timers
+/// count CPU time, not wall time) and returns a value derived from the
+/// work so the loop cannot be optimized away.
+double burn_cpu_ms(double ms) {
+  timespec t0{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &t0);
+  double x = 1.0;
+  for (;;) {
+    for (int i = 0; i < 20000; ++i) x = x * 1.0000001 + 1e-9;
+    timespec t{};
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &t);
+    const double elapsed_ms =
+        (static_cast<double>(t.tv_sec) - static_cast<double>(t0.tv_sec)) *
+            1e3 +
+        (static_cast<double>(t.tv_nsec) - static_cast<double>(t0.tv_nsec)) *
+            1e-6;
+    if (elapsed_ms >= ms) return x;
+  }
+}
+
+TEST(ObsProfiler, UnstartedOrUnsupportedDegradesToExplicitUnavailable) {
+  // Never started: the snapshot must carry the explicit degradation shape
+  // in every flavour, and prof_start must refuse softly when unsupported.
+  const obs::ProfSnapshot s = obs::prof_snapshot();
+  if (!obs::prof_collecting()) {
+    EXPECT_FALSE(s.available);
+    EXPECT_FALSE(s.unavailable_reason.empty());
+  }
+  if (!obs::prof_supported()) {
+    std::string why;
+    EXPECT_FALSE(obs::prof_start(97, &why));
+    EXPECT_FALSE(why.empty());
+    if constexpr (!obs::kCompiledIn) {
+      EXPECT_NE(why.find("LLPMST_OBS=0"), std::string::npos) << why;
+    }
+  }
+}
+
+TEST(ObsProfiler, AttributesSamplesToPhaseTimerPaths) {
+  if (!obs::prof_supported()) {
+    GTEST_SKIP() << "sampling profiler unsupported here";
+  }
+  // Stack-only mode: exactly what --profile arms in the benches.
+  obs::set_phase_stack_enabled(true);
+  std::string why;
+  ASSERT_TRUE(obs::prof_start(997, &why)) << why;
+  double sink = 0.0;
+  {
+    obs::PhaseTimer outer("prof_outer");
+    obs::PhaseTimer inner("prof_inner");
+    sink = burn_cpu_ms(120.0);
+  }
+  obs::prof_stop();
+  obs::set_phase_stack_enabled(false);
+  EXPECT_NE(sink, 0.0);
+
+  const obs::ProfSnapshot s = obs::prof_snapshot();
+  ASSERT_TRUE(s.available) << s.unavailable_reason;
+  EXPECT_EQ(s.hz, 997u);
+  // 120 ms of CPU at 997 Hz is ~120 expected samples; even a heavily
+  // loaded CI machine delivers a handful.
+  ASSERT_GT(s.samples, 0u);
+  // The burn loop ran entirely inside prof_outer/prof_inner, so the
+  // dominant phase path must match the PhaseTimer nesting.
+  std::uint64_t attributed = 0;
+  for (const obs::ProfPhaseCount& p : s.phases) {
+    if (p.name == "prof_outer/prof_inner") attributed += p.samples;
+  }
+  EXPECT_GT(attributed, s.samples / 2)
+      << "samples did not attribute to the live PhaseTimer path";
+
+  // The folded rendering parses: every line is "<frames> <count>" with
+  // ';'-separated non-empty frames, and the hot path leads some line.
+  const std::string folded = obs::prof_render_folded(s);
+  ASSERT_FALSE(folded.empty());
+  bool hot_line = false;
+  std::size_t start = 0;
+  while (start < folded.size()) {
+    std::size_t end = folded.find('\n', start);
+    if (end == std::string::npos) end = folded.size();
+    const std::string line = folded.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    ASSERT_GT(std::stoull(line.substr(space + 1)), 0u) << line;
+    const std::string frames = line.substr(0, space);
+    EXPECT_FALSE(frames.empty()) << line;
+    EXPECT_EQ(frames.find(";;"), std::string::npos) << line;
+    if (frames.rfind("prof_outer;prof_inner", 0) == 0) hot_line = true;
+  }
+  EXPECT_TRUE(hot_line) << folded;
+}
+
+#if LLPMST_OBS
+// Preprocessor-gated (not GTEST_SKIP): detail::phase_stack() itself only
+// exists in the compiled-in flavour.
+TEST(ObsProfiler, StackOnlyModeSkipsTimingAggregates) {
+  obs::reset_metrics();
+  obs::set_phase_stack_enabled(true);
+  {
+    obs::PhaseTimer t("stack_only_phase");
+    EXPECT_EQ(obs::detail::phase_stack().depth.load(), 1u);
+    EXPECT_EQ(obs::detail::phase_path(), "stack_only_phase");
+  }
+  EXPECT_EQ(obs::detail::phase_stack().depth.load(), 0u);
+  obs::set_phase_stack_enabled(false);
+  // The stack was maintained, but nothing folded into the aggregates —
+  // that is the whole point of the cheap mode.
+  for (const obs::PhaseSample& p : obs::snapshot_phases()) {
+    EXPECT_NE(p.name, "stack_only_phase");
+  }
+}
+#endif  // LLPMST_OBS
+
+// --- DRAM-bandwidth accounting (schema v4 "bandwidth" section). --------
+
+TEST(ObsBandwidth, DegradationContractMatchesHwShape) {
+  // No hw sample: explicit "not requested" reason.
+  const obs::BandwidthSnapshot none = obs::bandwidth_snapshot(nullptr);
+  EXPECT_FALSE(none.available);
+  EXPECT_FALSE(none.unavailable_reason.empty());
+
+  // Unavailable hw: the reason must pass through verbatim.
+  obs::HwSample hw;
+  hw.available = false;
+  hw.unavailable_reason = "no PMU in this VM";
+  const obs::BandwidthSnapshot degraded = obs::bandwidth_snapshot(&hw);
+  EXPECT_FALSE(degraded.available);
+  if constexpr (obs::kCompiledIn) {
+    EXPECT_EQ(degraded.unavailable_reason, "no PMU in this VM");
+  }
+}
+
+TEST(ObsBandwidth, VerdictNamesAreStable) {
+  // tools/check_report_schema.py hard-codes these strings.
+  EXPECT_STREQ(obs::bound_verdict_name(obs::BoundVerdict::kUnknown),
+               "unknown");
+  EXPECT_STREQ(obs::bound_verdict_name(obs::BoundVerdict::kComputeBound),
+               "compute-bound");
+  EXPECT_STREQ(obs::bound_verdict_name(obs::BoundVerdict::kMemoryBound),
+               "memory-bound");
+}
+
+// --- The v4 report document. ------------------------------------------
+
+TEST(ObsReport, SchemaV4ProfileAndBandwidthNullWhenNotRequested) {
+  const std::string report =
+      obs::build_run_report(test_run_info(), nullptr, nullptr, nullptr);
+  EXPECT_TRUE(json_balanced(report)) << report;
+  EXPECT_NE(report.find("\"profile\":null"), std::string::npos) << report;
+  EXPECT_NE(report.find("\"bandwidth\":null"), std::string::npos) << report;
+}
+
+TEST(ObsReport, SchemaV4SerializesProfileSnapshot) {
+  obs::ProfSnapshot prof;
+  prof.available = true;
+  prof.hz = 97;
+  prof.samples = 5;
+  prof.dropped = 1;
+  prof.phases.push_back({"solve/round", 5});
+  prof.stacks.push_back({"solve;round;contract", 3});
+  prof.stacks.push_back({"solve;round;mwe", 2});
+  const std::string report =
+      obs::build_run_report(test_run_info(), nullptr, nullptr, &prof);
+  EXPECT_TRUE(json_balanced(report)) << report;
+  if constexpr (obs::kCompiledIn) {
+    EXPECT_NE(report.find("\"profile\":{\"available\":true,\"hz\":97"),
+              std::string::npos)
+        << report;
+    EXPECT_NE(report.find("\"name\":\"solve/round\",\"samples\":5"),
+              std::string::npos)
+        << report;
+    EXPECT_NE(report.find("\"stack\":\"solve;round;contract\""),
+              std::string::npos)
+        << report;
+  } else {
+    // Compiled out: the report serializer is flavour-independent, so the
+    // section is still present and well-formed.
+    EXPECT_NE(report.find("\"profile\":"), std::string::npos) << report;
+  }
+}
+
+TEST(ObsReport, SchemaV4SerializesDegradedProfileAndBandwidth) {
+  obs::ProfSnapshot prof;
+  prof.available = false;
+  prof.unavailable_reason = "profiler not started";
+  obs::HwSample hw;
+  hw.available = false;
+  hw.unavailable_reason = "no PMU";
+  const std::string report =
+      obs::build_run_report(test_run_info(), nullptr, &hw, &prof);
+  EXPECT_TRUE(json_balanced(report)) << report;
+  if constexpr (obs::kCompiledIn) {
+    EXPECT_NE(report.find("\"profile\":{\"available\":false,\"reason\":"),
+              std::string::npos)
+        << report;
+    EXPECT_NE(report.find("\"bandwidth\":{\"available\":false,\"reason\":"),
+              std::string::npos)
+        << report;
+  }
 }
 
 }  // namespace

@@ -36,6 +36,13 @@ surfacing in the log, but it is far too machine/noise-dependent to fail
 CI on.  Records without the section (older baselines) are simply not
 compared.
 
+Likewise for the "profile" section (--profile; top-3 hottest phase
+paths by profiler samples): when both records carry one, a change in
+the hottest phase path — or the hottest path's sample share moving by
+more than --hotpath-drift — is REPORTED, never gated.  Where the time
+goes is a triage lead for a human reading the log; sampling noise at
+ci-smoke durations makes it useless as a pass/fail signal.
+
 A duplicate key inside either record set is an error: two records for the
 same (bench, workload, algo, threads) means a stale file or a double run,
 and silently comparing whichever came last would gate on the wrong data.
@@ -137,6 +144,25 @@ def sched_util(doc):
     return float(u)
 
 
+def hot_path(doc):
+    """The record's hottest profiled phase path as (name, share-of-samples),
+    or None when the record carries no usable profile section."""
+    prof = doc.get("profile")
+    if not isinstance(prof, dict):
+        return None
+    total = prof.get("samples")
+    top = prof.get("top_phases")
+    if not isinstance(total, int) or total <= 0 or not isinstance(top, list):
+        return None
+    if not top or not isinstance(top[0], dict):
+        return None
+    name = top[0].get("name")
+    samples = top[0].get("samples")
+    if not isinstance(name, str) or not isinstance(samples, int):
+        return None
+    return name, samples / total
+
+
 def fmt_key(key):
     bench, workload, algo, threads = key
     return f"{bench} / {workload} / {algo} / {threads}T"
@@ -168,6 +194,10 @@ def main():
                     help="absolute scheduler-utilization change worth "
                          "reporting (default: 0.05); informational only, "
                          "never fails the run")
+    ap.add_argument("--hotpath-drift", type=float, default=0.15,
+                    help="absolute change in the hottest phase path's "
+                         "sample share worth reporting (default: 0.15); "
+                         "informational only, never fails the run")
     args = ap.parse_args()
 
     base, base_skipped = load_records(args.baseline)
@@ -186,6 +216,7 @@ def main():
     regressions, improvements, stable, missing = [], [], [], []
     alloc_regressions, alloc_compared = [], 0
     util_drifts, util_compared = [], 0
+    hot_drifts, hot_compared = [], 0
     for key in sorted(base):
         if key not in cand:
             missing.append(key)
@@ -217,6 +248,12 @@ def main():
             if abs(uc - ub) > args.util_drift:
                 util_drifts.append((key, ub, uc))
 
+        hb, hc = hot_path(base[key]), hot_path(cand[key])
+        if hb is not None and hc is not None:
+            hot_compared += 1
+            if hb[0] != hc[0] or abs(hc[1] - hb[1]) > args.hotpath_drift:
+                hot_drifts.append((key, hb, hc))
+
     new_keys = sorted(set(cand) - set(base))
 
     print(f"compared {len(base) - len(missing)} key(s) "
@@ -245,6 +282,18 @@ def main():
         print(f"  utilization: compared {util_compared} key(s), "
               f"drifted >{args.util_drift:.0%}: {len(util_drifts)} "
               f"(report-only, never gated)")
+    if hot_compared:
+        # Informational only, like utilization: where the samples land is a
+        # triage lead, not a correctness or performance contract.
+        for key, (nb, sb), (nc, sc) in hot_drifts:
+            if nb != nc:
+                print(f"  hot-path drift {fmt_key(key)}: "
+                      f"{nb} ({sb:.0%}) -> {nc} ({sc:.0%})")
+            else:
+                print(f"  hot-path drift {fmt_key(key)}: "
+                      f"{nb} {sb:.0%} -> {sc:.0%} ({sc - sb:+.0%})")
+        print(f"  hot paths: compared {hot_compared} key(s), "
+              f"drifted: {len(hot_drifts)} (report-only, never gated)")
     for key in missing:
         print(f"  warning: baseline key missing from candidate: "
               f"{fmt_key(key)}")

@@ -5,16 +5,23 @@
 
 Understands two document kinds, dispatched on the "schema" field:
 
-  * llpmst-run-report (schema_version 1, 2 or 3) — the --metrics-json run
-    report.  Version 2 adds the "hw" (hardware counters, null-safe) and
-    "mem" (peak RSS + allocation stats) sections; version 3 adds the
+  * llpmst-run-report (schema_version 1 through 4) — the --metrics-json
+    run report.  Version 2 adds the "hw" (hardware counters, null-safe)
+    and "mem" (peak RSS + allocation stats) sections; version 3 adds the
     "rounds" array (per-round solver telemetry) and the "scheduler"
     section (utilization / steal / critical-path summary, null when no
-    scheduler events were collected).
+    scheduler events were collected); version 4 adds the "profile"
+    section (sampling-profiler phase/stack histograms, null when not
+    armed) and the "bandwidth" section (DRAM-bandwidth phase estimates
+    derived from hw cache-miss deltas, null when hw was not requested).
+    Both v4 sections follow the hw degradation contract: an
+    {"available": false, "reason": ...} object when the facility could
+    not run.
   * llpmst-bench (schema_version 1) — one structured datapoint per
     benchmark measurement, as emitted by --bench-json and consumed by
     tools/bench_compare.py.  May carry an optional "sched" section
-    (null or {utilization, steal_rate}).
+    (null or {utilization, steal_rate}) and an optional "profile"
+    section (null or {hz, samples, top_phases, est_gbps}).
 
 Files ending in .jsonl are treated as JSON Lines (one document per line,
 blank lines and empty files allowed); everything else must hold a single
@@ -188,11 +195,121 @@ def check_scheduler(sched, expect):
                        "non-negative integer")
 
 
+def check_profile(profile, expect):
+    """Validates the v4 "profile" section: null (profiler not armed), an
+    {"available": false, "reason"} degradation object, or the full
+    phase/stack sample histograms."""
+    if profile == "<missing>":
+        expect(False, "profile section is missing (must be null or an "
+                      "object)")
+        return
+    if profile is None:
+        return  # profiler not armed for this run
+    if not expect(isinstance(profile, dict),
+                  "profile is neither null nor an object"):
+        return
+    avail = profile.get("available")
+    if not expect(isinstance(avail, bool),
+                  f"profile.available is {avail!r}, not a bool"):
+        return
+    if not avail:
+        expect(isinstance(profile.get("reason"), str) and profile["reason"],
+               "profile.available is false but profile.reason is not a "
+               "non-empty string")
+        return
+    for key in ("hz", "samples", "dropped"):
+        v = profile.get(key)
+        expect(isinstance(v, int) and v >= 0,
+               f"profile.{key} = {v!r} is not a non-negative integer")
+    phases = profile.get("phases")
+    if expect(isinstance(phases, list), "profile.phases is not an array"):
+        for i, p in enumerate(phases):
+            if not expect(isinstance(p, dict),
+                          f"profile.phases[{i}] is not an object"):
+                continue
+            expect(isinstance(p.get("name"), str) and p.get("name"),
+                   f"profile.phases[{i}].name is {p.get('name')!r}")
+            expect(isinstance(p.get("samples"), int)
+                   and p.get("samples", 0) >= 1,
+                   f"profile.phases[{i}].samples is {p.get('samples')!r}")
+    stacks = profile.get("top_stacks")
+    if expect(isinstance(stacks, list),
+              "profile.top_stacks is not an array"):
+        expect(len(stacks) <= 20,
+               f"profile.top_stacks has {len(stacks)} entries (cap is 20)")
+        for i, s in enumerate(stacks):
+            if not expect(isinstance(s, dict),
+                          f"profile.top_stacks[{i}] is not an object"):
+                continue
+            expect(isinstance(s.get("stack"), str) and s.get("stack"),
+                   f"profile.top_stacks[{i}].stack is {s.get('stack')!r}")
+            expect(isinstance(s.get("samples"), int)
+                   and s.get("samples", 0) >= 1,
+                   f"profile.top_stacks[{i}].samples is "
+                   f"{s.get('samples')!r}")
+
+
+BANDWIDTH_VERDICTS = {"unknown", "compute-bound", "memory-bound"}
+
+
+def check_bandwidth(bw, expect):
+    """Validates the v4 "bandwidth" section: null (hw not requested), an
+    {"available": false, "reason"} degradation object, or per-phase DRAM
+    traffic estimates with roofline-style verdicts."""
+    if bw == "<missing>":
+        expect(False, "bandwidth section is missing (must be null or an "
+                      "object)")
+        return
+    if bw is None:
+        return  # --hw-counters not requested
+    if not expect(isinstance(bw, dict),
+                  "bandwidth is neither null nor an object"):
+        return
+    avail = bw.get("available")
+    if not expect(isinstance(avail, bool),
+                  f"bandwidth.available is {avail!r}, not a bool"):
+        return
+    if not avail:
+        expect(isinstance(bw.get("reason"), str) and bw["reason"],
+               "bandwidth.available is false but bandwidth.reason is not a "
+               "non-empty string")
+        return
+    lb = bw.get("line_bytes")
+    expect(isinstance(lb, int) and lb >= 1,
+           f"bandwidth.line_bytes = {lb!r} is not a positive integer")
+    phases = bw.get("phases")
+    if expect(isinstance(phases, list), "bandwidth.phases is not an array"):
+        for i, p in enumerate(phases):
+            if not expect(isinstance(p, dict),
+                          f"bandwidth.phases[{i}] is not an object"):
+                continue
+            expect(isinstance(p.get("name"), str) and p.get("name"),
+                   f"bandwidth.phases[{i}].name is {p.get('name')!r}")
+            for key in ("cache_misses", "est_bytes"):
+                v = p.get(key)
+                expect(isinstance(v, int) and v >= 0,
+                       f"bandwidth.phases[{i}].{key} = {v!r} is not a "
+                       "non-negative integer")
+            wall = p.get("wall_ms")
+            expect(isinstance(wall, (int, float)) and wall >= 0,
+                   f"bandwidth.phases[{i}].wall_ms = {wall!r} is not a "
+                   "non-negative number")
+            for key in ("est_gbps", "instr_per_byte"):
+                v = p.get(key, "<missing>")
+                expect(v is None or (isinstance(v, (int, float)) and v >= 0),
+                       f"bandwidth.phases[{i}].{key} = {v!r} is neither "
+                       "null nor a non-negative number")
+            verdict = p.get("verdict")
+            expect(verdict in BANDWIDTH_VERDICTS,
+                   f"bandwidth.phases[{i}].verdict {verdict!r} not one of "
+                   f"{sorted(BANDWIDTH_VERDICTS)}")
+
+
 def check_run_report(doc, errors, where):
     expect = make_expect(errors, where)
     version = doc.get("schema_version")
-    if not expect(version in (1, 2, 3),
-                  f"schema_version is {version!r} (expected 1, 2 or 3)"):
+    if not expect(version in (1, 2, 3, 4),
+                  f"schema_version is {version!r} (expected 1 through 4)"):
         return
 
     run = doc.get("run")
@@ -236,6 +353,10 @@ def check_run_report(doc, errors, where):
     if version >= 3:
         check_rounds(doc.get("rounds"), expect)
         check_scheduler(doc.get("scheduler", "<missing>"), expect)
+
+    if version >= 4:
+        check_profile(doc.get("profile", "<missing>"), expect)
+        check_bandwidth(doc.get("bandwidth", "<missing>"), expect)
 
     for section in ("counters", "gauges"):
         values = doc.get(section)
@@ -317,6 +438,41 @@ def check_bench_record(doc, errors, where):
                 v = sched.get(key)
                 expect(isinstance(v, (int, float)) and 0 <= v <= 1,
                        f"sched.{key} = {v!r} is not a number in [0, 1]")
+
+    # Optional profiler attribution (--profile; records from before PR 8
+    # lack the key).
+    prof = doc.get("profile")
+    if prof is not None:
+        if expect(isinstance(prof, dict),
+                  "profile is neither null nor an object"):
+            for key in ("hz", "samples"):
+                v = prof.get(key)
+                expect(isinstance(v, int) and v >= 0,
+                       f"profile.{key} = {v!r} is not a non-negative "
+                       "integer")
+            top = prof.get("top_phases")
+            if expect(isinstance(top, list),
+                      "profile.top_phases is not an array"):
+                expect(len(top) <= 3,
+                       f"profile.top_phases has {len(top)} entries "
+                       "(cap is 3)")
+                for i, p in enumerate(top):
+                    if not expect(isinstance(p, dict),
+                                  f"profile.top_phases[{i}] is not an "
+                                  "object"):
+                        continue
+                    expect(isinstance(p.get("name"), str) and p.get("name"),
+                           f"profile.top_phases[{i}].name is "
+                           f"{p.get('name')!r}")
+                    expect(isinstance(p.get("samples"), int)
+                           and p.get("samples", 0) >= 1,
+                           f"profile.top_phases[{i}].samples is "
+                           f"{p.get('samples')!r}")
+            gbps = prof.get("est_gbps", "<missing>")
+            expect(gbps is None
+                   or (isinstance(gbps, (int, float)) and gbps >= 0),
+                   f"profile.est_gbps = {gbps!r} is neither null nor a "
+                   "non-negative number")
 
 
 def check(doc, errors, where):

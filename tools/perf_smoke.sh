@@ -41,6 +41,13 @@ echo "=== bench_fig2_single_thread (smoke) ==="
 echo "=== bench_fig3_scaling (smoke) ==="
 "$BUILD/bench/bench_fig3_scaling" --road-side 128 --threads 1,2 --reps 9 \
   --bench-json "$OUT/fig3.bench.jsonl" > "$OUT/fig3.txt"
+echo "=== bench_fig3_scaling (scenario smoke) ==="
+# A scenario-registry workload (--workload scenario:NAME) so the smoke
+# also covers the regime the adversarial/conformance tests run, keyed by
+# regime name ("scenario:geo-road-hybrid") rather than instance size.
+"$BUILD/bench/bench_fig3_scaling" --workload scenario:geo-road-hybrid \
+  --threads 1,2 --reps 9 \
+  --bench-json "$OUT/fig3-scenario.bench.jsonl" > "$OUT/fig3-scenario.txt"
 echo "=== bench_fig4_graph_types (smoke) ==="
 "$BUILD/bench/bench_fig4_graph_types" --road-side 128 --scale-small 10 \
   --scale-big 11 --low 1 --high 2 --reps 9 \
@@ -71,4 +78,23 @@ else
   # slowdown still exceeds both by a wide margin.
   python3 "$TOOLS/bench_compare.py" "$BASELINE" "$OUT" \
     --threshold 0.25 --iqr-mult 3
+
+  # Profiler-overhead gate: re-run the fig3 smoke with the sampling
+  # profiler armed (default 97 Hz) and hold the profiled medians to
+  # within 3% of the unprofiled baseline.  The records share keys with
+  # the baseline's fig3 rows, so bench_compare's regression rule doubles
+  # as the overhead assertion; they live in a sibling directory because
+  # a duplicate (bench, workload, algo, threads) key inside one record
+  # set is a hard error.  Where the profiler is unavailable (non-Linux,
+  # LLPMST_OBS=0) the bench prints a note and runs unprofiled, so this
+  # degrades to a plain noise check instead of failing the smoke.
+  PROF_OUT="$OUT-profiled"
+  mkdir -p "$PROF_OUT"
+  echo "=== bench_fig3_scaling (profiled, overhead gate) ==="
+  "$BUILD/bench/bench_fig3_scaling" --road-side 128 --threads 1,2 --reps 9 \
+    --profile --bench-json "$PROF_OUT/fig3.bench.jsonl" \
+    > "$PROF_OUT/fig3.txt"
+  python3 "$TOOLS/check_report_schema.py" "$PROF_OUT"/*.bench.jsonl
+  python3 "$TOOLS/bench_compare.py" "$BASELINE" "$PROF_OUT" \
+    --threshold 0.03 --iqr-mult 3
 fi

@@ -1,0 +1,208 @@
+#!/usr/bin/env python3
+"""Render llpmst folded-stack profiles as a flamegraph SVG or a top-N table.
+
+    tools/prof2flame.py prof.folded --svg flame.svg   # write an SVG
+    tools/prof2flame.py prof.folded --top 15          # terminal table
+    tools/prof2flame.py prof.folded --check           # lint only
+
+Input is the folded-stack format written by `mst_tool --profile-out` (one
+stack per line, semicolon-separated frames, a space, and the sample
+count — the same format Brendan Gregg's flamegraph.pl consumes):
+
+    mst_tool/solve;llp_boruvka;round;contract;main;boruvka_engine(...) 42
+
+The leading frames are the live PhaseTimer path at the moment of the
+sample ("(no_phase)" when none was open); the remainder is the captured
+code stack, outermost first.  Counts aggregate across duplicate stacks.
+
+--check validates the format without rendering: every non-blank line must
+be "<frames> <count>" with non-empty ';'-separated frames, no embedded
+whitespace in a frame, and a positive integer count.  Exits non-zero
+listing every malformed line, so CI can lint profiler output cheaply.
+
+The SVG is self-contained (inline CSS + JS hover titles, no external
+assets) so it opens in any browser.  Uses only the standard library.
+"""
+import argparse
+import html
+import sys
+
+
+def parse_folded(path):
+    """Returns (stacks, errors): stacks is a dict mapping frame-tuples to
+    aggregated sample counts; errors lists 'path:line: message' strings."""
+    stacks = {}
+    errors = []
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        return {}, [f"{path}: unreadable: {e}"]
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        where = f"{path}:{lineno}"
+        head, sep, count_str = line.rpartition(" ")
+        if not sep or not head:
+            errors.append(f"{where}: no '<frames> <count>' separator")
+            continue
+        try:
+            count = int(count_str)
+        except ValueError:
+            errors.append(f"{where}: count {count_str!r} is not an integer")
+            continue
+        if count <= 0:
+            errors.append(f"{where}: count {count} is not positive")
+            continue
+        frames = tuple(head.split(";"))
+        bad = [fr for fr in frames
+               if not fr or any(c.isspace() for c in fr)]
+        if bad:
+            errors.append(f"{where}: empty or whitespace-bearing frame(s) "
+                          f"{bad!r}")
+            continue
+        stacks[frames] = stacks.get(frames, 0) + count
+    return stacks, errors
+
+
+def print_top(stacks, n, out=sys.stdout):
+    """Prints the N hottest stacks (by aggregated samples) as a table."""
+    total = sum(stacks.values())
+    print(f"{total} samples, {len(stacks)} unique stacks", file=out)
+    if not stacks:
+        return
+    ranked = sorted(stacks.items(), key=lambda kv: (-kv[1], kv[0]))[:n]
+    width = len(str(ranked[0][1]))
+    print(f"{'samples':>{max(width, 7)}}  {'pct':>6}  stack (leaf last)",
+          file=out)
+    for frames, count in ranked:
+        pct = 100.0 * count / total
+        print(f"{count:>{max(width, 7)}}  {pct:5.1f}%  {';'.join(frames)}",
+              file=out)
+
+
+def build_tree(stacks):
+    """Folds stacks into a nested {frame: [count, children]} trie."""
+    root = [sum(stacks.values()), {}]
+    for frames, count in stacks.items():
+        node = root
+        for frame in frames:
+            child = node[1].setdefault(frame, [0, {}])
+            child[0] += count
+            node = child
+    return root
+
+
+# Deterministic warm palette: hash the frame name onto a red-orange ramp so
+# re-renders of the same profile produce identical SVGs (diff-friendly).
+def frame_color(name):
+    h = 2166136261
+    for ch in name.encode("utf-8"):
+        h = ((h ^ ch) * 16777619) & 0xFFFFFFFF
+    r = 205 + (h & 0x3F) % 50
+    g = 60 + ((h >> 8) & 0xFF) % 120
+    b = ((h >> 16) & 0x3F) % 60
+    return f"rgb({r},{g},{b})"
+
+
+FRAME_H = 17
+FONT_SIZE = 11
+MIN_W = 0.4  # px; narrower boxes are dropped (unreadable anyway)
+
+
+def render_svg(stacks, width=1200):
+    """Renders a classic bottom-up flamegraph: root at the bottom, leaves
+    on top, box width proportional to inclusive samples."""
+    root = build_tree(stacks)
+    total = root[0]
+
+    def depth_of(node):
+        return 1 + max((depth_of(c) for c in node[1].values()), default=0)
+
+    depth = depth_of(root) if total else 1
+    height = (depth + 1) * FRAME_H + 40
+    parts = []
+    parts.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        'font-family="monospace">')
+    parts.append(
+        "<style>rect{stroke:#333;stroke-width:0.4}"
+        "rect:hover{stroke:#000;stroke-width:1.2}"
+        f"text{{font-size:{FONT_SIZE}px;pointer-events:none}}</style>")
+    parts.append(
+        f'<text x="{width / 2}" y="16" text-anchor="middle">'
+        f'llpmst profile — {total} samples, {len(stacks)} stacks</text>')
+
+    def emit(name, node, x, y, w):
+        count = node[0]
+        title = html.escape(f"{name} ({count} samples, "
+                            f"{100.0 * count / total:.1f}%)", quote=True)
+        parts.append(
+            f'<g><title>{title}</title>'
+            f'<rect x="{x:.2f}" y="{y}" width="{w:.2f}" '
+            f'height="{FRAME_H - 1}" fill="{frame_color(name)}"/>')
+        # ~0.62 em per monospace glyph at 11px; clip the label to the box.
+        max_chars = int(w / (FONT_SIZE * 0.62))
+        if max_chars >= 3:
+            label = name if len(name) <= max_chars else \
+                name[:max_chars - 1] + "…"
+            parts.append(f'<text x="{x + 2:.2f}" y="{y + FRAME_H - 5}">'
+                         f'{html.escape(label)}</text>')
+        parts.append("</g>")
+        cx = x
+        for child_name in sorted(node[1]):
+            child = node[1][child_name]
+            cw = w * child[0] / count if count else 0.0
+            if cw >= MIN_W:
+                emit(child_name, child, cx, y - FRAME_H, cw)
+            cx += cw
+
+    base_y = height - FRAME_H - 4
+    if total:
+        emit("all", root, 0.0, base_y, float(width))
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Render llpmst folded-stack profiles "
+                    "(mst_tool --profile-out) as SVG flamegraphs or "
+                    "terminal top-N tables.")
+    ap.add_argument("folded", help="folded-stack input file")
+    ap.add_argument("--svg", metavar="OUT",
+                    help="write a self-contained flamegraph SVG here")
+    ap.add_argument("--top", type=int, default=10, metavar="N",
+                    help="print the N hottest stacks (default 10)")
+    ap.add_argument("--width", type=int, default=1200,
+                    help="SVG width in pixels (default 1200)")
+    ap.add_argument("--check", action="store_true",
+                    help="lint the folded format only; exit non-zero on "
+                         "malformed lines, render nothing")
+    args = ap.parse_args()
+
+    stacks, errors = parse_folded(args.folded)
+    if errors:
+        for e in errors:
+            print(f"FAIL {e}", file=sys.stderr)
+        return 1
+    if args.check:
+        total = sum(stacks.values())
+        print(f"{args.folded}: ok ({total} samples, {len(stacks)} stacks)")
+        return 0
+
+    print_top(stacks, args.top)
+    if args.svg:
+        try:
+            with open(args.svg, "w", encoding="utf-8") as f:
+                f.write(render_svg(stacks, args.width))
+        except OSError as e:
+            print(f"FAIL {args.svg}: {e}", file=sys.stderr)
+            return 1
+        print(f"wrote {args.svg}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -258,8 +258,19 @@ int main(int argc, char** argv) {
   // "unavailable" shape).
   const bool want_profile = !profile_out.empty() && obs::kCompiledIn;
   if (want_profile) {
+    // Validate before the unsigned cast: a negative value would wrap to a
+    // huge rate and a too-high one rounds the timer interval to 0.
+    std::int64_t hz = profile_hz;
+    if (hz < 1 || hz > static_cast<std::int64_t>(obs::kMaxProfileHz)) {
+      std::fprintf(stderr,
+                   "note: --profile-hz %lld out of range [1, %u]; using "
+                   "default %u\n",
+                   static_cast<long long>(hz), obs::kMaxProfileHz,
+                   obs::kDefaultProfileHz);
+      hz = obs::kDefaultProfileHz;
+    }
     std::string prof_why;
-    if (!obs::prof_start(static_cast<unsigned>(profile_hz), &prof_why)) {
+    if (!obs::prof_start(static_cast<unsigned>(hz), &prof_why)) {
       std::fprintf(stderr, "note: profiler unavailable: %s\n",
                    prof_why.c_str());
     }

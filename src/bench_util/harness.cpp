@@ -436,7 +436,18 @@ void ObsCli::begin() const {
                    "platform or build)\n");
     } else {
       s.profile = *profile_;
-      s.profile_hz = static_cast<unsigned>(*profile_hz_);
+      // Validate before the unsigned cast: a negative value would wrap to a
+      // huge rate and a too-high one rounds the timer interval to 0.
+      std::int64_t hz = *profile_hz_;
+      if (hz < 1 || hz > static_cast<std::int64_t>(obs::kMaxProfileHz)) {
+        std::fprintf(stderr,
+                     "note: --profile-hz %lld out of range [1, %u]; using "
+                     "default %u\n",
+                     static_cast<long long>(hz), obs::kMaxProfileHz,
+                     obs::kDefaultProfileHz);
+        hz = obs::kDefaultProfileHz;
+      }
+      s.profile_hz = static_cast<unsigned>(hz);
     }
   }
   if (*hw_counters_) {

@@ -167,7 +167,10 @@ LLPMST_NO_SANITIZE void prof_signal_handler(int, siginfo_t*, void* uctx) {
   std::uintptr_t lo = sp > t->stack_lo ? sp : t->stack_lo;
   const std::uintptr_t hi = t->stack_hi;
   while (ncode < kMaxSampleCode) {
-    if (fp < lo || fp + 2 * sizeof(void*) > hi ||
+    // Overflow-safe: `hi - fp` only after `fp >= hi` is excluded, never
+    // `fp + 16` (which wraps for the small negative scratch values an
+    // FP-less library frame can leave in the register).
+    if (fp < lo || fp >= hi || hi - fp < 2 * sizeof(void*) ||
         (fp & (sizeof(void*) - 1)) != 0) {
       break;
     }
@@ -190,12 +193,40 @@ LLPMST_NO_SANITIZE void prof_signal_handler(int, siginfo_t*, void* uctx) {
 
 // -- arming ----------------------------------------------------------------
 
+/// Thread-exit hygiene: delete the timer so a recycled tid can never
+/// receive a stray SIGPROF meant for this thread.  The ProfThread itself
+/// (ring included) stays registered — buffered samples remain readable.
+/// Initialized (and so registered with __cxa_thread_atexit) by the odr-use
+/// in arm_current_thread.
+struct ProfTlsCleanup {
+  ~ProfTlsCleanup() {
+    ProfThread* t = tls_prof_thread;
+    if (t == nullptr) return;
+    tls_prof_thread = nullptr;
+    ProfState& s = state();
+    std::lock_guard lock(s.mu);
+    if (t->timer_created) {
+      timer_delete(t->timer);
+      t->timer_created = false;
+      t->timer_running = false;
+    }
+  }
+};
+thread_local ProfTlsCleanup tls_prof_cleanup;
+
 /// Creates/starts the calling thread's timer for the current generation.
 /// Cold path (mutex): runs once per thread per prof_start().  Returns false
 /// with a reason on syscall failure.
 bool arm_current_thread(std::string* why) {
   ProfState& s = state();
   std::lock_guard lock(s.mu);
+  // Re-checked under the mutex: a worker that passed the prof_collecting()
+  // fast check can reach here after prof_stop()'s disarm loop ran, and
+  // arming now would leave a no-op timer firing until the next session.
+  if (!s.collecting.load(std::memory_order_relaxed)) {
+    if (why != nullptr) *why = "profiler stopped before this thread armed";
+    return false;
+  }
   ProfThread* t = tls_prof_thread;
   if (t == nullptr) {
     s.threads.push_back(std::make_unique<ProfThread>(
@@ -217,6 +248,10 @@ bool arm_current_thread(std::string* why) {
       pthread_attr_destroy(&attr);
     }
     tls_prof_thread = t;
+    // Odr-use forces the thread_local's lazy initialization here, which is
+    // what registers ~ProfTlsCleanup via __cxa_thread_atexit; without it
+    // the destructor never runs and the timer outlives the thread.
+    (void)&tls_prof_cleanup;
   }
 
   const std::uint64_t gen = s.generation.load(std::memory_order_relaxed);
@@ -254,25 +289,6 @@ bool arm_current_thread(std::string* why) {
   t->armed_gen.store(gen, std::memory_order_relaxed);
   return true;
 }
-
-/// Thread-exit hygiene: delete the timer so a recycled tid can never
-/// receive a stray SIGPROF meant for this thread.  The ProfThread itself
-/// (ring included) stays registered — buffered samples remain readable.
-struct ProfTlsCleanup {
-  ~ProfTlsCleanup() {
-    ProfThread* t = tls_prof_thread;
-    if (t == nullptr) return;
-    tls_prof_thread = nullptr;
-    ProfState& s = state();
-    std::lock_guard lock(s.mu);
-    if (t->timer_created) {
-      timer_delete(t->timer);
-      t->timer_created = false;
-      t->timer_running = false;
-    }
-  }
-};
-thread_local ProfTlsCleanup tls_prof_cleanup;
 
 // -- symbolization (snapshot time, normal context) -------------------------
 
@@ -324,6 +340,18 @@ bool prof_supported() { return true; }
 
 bool prof_start(unsigned hz, std::string* why) {
   ProfState& s = state();
+  if (hz > kMaxProfileHz) {
+    // Also catches a negative CLI value wrapped through the unsigned cast;
+    // accepting it would compute a 0 ns interval and timer_settime would
+    // silently disarm (empty profile reported as success).
+    std::lock_guard lock(s.mu);
+    s.session_ok = false;
+    s.fail_reason = "profile rate " + std::to_string(hz) +
+                    " Hz out of range [1, " + std::to_string(kMaxProfileHz) +
+                    "]";
+    if (why != nullptr) *why = s.fail_reason;
+    return false;
+  }
   {
     std::lock_guard lock(s.mu);
     if (!s.handler_installed) {

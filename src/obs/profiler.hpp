@@ -53,6 +53,13 @@ namespace llpmst::obs {
 /// under the 3% acceptance bound (each sample is ~1-2 us of handler work).
 inline constexpr unsigned kDefaultProfileHz = 97;
 
+/// Highest accepted sampling rate (10 us period).  Beyond this the timer
+/// interval rounds toward 0 ns, which timer_settime treats as "disarm" —
+/// prof_start rejects anything above instead of silently collecting
+/// nothing.  CLI layers validate against the same bound so a negative
+/// --profile-hz can't wrap through the unsigned cast.
+inline constexpr unsigned kMaxProfileHz = 100000;
+
 /// One folded stack: phase path components and code frames joined by ';'
 /// (outermost first, leaf last), with the number of samples attributed.
 struct ProfStack {

@@ -776,6 +776,25 @@ TEST(ObsProfiler, UnstartedOrUnsupportedDegradesToExplicitUnavailable) {
   }
 }
 
+TEST(ObsProfiler, RejectsOutOfRangeRate) {
+  if (!obs::prof_supported()) {
+    GTEST_SKIP() << "sampling profiler unsupported here";
+  }
+  // Above kMaxProfileHz the timer interval rounds to 0 ns, which
+  // timer_settime treats as "disarm" — prof_start must refuse with a
+  // reason instead of reporting success for an empty profile.  This is
+  // also where a negative CLI value wrapped through the unsigned cast
+  // lands.
+  std::string why;
+  EXPECT_FALSE(obs::prof_start(obs::kMaxProfileHz + 1, &why));
+  EXPECT_NE(why.find("out of range"), std::string::npos) << why;
+  EXPECT_FALSE(obs::prof_collecting());
+  EXPECT_FALSE(obs::prof_snapshot().available);
+  // The subsystem recovers: a valid rate still starts.
+  ASSERT_TRUE(obs::prof_start(obs::kDefaultProfileHz, &why)) << why;
+  obs::prof_stop();
+}
+
 TEST(ObsProfiler, AttributesSamplesToPhaseTimerPaths) {
   if (!obs::prof_supported()) {
     GTEST_SKIP() << "sampling profiler unsupported here";

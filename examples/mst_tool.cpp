@@ -151,11 +151,21 @@ int main(int argc, char** argv) {
       "arm fault-injection points, e.g. 'llp/sweep=10%sleep(500)' "
       "(also read from $LLPMST_FAILPOINTS; no-op when compiled out)");
   auto& deadline_ms = cli.add_double(
-      "deadline-ms", 0.0,
-      "wall-clock budget (0 = none): --algorithm auto falls back to "
-      "sequential kruskal on expiry; cancellable algorithms stop early "
-      "with a partial result");
+      "deadline-ms", -1.0,
+      "wall-clock budget in ms (> 0; omit for none): --algorithm auto "
+      "falls back to sequential kruskal on expiry; cancellable algorithms "
+      "stop early with a partial result");
   cli.parse(argc, argv);
+  // 0 is rejected, not interpreted: it used to mean "no deadline" on some
+  // paths, which made a literal zero-budget request indistinguishable from
+  // the default.  The daemon's admission contract (docs/serving.md) needs
+  // the distinction, so the CLI rejects the ambiguous spelling outright.
+  if (deadline_ms == 0) {
+    std::fprintf(stderr,
+                 "--deadline-ms 0 is ambiguous: pass a positive budget, or "
+                 "omit the flag for no deadline\n");
+    return 2;
+  }
   if (!algo_alias.empty()) algorithm = algo_alias;
 
   if (list_algos) {
@@ -282,7 +292,7 @@ int main(int argc, char** argv) {
     list = scen->make(static_cast<std::uint64_t>(seed));
     std::printf("Scenario  : %s [%s] seed %lld\n", scen->name, scen->family,
                 static_cast<long long>(seed));
-    if (scen->deadline_ms > 0 && deadline_ms <= 0) {
+    if (scen->deadline_ms > 0 && deadline_ms < 0) {
       deadline_ms = scen->deadline_ms;
     }
   } else if (!input.empty()) {

@@ -22,6 +22,7 @@ ThreadPool& RunContext::pool() {
 void RunContext::set_deadline_ms(double ms) {
   if (ms <= 0) return;
   deadline_token_.set_deadline_after_ms(ms);
+  deadline_token_.observe(external_cancel_);
   deadline_armed_ = true;
 }
 

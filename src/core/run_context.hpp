@@ -136,14 +136,20 @@ class RunContext {
 
   // -- Cancellation & deadline --------------------------------------------
   /// Observes caller-owned cancellation.  Pass nullptr to detach.
-  void set_cancel(const CancelToken* cancel) { external_cancel_ = cancel; }
+  void set_cancel(const CancelToken* cancel) {
+    external_cancel_ = cancel;
+    if (deadline_armed_) deadline_token_.observe(cancel);
+  }
   /// Arms a wall-clock budget for subsequent runs (<= 0 disarms nothing but
   /// is ignored, matching AutoMstOptions' old `deadline_ms = 0` meaning).
   void set_deadline_ms(double ms);
   /// The token algorithms should poll: the deadline token when a deadline is
-  /// armed, else the external token, else nullptr.  (When both are set the
-  /// deadline token is preferred and the caller's cancel is honoured between
-  /// attempts via user_cancelled() — the composition mst::auto always used.)
+  /// armed, else the external token, else nullptr.  When both are set the
+  /// deadline token observes the external one, so a mid-run caller cancel
+  /// stops a budgeted run too (reason preserved) — this is what lets a
+  /// served query honour both its budget and a client disconnect; mst::auto
+  /// additionally distinguishes the two via user_cancelled() between
+  /// attempts.
   [[nodiscard]] const CancelToken* cancel_token() const;
   [[nodiscard]] const CancelToken* external_cancel() const {
     return external_cancel_;

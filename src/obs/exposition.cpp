@@ -179,6 +179,10 @@ std::string render_openmetrics() {
   return out;
 }
 
+const char* openmetrics_content_type() {
+  return "application/openmetrics-text; version=1.0.0; charset=utf-8";
+}
+
 bool write_openmetrics(const std::string& path, std::string* error) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {

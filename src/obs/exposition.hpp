@@ -36,6 +36,10 @@ namespace llpmst::obs {
 /// (always syntactically valid, terminated by "# EOF").
 [[nodiscard]] std::string render_openmetrics();
 
+/// The HTTP Content-Type an OpenMetrics response must carry (llpmstd's
+/// /stats endpoint) — version-pinned per the exposition format spec.
+[[nodiscard]] const char* openmetrics_content_type();
+
 /// Writes render_openmetrics() to `path`.  Returns false and sets *error
 /// on I/O failure.
 bool write_openmetrics(const std::string& path, std::string* error);

@@ -1,0 +1,197 @@
+#include "serve/catalog.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "ds/union_find.hpp"
+#include "graph/edge_list.hpp"
+#include "graph/generators/random_graph.hpp"
+#include "graph/generators/rmat.hpp"
+#include "graph/generators/road.hpp"
+#include "graph/io/read_graph.hpp"
+#include "obs/metrics.hpp"
+#include "scenario/scenario.hpp"
+
+namespace llpmst::serve {
+
+namespace {
+
+bool valid_name(const std::string& name) {
+  if (name.empty() || name.size() > 64) return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                    c == '.';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+/// Parses the "NNN" of "rmat:NNN"-style sources.  Rejects junk so that a
+/// typo like "rmat:16x" is an admission error, not scale 16.
+bool parse_u64(const std::string& text, std::uint64_t* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+Expected<EdgeList> make_edge_list(const std::string& source,
+                                  std::uint64_t seed) {
+  const auto split = source.find(':');
+  const std::string kind =
+      split == std::string::npos ? "" : source.substr(0, split);
+  const std::string arg =
+      split == std::string::npos ? source : source.substr(split + 1);
+
+  if (kind == "scenario") {
+    const Scenario* scen = find_scenario(arg);
+    if (scen == nullptr) {
+      return Status(StatusCode::kInvalidArgument,
+                    "unknown scenario '" + arg + "' (see " +
+                        scenario_names() + ")");
+    }
+    return scen->make(seed);
+  }
+  if (kind == "road") {
+    std::uint64_t side = 0;
+    if (!parse_u64(arg, &side) || side == 0 || side > 8192) {
+      return Status(StatusCode::kInvalidArgument,
+                    "road:SIDE needs SIDE in [1, 8192], got '" + arg + "'");
+    }
+    RoadParams params;
+    params.width = static_cast<std::uint32_t>(side);
+    params.height = static_cast<std::uint32_t>(side);
+    params.seed = seed;
+    return generate_road_network(params);
+  }
+  if (kind == "rmat") {
+    std::uint64_t scale = 0;
+    if (!parse_u64(arg, &scale) || scale == 0 || scale > 24) {
+      return Status(StatusCode::kInvalidArgument,
+                    "rmat:SCALE needs SCALE in [1, 24], got '" + arg + "'");
+    }
+    RmatParams params;
+    params.scale = static_cast<int>(scale);
+    params.seed = seed;
+    return generate_rmat(params);
+  }
+  if (kind == "er") {
+    std::uint64_t n = 0;
+    if (!parse_u64(arg, &n) || n == 0 || n > (1u << 22)) {
+      return Status(StatusCode::kInvalidArgument,
+                    "er:VERTICES needs VERTICES in [1, 2^22], got '" + arg +
+                        "'");
+    }
+    ErdosRenyiParams params;
+    params.num_vertices = static_cast<std::uint32_t>(n);
+    params.num_edges = 4 * n;
+    params.seed = seed;
+    return generate_erdos_renyi(params);
+  }
+  // "file:PATH" or a bare path.  A one-letter Windows-style drive prefix is
+  // not a concern here; any other "kind:" we did not recognise is treated
+  // as a path too, so the error message comes from the file reader.
+  return read_graph(kind == "file" ? arg : source);
+}
+
+std::size_t count_components(const CsrGraph& g) {
+  UnionFind uf(g.num_vertices());
+  for (const WeightedEdge& e : g.edges()) uf.unite(e.u, e.v);
+  return uf.num_sets();
+}
+
+}  // namespace
+
+Expected<SnapshotPtr> GraphCatalog::load(const std::string& name,
+                                         const std::string& source,
+                                         std::uint64_t seed) {
+  if (!valid_name(name)) {
+    return Status(StatusCode::kInvalidArgument,
+                  "graph name must be 1-64 chars of [A-Za-z0-9._-], got '" +
+                      name + "'");
+  }
+  {
+    std::lock_guard lock(mutex_);
+    for (const SnapshotPtr& s : snapshots_) {
+      if (s->name == name) {
+        return Status(StatusCode::kInvalidArgument,
+                      "graph '" + name + "' already loaded (unload first)");
+      }
+    }
+  }
+
+  // Build OUTSIDE the lock: loads can take seconds and must not stall
+  // queries resolving other snapshots.  The duplicate-name race (two
+  // concurrent loads of one name) is re-checked at insert.
+  Expected<EdgeList> edges = make_edge_list(source, seed);
+  if (!edges.ok()) return edges.status();
+
+  auto snapshot = std::make_shared<GraphSnapshot>();
+  snapshot->name = name;
+  snapshot->source = source;
+  snapshot->seed = seed;
+  snapshot->graph = CsrGraph::build(*edges);
+  snapshot->components = count_components(snapshot->graph);
+
+  {
+    std::lock_guard lock(mutex_);
+    for (const SnapshotPtr& s : snapshots_) {
+      if (s->name == name) {
+        return Status(StatusCode::kInvalidArgument,
+                      "graph '" + name + "' already loaded (unload first)");
+      }
+    }
+    snapshots_.push_back(snapshot);
+  }
+  if (obs::kCompiledIn) obs::counter("serve/graphs_loaded").increment();
+  return SnapshotPtr(snapshot);
+}
+
+SnapshotPtr GraphCatalog::get(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  for (const SnapshotPtr& s : snapshots_) {
+    if (s->name == name) return s;
+  }
+  return nullptr;
+}
+
+Expected<std::size_t> GraphCatalog::unload(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  const auto it =
+      std::find_if(snapshots_.begin(), snapshots_.end(),
+                   [&](const SnapshotPtr& s) { return s->name == name; });
+  if (it == snapshots_.end()) {
+    return Status(StatusCode::kInvalidArgument,
+                  "graph '" + name + "' is not loaded");
+  }
+  // use_count includes the catalog's own reference, subtracted here.  The
+  // count is advisory (concurrent queries may grab/drop snapshots), which
+  // is fine: it feeds a response field, not a decision.
+  const std::size_t pinned = static_cast<std::size_t>(it->use_count()) - 1;
+  snapshots_.erase(it);
+  if (obs::kCompiledIn) obs::counter("serve/graphs_unloaded").increment();
+  return pinned;
+}
+
+std::vector<GraphCatalog::Entry> GraphCatalog::list() const {
+  std::lock_guard lock(mutex_);
+  std::vector<Entry> out;
+  out.reserve(snapshots_.size());
+  for (const SnapshotPtr& s : snapshots_) {
+    out.push_back(Entry{s->name, s->source, s->seed, s->graph.num_vertices(),
+                        s->graph.num_edges(), s->components,
+                        static_cast<std::size_t>(s.use_count()) - 1});
+  }
+  return out;
+}
+
+std::size_t GraphCatalog::size() const {
+  std::lock_guard lock(mutex_);
+  return snapshots_.size();
+}
+
+}  // namespace llpmst::serve

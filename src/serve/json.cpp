@@ -1,0 +1,350 @@
+#include "serve/json.hpp"
+
+#include <cstdlib>
+#include <utility>
+
+namespace llpmst::serve {
+
+namespace {
+
+constexpr std::size_t kMaxDepth = 64;
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string* error;
+
+  bool fail(const std::string& why) {
+    if (error != nullptr) {
+      *error = why + " at byte " + std::to_string(pos);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos;
+      } else {
+        break;
+      }
+    }
+  }
+
+  [[nodiscard]] bool at_end() const { return pos >= text.size(); }
+  [[nodiscard]] char peek() const { return text[pos]; }
+
+  bool literal(std::string_view word) {
+    if (text.substr(pos, word.size()) != word) {
+      return fail("invalid literal");
+    }
+    pos += word.size();
+    return true;
+  }
+
+  bool parse_hex4(unsigned* out) {
+    if (pos + 4 > text.size()) return fail("truncated \\u escape");
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text[pos + static_cast<std::size_t>(i)];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return fail("bad hex digit in \\u escape");
+      }
+    }
+    pos += 4;
+    *out = v;
+    return true;
+  }
+
+  static void append_utf8(std::string& s, unsigned cp) {
+    if (cp < 0x80) {
+      s.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      s.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      s.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      s.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      s.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      s.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      s.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      s.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      s.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      s.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  bool parse_string(std::string* out) {
+    ++pos;  // opening quote
+    std::string s;
+    while (true) {
+      if (at_end()) return fail("unterminated string");
+      const char c = text[pos];
+      if (c == '"') {
+        ++pos;
+        *out = std::move(s);
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("raw control character in string");
+      }
+      if (c != '\\') {
+        s.push_back(c);
+        ++pos;
+        continue;
+      }
+      ++pos;  // backslash
+      if (at_end()) return fail("truncated escape");
+      const char e = text[pos++];
+      switch (e) {
+        case '"': s.push_back('"'); break;
+        case '\\': s.push_back('\\'); break;
+        case '/': s.push_back('/'); break;
+        case 'b': s.push_back('\b'); break;
+        case 'f': s.push_back('\f'); break;
+        case 'n': s.push_back('\n'); break;
+        case 'r': s.push_back('\r'); break;
+        case 't': s.push_back('\t'); break;
+        case 'u': {
+          unsigned cp = 0;
+          if (!parse_hex4(&cp)) return false;
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: require the low half.
+            if (pos + 2 > text.size() || text[pos] != '\\' ||
+                text[pos + 1] != 'u') {
+              return fail("unpaired high surrogate");
+            }
+            pos += 2;
+            unsigned lo = 0;
+            if (!parse_hex4(&lo)) return false;
+            if (lo < 0xDC00 || lo > 0xDFFF) {
+              return fail("invalid low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return fail("unpaired low surrogate");
+          }
+          append_utf8(s, cp);
+          break;
+        }
+        default: return fail("unknown escape");
+      }
+    }
+  }
+
+  bool parse_number(double* out) {
+    const std::size_t start = pos;
+    if (!at_end() && peek() == '-') ++pos;
+    if (at_end() || peek() < '0' || peek() > '9') {
+      return fail("malformed number");
+    }
+    if (peek() == '0') {
+      ++pos;  // leading zero admits no further integer digits
+    } else {
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos;
+    }
+    if (!at_end() && peek() == '.') {
+      ++pos;
+      if (at_end() || peek() < '0' || peek() > '9') {
+        return fail("malformed fraction");
+      }
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos;
+    }
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      ++pos;
+      if (!at_end() && (peek() == '+' || peek() == '-')) ++pos;
+      if (at_end() || peek() < '0' || peek() > '9') {
+        return fail("malformed exponent");
+      }
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos;
+    }
+    const std::string token(text.substr(start, pos - start));
+    *out = std::strtod(token.c_str(), nullptr);
+    return true;
+  }
+
+  bool parse_value(Json* out, std::size_t depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (at_end()) return fail("unexpected end of input");
+    const char c = peek();
+    switch (c) {
+      case '{': {
+        ++pos;
+        std::map<std::string, Json> members;
+        skip_ws();
+        if (!at_end() && peek() == '}') {
+          ++pos;
+          *out = Json::make_object(std::move(members));
+          return true;
+        }
+        while (true) {
+          skip_ws();
+          if (at_end() || peek() != '"') return fail("expected object key");
+          std::string key;
+          if (!parse_string(&key)) return false;
+          skip_ws();
+          if (at_end() || peek() != ':') return fail("expected ':'");
+          ++pos;
+          Json value;
+          if (!parse_value(&value, depth + 1)) return false;
+          members[std::move(key)] = std::move(value);
+          skip_ws();
+          if (at_end()) return fail("unterminated object");
+          if (peek() == ',') {
+            ++pos;
+            continue;
+          }
+          if (peek() == '}') {
+            ++pos;
+            *out = Json::make_object(std::move(members));
+            return true;
+          }
+          return fail("expected ',' or '}'");
+        }
+      }
+      case '[': {
+        ++pos;
+        std::vector<Json> items;
+        skip_ws();
+        if (!at_end() && peek() == ']') {
+          ++pos;
+          *out = Json::make_array(std::move(items));
+          return true;
+        }
+        while (true) {
+          Json value;
+          if (!parse_value(&value, depth + 1)) return false;
+          items.push_back(std::move(value));
+          skip_ws();
+          if (at_end()) return fail("unterminated array");
+          if (peek() == ',') {
+            ++pos;
+            continue;
+          }
+          if (peek() == ']') {
+            ++pos;
+            *out = Json::make_array(std::move(items));
+            return true;
+          }
+          return fail("expected ',' or ']'");
+        }
+      }
+      case '"': {
+        std::string s;
+        if (!parse_string(&s)) return false;
+        *out = Json::make_string(std::move(s));
+        return true;
+      }
+      case 't':
+        if (!literal("true")) return false;
+        *out = Json::make_bool(true);
+        return true;
+      case 'f':
+        if (!literal("false")) return false;
+        *out = Json::make_bool(false);
+        return true;
+      case 'n':
+        if (!literal("null")) return false;
+        *out = Json::make_null();
+        return true;
+      default: {
+        double v = 0;
+        if (!parse_number(&v)) return false;
+        *out = Json::make_number(v);
+        return true;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+const Json* Json::find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  const auto it = object_.find(std::string(key));
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+std::string Json::get_string(std::string_view key,
+                             std::string_view fallback) const {
+  const Json* v = find(key);
+  if (v == nullptr || v->is_null() || !v->is_string()) {
+    return std::string(fallback);
+  }
+  return v->as_string();
+}
+
+double Json::get_number(std::string_view key, double fallback) const {
+  const Json* v = find(key);
+  if (v == nullptr || v->is_null() || !v->is_number()) return fallback;
+  return v->as_number();
+}
+
+bool Json::get_bool(std::string_view key, bool fallback) const {
+  const Json* v = find(key);
+  if (v == nullptr || v->is_null() || !v->is_bool()) return fallback;
+  return v->as_bool();
+}
+
+bool Json::has_wrong_type(std::string_view key, Type want) const {
+  const Json* v = find(key);
+  return v != nullptr && !v->is_null() && v->type() != want;
+}
+
+Json Json::make_bool(bool v) {
+  Json j;
+  j.type_ = Type::kBool;
+  j.bool_ = v;
+  return j;
+}
+
+Json Json::make_number(double v) {
+  Json j;
+  j.type_ = Type::kNumber;
+  j.number_ = v;
+  return j;
+}
+
+Json Json::make_string(std::string v) {
+  Json j;
+  j.type_ = Type::kString;
+  j.string_ = std::move(v);
+  return j;
+}
+
+Json Json::make_array(std::vector<Json> v) {
+  Json j;
+  j.type_ = Type::kArray;
+  j.array_ = std::move(v);
+  return j;
+}
+
+Json Json::make_object(std::map<std::string, Json> v) {
+  Json j;
+  j.type_ = Type::kObject;
+  j.object_ = std::move(v);
+  return j;
+}
+
+bool parse_json(std::string_view text, Json* out, std::string* error) {
+  Parser p{text, 0, error};
+  Json value;
+  if (!p.parse_value(&value, 0)) return false;
+  p.skip_ws();
+  if (!p.at_end()) {
+    return p.fail("trailing characters after document");
+  }
+  *out = std::move(value);
+  return true;
+}
+
+}  // namespace llpmst::serve

@@ -1,0 +1,95 @@
+// Minimal JSON value + recursive-descent parser for llpmstd's wire surface.
+//
+// The daemon speaks newline-delimited JSON (docs/serving.md).  The repo
+// already *emits* JSON (obs/report builds run reports by hand) but nothing
+// ever needed to *read* it until requests arrived over a socket.  This
+// parser is deliberately small and strict:
+//
+//   * full JSON grammar: objects, arrays, strings (with \uXXXX escapes,
+//     surrogate pairs included), numbers, true/false/null;
+//   * strict — trailing garbage, control characters in strings, and
+//     truncated input are errors, because a malformed request must become
+//     a structured INVALID_ARGUMENT response, never a guess;
+//   * depth-capped (kMaxDepth) so a hostile request of 1 MB of '[' cannot
+//     overflow the stack of a serve thread;
+//   * no number cleverness: numbers parse to double, which covers every
+//     field the protocol defines (ids, budgets, seeds, scales).
+//
+// It is not a general-purpose library: no serialization (responses are
+// built with obs::json_quote like every other emitter in the repo), no
+// streaming, no comments.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace llpmst::serve {
+
+/// A parsed JSON value.  Object keys are kept sorted (std::map) — request
+/// field lookup is by name and order never matters on the wire.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_bool() const { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_number() const { return type_ == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type_ == Type::kString; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
+
+  [[nodiscard]] bool as_bool() const { return bool_; }
+  [[nodiscard]] double as_number() const { return number_; }
+  [[nodiscard]] const std::string& as_string() const { return string_; }
+  [[nodiscard]] const std::vector<Json>& as_array() const { return array_; }
+  [[nodiscard]] const std::map<std::string, Json>& as_object() const {
+    return object_;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Json* find(std::string_view key) const;
+
+  // -- Typed convenience accessors for request decoding -------------------
+  /// get_string("algo", "auto"): the member as a string, or `fallback` when
+  /// the member is absent or null.  A present member of the WRONG type is
+  /// not silently coerced — callers that must distinguish use find().
+  [[nodiscard]] std::string get_string(std::string_view key,
+                                       std::string_view fallback) const;
+  [[nodiscard]] double get_number(std::string_view key, double fallback) const;
+  [[nodiscard]] bool get_bool(std::string_view key, bool fallback) const;
+  /// True when the member exists, is non-null, and has the wrong type for
+  /// the accessor that would read it — admission rejects such requests
+  /// instead of running them with fallback values.
+  [[nodiscard]] bool has_wrong_type(std::string_view key, Type want) const;
+
+  // -- Construction (parser + tests) --------------------------------------
+  static Json make_null() { return Json(); }
+  static Json make_bool(bool v);
+  static Json make_number(double v);
+  static Json make_string(std::string v);
+  static Json make_array(std::vector<Json> v);
+  static Json make_object(std::map<std::string, Json> v);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::map<std::string, Json> object_;
+};
+
+/// Parses one complete JSON document from `text`.  On success returns true
+/// and fills *out; on failure returns false and sets *error to a short
+/// human-readable reason with a byte offset.  Trailing non-whitespace after
+/// the document is an error.
+bool parse_json(std::string_view text, Json* out, std::string* error);
+
+}  // namespace llpmst::serve

@@ -1,0 +1,264 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "obs/exposition.hpp"
+#include "obs/metrics.hpp"
+
+namespace llpmst::serve {
+
+namespace {
+
+Status errno_status(const std::string& what) {
+  return Status(StatusCode::kIoError, what + ": " + std::strerror(errno));
+}
+
+/// Full send with SIGPIPE suppressed (a dying client must not kill the
+/// daemon; the write just fails).
+bool send_all(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+/// Shared between the reader thread and any worker holding a ResponseFn.
+/// `mutex` orders writes against each other AND against close, so a late
+/// response to a gone client is dropped, never written to a recycled fd.
+struct SocketServer::Connection {
+  int fd = -1;
+  std::uint64_t client = 0;
+  std::mutex mutex;
+  bool closed = false;
+
+  /// One response line (appends '\n').  Safe after close: no-op.
+  void write_line(const std::string& line) {
+    std::lock_guard lock(mutex);
+    if (closed) return;
+    std::string out = line;
+    out.push_back('\n');
+    (void)send_all(fd, out.data(), out.size());
+  }
+
+  void write_raw(const std::string& bytes) {
+    std::lock_guard lock(mutex);
+    if (closed) return;
+    (void)send_all(fd, bytes.data(), bytes.size());
+  }
+
+  void close() {
+    std::lock_guard lock(mutex);
+    if (closed) return;
+    closed = true;
+    ::close(fd);
+  }
+
+  /// Unblocks a recv() stuck in the reader thread without racing fd reuse
+  /// (the fd stays open until close()).
+  void shutdown_io() {
+    std::lock_guard lock(mutex);
+    if (!closed) ::shutdown(fd, SHUT_RDWR);
+  }
+};
+
+SocketServer::SocketServer(QueryService& service, ServerOptions options)
+    : service_(service), options_(std::move(options)) {}
+
+SocketServer::~SocketServer() {
+  stop();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
+}
+
+Status SocketServer::listen() {
+  if (!options_.unix_path.empty()) {
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) return errno_status("socket(AF_UNIX)");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.unix_path.size() >= sizeof(addr.sun_path)) {
+      return Status(StatusCode::kInvalidArgument,
+                    "unix socket path too long: " + options_.unix_path);
+    }
+    std::strncpy(addr.sun_path, options_.unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(options_.unix_path.c_str());
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      return errno_status("bind(" + options_.unix_path + ")");
+    }
+  } else {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) return errno_status("socket(AF_INET)");
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+    if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+      return Status(StatusCode::kInvalidArgument,
+                    "bad listen address: " + options_.host);
+    }
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      return errno_status("bind(" + options_.host + ":" +
+                          std::to_string(options_.port) + ")");
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+        0) {
+      bound_port_ = ntohs(bound.sin_port);
+    }
+  }
+  if (::listen(listen_fd_, 64) < 0) return errno_status("listen");
+  return Status::Ok();
+}
+
+void SocketServer::run() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    if (options_.stop_flag != nullptr && *options_.stop_flag != 0) break;
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int r = ::poll(&pfd, 1, 100);  // 100 ms: the SIGTERM latency bound
+    if (r < 0) {
+      if (errno == EINTR) continue;  // signal delivery lands here
+      break;
+    }
+    if (r == 0 || (pfd.revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    conn->client = next_client_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::kCompiledIn) obs::counter("serve/connections").increment();
+    {
+      std::lock_guard lock(conns_mutex_);
+      conns_.push_back(conn);
+      threads_.emplace_back([this, conn] { serve_connection(conn); });
+    }
+  }
+  // Shut down in order: stop admitting (accept loop already exited), end
+  // the service (cancels + responds), then unblock and join readers.
+  service_.shutdown();
+  std::vector<std::weak_ptr<Connection>> conns;
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard lock(conns_mutex_);
+    conns.swap(conns_);
+    threads.swap(threads_);
+  }
+  for (const auto& weak : conns) {
+    if (const auto conn = weak.lock()) conn->shutdown_io();
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void SocketServer::stop() { stop_.store(true, std::memory_order_relaxed); }
+
+void SocketServer::serve_http(const std::shared_ptr<Connection>& conn,
+                              const std::string& head) {
+  // head is the request line ("GET /stats HTTP/1.1"); headers that follow
+  // are irrelevant to these two endpoints and simply drained by close.
+  const auto path_start = head.find(' ');
+  const auto path_end =
+      path_start == std::string::npos ? std::string::npos
+                                      : head.find(' ', path_start + 1);
+  const std::string path =
+      path_end == std::string::npos
+          ? ""
+          : head.substr(path_start + 1, path_end - path_start - 1);
+
+  std::string body;
+  std::string content_type = "text/plain; charset=utf-8";
+  const char* status_line = "HTTP/1.1 200 OK";
+  if (path == "/stats" || path == "/metrics") {
+    body = obs::render_openmetrics();
+    content_type = obs::openmetrics_content_type();
+  } else if (path == "/healthz") {
+    body = "ok\n";
+  } else {
+    status_line = "HTTP/1.1 404 Not Found";
+    body = "not found\n";
+  }
+  std::string out = status_line;
+  out += "\r\nContent-Type: " + content_type;
+  out += "\r\nContent-Length: " + std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  conn->write_raw(out);
+}
+
+void SocketServer::serve_connection(const std::shared_ptr<Connection>& conn) {
+  std::string buffer;
+  bool http_checked = false;
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF or error: client went away
+    buffer.append(chunk, static_cast<std::size_t>(n));
+
+    if (!http_checked && buffer.size() >= 4) {
+      http_checked = true;
+      if (buffer.compare(0, 4, "GET ") == 0) {
+        // Drain until the request line is complete, answer once, done.
+        while (buffer.find('\n') == std::string::npos) {
+          const ssize_t m = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+          if (m <= 0) break;
+          buffer.append(chunk, static_cast<std::size_t>(m));
+        }
+        const auto eol = buffer.find('\n');
+        serve_http(conn, buffer.substr(0, eol == std::string::npos
+                                              ? buffer.size()
+                                              : eol));
+        break;
+      }
+    }
+
+    std::size_t start = 0;
+    for (auto eol = buffer.find('\n', start); eol != std::string::npos;
+         eol = buffer.find('\n', start)) {
+      std::string line = buffer.substr(start, eol - start);
+      start = eol + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      service_.handle(line, conn->client,
+                      [conn](const std::string& out) { conn->write_line(out); });
+    }
+    buffer.erase(0, start);
+
+    if (buffer.size() > options_.max_line_bytes) {
+      conn->write_line(
+          "{\"schema\":\"llpmst-serve-response\",\"schema_version\":1,"
+          "\"id\":null,\"op\":\"\",\"status\":\"error\",\"error\":{"
+          "\"code\":\"INVALID_ARGUMENT\",\"message\":\"request line exceeds "
+          "1 MiB\"},\"data\":null}");
+      break;
+    }
+  }
+  // Reader gone: cancel whatever this client still has in flight, then
+  // close under the write mutex (workers' late responses become no-ops).
+  service_.disconnect_client(conn->client);
+  conn->close();
+}
+
+}  // namespace llpmst::serve

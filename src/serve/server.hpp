@@ -1,0 +1,96 @@
+// The wire surface of llpmstd: a unix-domain or TCP listener speaking
+// newline-delimited JSON, with a minimal HTTP sideband for scrapers.
+//
+// Connection protocol (docs/serving.md):
+//   * each inbound line is one JSON request handed to QueryService::handle;
+//     each response is one line (serve-response envelope or run report) —
+//     responses for concurrent queries on one connection stream back in
+//     COMPLETION order, correlated by "id", not request order;
+//   * a connection whose first bytes are "GET " is HTTP instead: /stats
+//     returns the OpenMetrics exposition (correct content-type), /healthz
+//     returns "ok", anything else 404; one response, then close.  This is
+//     what lets a stock Prometheus scraper and `curl` talk to the same
+//     socket the JSON clients use;
+//   * client disconnect (EOF or error) cancels that connection's in-flight
+//     queries via QueryService::disconnect_client — the daemon never burns
+//     worker time computing a forest nobody is waiting for.
+//
+// Threading: one accept loop (run() on the caller's thread, poll()-based so
+// a SIGTERM flag is noticed within ~100 ms) plus one thread per connection.
+// Writes to a connection serialize on a per-connection mutex; the mutex
+// also orders writes against close, so a worker responding to a query that
+// outlived its connection sees `closed` and drops the line instead of
+// writing to a recycled fd.
+#pragma once
+
+#include <atomic>
+#include <csignal>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/service.hpp"
+#include "support/status.hpp"
+
+namespace llpmst::serve {
+
+struct ServerOptions {
+  /// Unix-domain socket path; takes precedence over TCP when non-empty.
+  /// An existing socket file at the path is unlinked first.
+  std::string unix_path;
+  /// TCP listen address, used when unix_path is empty.
+  std::string host = "127.0.0.1";
+  int port = 0;  // 0 = ephemeral; bound_port() reports the real one
+  /// Requests longer than this are rejected and the connection closed —
+  /// a framing-error bound, not a working limit.
+  std::size_t max_line_bytes = 1 << 20;
+  /// Optional external stop flag (a signal handler's sig_atomic_t): run()
+  /// returns soon after it becomes non-zero.  May be null.
+  const volatile std::sig_atomic_t* stop_flag = nullptr;
+};
+
+class SocketServer {
+ public:
+  SocketServer(QueryService& service, ServerOptions options);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Binds and listens.  kIoError with errno text on failure.
+  [[nodiscard]] Status listen();
+
+  /// Accept loop; returns when stop() is called or the stop flag fires.
+  /// Call listen() first.
+  void run();
+
+  /// Requests run() to return (thread-safe, idempotent).  Open connections
+  /// are shut down and joined by run() on the way out.
+  void stop();
+
+  /// The TCP port actually bound (after listen(); 0 for unix sockets).
+  [[nodiscard]] int bound_port() const { return bound_port_; }
+
+ private:
+  struct Connection;
+
+  void serve_connection(const std::shared_ptr<Connection>& conn);
+  void serve_http(const std::shared_ptr<Connection>& conn,
+                  const std::string& head);
+
+  QueryService& service_;
+  const ServerOptions options_;
+  int listen_fd_ = -1;
+  int bound_port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> next_client_{1};
+
+  std::mutex conns_mutex_;
+  std::vector<std::weak_ptr<Connection>> conns_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace llpmst::serve

@@ -11,6 +11,12 @@
 // first observed trigger latches the reason, so a run that was cancelled
 // explicitly keeps reporting kCancelled even after the deadline also passes.
 //
+// A token can additionally observe() a parent token: cancelled() then also
+// reports (and latches the reason of) the parent's cancellation.  This is
+// how RunContext composes a per-run deadline with a caller-owned cancel —
+// a served query polls ONE token yet stops on whichever of "client went
+// away" / "budget expired" fires first, with the true reason preserved.
+//
 // Watchdog is the thread-backed variant for code that should be stopped even
 // when nobody is around to call cancel(): it cancels the token after a
 // timeout unless disarmed first.  Deadline checks cost a clock read, which
@@ -49,10 +55,24 @@ class CancelToken {
         std::memory_order_relaxed);
   }
 
-  /// True once cancelled explicitly or past the deadline.  The reason is
-  /// latched on first observation.
+  /// Forwards cancellation from `parent`: once parent->cancelled() is true,
+  /// this token reports cancelled with the parent's reason.  Pass nullptr to
+  /// detach.  The parent is borrowed and must outlive this token (or be
+  /// detached first); observation is one-way and adds one relaxed load plus
+  /// a forwarded poll per cancelled() call.
+  void observe(const CancelToken* parent) {
+    parent_.store(parent, std::memory_order_release);
+  }
+
+  /// True once cancelled explicitly, past the deadline, or via an observed
+  /// parent token.  The reason is latched on first observation.
   [[nodiscard]] bool cancelled() const {
     if (reason_.load(std::memory_order_acquire) != RunOutcome::kOk) {
+      return true;
+    }
+    if (const CancelToken* p = parent_.load(std::memory_order_acquire);
+        p != nullptr && p->cancelled()) {
+      latch(p->reason());
       return true;
     }
     const std::uint64_t dl = deadline_ns_.load(std::memory_order_relaxed);
@@ -82,6 +102,7 @@ class CancelToken {
 
   mutable std::atomic<RunOutcome> reason_{RunOutcome::kOk};
   std::atomic<std::uint64_t> deadline_ns_{0};  // steady epoch ns; 0 = none
+  std::atomic<const CancelToken*> parent_{nullptr};  // borrowed; may be null
 };
 
 /// Cancels a token after `timeout_ms` unless disarmed first.  The watchdog

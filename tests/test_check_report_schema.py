@@ -85,6 +85,29 @@ def make_bench_record(profile="absent"):
     return doc
 
 
+def make_serve_response(**overrides):
+    """A schema-complete llpmst-serve-response envelope (llpmstd control
+    ops and query rejections)."""
+    doc = {
+        "schema": "llpmst-serve-response", "schema_version": 1,
+        "id": "q1", "op": "load", "status": "ok", "error": None,
+        "data": {"name": "road", "vertices": 10, "edges": 20,
+                 "components": 1},
+    }
+    doc.update(overrides)
+    return doc
+
+
+def make_request_section(**overrides):
+    """The "request" section llpmstd splices into per-query run reports."""
+    section = {
+        "id": "q1", "graph": "road", "algo": "auto", "status": "ok",
+        "error": None, "queue_ms": 0.2, "batch": 1, "verified": None,
+    }
+    section.update(overrides)
+    return section
+
+
 class CheckReportSchemaTest(unittest.TestCase):
     def run_check(self, *docs):
         """Writes each doc to its own .json file and runs the checker."""
@@ -207,6 +230,58 @@ class CheckReportSchemaTest(unittest.TestCase):
         doc = make_bench_record({"hz": -1, "samples": 5, "top_phases": [],
                                  "est_gbps": None})
         self.assert_fails(doc, "profile.hz")
+
+    # --- llpmstd serve shapes (PR 9) ------------------------------------
+
+    def test_serve_response_ok_and_error_pass(self):
+        self.assert_ok(make_serve_response(),
+                       make_serve_response(status="error",
+                                           error={"code": "INVALID_ARGUMENT",
+                                                  "message": "bad graph"}),
+                       make_serve_response(id=None, data=None))
+
+    def test_serve_response_inconsistent_status_error_fails(self):
+        self.assert_fails(
+            make_serve_response(status="error", error=None),
+            "status is 'error' but error is null")
+        self.assert_fails(
+            make_serve_response(error={"code": "CANCELLED",
+                                       "message": "gone"}),
+            "status is 'ok' but error is not null")
+
+    def test_serve_response_bad_error_code_fails(self):
+        self.assert_fails(
+            make_serve_response(status="error",
+                                error={"code": "WAT", "message": "x"}),
+            "error.code")
+
+    def test_report_request_section_ok_and_error_pass(self):
+        ok = make_report()
+        ok["request"] = make_request_section()
+        degraded = make_report()
+        degraded["run"]["outcome"] = "injected_fault"
+        degraded["request"] = make_request_section(
+            status="error",
+            error={"code": "INJECTED_FAULT", "message": "chaos"})
+        self.assert_ok(ok, degraded)
+
+    def test_report_request_section_violations_fail(self):
+        doc = make_report()
+        doc["request"] = make_request_section(queue_ms=-1)
+        self.assert_fails(doc, "request.queue_ms")
+        doc = make_report()
+        doc["request"] = make_request_section(batch=0)
+        self.assert_fails(doc, "request.batch")
+        doc = make_report()
+        doc["request"] = make_request_section(status="error", error=None)
+        self.assert_fails(doc, "request.status is 'error'")
+
+    def test_report_internal_error_outcome_accepted(self):
+        doc = make_report()
+        doc["run"]["outcome"] = "internal_error"
+        doc["request"] = make_request_section(
+            status="error", error={"code": "INTERNAL", "message": "threw"})
+        self.assert_ok(doc)
 
 
 if __name__ == "__main__":

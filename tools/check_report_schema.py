@@ -3,7 +3,7 @@
 
     tools/check_report_schema.py out.json records.bench.jsonl [...]
 
-Understands two document kinds, dispatched on the "schema" field:
+Understands three document kinds, dispatched on the "schema" field:
 
   * llpmst-run-report (schema_version 1 through 4) — the --metrics-json
     run report.  Version 2 adds the "hw" (hardware counters, null-safe)
@@ -22,6 +22,13 @@ Understands two document kinds, dispatched on the "schema" field:
     tools/bench_compare.py.  May carry an optional "sched" section
     (null or {utilization, steal_rate}) and an optional "profile"
     section (null or {hz, samples, top_phases, est_gbps}).
+  * llpmst-serve-response (schema_version 1) — llpmstd's response
+    envelope for control ops (load/unload/list/cancel/healthz) and for
+    rejected/cancelled queries: {id, op, status, error, data}.  Executed
+    queries instead stream a full llpmst-run-report line carrying an
+    extra "request" section ({id, graph, algo, status, error, queue_ms,
+    batch, verified}); this checker validates that section whenever it
+    is present.  docs/serving.md is the wire-protocol reference.
 
 Files ending in .jsonl are treated as JSON Lines (one document per line,
 blank lines and empty files allowed); everything else must hold a single
@@ -34,8 +41,14 @@ standard library so CI needs no extra packages.
 import json
 import sys
 
+# "internal_error" is llpmstd's verdict for a query whose algorithm threw —
+# the daemon reports the wreck instead of dying with it.
 OUTCOMES = {"ok", "non_converged", "cancelled", "deadline_exceeded",
-            "injected_fault", "fallback"}
+            "injected_fault", "fallback", "internal_error"}
+
+STATUS_CODES = {"OK", "INVALID_ARGUMENT", "CORRUPT_INPUT", "IO_ERROR",
+                "RESOURCE_EXHAUSTED", "CANCELLED", "DEADLINE_EXCEEDED",
+                "NON_CONVERGENCE", "INJECTED_FAULT", "INTERNAL"}
 
 HW_COUNTER_FIELDS = ("cycles", "instructions", "cache_references",
                      "cache_misses", "branch_misses")
@@ -305,6 +318,79 @@ def check_bandwidth(bw, expect):
                    f"{sorted(BANDWIDTH_VERDICTS)}")
 
 
+def check_serve_error(err, expect, prefix):
+    """Validates a serve error field: null, or {code, message} with a code
+    from the Status taxonomy."""
+    if err is None:
+        return
+    if not expect(isinstance(err, dict),
+                  f"{prefix} is neither null nor an object"):
+        return
+    expect(err.get("code") in STATUS_CODES,
+           f"{prefix}.code {err.get('code')!r} not one of "
+           f"{sorted(STATUS_CODES)}")
+    expect(isinstance(err.get("message"), str) and err["message"],
+           f"{prefix}.message is not a non-empty string")
+
+
+def check_request_section(req, expect):
+    """Validates the "request" section llpmstd splices into per-query run
+    reports (absent entirely on batch-tool reports)."""
+    if not expect(isinstance(req, dict), "request is not an object"):
+        return
+    for key in ("id", "graph", "algo"):
+        expect(isinstance(req.get(key), str) and req[key],
+               f"request.{key} is {req.get(key)!r}, not a non-empty string")
+    status = req.get("status")
+    expect(status in ("ok", "error"),
+           f"request.status is {status!r}, not 'ok' or 'error'")
+    err = req.get("error", "<missing>")
+    expect(err != "<missing>", "request.error is missing")
+    if err != "<missing>":
+        check_serve_error(err, expect, "request.error")
+        if status == "ok":
+            expect(err is None, "request.status is 'ok' but request.error "
+                                "is not null")
+        elif status == "error":
+            expect(isinstance(err, dict),
+                   "request.status is 'error' but request.error is null")
+    qm = req.get("queue_ms")
+    expect(isinstance(qm, (int, float)) and qm >= 0,
+           f"request.queue_ms = {qm!r} is not a non-negative number")
+    batch = req.get("batch")
+    expect(isinstance(batch, int) and batch >= 1,
+           f"request.batch = {batch!r} is not a positive integer")
+    verified = req.get("verified", "<missing>")
+    expect(verified is None or isinstance(verified, bool),
+           f"request.verified = {verified!r} is neither null nor a bool")
+
+
+def check_serve_response(doc, errors, where):
+    expect = make_expect(errors, where)
+    expect(doc.get("schema_version") == 1,
+           f"schema_version is {doc.get('schema_version')!r} (expected 1)")
+    rid = doc.get("id", "<missing>")
+    expect(rid is None or isinstance(rid, str),
+           f"id = {rid!r} is neither null nor a string")
+    expect(isinstance(doc.get("op"), str),
+           f"op is {doc.get('op')!r}, not a string")
+    status = doc.get("status")
+    expect(status in ("ok", "error"),
+           f"status is {status!r}, not 'ok' or 'error'")
+    err = doc.get("error", "<missing>")
+    expect(err != "<missing>", "error field is missing")
+    if err != "<missing>":
+        check_serve_error(err, expect, "error")
+        if status == "ok":
+            expect(err is None, "status is 'ok' but error is not null")
+        elif status == "error":
+            expect(isinstance(err, dict), "status is 'error' but error is "
+                                          "null")
+    data = doc.get("data", "<missing>")
+    expect(data is None or isinstance(data, dict),
+           f"data = {data!r} is neither null nor an object")
+
+
 def check_run_report(doc, errors, where):
     expect = make_expect(errors, where)
     version = doc.get("schema_version")
@@ -382,6 +468,11 @@ def check_run_report(doc, errors, where):
     if expect(isinstance(warnings, list), "warnings is not an array"):
         for i, w in enumerate(warnings):
             expect(isinstance(w, str), f"warnings[{i}] is {w!r}")
+
+    # llpmstd per-query reports carry a trailing "request" section; batch
+    # tools (mst_tool, benches) never emit it.
+    if "request" in doc:
+        check_request_section(doc.get("request"), expect)
 
 
 def check_bench_record(doc, errors, where):
@@ -484,9 +575,12 @@ def check(doc, errors, where):
         check_run_report(doc, errors, where)
     elif schema == "llpmst-bench":
         check_bench_record(doc, errors, where)
+    elif schema == "llpmst-serve-response":
+        check_serve_response(doc, errors, where)
     else:
         expect(False, f"unknown schema {schema!r} (expected "
-                      "'llpmst-run-report' or 'llpmst-bench')")
+                      "'llpmst-run-report', 'llpmst-bench', or "
+                      "'llpmst-serve-response')")
 
 
 def load_docs(path):

@@ -1,0 +1,331 @@
+#!/usr/bin/env python3
+"""Reference client for llpmstd, the persistent MST/MSF query daemon.
+
+Speaks the NDJSON protocol from docs/serving.md over a unix or TCP socket.
+Stdlib only, so CI and operators can drive a daemon with nothing installed.
+
+One-shot ops (print the response line and exit 0/1 on ok/error):
+
+    llpmstd_client.py --socket /tmp/llpmst.sock healthz
+    llpmstd_client.py --socket S list
+    llpmstd_client.py --socket S load NAME SOURCE [--seed N]
+    llpmstd_client.py --socket S unload NAME
+    llpmstd_client.py --socket S query GRAPH [--algo A] [--budget-ms X]
+                                             [--verify] [--pause-ms X]
+    llpmstd_client.py --socket S cancel QUERY_ID
+    llpmstd_client.py --socket S send '{"op":...}'     # raw request line
+    llpmstd_client.py --socket S stats                 # HTTP GET /stats
+
+The CI end-to-end gate (exit 0 only if every expectation holds):
+
+    llpmstd_client.py --socket S mixed GRAPH --queries 8 --out reports.jsonl
+
+`mixed` drives the full admission/execution/cancellation surface at once:
+N concurrent verified queries, a past-deadline budget query, an unknown
+algorithm (structured rejection), and a mid-flight cancel of a paused query.
+Every response line is appended to --out for tools/check_report_schema.py.
+
+--wait-ready SECS polls the socket (connect + healthz) until the daemon
+answers, for CI scripts that just forked it into the background.
+"""
+import argparse
+import json
+import socket
+import sys
+import threading
+import time
+
+
+class ServeError(RuntimeError):
+    pass
+
+
+def connect(args, timeout=10.0):
+    """A fresh connection; the daemon serves many, one thread each."""
+    if args.socket:
+        s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        s.settimeout(timeout)
+        s.connect(args.socket)
+    else:
+        s = socket.create_connection((args.host, args.port), timeout=timeout)
+    return s
+
+
+def read_line(sock, timeout):
+    """One newline-terminated response (queries answer when they finish)."""
+    sock.settimeout(timeout)
+    buf = bytearray()
+    while True:
+        chunk = sock.recv(4096)
+        if not chunk:
+            raise ServeError("connection closed before a response arrived")
+        buf += chunk
+        nl = buf.find(b"\n")
+        if nl >= 0:
+            return buf[:nl].decode("utf-8")
+
+
+def roundtrip(args, request, timeout=60.0):
+    """Send one request on a fresh connection, return the parsed response."""
+    with connect(args) as sock:
+        sock.sendall((json.dumps(request) + "\n").encode("utf-8"))
+        line = read_line(sock, timeout)
+    return json.loads(line), line
+
+
+def wait_ready(args, seconds):
+    """Poll connect+healthz until the daemon answers ok, or give up."""
+    deadline = time.monotonic() + seconds
+    last = "never connected"
+    while time.monotonic() < deadline:
+        try:
+            doc, _ = roundtrip(args, {"op": "healthz"}, timeout=2.0)
+            if doc.get("status") == "ok":
+                return
+            last = f"healthz answered {doc.get('status')!r}"
+        except (OSError, ServeError, json.JSONDecodeError) as e:
+            last = str(e) or type(e).__name__
+        time.sleep(0.1)
+    raise ServeError(f"daemon not ready after {seconds}s ({last})")
+
+
+def http_get(args, path):
+    """Plain HTTP on the same socket (the daemon sniffs 'GET ')."""
+    with connect(args) as sock:
+        sock.sendall(f"GET {path} HTTP/1.0\r\nConnection: close\r\n\r\n"
+                     .encode("ascii"))
+        sock.settimeout(10.0)
+        raw = bytearray()
+        while True:
+            chunk = sock.recv(4096)
+            if not chunk:
+                break
+            raw += chunk
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status_line = head.split(b"\r\n", 1)[0].decode("ascii", "replace")
+    return status_line, body.decode("utf-8", "replace")
+
+
+class Recorder:
+    """Thread-safe JSONL sink for every response line the run produced."""
+
+    def __init__(self, path):
+        self.path = path
+        self.lines = []
+        self.lock = threading.Lock()
+
+    def add(self, line):
+        with self.lock:
+            self.lines.append(line)
+
+    def flush(self):
+        if self.path:
+            with open(self.path, "w", encoding="utf-8") as f:
+                for line in self.lines:
+                    f.write(line + "\n")
+
+
+def request_section(doc):
+    return doc.get("request") or {}
+
+
+def run_mixed(args, out):
+    """The CI workload.  Returns a list of failure strings (empty = pass)."""
+    failures = []
+    rec = Recorder(out)
+
+    def expect(cond, what):
+        if not cond:
+            failures.append(what)
+
+    # --- N concurrent verified queries on one graph (exercises batching) ---
+    results = [None] * args.queries
+
+    def one_query(i):
+        try:
+            doc, line = roundtrip(
+                args, {"op": "query", "graph": args.graph, "algo": "auto",
+                       "id": f"mixed-{i}", "verify": True})
+            rec.add(line)
+            results[i] = doc
+        except (OSError, ServeError, json.JSONDecodeError) as e:
+            results[i] = e
+
+    threads = [threading.Thread(target=one_query, args=(i,))
+               for i in range(args.queries)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    for i, doc in enumerate(results):
+        if not isinstance(doc, dict):
+            expect(False, f"query mixed-{i} failed: {doc}")
+            continue
+        req = request_section(doc)
+        expect(doc.get("schema") == "llpmst-run-report",
+               f"mixed-{i}: wanted a run report, got {doc.get('schema')}")
+        expect(req.get("status") == "ok",
+               f"mixed-{i}: status {req.get('status')} ({req.get('error')})")
+        expect(req.get("verified") is True,
+               f"mixed-{i}: verified={req.get('verified')}")
+
+    # --- past-deadline budget: auto must fall back, not error out ---------
+    doc, line = roundtrip(
+        args, {"op": "query", "graph": args.graph, "algo": "auto",
+               "id": "mixed-deadline", "budget_ms": 0.01})
+    rec.add(line)
+    req = request_section(doc)
+    expect(req.get("status") == "ok",
+           f"deadline query: status {req.get('status')} ({req.get('error')})")
+    run = doc.get("run") or {}
+    expect(run.get("fallback_reason") == "deadline_exceeded",
+           f"deadline query: fallback_reason={run.get('fallback_reason')!r}, "
+           f"algorithm={run.get('algorithm')!r}")
+
+    # --- unknown algorithm: a structured rejection, not a hang/abort ------
+    doc, line = roundtrip(
+        args, {"op": "query", "graph": args.graph, "algo": "frobnicate",
+               "id": "mixed-unknown"})
+    rec.add(line)
+    expect(doc.get("schema") == "llpmst-serve-response",
+           f"unknown-algo: wanted an envelope, got {doc.get('schema')}")
+    code = (doc.get("error") or {}).get("code")
+    expect(code == "INVALID_ARGUMENT", f"unknown-algo: error.code={code}")
+
+    # --- mid-flight cancel: pause the query, cancel it from the side ------
+    slow = {}
+
+    def slow_query():
+        try:
+            doc, line = roundtrip(
+                args, {"op": "query", "graph": args.graph, "algo": "auto",
+                       "id": "mixed-cancel", "pause_ms": 8000})
+            rec.add(line)
+            slow["doc"] = doc
+        except (OSError, ServeError, json.JSONDecodeError) as e:
+            slow["doc"] = e
+
+    t = threading.Thread(target=slow_query)
+    t.start()
+    time.sleep(0.5)  # let it get claimed and enter the pause
+    doc, line = roundtrip(args, {"op": "cancel", "target": "mixed-cancel"})
+    rec.add(line)
+    expect(doc.get("status") == "ok", f"cancel op: {doc.get('status')}")
+    t.join(timeout=20)
+    expect(not t.is_alive(), "cancelled query never answered")
+    if isinstance(slow.get("doc"), dict):
+        req = request_section(slow["doc"])
+        code = (req.get("error") or {}).get("code")
+        expect(code == "CANCELLED",
+               f"cancelled query: request.error.code={code}")
+    elif slow.get("doc") is not None:
+        expect(False, f"cancelled query failed: {slow['doc']}")
+
+    # --- the daemon is still healthy after all of the above ---------------
+    doc, line = roundtrip(args, {"op": "healthz"})
+    rec.add(line)
+    expect(doc.get("status") == "ok", "healthz after workload")
+    data = doc.get("data") or {}
+    expect(data.get("active") == 0,
+           f"queries still active after workload: {data.get('active')}")
+
+    rec.flush()
+    return failures
+
+
+def build_parser():
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("--socket", default="", help="unix socket path")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0)
+    p.add_argument("--wait-ready", type=float, default=0, metavar="SECS",
+                   help="poll until the daemon answers healthz")
+    sub = p.add_subparsers(dest="cmd", required=True)
+
+    sub.add_parser("healthz")
+    sub.add_parser("list")
+    sub.add_parser("stats")
+    load = sub.add_parser("load")
+    load.add_argument("name")
+    load.add_argument("source")
+    load.add_argument("--seed", type=int, default=1)
+    unload = sub.add_parser("unload")
+    unload.add_argument("name")
+    query = sub.add_parser("query")
+    query.add_argument("graph")
+    query.add_argument("--algo", default="auto")
+    query.add_argument("--budget-ms", type=float, default=None)
+    query.add_argument("--pause-ms", type=float, default=None)
+    query.add_argument("--id", default="")
+    query.add_argument("--verify", action="store_true")
+    cancel = sub.add_parser("cancel")
+    cancel.add_argument("target")
+    send = sub.add_parser("send")
+    send.add_argument("line", help="raw JSON request")
+    mixed = sub.add_parser("mixed")
+    mixed.add_argument("graph")
+    mixed.add_argument("--queries", type=int, default=8,
+                       help="concurrent ok-path queries (default 8)")
+    mixed.add_argument("--out", default="",
+                       help="write every response line to this JSONL file")
+    return p
+
+
+def main():
+    args = build_parser().parse_args()
+    if not args.socket and args.port == 0:
+        print("need --socket PATH or --host/--port", file=sys.stderr)
+        return 2
+    if args.wait_ready > 0:
+        wait_ready(args, args.wait_ready)
+
+    if args.cmd == "stats":
+        status_line, body = http_get(args, "/stats")
+        print(body, end="")
+        return 0 if " 200 " in status_line else 1
+
+    if args.cmd == "mixed":
+        failures = run_mixed(args, args.out)
+        if failures:
+            for f in failures:
+                print(f"MIXED FAIL: {f}", file=sys.stderr)
+            return 1
+        print(f"mixed workload ok: {args.queries} concurrent + deadline + "
+              f"unknown-algo + mid-flight cancel")
+        return 0
+
+    if args.cmd == "send":
+        request = json.loads(args.line)
+    elif args.cmd == "query":
+        request = {"op": "query", "graph": args.graph, "algo": args.algo}
+        if args.id:
+            request["id"] = args.id
+        if args.budget_ms is not None:
+            request["budget_ms"] = args.budget_ms
+        if args.pause_ms is not None:
+            request["pause_ms"] = args.pause_ms
+        if args.verify:
+            request["verify"] = True
+    elif args.cmd == "load":
+        request = {"op": "load", "name": args.name, "source": args.source,
+                   "seed": args.seed}
+    elif args.cmd == "unload":
+        request = {"op": "unload", "name": args.name}
+    elif args.cmd == "cancel":
+        request = {"op": "cancel", "target": args.target}
+    else:
+        request = {"op": args.cmd}
+
+    doc, line = roundtrip(args, request)
+    print(line)
+    if args.cmd == "query":
+        return 0 if request_section(doc).get("status") == "ok" else 1
+    return 0 if doc.get("status") == "ok" else 1
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except ServeError as e:
+        print(f"llpmstd_client: {e}", file=sys.stderr)
+        sys.exit(1)

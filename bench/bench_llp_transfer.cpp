@@ -56,7 +56,8 @@ int main(int argc, char** argv) {
   {
     const Workload w = make_graph500_workload(static_cast<int>(scale), 1,
                                               /*connect=*/false);
-    EdgeList list(w.graph.num_vertices(), w.graph.edges());
+    EdgeList list(w.graph.num_vertices(),
+                  {w.graph.edges().begin(), w.graph.edges().end()});
     const double uf_ms = time_ms_of(
         [&] { (void)connected_components(list); }, static_cast<int>(reps));
     const double llp_ms = time_ms_of(

@@ -4,13 +4,17 @@
 //   mst_tool --input graph.gr --algorithm auto --threads 8
 //            --output tree.txt --verify
 //
-// Reads a graph (format by extension: .gr DIMACS, .metis METIS, .bin llpmst
-// binary, anything else whitespace edge list), generates one
-// (--generate road|rmat|er --scale N), or runs a named adversarial workload
-// (--scenario NAME, catalog via --list-scenarios); runs the chosen MSF
-// algorithm — optionally under the deterministic schedule simulator
-// (--sim) — verifies the result, prints a report, and can write the chosen
-// edges out.
+// Reads a graph (format detected from leading bytes — magics first, text
+// heuristics next, extension as the tie-break; override with
+// --graph-format), generates one (--generate road|rmat|er --scale N), or
+// runs a named adversarial workload (--scenario NAME, catalog via
+// --list-scenarios); runs the chosen MSF algorithm — optionally under the
+// deterministic schedule simulator (--sim) — verifies the result, prints a
+// report, and can write the chosen edges out.
+//
+// An `llpmstb` CSR snapshot input is MOUNTED via mmap (zero parse, no CSR
+// rebuild); any other source can be converted to one with
+// --pack-graph OUT, which writes the snapshot and exits.
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -23,6 +27,7 @@
 #include "graph/generators/random_graph.hpp"
 #include "graph/generators/rmat.hpp"
 #include "graph/generators/road.hpp"
+#include "graph/io/binary_csr.hpp"
 #include "graph/io/edge_list_io.hpp"
 #include "graph/io/read_graph.hpp"
 #include "mst/auto.hpp"
@@ -83,7 +88,20 @@ int main(int argc, char** argv) {
   CliParser cli("mst_tool",
                 "Compute the minimum spanning forest of a graph file or a "
                 "generated workload");
-  auto& input = cli.add_string("input", "", "graph file (.gr/.metis/.bin/txt)");
+  auto& input = cli.add_string(
+      "input", "",
+      "graph file (DIMACS/METIS/binary/text/llpmstb snapshot; format is "
+      "sniffed from leading bytes)");
+  auto& graph_format = cli.add_string(
+      "graph-format", "auto",
+      "input format: auto | dimacs | metis | binary | text (auto sniffs "
+      "leading bytes; an explicit format that contradicts the file's magic "
+      "is a usage error)");
+  auto& pack_graph = cli.add_string(
+      "pack-graph", "",
+      "write the acquired graph (--input/--generate/--scenario) as an "
+      "llpmstb CSR snapshot to this path and exit; later runs mount it "
+      "via mmap with zero parse");
   auto& generate = cli.add_string(
       "generate", "road", "workload when no --input: road | rmat | er");
   auto& scale = cli.add_int("scale", 14, "generator scale (log2-ish size)");
@@ -287,7 +305,16 @@ int main(int argc, char** argv) {
   }
 
   // --- Acquire the graph.
+  GraphFormat format = GraphFormat::kAuto;
+  if (!parse_graph_format(graph_format, format)) {
+    std::fprintf(stderr,
+                 "unknown --graph-format '%s' (want auto, dimacs, metis, "
+                 "binary, or text)\n",
+                 graph_format.c_str());
+    return 2;
+  }
   EdgeList list;
+  CsrGraph mounted;  // set when the input is an llpmstb snapshot
   if (scen != nullptr) {
     list = scen->make(static_cast<std::uint64_t>(seed));
     std::printf("Scenario  : %s [%s] seed %lld\n", scen->name, scen->family,
@@ -295,12 +322,32 @@ int main(int argc, char** argv) {
     if (scen->deadline_ms > 0 && deadline_ms < 0) {
       deadline_ms = scen->deadline_ms;
     }
+  } else if (!input.empty() &&
+             (format == GraphFormat::kAuto || format == GraphFormat::kBinary) &&
+             is_binary_csr_file(input)) {
+    // Zero-parse path: mount the snapshot read-only.  No edge-list parse,
+    // no CSR rebuild — the kernel pages arc data in on demand.
+    Timer mt;
+    Expected<CsrGraph> m = read_binary_csr(input);
+    if (!m.ok()) {
+      std::fprintf(stderr, "error mounting %s: %s\n", input.c_str(),
+                   m.status().to_string().c_str());
+      return 1;
+    }
+    mounted = std::move(*m);
+    std::printf("Mounted   : %s (llpmstb snapshot, %s bytes mapped, "
+                "load %s)\n",
+                input.c_str(),
+                format_count(mounted.storage()->mapped_bytes()).c_str(),
+                format_duration_ms(mt.elapsed_ms()).c_str());
   } else if (!input.empty()) {
-    Expected<EdgeList> loaded = read_graph(input);
+    Expected<EdgeList> loaded = read_graph(input, format);
     if (!loaded.ok()) {
       std::fprintf(stderr, "error reading %s: %s\n", input.c_str(),
                    loaded.status().to_string().c_str());
-      return 1;
+      // A format/magic contradiction is a usage error (the message names
+      // the detected format), not a runtime failure.
+      return loaded.status().code() == StatusCode::kInvalidArgument ? 2 : 1;
     }
     list = std::move(*loaded);
     std::printf("Loaded %s\n", input.c_str());
@@ -325,8 +372,26 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const CsrGraph g = CsrGraph::build(list);
+  const CsrGraph g =
+      mounted.storage() != nullptr ? mounted : CsrGraph::build(list);
   std::printf("Graph: %s\n", describe(compute_stats(g)).c_str());
+
+  // --- Pack-and-exit: persist the built (or remounted) CSR as an llpmstb
+  // snapshot.  No solve happens; the round-trip is the CI gate's business.
+  if (!pack_graph.empty()) {
+    Timer pt;
+    const Status st = write_binary_csr(pack_graph, g);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error packing %s: %s\n", pack_graph.c_str(),
+                   st.to_string().c_str());
+      return 1;
+    }
+    std::printf("Packed    : %s (%s vertices, %s edges) in %s\n",
+                pack_graph.c_str(), format_count(g.num_vertices()).c_str(),
+                format_count(g.num_edges()).c_str(),
+                format_duration_ms(pt.elapsed_ms()).c_str());
+    return 0;
+  }
 
   // --- Solve.  Under --sim the pool is replaced by the deterministic
   // simulator: same Executor surface, PRNG-chosen interleaving, virtual

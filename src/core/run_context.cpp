@@ -37,15 +37,29 @@ bool RunContext::user_cancelled() const {
 }
 
 std::size_t RunContext::num_components(const CsrGraph& g) {
-  if (components_graph_ == &g) return components_;
+  if (components_cached(g)) return components_;
   // Union-find straight over the CSR edge list: no EdgeList copy (which is
   // what mst::auto used to build just to ask this question).
   UnionFind uf(g.num_vertices());
   for (const WeightedEdge& e : g.edges()) uf.unite(e.u, e.v);
-  components_graph_ = &g;
+  components_key_ = g.storage();
   components_ = uf.num_sets();
+  components_valid_ = true;
   if (obs::kCompiledIn) obs::counter("run_context/cc_computed").increment();
   return components_;
+}
+
+bool RunContext::components_cached(const CsrGraph& g) const {
+  // Storage-address identity: any handle over the same snapshot hits.  A
+  // default-constructed graph has null storage, so the extra valid bit keeps
+  // "cached the empty graph" distinct from "never computed anything".
+  return components_valid_ && components_key_ == g.storage();
+}
+
+void RunContext::seed_components(const CsrGraph& g, std::size_t count) {
+  components_key_ = g.storage();
+  components_ = count;
+  components_valid_ = true;
 }
 
 std::size_t RunContext::arm_failpoints(std::string_view spec,

@@ -165,21 +165,20 @@ class RunContext {
   /// Connected components of `g`, computed once per (context, graph) with a
   /// union-find sweep over the CSR edge list and cached by graph identity.
   /// Isolated vertices count as components; an empty graph has 0.
+  ///
+  /// Identity is the graph's STORAGE address, not the CsrGraph handle:
+  /// handles are cheap copies since the storage refactor, so two copies of
+  /// one snapshot (e.g. the catalog's and a query's) share the cache entry.
   [[nodiscard]] std::size_t num_components(const CsrGraph& g);
   [[nodiscard]] bool connected(const CsrGraph& g) {
     return num_components(g) == 1;
   }
   /// True when num_components(g) is already cached for this graph (tests,
   /// and consumers that only want to cross-check, never compute).
-  [[nodiscard]] bool components_cached(const CsrGraph& g) const {
-    return components_graph_ == &g;
-  }
+  [[nodiscard]] bool components_cached(const CsrGraph& g) const;
   /// Seeds the cache from a caller that computed (or was told) the count —
   /// e.g. the verifier's union-find already knows it as a byproduct.
-  void seed_components(const CsrGraph& g, std::size_t count) {
-    components_graph_ = &g;
-    components_ = count;
-  }
+  void seed_components(const CsrGraph& g, std::size_t count);
 
   // -- Failpoints ---------------------------------------------------------
   /// Arms a "name=spec;..." failpoint list through fail::configure().
@@ -202,8 +201,9 @@ class RunContext {
   bool deadline_armed_ = false;
   const CancelToken* external_cancel_ = nullptr;
   ScratchArena scratch_;
-  const CsrGraph* components_graph_ = nullptr;
+  const void* components_key_ = nullptr;  // GraphStorage address
   std::size_t components_ = 0;
+  bool components_valid_ = false;  // distinguishes "empty graph cached"
   bool armed_failpoints_ = false;
 };
 

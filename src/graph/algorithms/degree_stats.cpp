@@ -33,7 +33,8 @@ GraphStats compute_stats(const CsrGraph& g) {
     }
   }
 
-  EdgeList list(g.num_vertices(), g.edges());
+  EdgeList list(g.num_vertices(),
+                {g.edges().begin(), g.edges().end()});
   s.num_components = connected_components(list).num_components;
   return s;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 #include <utility>
 
 #include "parallel/parallel_for.hpp"
@@ -16,21 +17,25 @@ CsrGraph CsrGraph::build(const EdgeList& list, Executor* pool) {
   LLPMST_CHECK_MSG(list.num_edges() < kInvalidEdge,
                    "edge count exceeds 32-bit edge id space");
 
-  CsrGraph g;
   const std::size_t n = list.num_vertices();
   const std::size_t m = list.num_edges();
-  g.edges_ = list.edges();
+  std::vector<WeightedEdge> edges = list.edges();
+  std::vector<VertexId> targets;
+  std::vector<EdgePriority> priorities;
+  std::vector<EdgePriority> mwe;
+  std::vector<std::uint8_t> mwe_flags;
 
   // Degree counting.  The list is normalized (each edge appears once), so
-  // each edge contributes to both endpoints.
-  std::vector<std::size_t> counts(n + 1, 0);
+  // each edge contributes to both endpoints.  Offsets are u64 regardless of
+  // platform so heap- and mmap-backed sections share one span type.
+  std::vector<std::uint64_t> counts(n + 1, 0);
   if (pool != nullptr && pool->num_threads() > 1) {
     // Per-thread count arrays would be O(t*n); instead count with atomics —
     // degrees are written once per arc, contention is negligible for m >> t.
-    std::vector<std::atomic<std::size_t>> acounts(n);
+    std::vector<std::atomic<std::uint64_t>> acounts(n);
     for (auto& c : acounts) c.store(0, std::memory_order_relaxed);
     parallel_for(*pool, 0, m, [&](std::size_t i) {
-      const WeightedEdge& e = g.edges_[i];
+      const WeightedEdge& e = edges[i];
       acounts[e.u].fetch_add(1, std::memory_order_relaxed);
       acounts[e.v].fetch_add(1, std::memory_order_relaxed);
     });
@@ -38,7 +43,7 @@ CsrGraph CsrGraph::build(const EdgeList& list, Executor* pool) {
       counts[v] = acounts[v].load(std::memory_order_relaxed);
     }
   } else {
-    for (const WeightedEdge& e : g.edges_) {
+    for (const WeightedEdge& e : edges) {
       ++counts[e.u];
       ++counts[e.v];
     }
@@ -48,98 +53,96 @@ CsrGraph CsrGraph::build(const EdgeList& list, Executor* pool) {
   if (pool != nullptr) {
     exclusive_scan_inplace(*pool, counts);
   } else {
-    std::size_t acc = 0;
+    std::uint64_t acc = 0;
     for (auto& c : counts) {
-      std::size_t v = c;
+      std::uint64_t v = c;
       c = acc;
       acc += v;
     }
   }
-  g.offsets_ = std::move(counts);  // counts now holds n+1 offsets
+  std::vector<std::uint64_t> offsets = std::move(counts);  // n+1 offsets
 
   // Fill arcs.  Write cursors per vertex; sequential fill keeps arcs sorted
   // by (source, edge id).  The parallel fill uses atomic cursors — arc order
   // within a row is then nondeterministic, which no algorithm relies on, but
   // to keep *runs reproducible* we sort each row afterwards.
-  g.targets_.resize(2 * m);
-  g.priorities_.resize(2 * m);
+  targets.resize(2 * m);
+  priorities.resize(2 * m);
   if (pool != nullptr && pool->num_threads() > 1) {
-    std::vector<std::atomic<std::size_t>> cursor(n);
+    std::vector<std::atomic<std::uint64_t>> cursor(n);
     for (std::size_t v = 0; v < n; ++v) {
-      cursor[v].store(g.offsets_[v], std::memory_order_relaxed);
+      cursor[v].store(offsets[v], std::memory_order_relaxed);
     }
     parallel_for(*pool, 0, m, [&](std::size_t i) {
-      const WeightedEdge& e = g.edges_[i];
+      const WeightedEdge& e = edges[i];
       const EdgePriority p = make_priority(e.w, static_cast<EdgeId>(i));
-      std::size_t su = cursor[e.u].fetch_add(1, std::memory_order_relaxed);
-      g.targets_[su] = e.v;
-      g.priorities_[su] = p;
-      std::size_t sv = cursor[e.v].fetch_add(1, std::memory_order_relaxed);
-      g.targets_[sv] = e.u;
-      g.priorities_[sv] = p;
+      std::uint64_t su = cursor[e.u].fetch_add(1, std::memory_order_relaxed);
+      targets[su] = e.v;
+      priorities[su] = p;
+      std::uint64_t sv = cursor[e.v].fetch_add(1, std::memory_order_relaxed);
+      targets[sv] = e.u;
+      priorities[sv] = p;
     });
     // Canonicalize row order (by priority) so builds are deterministic.
     parallel_for(*pool, 0, n, [&](std::size_t v) {
-      const std::size_t lo = g.offsets_[v], hi = g.offsets_[v + 1];
+      const std::size_t lo = offsets[v], hi = offsets[v + 1];
       // Sort (priority, target) pairs by priority.
       std::vector<std::pair<EdgePriority, VertexId>> row;
       row.reserve(hi - lo);
       for (std::size_t i = lo; i < hi; ++i) {
-        row.emplace_back(g.priorities_[i], g.targets_[i]);
+        row.emplace_back(priorities[i], targets[i]);
       }
       std::sort(row.begin(), row.end());
       for (std::size_t i = lo; i < hi; ++i) {
-        g.priorities_[i] = row[i - lo].first;
-        g.targets_[i] = row[i - lo].second;
+        priorities[i] = row[i - lo].first;
+        targets[i] = row[i - lo].second;
       }
     }, /*chunk=*/64);
   } else {
-    std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+    std::vector<std::uint64_t> cursor(offsets.begin(), offsets.end() - 1);
     for (std::size_t i = 0; i < m; ++i) {
-      const WeightedEdge& e = g.edges_[i];
+      const WeightedEdge& e = edges[i];
       const EdgePriority p = make_priority(e.w, static_cast<EdgeId>(i));
-      g.targets_[cursor[e.u]] = e.v;
-      g.priorities_[cursor[e.u]] = p;
+      targets[cursor[e.u]] = e.v;
+      priorities[cursor[e.u]] = p;
       ++cursor[e.u];
-      g.targets_[cursor[e.v]] = e.u;
-      g.priorities_[cursor[e.v]] = p;
+      targets[cursor[e.v]] = e.u;
+      priorities[cursor[e.v]] = p;
       ++cursor[e.v];
     }
     // Sequential fill emits rows in ascending edge-id order, which for a
     // normalized list is ascending (u, v) but not ascending *priority*.
     // Sort rows by priority to match the parallel build bit-for-bit.
     for (std::size_t v = 0; v < n; ++v) {
-      const std::size_t lo = g.offsets_[v], hi = g.offsets_[v + 1];
+      const std::size_t lo = offsets[v], hi = offsets[v + 1];
       std::vector<std::pair<EdgePriority, VertexId>> row;
       row.reserve(hi - lo);
       for (std::size_t i = lo; i < hi; ++i) {
-        row.emplace_back(g.priorities_[i], g.targets_[i]);
+        row.emplace_back(priorities[i], targets[i]);
       }
       std::sort(row.begin(), row.end());
       for (std::size_t i = lo; i < hi; ++i) {
-        g.priorities_[i] = row[i - lo].first;
-        g.targets_[i] = row[i - lo].second;
+        priorities[i] = row[i - lo].first;
+        targets[i] = row[i - lo].second;
       }
     }
   }
 
   // Per-vertex minimum incident priority: rows are sorted, so it is the
   // first arc of each non-empty row.
-  g.mwe_.resize(n);
+  mwe.resize(n);
   for (std::size_t v = 0; v < n; ++v) {
-    g.mwe_[v] = (g.offsets_[v] == g.offsets_[v + 1])
-                    ? kInfinitePriority
-                    : g.priorities_[g.offsets_[v]];
+    mwe[v] = (offsets[v] == offsets[v + 1]) ? kInfinitePriority
+                                            : priorities[offsets[v]];
   }
 
   // Per-arc MWE flags (see arc_mwe_flags): arc from v is flagged when its
   // edge is the MWE of v or of the target.
-  g.mwe_flags_.resize(2 * m);
+  mwe_flags.resize(2 * m);
   const auto fill_flags = [&](std::size_t v) {
-    for (std::size_t i = g.offsets_[v]; i < g.offsets_[v + 1]; ++i) {
-      const EdgePriority p = g.priorities_[i];
-      g.mwe_flags_[i] =
-          (p == g.mwe_[v] || p == g.mwe_[g.targets_[i]]) ? 1 : 0;
+    for (std::size_t i = offsets[v]; i < offsets[v + 1]; ++i) {
+      const EdgePriority p = priorities[i];
+      mwe_flags[i] = (p == mwe[v] || p == mwe[targets[i]]) ? 1 : 0;
     }
   };
   if (pool != nullptr) {
@@ -148,12 +151,30 @@ CsrGraph CsrGraph::build(const EdgeList& list, Executor* pool) {
     for (std::size_t v = 0; v < n; ++v) fill_flags(v);
   }
 
+  return from_storage(std::make_shared<HeapStorage>(
+      std::move(offsets), std::move(targets), std::move(priorities),
+      std::move(mwe), std::move(mwe_flags), std::move(edges)));
+}
+
+CsrGraph CsrGraph::from_storage(StoragePtr storage) {
+  LLPMST_CHECK_MSG(storage != nullptr,
+                   "CsrGraph::from_storage requires a storage backend");
+  const CsrSections& s = storage->sections();
+  const std::size_t n = s.offsets.empty() ? 0 : s.offsets.size() - 1;
+  const std::size_t m = s.edges.size();
+  LLPMST_CHECK_MSG(s.targets.size() == 2 * m &&
+                       s.priorities.size() == 2 * m &&
+                       s.mwe_flags.size() == 2 * m && s.mwe.size() == n,
+                   "storage sections violate the CSR shape contract");
+  CsrGraph g;
+  g.sec_ = s;
+  g.storage_ = std::move(storage);
   return g;
 }
 
 TotalWeight CsrGraph::total_weight() const {
   TotalWeight sum = 0;
-  for (const WeightedEdge& e : edges_) sum += e.w;
+  for (const WeightedEdge& e : sec_.edges) sum += e.w;
   return sum;
 }
 

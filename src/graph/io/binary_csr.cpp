@@ -1,0 +1,299 @@
+#include "graph/io/binary_csr.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "graph/io/io_util.hpp"
+#include "graph/storage.hpp"
+#include "support/failpoint.hpp"
+
+namespace llpmst {
+
+namespace {
+
+// Fixed little-endian header.  Field order is frozen by the format version;
+// grow by appending and bumping kBinaryCsrVersion.
+enum SectionId : std::size_t {
+  kSecOffsets = 0,
+  kSecTargets,
+  kSecPriorities,
+  kSecMwe,
+  kSecMweFlags,
+  kSecEdges,
+  kSectionCount,
+};
+
+struct SectionEntry {
+  std::uint64_t offset;  // absolute byte offset in the file, 64-aligned
+  std::uint64_t length;  // section payload bytes (no padding)
+};
+
+struct Header {
+  char magic[8];
+  std::uint32_t version;
+  std::uint32_t header_bytes;  // sizeof(Header); rejects truncated headers
+  std::uint64_t n;             // vertices
+  std::uint64_t m;             // undirected edges
+  SectionEntry sections[kSectionCount];
+  std::uint64_t alignment;         // section alignment (64)
+  std::uint64_t payload_checksum;  // FNV-1a over section bytes, in order
+  std::uint64_t header_checksum;   // FNV-1a over this struct with the
+                                   // field itself zeroed
+};
+static_assert(sizeof(Header) == 152, "llpmstb v1 header layout is frozen");
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+constexpr std::uint64_t kFnvBasis = 14695981039346656037ull;
+
+std::uint64_t align_up(std::uint64_t x, std::uint64_t a) {
+  return (x + a - 1) / a * a;
+}
+
+Status corrupt(const std::string& path, std::string what) {
+  return {StatusCode::kCorruptInput,
+          "'" + path + "': " + std::move(what) + " (not a valid llpmstb snapshot)"};
+}
+
+struct SectionView {
+  const void* data;
+  std::uint64_t length;
+};
+
+// Byte views of the six sections of a graph, in file order.
+std::array<SectionView, kSectionCount> section_views(const CsrSections& s) {
+  return {{{s.offsets.data(), s.offsets.size_bytes()},
+           {s.targets.data(), s.targets.size_bytes()},
+           {s.priorities.data(), s.priorities.size_bytes()},
+           {s.mwe.data(), s.mwe.size_bytes()},
+           {s.mwe_flags.data(), s.mwe_flags.size_bytes()},
+           {s.edges.data(), s.edges.size_bytes()}}};
+}
+
+// Expected section byte lengths for counts (n, m).  Safe for any counts that
+// passed the < 2^32 guard: the largest product is 12m < 2^36.
+std::array<std::uint64_t, kSectionCount> expected_lengths(std::uint64_t n,
+                                                          std::uint64_t m) {
+  return {8 * (n + 1), 4 * 2 * m, 8 * 2 * m, 8 * n, 2 * m, 12 * m};
+}
+
+}  // namespace
+
+bool sniff_binary_csr(const char* data, std::size_t len) {
+  return len >= kBinaryCsrMagic.size() &&
+         std::memcmp(data, kBinaryCsrMagic.data(), kBinaryCsrMagic.size()) == 0;
+}
+
+bool is_binary_csr_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char head[kBinaryCsrMagic.size()];
+  const std::size_t got = std::fread(head, 1, sizeof head, f);
+  std::fclose(f);
+  return sniff_binary_csr(head, got);
+}
+
+Status write_binary_csr(const std::string& path, const CsrGraph& g) {
+  if (const auto a = LLPMST_FAILPOINT("io/binary_csr_write");
+      a != fail::Action::kNone) {
+    return io_detail::injected_status(a, "io/binary_csr_write");
+  }
+  const CsrSections empty;
+  const CsrSections& s =
+      g.storage() != nullptr ? g.storage()->sections() : empty;
+  const auto views = section_views(s);
+
+  Header h{};
+  std::memcpy(h.magic, kBinaryCsrMagic.data(), kBinaryCsrMagic.size());
+  h.version = kBinaryCsrVersion;
+  h.header_bytes = sizeof(Header);
+  h.n = g.num_vertices();
+  h.m = g.num_edges();
+  h.alignment = kBinaryCsrAlignment;
+
+  std::uint64_t pos = align_up(sizeof(Header), kBinaryCsrAlignment);
+  std::uint64_t payload = kFnvBasis;
+  for (std::size_t i = 0; i < kSectionCount; ++i) {
+    h.sections[i].offset = pos;
+    h.sections[i].length = views[i].length;
+    payload = fnv1a(payload, views[i].data, views[i].length);
+    pos = align_up(pos + views[i].length, kBinaryCsrAlignment);
+  }
+  // No padding after the last section: the file ends exactly where the edge
+  // section does, so trailing garbage is detectable on load.
+  const std::uint64_t file_size =
+      h.sections[kSecEdges].offset + h.sections[kSecEdges].length;
+  h.payload_checksum = payload;
+  h.header_checksum = 0;
+  h.header_checksum = fnv1a(kFnvBasis, &h, sizeof h);
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return {StatusCode::kIoError, "cannot open '" + path + "' for writing"};
+  }
+  bool ok = std::fwrite(&h, sizeof h, 1, f) == 1;
+  std::uint64_t written = sizeof h;
+  const char zeros[kBinaryCsrAlignment] = {};
+  for (std::size_t i = 0; ok && i < kSectionCount; ++i) {
+    while (ok && written < h.sections[i].offset) {
+      const std::size_t pad = static_cast<std::size_t>(
+          std::min<std::uint64_t>(sizeof zeros, h.sections[i].offset - written));
+      ok = std::fwrite(zeros, 1, pad, f) == pad;
+      written += pad;
+    }
+    if (ok && views[i].length > 0) {
+      ok = std::fwrite(views[i].data, 1, views[i].length, f) == views[i].length;
+      written += views[i].length;
+    }
+  }
+  ok = (std::fclose(f) == 0) && ok && written == file_size;
+  if (!ok) return {StatusCode::kIoError, "write error on '" + path + "'"};
+  return Status::Ok();
+}
+
+Expected<CsrGraph> read_binary_csr(const std::string& path,
+                                   const BinaryCsrOptions& options) {
+  if (const auto a = LLPMST_FAILPOINT("io/binary_csr");
+      a != fail::Action::kNone) {
+    return io_detail::injected_status(a, "io/binary_csr");
+  }
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status{StatusCode::kIoError, "cannot open '" + path + "'"};
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    return Status{StatusCode::kIoError, "cannot stat '" + path + "'"};
+  }
+  const auto size = static_cast<std::uint64_t>(st.st_size);
+  if (size < sizeof(Header)) {
+    ::close(fd);
+    return corrupt(path, size == 0 ? "empty file" : "truncated header");
+  }
+  void* base = ::mmap(nullptr, static_cast<std::size_t>(size), PROT_READ,
+                      MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps the file alive
+  if (base == MAP_FAILED) {
+    return Status{StatusCode::kIoError, "mmap failed for '" + path + "'"};
+  }
+  // Hold the mapping through validation; released via MmapStorage on success.
+  struct Unmapper {
+    void* p;
+    std::size_t len;
+    ~Unmapper() {
+      if (p != nullptr) ::munmap(p, len);
+    }
+  } guard{base, static_cast<std::size_t>(size)};
+
+  // The header is validated from a local copy: the struct needs no
+  // relocation, and memcpy sidesteps any alignment/aliasing concerns.
+  Header h{};
+  std::memcpy(&h, base, sizeof h);
+  if (std::memcmp(h.magic, kBinaryCsrMagic.data(), kBinaryCsrMagic.size()) !=
+      0) {
+    return corrupt(path, "bad magic");
+  }
+  if (h.version != kBinaryCsrVersion) {
+    return corrupt(path,
+                   "unsupported version " + std::to_string(h.version) +
+                       " (this build reads version " +
+                       std::to_string(kBinaryCsrVersion) + ")");
+  }
+  if (h.header_bytes != sizeof(Header)) {
+    return corrupt(path, "header size mismatch");
+  }
+  {
+    Header check = h;
+    check.header_checksum = 0;
+    if (fnv1a(kFnvBasis, &check, sizeof check) != h.header_checksum) {
+      return corrupt(path, "header checksum mismatch");
+    }
+  }
+  if (h.alignment != kBinaryCsrAlignment) {
+    return corrupt(path, "unsupported section alignment");
+  }
+  // Counts are untrusted: bound them BEFORE any arithmetic so the expected
+  // section lengths below cannot overflow (largest product is 12m < 2^36).
+  if (h.n >= kInvalidVertex || h.m >= kInvalidEdge) {
+    return corrupt(path, "vertex/edge count exceeds the 32-bit id space");
+  }
+  const auto expect = expected_lengths(h.n, h.m);
+  for (std::size_t i = 0; i < kSectionCount; ++i) {
+    const SectionEntry& e = h.sections[i];
+    if (e.length != expect[i]) {
+      return corrupt(path, "section " + std::to_string(i) +
+                               " length disagrees with the header counts");
+    }
+    if (e.offset < sizeof(Header) || e.offset % kBinaryCsrAlignment != 0 ||
+        e.offset > size || e.length > size - e.offset) {
+      return corrupt(path, "section " + std::to_string(i) +
+                               " extends past the end of the file");
+    }
+  }
+  if (h.sections[kSecEdges].offset + h.sections[kSecEdges].length != size) {
+    return corrupt(path, "trailing bytes after the last section");
+  }
+
+  const char* bytes = static_cast<const char*>(base);
+  CsrSections sec;
+  const auto span_at = [&](SectionId id, auto tag) {
+    using T = decltype(tag);
+    return std::span<const T>(
+        reinterpret_cast<const T*>(bytes + h.sections[id].offset),
+        static_cast<std::size_t>(h.sections[id].length / sizeof(T)));
+  };
+  sec.offsets = span_at(kSecOffsets, std::uint64_t{});
+  sec.targets = span_at(kSecTargets, VertexId{});
+  sec.priorities = span_at(kSecPriorities, EdgePriority{});
+  sec.mwe = span_at(kSecMwe, EdgePriority{});
+  sec.mwe_flags = span_at(kSecMweFlags, std::uint8_t{});
+  sec.edges = std::span<const WeightedEdge>(
+      reinterpret_cast<const WeightedEdge*>(bytes +
+                                            h.sections[kSecEdges].offset),
+      static_cast<std::size_t>(h.m));
+
+  if (options.verify_payload) {
+    std::uint64_t payload = kFnvBasis;
+    const auto views = section_views(sec);
+    for (const SectionView& v : views) payload = fnv1a(payload, v.data, v.length);
+    if (payload != h.payload_checksum) {
+      return corrupt(path, "payload checksum mismatch");
+    }
+    // Structural spot-checks so a deliberately re-checksummed file still
+    // cannot drive out-of-bounds access in the algorithms.
+    if (sec.offsets.front() != 0 || sec.offsets.back() != 2 * h.m) {
+      return corrupt(path, "row offsets do not cover the arc array");
+    }
+    for (std::size_t v = 0; v + 1 < sec.offsets.size(); ++v) {
+      if (sec.offsets[v] > sec.offsets[v + 1]) {
+        return corrupt(path, "row offsets are not nondecreasing");
+      }
+    }
+    for (const VertexId t : sec.targets) {
+      if (t >= h.n) return corrupt(path, "arc target out of range");
+    }
+  }
+
+  auto storage = std::make_shared<MmapStorage>(
+      base, static_cast<std::size_t>(size), sec, path);
+  guard.p = nullptr;  // ownership transferred
+  return CsrGraph::from_storage(std::move(storage));
+}
+
+}  // namespace llpmst

@@ -1,0 +1,71 @@
+// `llpmstb`: the binary CSR snapshot format behind the mmap storage backend.
+//
+// A snapshot file is a fixed 152-byte header followed by the six CSR
+// sections, each 64-byte aligned, in declaration order:
+//
+//   offsets    u64 x (n+1)       row offsets into the arc arrays
+//   targets    u32 x 2m          arc targets
+//   priorities u64 x 2m          packed arc priorities
+//   mwe        u64 x n           per-vertex minimum incident priority
+//   mwe_flags  u8  x 2m          per-arc MWE flags
+//   edges      {u32,u32,u32} x m undirected edges by edge id
+//
+// The header carries a version, the counts, a section table (offset +
+// length per section), the alignment, an FNV-1a checksum of the payload,
+// and an FNV-1a checksum of the header itself.  Loading = open + mmap +
+// header validation: the header checksum is always verified, the payload
+// checksum only under BinaryCsrOptions::verify_payload, so mounting a
+// paper-scale snapshot stays O(header) and never touches the arc bytes.
+// Everything in the header is untrusted: counts, offsets, and lengths are
+// cross-checked against the file size with overflow-safe arithmetic before
+// any span is formed.
+//
+// The format is distinct from the legacy "LLPM" binary *edge list*
+// (edge_list_io.hpp): that one stores raw (u, v, w) records and still pays
+// normalize + CSR build on load; this one stores the finished CSR so load
+// is a zero-parse mount.  Both live under GraphFormat::kBinary and are
+// told apart by their magic bytes (see sniff_binary_csr / read_graph).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "graph/csr_graph.hpp"
+#include "support/status.hpp"
+
+namespace llpmst {
+
+inline constexpr std::array<char, 8> kBinaryCsrMagic = {'L', 'L', 'P', 'M',
+                                                        'S', 'T', 'B', '\0'};
+inline constexpr std::uint32_t kBinaryCsrVersion = 1;
+inline constexpr std::uint64_t kBinaryCsrAlignment = 64;
+
+struct BinaryCsrOptions {
+  /// Also verify the payload checksum (one pass over every mapped byte).
+  /// Off by default so catalog mounts stay mmap + header validation only;
+  /// turned on by the fuzz suite and the CI round-trip gate.
+  bool verify_payload = false;
+};
+
+/// Writes `g` as an llpmstb snapshot at `path` (atomic via rename from a
+/// sibling temp file is the caller's business; this writes in place).
+[[nodiscard]] Status write_binary_csr(const std::string& path,
+                                      const CsrGraph& g);
+
+/// Mounts an llpmstb snapshot: open + mmap (read-only) + header validation.
+/// The returned graph's storage is an MmapStorage; no edge-list parse and no
+/// CSR rebuild happen.  Errors: kIoError (open/stat/mmap), kCorruptInput
+/// (bad magic/version/counts/section table/checksum).
+[[nodiscard]] Expected<CsrGraph> read_binary_csr(
+    const std::string& path, const BinaryCsrOptions& options = {});
+
+/// True iff the first `len` bytes at `data` begin with the llpmstb magic
+/// (len may be short; short buffers never match).
+[[nodiscard]] bool sniff_binary_csr(const char* data, std::size_t len);
+
+/// True iff the file at `path` opens and begins with the llpmstb magic —
+/// the cheap "can I mount this?" probe for tools and the catalog.
+[[nodiscard]] bool is_binary_csr_file(const std::string& path);
+
+}  // namespace llpmst

@@ -1,7 +1,11 @@
 #include "graph/io/read_graph.hpp"
 
+#include <cstdio>
+#include <cstring>
 #include <utility>
+#include <vector>
 
+#include "graph/io/binary_csr.hpp"
 #include "graph/io/dimacs.hpp"
 #include "graph/io/edge_list_io.hpp"
 #include "graph/io/metis.hpp"
@@ -15,19 +19,147 @@ bool ends_with(const std::string& s, const std::string& suffix) {
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
-}  // namespace
-
-GraphFormat detect_graph_format(const std::string& path) {
+GraphFormat format_from_extension(const std::string& path) {
   if (ends_with(path, ".gr")) return GraphFormat::kDimacs;
   if (ends_with(path, ".metis") || ends_with(path, ".graph")) {
     return GraphFormat::kMetis;
   }
-  if (ends_with(path, ".bin")) return GraphFormat::kBinary;
+  if (ends_with(path, ".bin") || ends_with(path, ".llpmstb")) {
+    return GraphFormat::kBinary;
+  }
   return GraphFormat::kText;
 }
 
+constexpr char kLegacyBinaryMagic[4] = {'L', 'L', 'P', 'M'};
+
+/// What the leading bytes say the file is.  kAuto means "ambiguous text" —
+/// plain "u v w" lines and a METIS header are both whitespace-separated
+/// integers, so only the extension can break that tie.
+GraphFormat sniff_format(const char* head, std::size_t len) {
+  if (sniff_binary_csr(head, len)) return GraphFormat::kBinary;
+  if (len >= sizeof kLegacyBinaryMagic &&
+      std::memcmp(head, kLegacyBinaryMagic, sizeof kLegacyBinaryMagic) == 0) {
+    return GraphFormat::kBinary;
+  }
+  // Scan text lines.  DIMACS files open with 'c' comments or the "p sp n m"
+  // problem line; METIS files may open with '%' comments.  A bare integer
+  // line is ambiguous (METIS header vs text edge) — report kAuto.
+  std::size_t i = 0;
+  while (i < len) {
+    while (i < len && (head[i] == ' ' || head[i] == '\t')) ++i;
+    if (i >= len) break;
+    const char c = head[i];
+    if (c == '\n' || c == '\r') {
+      ++i;
+      continue;
+    }
+    if (c == 'c' || c == 'p') return GraphFormat::kDimacs;
+    if (c == '%') return GraphFormat::kMetis;
+    if (c == '#') return GraphFormat::kText;  // text reader's comment char
+    return GraphFormat::kAuto;  // integer data: METIS or text, can't tell
+  }
+  return GraphFormat::kAuto;  // empty / all-blank head
+}
+
+/// Reads up to 256 leading bytes; returns false if the file can't be opened
+/// (detection then falls back to the extension and the reader reports the
+/// real open error with its usual Status).
+bool read_head(const std::string& path, char* head, std::size_t& len) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  len = std::fread(head, 1, 256, f);
+  std::fclose(f);
+  return true;
+}
+
+/// The parse path for an llpmstb snapshot: mount it (with the full payload
+/// checksum, since this path reads every byte anyway) and materialize the
+/// edge section as an EdgeList.
+Expected<EdgeList> snapshot_to_edge_list(const std::string& path) {
+  BinaryCsrOptions opts;
+  opts.verify_payload = true;
+  Expected<CsrGraph> g = read_binary_csr(path, opts);
+  if (!g.ok()) return g.status();
+  const std::size_t n = g->num_vertices();
+  std::vector<WeightedEdge> edges(g->edges().begin(), g->edges().end());
+  for (const WeightedEdge& e : edges) {
+    if (e.u >= n || e.v >= n) {
+      return Status{StatusCode::kCorruptInput,
+                    "'" + path + "': edge endpoint out of range"};
+    }
+  }
+  EdgeList list(n, std::move(edges));
+  // Snapshots are packed from normalized lists; re-normalize only if a
+  // crafted file broke that, so the common path stays a straight copy.
+  if (!list.is_normalized()) list.normalize();
+  return list;
+}
+
+}  // namespace
+
+const char* graph_format_name(GraphFormat f) {
+  switch (f) {
+    case GraphFormat::kAuto: return "auto";
+    case GraphFormat::kDimacs: return "dimacs";
+    case GraphFormat::kMetis: return "metis";
+    case GraphFormat::kBinary: return "binary";
+    case GraphFormat::kText: return "text";
+  }
+  return "unknown";
+}
+
+bool parse_graph_format(const std::string& name, GraphFormat& out) {
+  if (name == "auto") out = GraphFormat::kAuto;
+  else if (name == "dimacs") out = GraphFormat::kDimacs;
+  else if (name == "metis") out = GraphFormat::kMetis;
+  else if (name == "binary") out = GraphFormat::kBinary;
+  else if (name == "text") out = GraphFormat::kText;
+  else return false;
+  return true;
+}
+
+GraphFormat detect_graph_format(const std::string& path) {
+  char head[256];
+  std::size_t len = 0;
+  if (read_head(path, head, len)) {
+    const GraphFormat sniffed = sniff_format(head, len);
+    if (sniffed != GraphFormat::kAuto) return sniffed;
+  }
+  return format_from_extension(path);
+}
+
 Expected<EdgeList> read_graph(const std::string& path, GraphFormat format) {
-  if (format == GraphFormat::kAuto) format = detect_graph_format(path);
+  char head[256];
+  std::size_t head_len = 0;
+  const bool have_head = read_head(path, head, head_len);
+  const GraphFormat sniffed =
+      have_head ? sniff_format(head, head_len) : GraphFormat::kAuto;
+
+  if (format == GraphFormat::kAuto) {
+    format = sniffed != GraphFormat::kAuto ? sniffed
+                                           : format_from_extension(path);
+  } else if (have_head && sniffed == GraphFormat::kBinary &&
+             format != GraphFormat::kBinary) {
+    // Magic bytes are authoritative: parsing a binary file as text is never
+    // what the user meant, so name the detected format instead of emitting
+    // a confusing parse error.
+    return Status{StatusCode::kInvalidArgument,
+                  "'" + path + "' is a " +
+                      (sniff_binary_csr(head, head_len)
+                           ? std::string("llpmstb CSR snapshot")
+                           : std::string("llpmst binary edge list")) +
+                      " (detected format: binary) but --graph-format says " +
+                      graph_format_name(format)};
+  } else if (have_head && format == GraphFormat::kBinary &&
+             sniffed != GraphFormat::kBinary) {
+    return Status{StatusCode::kInvalidArgument,
+                  "'" + path + "' has no binary magic (detected format: " +
+                      graph_format_name(sniffed == GraphFormat::kAuto
+                                            ? format_from_extension(path)
+                                            : sniffed) +
+                      ") but --graph-format says binary"};
+  }
+
   switch (format) {
     case GraphFormat::kDimacs: {
       DimacsResult r = read_dimacs(path);
@@ -40,6 +172,9 @@ Expected<EdgeList> read_graph(const std::string& path, GraphFormat format) {
       return std::move(r.graph);
     }
     case GraphFormat::kBinary: {
+      if (have_head && sniff_binary_csr(head, head_len)) {
+        return snapshot_to_edge_list(path);
+      }
       EdgeListResult r = read_edge_list_binary(path);
       if (!r.ok()) return r.status;
       return std::move(r.graph);

@@ -1,12 +1,25 @@
-// Unified graph-loading entry point: picks the reader from the file
-// extension and returns Expected<EdgeList>, so every tool and service gets
-// the same dispatch rules (and the same structured errors) instead of each
-// reimplementing them.
+// Unified graph-loading entry point: detects the on-disk format and returns
+// Expected<EdgeList>, so every tool and service gets the same dispatch rules
+// (and the same structured errors) instead of each reimplementing them.
 //
-//   .gr                -> DIMACS        (read_dimacs)
-//   .metis / .graph    -> METIS         (read_metis)
-//   .bin               -> llpmst binary (read_edge_list_binary)
-//   anything else      -> "u v w" text  (read_edge_list_text)
+// Detection sniffs the file's LEADING BYTES first — magic numbers are
+// authoritative, text heuristics next, and the extension is only the
+// tie-break for ambiguous text:
+//
+//   "LLPMSTB\0" magic   -> llpmstb CSR snapshot   (read_binary_csr)
+//   "LLPM" magic        -> llpmst binary edge list (read_edge_list_binary)
+//   'c'/'p sp' lines    -> DIMACS                  (read_dimacs)
+//   '%' comment lines   -> METIS                   (read_metis)
+//   ambiguous text      -> extension: .gr DIMACS, .metis/.graph METIS,
+//                          .bin binary, else "u v w" text
+//
+// Passing an explicit format that contradicts an unambiguous magic is an
+// kInvalidArgument naming the detected format — tools surface that as a
+// usage error (exit 2) rather than a corrupt-input parse failure.
+//
+// Note read_graph always materializes an EdgeList (the parse path).  The
+// zero-parse mmap mount of a `llpmstb` snapshot is the CSR-level entry
+// point read_binary_csr() in graph/io/binary_csr.hpp.
 #pragma once
 
 #include <string>
@@ -18,13 +31,24 @@ namespace llpmst {
 
 enum class GraphFormat { kAuto, kDimacs, kMetis, kBinary, kText };
 
-/// Maps a path to the format read_graph would use (kAuto resolves by
-/// extension; never returns kAuto).
+/// "auto" | "dimacs" | "metis" | "binary" | "text" — for diagnostics and
+/// CLI flag parsing.
+[[nodiscard]] const char* graph_format_name(GraphFormat f);
+
+/// Maps a flag string to a format ("auto"/"dimacs"/"metis"/"binary"/"text").
+/// Returns false on an unknown name.
+[[nodiscard]] bool parse_graph_format(const std::string& name,
+                                      GraphFormat& out);
+
+/// Resolves the format read_graph would use for this path: sniffs leading
+/// bytes, falls back to the extension for ambiguous text.  Never returns
+/// kAuto.  An unreadable file resolves by extension alone.
 [[nodiscard]] GraphFormat detect_graph_format(const std::string& path);
 
 /// Loads a graph file.  On failure the Status carries the reader's verdict:
-/// kIoError (open/size failures), kCorruptInput (bad bytes), or the
-/// injected-fault codes when a chaos failpoint is armed.
+/// kIoError (open/size failures), kCorruptInput (bad bytes),
+/// kInvalidArgument (explicit `format` contradicts the file's magic), or
+/// the injected-fault codes when a chaos failpoint is armed.
 [[nodiscard]] Expected<EdgeList> read_graph(
     const std::string& path, GraphFormat format = GraphFormat::kAuto);
 

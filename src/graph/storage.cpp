@@ -1,0 +1,86 @@
+#include "graph/storage.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <utility>
+
+namespace llpmst {
+
+namespace {
+
+std::size_t section_bytes(const CsrSections& s) {
+  return s.offsets.size_bytes() + s.targets.size_bytes() +
+         s.priorities.size_bytes() + s.mwe.size_bytes() +
+         s.mwe_flags.size_bytes() + s.edges.size_bytes();
+}
+
+}  // namespace
+
+std::size_t GraphStorage::resident_bytes_estimate() const {
+  return section_bytes(sections_);
+}
+
+HeapStorage::HeapStorage(std::vector<std::uint64_t> offsets,
+                         std::vector<VertexId> targets,
+                         std::vector<EdgePriority> priorities,
+                         std::vector<EdgePriority> mwe,
+                         std::vector<std::uint8_t> mwe_flags,
+                         std::vector<WeightedEdge> edges)
+    : offsets_(std::move(offsets)),
+      targets_(std::move(targets)),
+      priorities_(std::move(priorities)),
+      mwe_(std::move(mwe)),
+      mwe_flags_(std::move(mwe_flags)),
+      edges_(std::move(edges)) {
+  sections_.offsets = offsets_;
+  sections_.targets = targets_;
+  sections_.priorities = priorities_;
+  sections_.mwe = mwe_;
+  sections_.mwe_flags = mwe_flags_;
+  sections_.edges = edges_;
+}
+
+MmapStorage::MmapStorage(void* base, std::size_t length, CsrSections sections,
+                         std::string path)
+    : base_(base), length_(length), path_(std::move(path)) {
+  sections_ = sections;
+}
+
+MmapStorage::~MmapStorage() {
+  if (base_ != nullptr && base_ != MAP_FAILED) ::munmap(base_, length_);
+}
+
+std::size_t MmapStorage::resident_bytes_estimate() const {
+  if (base_ == nullptr || length_ == 0) return 0;
+  const std::size_t page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  const std::size_t pages = (length_ + page - 1) / page;
+  // mincore reports one byte per page; a 1B-edge snapshot is millions of
+  // pages, so probe at most 64 evenly spaced contiguous windows (one
+  // syscall each) and scale.  This feeds a stats field, not a decision.
+  constexpr std::size_t kWindows = 64;
+  constexpr std::size_t kWindowPages = 4096;
+  const std::size_t windows = pages < kWindows ? 1 : kWindows;
+  const std::size_t window_pages =
+      pages / windows < kWindowPages ? (pages + windows - 1) / windows
+                                     : kWindowPages;
+  std::vector<unsigned char> vec(window_pages);
+  std::size_t resident = 0, probed = 0;
+  auto* b = static_cast<unsigned char*>(base_);
+  for (std::size_t w = 0; w < windows; ++w) {
+    const std::size_t start = pages * w / windows;
+    const std::size_t count = std::min(window_pages, pages - start);
+    if (count == 0) continue;
+    if (::mincore(b + start * page, count * page, vec.data()) != 0) {
+      return 0;  // estimate unavailable; report nothing rather than garbage
+    }
+    for (std::size_t i = 0; i < count; ++i) resident += (vec[i] & 1u);
+    probed += count;
+  }
+  if (probed == 0) return 0;
+  const double frac = static_cast<double>(resident) / static_cast<double>(probed);
+  return static_cast<std::size_t>(frac * static_cast<double>(length_));
+}
+
+}  // namespace llpmst

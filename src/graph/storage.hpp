@@ -1,0 +1,122 @@
+// The pluggable storage layer under CsrGraph.
+//
+// A built CSR snapshot is six flat arrays — row offsets, arc targets, arc
+// priorities, per-vertex MWE minima, per-arc MWE flags, and the undirected
+// edge list.  Algorithms only ever *read* them through spans, so where the
+// bytes live is a storage decision, not an algorithm decision:
+//
+//   * HeapStorage — the original representation: six owned std::vectors,
+//     filled by CsrGraph::build from a normalized EdgeList;
+//   * MmapStorage — a read-only mmap over an `llpmstb` binary CSR snapshot
+//     (graph/io/binary_csr.hpp).  Load = open + map + header validation;
+//     no edge-list parse, no CSR rebuild, and the kernel pages arc data in
+//     on demand, so a snapshot larger than resident RAM still serves
+//     queries.
+//
+// Storage is immutable after construction and shared via
+// std::shared_ptr<const GraphStorage>: copying a CsrGraph is two pointer
+// copies, and the storage object's address doubles as the graph's identity
+// for caches (see CsrGraph::storage_id / RunContext::num_components) — two
+// CsrGraph handles over one snapshot share cached connectivity.
+//
+// This seam is deliberately where hugepage- and NUMA-aware placement land
+// next (ROADMAP item 3): a MADV_HUGEPAGE / numa_alloc backend implements
+// the same section contract without touching a single algorithm.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "support/status.hpp"
+
+namespace llpmst {
+
+/// Read-only views of the six CSR arrays.  Span extents encode the shape
+/// contract: offsets has n+1 entries, targets/priorities/mwe_flags have 2m
+/// (one per directed arc), mwe has n, edges has m.
+struct CsrSections {
+  std::span<const std::uint64_t> offsets;      // n+1 row offsets into arcs
+  std::span<const VertexId> targets;           // 2m arc targets
+  std::span<const EdgePriority> priorities;    // 2m packed arc priorities
+  std::span<const EdgePriority> mwe;           // n per-vertex min priority
+  std::span<const std::uint8_t> mwe_flags;     // 2m per-arc MWE flags
+  std::span<const WeightedEdge> edges;         // m undirected edges by id
+};
+
+class GraphStorage {
+ public:
+  GraphStorage() = default;
+  GraphStorage(const GraphStorage&) = delete;
+  GraphStorage& operator=(const GraphStorage&) = delete;
+  virtual ~GraphStorage() = default;
+
+  [[nodiscard]] const CsrSections& sections() const { return sections_; }
+
+  /// "heap" or "mmap" — surfaced in catalog listings and load reports.
+  [[nodiscard]] virtual const char* backend_name() const = 0;
+
+  /// Bytes backed by a file mapping (0 for owned-heap storage).
+  [[nodiscard]] virtual std::size_t mapped_bytes() const { return 0; }
+
+  /// Estimated bytes of this storage currently resident in RAM.  Exact for
+  /// heap storage (everything is), sampled via mincore for mappings.
+  [[nodiscard]] virtual std::size_t resident_bytes_estimate() const;
+
+ protected:
+  CsrSections sections_;  // set once by the concrete backend's constructor
+};
+
+using StoragePtr = std::shared_ptr<const GraphStorage>;
+
+/// The owned-heap backend: six vectors moved in by CsrGraph::build.
+class HeapStorage final : public GraphStorage {
+ public:
+  HeapStorage(std::vector<std::uint64_t> offsets,
+              std::vector<VertexId> targets,
+              std::vector<EdgePriority> priorities,
+              std::vector<EdgePriority> mwe,
+              std::vector<std::uint8_t> mwe_flags,
+              std::vector<WeightedEdge> edges);
+
+  [[nodiscard]] const char* backend_name() const override { return "heap"; }
+
+ private:
+  std::vector<std::uint64_t> offsets_;
+  std::vector<VertexId> targets_;
+  std::vector<EdgePriority> priorities_;
+  std::vector<EdgePriority> mwe_;
+  std::vector<std::uint8_t> mwe_flags_;
+  std::vector<WeightedEdge> edges_;
+};
+
+/// The read-only mmap backend over an `llpmstb` snapshot file.  Constructed
+/// only through graph/io/binary_csr.hpp's read_binary_csr(), which validates
+/// the header and computes the section spans before handing them over; this
+/// class owns nothing but the mapping itself.
+class MmapStorage final : public GraphStorage {
+ public:
+  /// Takes ownership of an established mapping.  `base` must be a
+  /// mmap(2)-returned address of `length` bytes; unmapped on destruction.
+  MmapStorage(void* base, std::size_t length, CsrSections sections,
+              std::string path);
+  ~MmapStorage() override;
+
+  [[nodiscard]] const char* backend_name() const override { return "mmap"; }
+  [[nodiscard]] std::size_t mapped_bytes() const override { return length_; }
+  [[nodiscard]] std::size_t resident_bytes_estimate() const override;
+
+  /// The snapshot file this mapping came from (diagnostics, catalog rows).
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  void* base_ = nullptr;
+  std::size_t length_ = 0;
+  std::string path_;
+};
+
+}  // namespace llpmst

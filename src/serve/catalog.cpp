@@ -9,9 +9,12 @@
 #include "graph/generators/random_graph.hpp"
 #include "graph/generators/rmat.hpp"
 #include "graph/generators/road.hpp"
+#include "graph/io/binary_csr.hpp"
 #include "graph/io/read_graph.hpp"
+#include "graph/storage.hpp"
 #include "obs/metrics.hpp"
 #include "scenario/scenario.hpp"
+#include "support/timer.hpp"
 
 namespace llpmst::serve {
 
@@ -127,15 +130,27 @@ Expected<SnapshotPtr> GraphCatalog::load(const std::string& name,
   // Build OUTSIDE the lock: loads can take seconds and must not stall
   // queries resolving other snapshots.  The duplicate-name race (two
   // concurrent loads of one name) is re-checked at insert.
-  Expected<EdgeList> edges = make_edge_list(source, seed);
-  if (!edges.ok()) return edges.status();
-
   auto snapshot = std::make_shared<GraphSnapshot>();
   snapshot->name = name;
   snapshot->source = source;
   snapshot->seed = seed;
-  snapshot->graph = CsrGraph::build(*edges);
+  Timer load_timer;
+  if (source.rfind("binfile:", 0) == 0) {
+    // Mount path: no edge-list parse, no CSR rebuild.  The component count
+    // below still walks the edge section once — that is admission metadata
+    // the format does not carry, and it reads m*12 bytes, not the arcs.
+    Expected<CsrGraph> g = read_binary_csr(source.substr(8));
+    if (!g.ok()) return g.status();
+    snapshot->graph = std::move(*g);
+    snapshot->backend = "mmap";
+    snapshot->bytes_mapped = snapshot->graph.storage()->mapped_bytes();
+  } else {
+    Expected<EdgeList> edges = make_edge_list(source, seed);
+    if (!edges.ok()) return edges.status();
+    snapshot->graph = CsrGraph::build(*edges);
+  }
   snapshot->components = count_components(snapshot->graph);
+  snapshot->load_ms = load_timer.elapsed_ms();
 
   {
     std::lock_guard lock(mutex_);
@@ -147,7 +162,14 @@ Expected<SnapshotPtr> GraphCatalog::load(const std::string& name,
     }
     snapshots_.push_back(snapshot);
   }
-  if (obs::kCompiledIn) obs::counter("serve/graphs_loaded").increment();
+  if (obs::kCompiledIn) {
+    obs::counter("serve/graphs_loaded").increment();
+    if (snapshot->bytes_mapped > 0) {
+      obs::counter("serve/graphs_mmap_loaded").increment();
+      obs::counter("serve/snapshot_bytes_mapped")
+          .add(snapshot->bytes_mapped);
+    }
+  }
   return SnapshotPtr(snapshot);
 }
 
@@ -182,9 +204,13 @@ std::vector<GraphCatalog::Entry> GraphCatalog::list() const {
   std::vector<Entry> out;
   out.reserve(snapshots_.size());
   for (const SnapshotPtr& s : snapshots_) {
+    const GraphStorage* storage = s->graph.storage();
     out.push_back(Entry{s->name, s->source, s->seed, s->graph.num_vertices(),
                         s->graph.num_edges(), s->components,
-                        static_cast<std::size_t>(s.use_count()) - 1});
+                        static_cast<std::size_t>(s.use_count()) - 1,
+                        s->backend, s->bytes_mapped, s->load_ms,
+                        storage != nullptr ? storage->resident_bytes_estimate()
+                                           : 0});
   }
   return out;
 }

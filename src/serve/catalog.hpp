@@ -23,7 +23,10 @@
 //   road:SIDE      — SIDExSIDE road network (connected)
 //   rmat:SCALE     — graph500 RMAT, 2^SCALE vertices (disconnected)
 //   er:VERTICES    — Erdos-Renyi G(n, 4n)
-//   file:PATH      — read_graph() dispatch (.gr/.metis/.bin/text)
+//   file:PATH      — read_graph() dispatch (format sniffed from bytes)
+//   binfile:PATH   — llpmstb CSR snapshot MOUNTED via mmap: no parse, no
+//                    CSR rebuild, arc data paged in on demand — this is how
+//                    llpmstd serves graphs larger than resident RAM
 //   anything else  — treated as a file path
 #pragma once
 
@@ -46,6 +49,15 @@ struct GraphSnapshot {
   std::uint64_t seed = 0;
   CsrGraph graph;
   std::size_t components = 0;
+  // -- Load stats (control-op responses and /stats) -----------------------
+  /// Storage backend the snapshot lives on: "heap" (built) or "mmap"
+  /// (binfile: mount).
+  const char* backend = "heap";
+  /// Bytes backed by a file mapping (0 for heap snapshots).
+  std::size_t bytes_mapped = 0;
+  /// Wall time of the load: parse+build for heap sources, open+map+validate
+  /// for binfile mounts.
+  double load_ms = 0;
 };
 
 using SnapshotPtr = std::shared_ptr<const GraphSnapshot>;
@@ -80,6 +92,13 @@ class GraphCatalog {
     /// or queued queries, plus unloaded-but-held ghosts are NOT counted —
     /// those no longer have a name to list).
     std::size_t pinned;
+    /// Storage backend ("heap" | "mmap") and its load stats.
+    const char* backend;
+    std::size_t bytes_mapped;
+    double load_ms;
+    /// Bytes currently resident in RAM — exact for heap snapshots, sampled
+    /// via mincore at list() time for mmap mounts.
+    std::size_t resident_bytes;
   };
   /// Registration-order listing of the live catalog.
   [[nodiscard]] std::vector<Entry> list() const;

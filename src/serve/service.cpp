@@ -164,7 +164,10 @@ void QueryService::handle_load(const Json& request,
   std::string data = "{\"name\":" + obs::json_quote(s.name) +
                      ",\"vertices\":" + std::to_string(s.graph.num_vertices()) +
                      ",\"edges\":" + std::to_string(s.graph.num_edges()) +
-                     ",\"components\":" + std::to_string(s.components) + "}";
+                     ",\"components\":" + std::to_string(s.components) +
+                     ",\"backend\":" + obs::json_quote(s.backend) +
+                     ",\"bytes_mapped\":" + std::to_string(s.bytes_mapped) +
+                     ",\"load_ms\":" + fmt_ms(s.load_ms) + "}";
   respond_envelope(respond, id, "load", Status::Ok(), data);
 }
 
@@ -196,7 +199,11 @@ void QueryService::handle_list(const Json& request,
             ",\"vertices\":" + std::to_string(e.vertices) +
             ",\"edges\":" + std::to_string(e.edges) +
             ",\"components\":" + std::to_string(e.components) +
-            ",\"pinned\":" + std::to_string(e.pinned) + "}";
+            ",\"pinned\":" + std::to_string(e.pinned) +
+            ",\"backend\":" + obs::json_quote(e.backend) +
+            ",\"bytes_mapped\":" + std::to_string(e.bytes_mapped) +
+            ",\"load_ms\":" + fmt_ms(e.load_ms) +
+            ",\"resident_bytes\":" + std::to_string(e.resident_bytes) + "}";
   }
   data += "]}";
   respond_envelope(respond, id, "list", Status::Ok(), data);

@@ -20,13 +20,14 @@ CHECK = TOOLS / "check_report_schema.py"
 
 def make_record(algo="LLP-Prim", median=10.0, iqr=0.5, workload="Road 16,384",
                 bench="bench_fig2_single_thread", threads=1, allocs=None,
-                util=None):
+                util=None, rss=1 << 20):
     """A schema-complete llpmst-bench record around the given median.
 
     `allocs` is the per-repetition allocation count; None leaves the
     alloc_delta section null (allocator hooks compiled out).  `util` fills
     the "sched" section's utilization; None omits the section entirely
-    (a pre-PR-6 record).
+    (a pre-PR-6 record).  `rss` is mem.peak_rss_bytes; 0 models a host
+    where getrusage failed.
     """
     samples = [median - iqr, median, median + iqr]
     alloc_delta = None
@@ -56,7 +57,7 @@ def make_record(algo="LLP-Prim", median=10.0, iqr=0.5, workload="Road 16,384",
         },
         "samples_ms": samples,
         "hw": None,
-        "mem": {"peak_rss_bytes": 1 << 20, "alloc": None,
+        "mem": {"peak_rss_bytes": rss, "alloc": None,
                 "alloc_delta": alloc_delta},
     }
     if util is not None:
@@ -252,6 +253,45 @@ class BenchCompareTest(unittest.TestCase):
         self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
         self.assertNotIn("util drift", r.stdout)
         self.assertNotIn("utilization:", r.stdout)
+
+    def test_peak_rss_drift_is_reported_but_never_fails(self):
+        # A 64 MiB -> 160 MiB jump (e.g. a backend fell off the mmap path
+        # onto the heap) is worth a log line but must not gate.
+        base, cand = self.write_sets(
+            [make_record("LLP-Prim", rss=64 << 20)],
+            [make_record("LLP-Prim", rss=160 << 20)])
+        r = run_compare(base, cand)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("peak-RSS drift", r.stdout)
+        self.assertIn("report-only", r.stdout)
+
+    def test_small_peak_rss_drift_is_not_reported(self):
+        # +10% is under the default 25% drift threshold.
+        base, cand = self.write_sets(
+            [make_record("LLP-Prim", rss=64 << 20)],
+            [make_record("LLP-Prim", rss=int(70.4 * (1 << 20)))])
+        r = run_compare(base, cand)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertNotIn("peak-RSS drift", r.stdout)
+
+    def test_sub_mib_peak_rss_jitter_is_ignored(self):
+        # A 0.5 MiB -> 1.4 MiB move is +180% relative but under the 1 MiB
+        # absolute floor: tiny processes jitter at page granularity.
+        base, cand = self.write_sets(
+            [make_record("LLP-Prim", rss=512 << 10)],
+            [make_record("LLP-Prim", rss=1433 << 10)])
+        r = run_compare(base, cand)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertNotIn("peak-RSS drift", r.stdout)
+
+    def test_peak_rss_skipped_when_either_side_lacks_it(self):
+        base, cand = self.write_sets(
+            [make_record("LLP-Prim", rss=0)],
+            [make_record("LLP-Prim", rss=512 << 20)])
+        r = run_compare(base, cand)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertNotIn("peak-RSS drift", r.stdout)
+        self.assertNotIn("peak RSS:", r.stdout)
 
     def test_records_with_sched_pass_schema_checker(self):
         path = self.tmp / "records.bench.jsonl"

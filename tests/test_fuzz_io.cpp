@@ -3,12 +3,16 @@
 // graph — never a crash, hang, or out-of-range edge list.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
 
+#include "graph/csr_graph.hpp"
 #include "graph/generators/random_graph.hpp"
+#include "graph/io/binary_csr.hpp"
 #include "graph/io/dimacs.hpp"
 #include "graph/io/edge_list_io.hpp"
 #include "graph/io/metis.hpp"
@@ -233,6 +237,192 @@ TEST_F(FuzzIo, BinaryTrailingBytesRejected) {
   const EdgeListResult r = read_edge_list_binary(path("g.bin"));
   EXPECT_FALSE(r.ok());
   EXPECT_NE(r.status.message().find("trailing bytes"), std::string::npos);
+}
+
+// ------------------------------------------------- llpmstb CSR snapshots
+//
+// Every rejection path of the mmap reader: the header is untrusted input,
+// so truncation, out-of-bounds section tables, corrupt checksums, and
+// overflow-bait counts must all come back as a Status — never a crash,
+// never a read past the mapping.  Each failure message carries the one-line
+// repro command for the mst_tool-level equivalent.
+
+/// "repro: mst_tool --input FILE --graph-format binary" — the CLI spelling
+/// of the same read, for pasting into a shell when a case regresses.
+std::string snapshot_repro(const std::string& file) {
+  return "repro: mst_tool --input " + file + " --graph-format binary";
+}
+
+/// FNV-1a mirror of the on-disk checksum, for re-sealing crafted headers.
+std::uint64_t test_fnv1a(const unsigned char* p, std::size_t len) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// llpmstb v1 header field offsets (see src/graph/io/binary_csr.cpp).
+constexpr std::size_t kHdrSize = 152;
+constexpr std::size_t kHdrN = 16;
+constexpr std::size_t kHdrSections = 32;  // 6 x {offset u64, length u64}
+constexpr std::size_t kHdrChecksum = 144;
+
+/// Re-seals a crafted header so the reader's checks past the header
+/// checksum are reachable.
+void reseal_header(std::string& blob) {
+  ASSERT_GE(blob.size(), kHdrSize);
+  std::memset(blob.data() + kHdrChecksum, 0, 8);
+  const std::uint64_t sum = test_fnv1a(
+      reinterpret_cast<const unsigned char*>(blob.data()), kHdrSize);
+  std::memcpy(blob.data() + kHdrChecksum, &sum, 8);
+}
+
+class FuzzSnapshot : public FuzzIo {
+ protected:
+  std::string write_sample(const std::string& name) {
+    EdgeList list = sample_graph();
+    list.normalize();
+    const CsrGraph g = CsrGraph::build(list);
+    const std::string p = path(name);
+    EXPECT_TRUE(write_binary_csr(p, g).ok());
+    return p;
+  }
+  static BinaryCsrOptions verified() {
+    BinaryCsrOptions o;
+    o.verify_payload = true;
+    return o;
+  }
+};
+
+TEST_F(FuzzSnapshot, SurvivesTruncationAtEveryPrefix) {
+  const std::string full = slurp(write_sample("g.llpmstb"));
+  for (std::size_t len = 0; len < full.size(); len += 7) {
+    spit(path("t.llpmstb"), full.substr(0, len));
+    const Expected<CsrGraph> r = read_binary_csr(path("t.llpmstb"));
+    EXPECT_FALSE(r.ok()) << "accepted a " << len << "-byte prefix; "
+                         << snapshot_repro(path("t.llpmstb"));
+  }
+}
+
+TEST_F(FuzzSnapshot, ZeroLengthFileRejected) {
+  spit(path("empty.llpmstb"), "");
+  const Expected<CsrGraph> r = read_binary_csr(path("empty.llpmstb"));
+  ASSERT_FALSE(r.ok()) << snapshot_repro(path("empty.llpmstb"));
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruptInput);
+  EXPECT_NE(r.status().message().find("empty file"), std::string::npos);
+}
+
+TEST_F(FuzzSnapshot, TruncatedHeaderRejected) {
+  const std::string full = slurp(write_sample("g.llpmstb"));
+  spit(path("hdr.llpmstb"), full.substr(0, kHdrSize / 2));
+  const Expected<CsrGraph> r = read_binary_csr(path("hdr.llpmstb"));
+  ASSERT_FALSE(r.ok()) << snapshot_repro(path("hdr.llpmstb"));
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruptInput);
+  EXPECT_NE(r.status().message().find("truncated header"), std::string::npos);
+}
+
+TEST_F(FuzzSnapshot, SectionOffsetOutOfBoundsRejected) {
+  std::string blob = slurp(write_sample("g.llpmstb"));
+  // Point the targets section (entry 1) far past EOF and re-seal, so the
+  // reader's bounds check — not the checksum — must catch it.
+  const std::uint64_t huge = 1ull << 40;
+  std::memcpy(blob.data() + kHdrSections + 16, &huge, 8);
+  reseal_header(blob);
+  spit(path("oob.llpmstb"), blob);
+  const Expected<CsrGraph> r = read_binary_csr(path("oob.llpmstb"));
+  ASSERT_FALSE(r.ok()) << snapshot_repro(path("oob.llpmstb"));
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruptInput);
+  EXPECT_NE(r.status().message().find("past the end"), std::string::npos);
+}
+
+TEST_F(FuzzSnapshot, CountsOverflowRejected) {
+  std::string blob = slurp(write_sample("g.llpmstb"));
+  // n = 2^40: the expected-length arithmetic would overflow if the count
+  // guard were missing.  Re-sealed so the guard itself is what fires.
+  const std::uint64_t n = 1ull << 40;
+  std::memcpy(blob.data() + kHdrN, &n, 8);
+  reseal_header(blob);
+  spit(path("count.llpmstb"), blob);
+  const Expected<CsrGraph> r = read_binary_csr(path("count.llpmstb"));
+  ASSERT_FALSE(r.ok()) << snapshot_repro(path("count.llpmstb"));
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruptInput);
+  EXPECT_NE(r.status().message().find("32-bit id space"), std::string::npos);
+}
+
+TEST_F(FuzzSnapshot, HeaderChecksumMismatchRejected) {
+  std::string blob = slurp(write_sample("g.llpmstb"));
+  blob[kHdrN] ^= 0x5a;  // corrupt n without re-sealing
+  spit(path("hsum.llpmstb"), blob);
+  const Expected<CsrGraph> r = read_binary_csr(path("hsum.llpmstb"));
+  ASSERT_FALSE(r.ok()) << snapshot_repro(path("hsum.llpmstb"));
+  EXPECT_NE(r.status().message().find("header checksum"), std::string::npos);
+}
+
+TEST_F(FuzzSnapshot, PayloadChecksumMismatchRejected) {
+  std::string blob = slurp(write_sample("g.llpmstb"));
+  blob.back() ^= 0x5a;  // last byte of the edges section
+  spit(path("psum.llpmstb"), blob);
+  // The default (header-only) mount accepts it — payload verification is
+  // opt-in by design; verify_payload must reject it.
+  EXPECT_TRUE(read_binary_csr(path("psum.llpmstb")).ok());
+  const Expected<CsrGraph> r =
+      read_binary_csr(path("psum.llpmstb"), verified());
+  ASSERT_FALSE(r.ok()) << snapshot_repro(path("psum.llpmstb"));
+  EXPECT_NE(r.status().message().find("payload checksum"), std::string::npos);
+}
+
+TEST_F(FuzzSnapshot, TrailingBytesRejected) {
+  std::string blob = slurp(write_sample("g.llpmstb"));
+  blob += "EXTRA";
+  spit(path("tail.llpmstb"), blob);
+  const Expected<CsrGraph> r = read_binary_csr(path("tail.llpmstb"));
+  ASSERT_FALSE(r.ok()) << snapshot_repro(path("tail.llpmstb"));
+  EXPECT_NE(r.status().message().find("trailing bytes"), std::string::npos);
+}
+
+TEST_F(FuzzSnapshot, RandomByteCorruptionNeverCrashesWhenVerified) {
+  const std::string sample = write_sample("g.llpmstb");
+  const std::string full = slurp(sample);
+  const Expected<CsrGraph> baseline = read_binary_csr(sample, verified());
+  ASSERT_TRUE(baseline.ok()) << baseline.status().to_string();
+  Xoshiro256 rng(5);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = full;
+    mutated[rng.next_below(mutated.size())] =
+        static_cast<char>(rng.next_below(256));
+    spit(path("m.llpmstb"), mutated);
+    const Expected<CsrGraph> r =
+        read_binary_csr(path("m.llpmstb"), verified());
+    // A flip landing in alignment padding (checksummed as neither header
+    // nor payload) can legitimately be accepted; the graph must then be
+    // identical to the original in every section the spans see.
+    if (r.ok()) {
+      EXPECT_EQ(r->num_edges(), baseline->num_edges())
+          << snapshot_repro(path("m.llpmstb"));
+      EXPECT_EQ(r->total_weight(), baseline->total_weight())
+          << snapshot_repro(path("m.llpmstb"));
+    }
+  }
+}
+
+TEST_F(FuzzSnapshot, MissingFileIsIoErrorNotCorrupt) {
+  const Expected<CsrGraph> r = read_binary_csr(path("nope.llpmstb"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(FuzzSnapshot, InjectedMountFaultYieldsStatus) {
+  if (!fail::kCompiledIn) GTEST_SKIP() << "failpoints compiled out";
+  const std::string p = write_sample("g.llpmstb");
+  fail::disarm_all();
+  ASSERT_TRUE(fail::arm("io/binary_csr", "return"));
+  const Expected<CsrGraph> r = read_binary_csr(p);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInjectedFault);
+  fail::disarm_all();
+  EXPECT_TRUE(read_binary_csr(p).ok());
 }
 
 // ------------------------------------------------- injected reader faults

@@ -8,12 +8,15 @@
 
 #include <atomic>
 #include <chrono>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/run_context.hpp"
+#include "graph/io/binary_csr.hpp"
+#include "graph/storage.hpp"
 #include "parallel/thread_pool.hpp"
 #include "serve/catalog.hpp"
 #include "serve/json.hpp"
@@ -139,6 +142,39 @@ TEST(GraphCatalog, LoadsListsAndRejectsDuplicatesAndJunk) {
   EXPECT_EQ(entries[0].name, "road");
   EXPECT_EQ(entries[1].name, "forest");
   EXPECT_GT(entries[1].components, 1u);
+}
+
+TEST(GraphCatalog, BinfileSourceMountsSnapshotWithLoadStats) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("llpmst_serve_binfile_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  const std::string file = (dir / "road.llpmstb").string();
+
+  GraphCatalog catalog;
+  ASSERT_TRUE(catalog.load("built", "road:16", 1).ok());
+  ASSERT_TRUE(write_binary_csr(file, catalog.get("built")->graph).ok());
+
+  Expected<SnapshotPtr> mounted = catalog.load("mounted", "binfile:" + file, 1);
+  ASSERT_TRUE(mounted.ok()) << mounted.status().to_string();
+  EXPECT_STREQ((*mounted)->backend, "mmap");
+  EXPECT_GT((*mounted)->bytes_mapped, 0u);
+  // Same graph either way: the mount is the built snapshot, bit for bit.
+  EXPECT_EQ((*mounted)->graph.num_edges(),
+            catalog.get("built")->graph.num_edges());
+  EXPECT_EQ((*mounted)->components, catalog.get("built")->components);
+
+  const auto entries = catalog.list();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_STREQ(entries[0].backend, "heap");
+  EXPECT_EQ(entries[0].bytes_mapped, 0u);
+  EXPECT_STREQ(entries[1].backend, "mmap");
+  EXPECT_GT(entries[1].bytes_mapped, 0u);
+  EXPECT_LE(entries[1].resident_bytes, entries[1].bytes_mapped);
+  EXPECT_GE(entries[1].load_ms, 0.0);
+
+  // A bad snapshot path is an admission error, not an abort.
+  EXPECT_FALSE(catalog.load("x", "binfile:/no/such.llpmstb", 1).ok());
+  std::filesystem::remove_all(dir);
 }
 
 TEST(GraphCatalog, UnloadKeepsSnapshotAliveForHolders) {

@@ -36,6 +36,13 @@ surfacing in the log, but it is far too machine/noise-dependent to fail
 CI on.  Records without the section (older baselines) are simply not
 compared.
 
+The same report-only treatment applies to mem.peak_rss_bytes: when both
+records carry a positive peak RSS, a relative change beyond --rss-drift
+(with a 1 MiB absolute floor, since ru_maxrss is page-granular and small
+processes jitter) is REPORTED, never gated.  Peak RSS is the signal that
+distinguishes a heap-built graph from an mmapped snapshot, so drift here
+usually means a storage-backend or working-set change worth a look.
+
 Likewise for the "profile" section (--profile; top-3 hottest phase
 paths by profiler samples): when both records carry one, a change in
 the hottest phase path — or the hottest path's sample share moving by
@@ -144,6 +151,14 @@ def sched_util(doc):
     return float(u)
 
 
+def peak_rss(doc):
+    """The record's peak RSS in bytes, or None when absent/unusable."""
+    rss = (doc.get("mem") or {}).get("peak_rss_bytes")
+    if not isinstance(rss, int) or rss <= 0:
+        return None
+    return rss
+
+
 def hot_path(doc):
     """The record's hottest profiled phase path as (name, share-of-samples),
     or None when the record carries no usable profile section."""
@@ -194,6 +209,10 @@ def main():
                     help="absolute scheduler-utilization change worth "
                          "reporting (default: 0.05); informational only, "
                          "never fails the run")
+    ap.add_argument("--rss-drift", type=float, default=0.25,
+                    help="relative peak-RSS change worth reporting "
+                         "(default: 0.25 = 25%%); informational only, "
+                         "never fails the run")
     ap.add_argument("--hotpath-drift", type=float, default=0.15,
                     help="absolute change in the hottest phase path's "
                          "sample share worth reporting (default: 0.15); "
@@ -216,7 +235,9 @@ def main():
     regressions, improvements, stable, missing = [], [], [], []
     alloc_regressions, alloc_compared = [], 0
     util_drifts, util_compared = [], 0
+    rss_drifts, rss_compared = [], 0
     hot_drifts, hot_compared = [], 0
+    rss_floor = 1 << 20  # ru_maxrss is page-granular; ignore sub-MiB jitter
     for key in sorted(base):
         if key not in cand:
             missing.append(key)
@@ -247,6 +268,13 @@ def main():
             util_compared += 1
             if abs(uc - ub) > args.util_drift:
                 util_drifts.append((key, ub, uc))
+
+        rb, rc = peak_rss(base[key]), peak_rss(cand[key])
+        if rb is not None and rc is not None:
+            rss_compared += 1
+            if (abs(rc - rb) > rss_floor and
+                    abs(rc - rb) / rb > args.rss_drift):
+                rss_drifts.append((key, rb, rc))
 
         hb, hc = hot_path(base[key]), hot_path(cand[key])
         if hb is not None and hc is not None:
@@ -281,6 +309,16 @@ def main():
                   f"{ub:.1%} -> {uc:.1%} ({uc - ub:+.1%})")
         print(f"  utilization: compared {util_compared} key(s), "
               f"drifted >{args.util_drift:.0%}: {len(util_drifts)} "
+              f"(report-only, never gated)")
+    if rss_compared:
+        # Informational only: peak RSS moves with the storage backend and
+        # the machine's page cache, so drift is a lead, not a gate.
+        for key, rb, rc in rss_drifts:
+            print(f"  peak-RSS drift {fmt_key(key)}: "
+                  f"{rb / (1 << 20):.1f} MiB -> {rc / (1 << 20):.1f} MiB "
+                  f"({(rc - rb) / rb:+.1%})")
+        print(f"  peak RSS: compared {rss_compared} key(s), "
+              f"drifted >{args.rss_drift:.0%}: {len(rss_drifts)} "
               f"(report-only, never gated)")
     if hot_compared:
         # Informational only, like utilization: where the samples land is a
